@@ -1,0 +1,59 @@
+"""Performance — test execution, serial vs process-parallel.
+
+Every test boots a fresh TSP system, so the campaign is embarrassingly
+parallel (the paper parallelised with shell scripts over TSIM runs).
+Benchmarks one test execution, a serial sub-campaign, and the same
+sub-campaign over a 4-worker pool, asserting identical outcomes.
+"""
+
+import os
+
+import pytest
+
+from repro.fault.campaign import Campaign
+from repro.fault.executor import TestExecutor
+from repro.fault.mutant import ArgSpec, TestCallSpec
+
+#: A mid-sized scope: 236-ish tests, a few seconds serial.
+SCOPE = ("XM_reset_partition", "XM_get_partition_status", "XM_halt_partition")
+
+
+def test_single_test_execution_benchmark(benchmark):
+    """Boot + 2 major frames + observation for one nominal test."""
+    spec = TestCallSpec(
+        "bench#0",
+        "XM_mask_irq",
+        "Interrupt Management",
+        (ArgSpec("irqLine", "1", value=1),),
+    )
+    executor = TestExecutor()
+    record = benchmark(executor.run, spec)
+    assert record.first_rc == 0
+
+
+def test_serial_campaign_benchmark(benchmark):
+    campaign = Campaign(functions=SCOPE)
+    result = benchmark.pedantic(campaign.run, rounds=2, iterations=1)
+    assert result.total_tests == 232
+    assert result.issue_count() == 0
+
+
+@pytest.mark.skipif(os.cpu_count() is None or os.cpu_count() < 2,
+                    reason="needs >= 2 CPUs")
+def test_parallel_campaign_benchmark(benchmark):
+    campaign = Campaign(functions=SCOPE)
+
+    def run_parallel():
+        return campaign.run(processes=4)
+
+    result = benchmark.pedantic(run_parallel, rounds=2, iterations=1)
+    assert result.total_tests == 232
+    assert result.issue_count() == 0
+
+
+def test_parallel_equals_serial_outcomes():
+    campaign = Campaign(functions=("XM_set_timer",))
+    serial = campaign.run()
+    parallel = campaign.run(processes=4)
+    key = lambda r: (r.test_id, r.first_rc, r.never_returned, r.sim_crashed)  # noqa: E731
+    assert sorted(map(key, serial.log)) == sorted(map(key, parallel.log))

@@ -1,0 +1,25 @@
+"""Figs. 2 and 3 — the two kernel-specific XML inputs.
+
+Regenerates both paper excerpts and asserts their content; benchmarks
+excerpt generation.
+"""
+
+from repro.fault.xmlio import fig2_excerpt, fig3_excerpt
+
+
+def test_fig2_api_header_excerpt(benchmark):
+    text = benchmark(fig2_excerpt)
+    # The paper's exact function and parameters.
+    assert 'Function Name="XM_reset_partition" ReturnType="xm_s32_t"' in text
+    assert 'Parameter Name="partitionId" Type="xm_s32_t" IsPointer="NO"' in text
+    assert 'Parameter Name="resetMode" Type="xm_u32_t" IsPointer="NO"' in text
+    assert 'Parameter Name="status" Type="xm_u32_t" IsPointer="NO"' in text
+    print("\n" + text)
+
+
+def test_fig3_datatype_excerpt(benchmark):
+    text = benchmark(fig3_excerpt)
+    assert 'DataType Name="xm_u32_t"' in text
+    for value in ("0", "1", "2", "16", "4294967295"):
+        assert f">{value}</Value>" in text
+    print("\n" + text)

@@ -1,0 +1,81 @@
+"""Performance — test generation (Fig. 5 pipeline).
+
+Benchmarks the preparation-side machinery: matrix building, Eq. 1
+cartesian generation of all ~2.9k datasets, mutant C-source rendering
+and the XML round trips.  These run thousands of times in iterative
+campaign work, so they must stay cheap.
+"""
+
+from repro.fault.apimodel import api_model_from_table
+from repro.fault.combinator import CartesianStrategy
+from repro.fault.dictionaries import DictionarySet
+from repro.fault.matrix import build_matrix
+from repro.fault.mutant import generate_mutants
+from repro.fault.xmlio import (
+    api_model_from_xml,
+    api_model_to_xml,
+    dictionaries_from_xml,
+    dictionaries_to_xml,
+)
+
+
+def _all_specs():
+    model = api_model_from_table()
+    dicts = DictionarySet()
+    strategy = CartesianStrategy()
+    specs = []
+    for fn in model.tested_functions():
+        matrix = build_matrix(fn, dicts)
+        specs.extend(strategy.generate(matrix))
+    return specs
+
+
+def test_full_dataset_generation_benchmark(benchmark):
+    datasets = benchmark(_all_specs)
+    assert len(datasets) == 2864
+
+
+def test_matrix_building_benchmark(benchmark):
+    model = api_model_from_table()
+    dicts = DictionarySet()
+    tested = model.tested_functions()
+
+    def build_all():
+        return [build_matrix(fn, dicts) for fn in tested]
+
+    matrices = benchmark(build_all)
+    assert len(matrices) == 39
+
+
+def test_mutant_source_rendering_benchmark(benchmark):
+    model = api_model_from_table()
+    dicts = DictionarySet()
+    fn = model.lookup("XM_memory_copy")  # the largest suite (1200 mutants)
+    matrix = build_matrix(fn, dicts)
+
+    def render_all():
+        return list(generate_mutants(matrix, CartesianStrategy()))
+
+    mutants = benchmark(render_all)
+    assert len(mutants) == 1200
+    assert all("XM_memory_copy(" in m.c_source for m in mutants)
+
+
+def test_api_xml_roundtrip_benchmark(benchmark):
+    model = api_model_from_table()
+
+    def roundtrip():
+        return api_model_from_xml(api_model_to_xml(model))
+
+    parsed = benchmark(roundtrip)
+    assert len(parsed) == 61
+
+
+def test_datatype_xml_roundtrip_benchmark(benchmark):
+    dicts = DictionarySet()
+
+    def roundtrip():
+        return dictionaries_from_xml(dictionaries_to_xml(dicts))
+
+    parsed = benchmark(roundtrip)
+    assert len(parsed.dictionaries) == len(dicts.dictionaries)

@@ -1,0 +1,86 @@
+"""Section IV — the nine raised issues, one by one.
+
+The ground truth is the defect registry (`repro.xm.vulns`); the bench
+asserts the campaign rediscovers each of the nine documented findings
+with the right failure mechanism and severity class, and benchmarks the
+issue-clustering stage.
+"""
+
+import pytest
+
+from repro.fault.classify import FailureKind, Severity
+from repro.fault.issues import cluster_issues
+from repro.xm.vulns import KNOWN_VULNERABILITIES
+
+
+@pytest.fixture(scope="module")
+def issues_by_ident(vulnerable_result):
+    return {
+        issue.matched_vulnerability: issue for issue in vulnerable_result.issues
+    }
+
+
+class TestAllNineFindings:
+    def test_exactly_nine(self, vulnerable_result):
+        assert vulnerable_result.issue_count() == 9
+
+    def test_every_known_vulnerability_matched(self, issues_by_ident):
+        assert set(issues_by_ident) == {v.ident for v in KNOWN_VULNERABILITIES}
+
+    @pytest.mark.parametrize("ident,mode", [("XM-RS-1", "2"), ("XM-RS-2", "16")])
+    def test_reset_system_cold_resets(self, issues_by_ident, ident, mode):
+        issue = issues_by_ident[ident]
+        assert issue.kind is FailureKind.UNEXPECTED_RESET
+        assert issue.severity is Severity.RESTART
+        assert "cold" in issue.description
+
+    def test_reset_system_warm_reset(self, issues_by_ident):
+        issue = issues_by_ident["XM-RS-3"]
+        assert "warm" in issue.description
+        assert "MAX_U32" in issue.detail_key
+
+    def test_set_timer_stack_overflow(self, issues_by_ident):
+        issue = issues_by_ident["XM-ST-1"]
+        assert issue.kind is FailureKind.KERNEL_HALT
+        assert issue.severity is Severity.CATASTROPHIC
+        assert "stack overflow" in issue.description
+
+    def test_set_timer_simulator_crash(self, issues_by_ident):
+        issue = issues_by_ident["XM-ST-2"]
+        assert issue.kind is FailureKind.SIM_CRASH
+        assert issue.severity is Severity.CATASTROPHIC
+
+    def test_set_timer_negative_interval_silent(self, issues_by_ident):
+        issue = issues_by_ident["XM-ST-3"]
+        assert issue.kind is FailureKind.WRONG_SUCCESS
+        assert issue.severity is Severity.SILENT
+        # Both clocks and several absTime values fold into one issue.
+        assert issue.case_count >= 4
+
+    def test_multicall_pointer_findings(self, issues_by_ident):
+        start = issues_by_ident["XM-MC-1"]
+        end = issues_by_ident["XM-MC-2"]
+        assert start.kind is end.kind is FailureKind.UNHANDLED_TRAP
+        assert start.severity is end.severity is Severity.ABORT
+        assert start.detail_key == "param=startAddr"
+        assert end.detail_key == "param=endAddr"
+        # 20 invalid-start combos vs 4 valid-start/invalid-end combos.
+        assert start.case_count == 20
+        assert end.case_count == 4
+
+    def test_multicall_temporal_break(self, issues_by_ident):
+        issue = issues_by_ident["XM-MC-3"]
+        assert issue.kind is FailureKind.TEMPORAL_VIOLATION
+        assert issue.severity is Severity.CATASTROPHIC
+        assert issue.case_count == 1
+
+    def test_no_spurious_findings_elsewhere(self, full_result):
+        spurious = [i for i in full_result.issues if i.matched_vulnerability is None]
+        assert spurious == []
+
+
+def test_issue_clustering_benchmark(benchmark, full_result):
+    issues = benchmark(cluster_issues, full_result.classified)
+    assert len(issues) == 9
+    found = {issue.matched_vulnerability for issue in issues}
+    assert found == {v.ident for v in KNOWN_VULNERABILITIES}

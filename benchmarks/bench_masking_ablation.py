@@ -1,0 +1,55 @@
+"""Ablation — fault masking (Fig. 7).
+
+Quantifies the paper's argument for seeding dictionaries with valid
+values: stripping every maybe-valid entry and re-running the
+finding-bearing suites loses the findings that need a valid earlier
+parameter to surface.
+"""
+
+import pytest
+
+from repro.fault.masking import masked_issue_comparison, masking_pairs
+
+from conftest import VULNERABLE_FUNCTIONS
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return masked_issue_comparison(functions=VULNERABLE_FUNCTIONS)
+
+
+class TestMaskingAblation:
+    def test_full_dictionaries_find_all_nine(self, ablation):
+        assert len(ablation.full_issue_ids) == 9
+
+    def test_stripped_dictionaries_lose_majority(self, ablation):
+        # 6 of 9 findings require maybe-valid entries.
+        assert len(ablation.masked_issue_ids) == 6
+        assert len(ablation.stripped_issue_ids) == 3
+
+    def test_fig7_scenario_endaddr_masked(self, ablation):
+        """The exact Fig. 7 pattern on XM_multicall."""
+        assert "XM-MC-2" in ablation.masked_issue_ids  # endAddr defect
+        assert "XM-MC-1" in ablation.stripped_issue_ids  # startAddr survives
+
+    def test_temporal_break_needs_fully_valid_dataset(self, ablation):
+        assert "XM-MC-3" in ablation.masked_issue_ids
+
+    def test_crash_findings_need_valid_abstime(self, ablation):
+        assert {"XM-ST-1", "XM-ST-2"} <= ablation.masked_issue_ids
+
+    def test_pure_boundary_findings_survive(self, ablation):
+        # LLONG_MIN interval and the all-ones reset mode are boundary
+        # values, so they survive the ablation.
+        assert {"XM-ST-3", "XM-RS-3"} <= ablation.stripped_issue_ids
+
+
+def test_masking_evidence_mining_benchmark(benchmark, ablation):
+    pairs = benchmark(masking_pairs, ablation.full_result)
+    assert any(
+        p.masking_param == "startAddr" and p.masked_param == "endAddr"
+        for p in pairs
+    )
+    # Headline ablation facts, re-checked on the benchmark-only path.
+    assert len(ablation.full_issue_ids) == 9
+    assert len(ablation.masked_issue_ids) == 6

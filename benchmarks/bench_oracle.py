@@ -1,0 +1,59 @@
+"""Extension — the automated oracle (§V's proposed logic model).
+
+The paper detected Silent/Hindering failures by manual cross-checking
+and proposed an automated reference model as future work.  This bench
+exercises that model: expectation computation over the full campaign,
+and the Silent detection it enables (the negative-interval finding is
+invisible without it).
+"""
+
+import pytest
+
+from repro.fault.campaign import Campaign
+from repro.fault.classify import Severity
+from repro.fault.oracle import ReferenceOracle
+
+
+@pytest.fixture(scope="module")
+def all_specs():
+    return list(Campaign.paper_campaign().iter_specs())
+
+
+def test_oracle_covers_every_generated_test(all_specs):
+    oracle = ReferenceOracle()
+    for spec in all_specs:
+        assert oracle.expect(spec) is not None
+
+
+def test_oracle_throughput_benchmark(benchmark, all_specs):
+    oracle = ReferenceOracle()
+
+    def expect_all():
+        return [oracle.expect(spec) for spec in all_specs]
+
+    expectations = benchmark(expect_all)
+    assert len(expectations) == 2864
+
+
+def test_silent_detection_requires_oracle(vulnerable_result):
+    """Without the oracle, XM-ST-3 is undetectable: the call returns a
+    success code and no HM event fires."""
+    silent = [
+        (record, classification)
+        for record, _expectation, classification in vulnerable_result.classified
+        if classification.severity is Severity.SILENT
+    ]
+    assert silent
+    for record, _classification in silent:
+        assert record.first_rc == 0  # looks perfectly healthy...
+        assert not record.kernel_halted
+        assert not record.sim_crashed
+        assert record.resets == []
+
+
+def test_no_hindering_failures_on_this_kernel(vulnerable_result):
+    """The model kernel returns the documented codes everywhere else, so
+    the Hindering bucket stays empty — matching the paper, which found
+    none (and left their systematic detection as future work)."""
+    counts = vulnerable_result.severity_counts()
+    assert counts[Severity.HINDERING] == 0

@@ -1,0 +1,49 @@
+"""Extension — phantom parameters and state stress (§V).
+
+Covers the 10 parameter-less hypercalls (16 % of the API that Fig. 8
+leaves out of scope) under five phantom system states, and benchmarks
+one phantom case execution.
+"""
+
+import pytest
+
+from repro.fault.phantom import PhantomCampaign, PhantomCase, PhantomState
+
+
+@pytest.fixture(scope="module")
+def phantom_result():
+    return PhantomCampaign().run()
+
+
+class TestPhantomCoverage:
+    def test_case_matrix(self, phantom_result):
+        assert len(phantom_result.records) == 10 * 5
+
+    def test_parameterless_services_robust(self, phantom_result):
+        assert phantom_result.failures == []
+
+    def test_every_state_exercised(self, phantom_result):
+        states = {r.test_id.split("@", 1)[1] for r in phantom_result.records}
+        assert states == {s.value for s in PhantomState}
+
+    def test_halt_system_contained_under_stress(self, phantom_result):
+        for record in phantom_result.records:
+            if record.function == "XM_halt_system":
+                assert record.kernel_halted
+                assert not record.sim_crashed
+
+
+def test_phantom_campaign_benchmark(benchmark, phantom_result):
+    """Asserts the phantom coverage on the `--benchmark-only` path."""
+    failures = benchmark(lambda: list(phantom_result.failures))
+    assert len(phantom_result.records) == 50
+    assert failures == []
+
+
+def test_phantom_case_benchmark(benchmark):
+    campaign = PhantomCampaign(states=(PhantomState.HM_PRESSURE,))
+    case = PhantomCase("XM_hm_reset_events", PhantomState.HM_PRESSURE)
+    record = benchmark.pedantic(
+        campaign._run_case, args=(case,), rounds=3, iterations=1
+    )
+    assert record.invoked

@@ -1,0 +1,96 @@
+"""Ablation — dataset generation strategies.
+
+The paper generates all combinations (Eq. 1).  This bench quantifies
+the campaign-size/detection trade-off of pairwise and random sampling
+on the finding-bearing hypercalls: pairwise keeps 2-way findings but
+can miss the timer crashes, which need a specific *3-way* combination
+(clock, absTime=1, interval=1).
+"""
+
+import pytest
+
+from repro.fault.campaign import Campaign
+from repro.fault.combinator import (
+    CartesianStrategy,
+    OneFactorStrategy,
+    PairwiseStrategy,
+    RandomSampleStrategy,
+)
+
+from conftest import VULNERABLE_FUNCTIONS
+
+
+def _run(strategy):
+    campaign = Campaign(functions=VULNERABLE_FUNCTIONS, strategy=strategy)
+    result = campaign.run()
+    found = {i.matched_vulnerability for i in result.issues}
+    return result.total_tests, found
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return {
+        "cartesian": _run(CartesianStrategy()),
+        "one-factor": _run(OneFactorStrategy()),
+        "pairwise": _run(PairwiseStrategy()),
+        "random25": _run(RandomSampleStrategy(fraction=0.25, seed=2016)),
+    }
+
+
+class TestStrategyTradeoff:
+    def test_cartesian_is_reference(self, outcomes):
+        tests, found = outcomes["cartesian"]
+        assert tests == 62
+        assert len(found) == 9
+
+    def test_one_factor_finds_all_nine_cheaply(self, outcomes):
+        """The §V idea quantified: with a valid base vector (no
+        masking by construction), one-factor-at-a-time keeps all nine
+        findings at a fraction of the cartesian cost."""
+        tests, found = outcomes["one-factor"]
+        assert len(found) == 9
+        assert tests < 62 / 2
+
+    def test_pairwise_shrinks_campaign(self, outcomes):
+        tests, _found = outcomes["pairwise"]
+        assert tests < 62
+
+    def test_pairwise_keeps_two_way_findings(self, outcomes):
+        _tests, found = outcomes["pairwise"]
+        # All 1- and 2-way findings survive.
+        assert {"XM-RS-1", "XM-RS-2", "XM-RS-3", "XM-ST-3"} <= found
+
+    def test_random_sampling_loses_findings(self, outcomes):
+        tests, found = outcomes["random25"]
+        assert tests < 62
+        assert len(found) < 9  # detection is luck-dependent
+
+    def test_report_table(self, outcomes):
+        print("\nstrategy    tests  findings")
+        for name, (tests, found) in outcomes.items():
+            print(f"{name:<10}  {tests:>5}  {len(found)}/9 {sorted(found)}")
+
+
+def test_strategy_tradeoff_benchmark(benchmark, outcomes):
+    """Benchmark result access; asserts the strategy trade-off table on
+    the `--benchmark-only` path."""
+    summary = benchmark(lambda: {k: (t, len(f)) for k, (t, f) in outcomes.items()})
+    assert summary["cartesian"] == (62, 9)
+    assert summary["one-factor"][1] == 9
+    assert summary["one-factor"][0] < 31
+    assert summary["random25"][1] < 9
+
+
+def test_pairwise_generation_benchmark(benchmark):
+    from repro.fault.apimodel import api_model_from_table
+    from repro.fault.dictionaries import DictionarySet
+    from repro.fault.matrix import build_matrix
+
+    fn = api_model_from_table().lookup("XM_memory_copy")
+    matrix = build_matrix(fn, DictionarySet())
+
+    def generate():
+        return list(PairwiseStrategy().generate(matrix))
+
+    datasets = benchmark(generate)
+    assert 0 < len(datasets) < 1200

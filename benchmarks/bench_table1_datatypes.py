@@ -1,0 +1,39 @@
+"""Table I — XtratuM data types.
+
+Regenerates the paper's type table from the kernel's type registry and
+asserts every row matches, then benchmarks the regeneration.
+"""
+
+from repro.fault import report
+
+#: Table I as printed in the paper: basic -> (aliases, bits, C type).
+PAPER_TABLE1 = {
+    "xm_u8_t": ([], 8, "unsigned char"),
+    "xm_s8_t": ([], 8, "signed char"),
+    "xm_u16_t": ([], 16, "unsigned short"),
+    "xm_s16_t": ([], 16, "signed short"),
+    "xm_u32_t": (
+        ["xmWord_t", "xmAddress_t", "xmIoAddress_t", "xmSize_t", "xmId_t"],
+        32,
+        "unsigned int",
+    ),
+    "xm_s32_t": (["xmSSize_t"], 32, "signed int"),
+    "xm_u64_t": ([], 64, "unsigned long long"),
+    "xm_s64_t": (["xmTime_t"], 64, "signed long long"),
+}
+
+
+def test_table1_matches_paper_exactly(benchmark):
+    rows = benchmark(report.table1_rows)
+    measured = {
+        row["basic"]: (row["extended"], row["size_bits"], row["c_decl"])
+        for row in rows
+    }
+    assert measured == PAPER_TABLE1
+
+
+def test_table1_renders(benchmark):
+    text = benchmark(report.table1)
+    for basic in PAPER_TABLE1:
+        assert basic in text
+    print("\n" + text)

@@ -1,0 +1,41 @@
+"""Table II — the xm_s32_t test-value set (and Fig. 3's xm_u32_t).
+
+Asserts the dictionary contents replicate the paper's documented sets
+exactly, including the asterisked maybe-valid entries, then benchmarks
+dictionary construction.
+"""
+
+from repro.fault import report
+from repro.fault.dictionaries import builtin_dictionaries
+
+#: Table II: (value, label, asterisked).
+PAPER_TABLE2 = [
+    (-2147483648, "MIN_S32", False),
+    (-16, "-16", True),
+    (-1, "-1", True),
+    (0, "ZERO", True),
+    (1, "1", True),
+    (2, "2", True),
+    (16, "16", True),
+    (2147483647, "MAX_S32", False),
+]
+
+#: Fig. 3's xm_u32_t values.
+PAPER_FIG3 = [0, 1, 2, 16, 4294967295]
+
+
+def test_table2_matches_paper_exactly(benchmark):
+    rows = benchmark(report.table2_rows)
+    measured = [(r["value"], r["label"], r["maybe_valid"]) for r in rows]
+    assert measured == PAPER_TABLE2
+
+
+def test_fig3_u32_set_matches_paper(benchmark):
+    dicts = benchmark(builtin_dictionaries)
+    assert [v.value for v in dicts["xm_u32_t"].values] == PAPER_FIG3
+
+
+def test_table2_renders(benchmark):
+    text = benchmark(report.table2)
+    assert "MIN_S32" in text and "MAX_S32" in text
+    print("\n" + text)

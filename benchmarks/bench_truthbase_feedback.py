@@ -1,0 +1,76 @@
+"""Extension — the §VI dry run and the dictionary feedback loop.
+
+Benchmarks the truth-base dry run over the full campaign scope and the
+feedback-driven regression campaign, and quantifies the one failure
+class a return-code-only dry run cannot see.
+"""
+
+import pytest
+
+from repro.fault.campaign import Campaign
+from repro.fault.feedback import (
+    offending_values,
+    regression_dictionaries,
+    value_effectiveness,
+)
+from repro.fault.truthbase import build_truthbase, compare_to_truthbase
+
+
+@pytest.fixture(scope="module")
+def full_truthbase():
+    return build_truthbase(Campaign.paper_campaign())
+
+
+class TestDryRun:
+    def test_truthbase_covers_full_campaign(self, full_truthbase):
+        assert len(full_truthbase) == 2864
+
+    def test_error_share_is_majority(self, full_truthbase):
+        """Most generated datasets are invalid by construction — the
+        point of the fault model."""
+        assert full_truthbase.expected_error_share() > 0.5
+
+    def test_dry_run_misses_only_isolation_break(self, full_result, full_truthbase):
+        divergences = {d.test_id for d in compare_to_truthbase(full_result, full_truthbase)}
+        failures = {r.test_id for r, _e, _c in full_result.failures()}
+        invisible = failures - divergences
+        # Exactly one: the temporal-isolation break returns a documented
+        # value while overrunning its slot.
+        assert len(invisible) == 1
+        assert divergences <= failures
+
+
+class TestFeedbackLoop:
+    def test_offending_values_on_full_campaign(self, full_result):
+        offending = offending_values(full_result)
+        dictionaries = {v.dictionary for v in offending}
+        assert "xm_u32_t" in dictionaries      # reset_system modes
+        assert "xmTime_t" in dictionaries      # timer values
+        assert "batch_ptr_start" in dictionaries
+
+    def test_regression_campaign_is_much_smaller(self, full_result):
+        trimmed = regression_dictionaries(full_result)
+        regression = Campaign(dictionaries=trimmed)
+        full = Campaign()
+        assert regression.total_tests() < full.total_tests() / 4
+
+    def test_regression_campaign_finds_all_nine(self, full_result):
+        regression = Campaign(dictionaries=regression_dictionaries(full_result))
+        rerun = regression.run()
+        found = {i.matched_vulnerability for i in rerun.issues}
+        assert len(found) == 9
+
+
+def test_truthbase_build_benchmark(benchmark):
+    campaign = Campaign.paper_campaign()
+    base = benchmark.pedantic(build_truthbase, args=(campaign,), rounds=3, iterations=1)
+    assert len(base) == 2864
+
+
+def test_effectiveness_scoring_benchmark(benchmark, full_result):
+    scored = benchmark(value_effectiveness, full_result)
+    assert scored
+    offenders = offending_values(full_result)
+    assert {"xm_u32_t", "xmTime_t", "batch_ptr_start"} <= {
+        v.dictionary for v in offenders
+    }

@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures.
+
+The full paper campaign (~2.9k tests) runs once per session; benches
+that regenerate tables/figures reuse its result and benchmark the
+(re)analysis or rendering path, keeping `--benchmark-only` runs fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fault.campaign import Campaign, CampaignResult
+
+#: The three hypercalls carrying the paper's findings.
+VULNERABLE_FUNCTIONS = ("XM_reset_system", "XM_set_timer", "XM_multicall")
+
+
+@pytest.fixture(scope="session")
+def full_result() -> CampaignResult:
+    """The complete Table III campaign on the vulnerable kernel."""
+    return Campaign.paper_campaign().run()
+
+
+@pytest.fixture(scope="session")
+def vulnerable_result() -> CampaignResult:
+    """The quick campaign covering only the finding-bearing hypercalls."""
+    return Campaign(functions=VULNERABLE_FUNCTIONS).run()

@@ -1,0 +1,69 @@
+"""The full campaign lifecycle: dry run → campaign → feedback → regression.
+
+Walks the workflow a qualification team would follow:
+
+1. **Dry run** (§VI future work): export the documented expectation for
+   every generated test — a reviewable truth base — before executing
+   anything.
+2. **Campaign** on the vulnerable kernel; cross-check the observations
+   against the truth base.
+3. **Feedback** (§III-A): mine which dictionary values exposed failures.
+4. **Regression**: re-test the revised kernel with the trimmed,
+   offender-focused dictionaries, and compare versions side by side.
+
+Run with::
+
+    python examples/campaign_lifecycle.py
+"""
+
+from repro.fault.campaign import Campaign
+from repro.fault.export import compare_versions, table3_markdown
+from repro.fault.feedback import feedback_report, regression_dictionaries
+from repro.fault.truthbase import build_truthbase, compare_to_truthbase
+from repro.xm.vulns import FIXED_VERSION
+
+SCOPE = ("XM_reset_system", "XM_set_timer", "XM_multicall")
+
+
+def main() -> None:
+    campaign = Campaign(functions=SCOPE)
+
+    print("=== 1. dry run: the truth base (no execution) ===")
+    truthbase = build_truthbase(campaign)
+    print(f"documented expectations : {len(truthbase)}")
+    print(f"expected-error share    : {truthbase.expected_error_share():.0%}")
+    sample = truthbase.lookup("XM_set_timer#0005")
+    print(f"e.g. {sample.call}  ->  {sample.describe_expected()}")
+
+    print("\n=== 2. campaign on XtratuM 3.4.0 + cross-check ===")
+    result = campaign.run()
+    divergences = compare_to_truthbase(result, truthbase)
+    print(f"tests executed          : {result.total_tests}")
+    print(f"issues raised           : {result.issue_count()}")
+    print(f"truth-base divergences  : {len(divergences)}")
+    print("first three divergences:")
+    for divergence in divergences[:3]:
+        print(f"  {divergence.call}: expected {divergence.expected}, "
+              f"observed {divergence.observed}")
+
+    print("\n=== 3. dictionary feedback ===")
+    print(feedback_report(result, top=8))
+
+    print("\n=== 4. regression on the revised kernel (3.4.1) ===")
+    trimmed = regression_dictionaries(result)
+    regression = Campaign(
+        functions=SCOPE, dictionaries=trimmed, kernel_version=FIXED_VERSION
+    )
+    fixed_result = regression.run()
+    print(f"regression tests        : {fixed_result.total_tests}")
+    print(f"issues remaining        : {fixed_result.issue_count()}")
+
+    comparison = compare_versions(result, fixed_result)
+    print("\n" + comparison.markdown())
+
+    print("\n=== Table III (markdown export of the 3.4.0 run) ===")
+    print(table3_markdown(result))
+
+
+if __name__ == "__main__":
+    main()

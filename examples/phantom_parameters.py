@@ -1,0 +1,63 @@
+"""Phantom parameters: covering the untestable 16 % (§V).
+
+Ten of the 61 XtratuM hypercalls take no parameters, so the data-type
+model has nothing to combine — yet those calls still depend on system
+state.  Ballista's *phantom parameter* technique makes the state the
+parameter: a dummy step drives the system into a chosen state before
+the call under test runs.
+
+This script runs every parameter-less hypercall under five system
+states (nominal, HM log pressure, saturated IPC queues, degraded
+partitions, armed timers) and reports per-state outcomes.
+
+Run with::
+
+    python examples/phantom_parameters.py
+"""
+
+from collections import defaultdict
+
+from repro.fault.phantom import PhantomCampaign, PhantomState
+from repro.xm import rc
+
+
+def main() -> None:
+    campaign = PhantomCampaign()
+    cases = campaign.cases()
+    print(f"{len(cases)} cases: "
+          f"{len(cases) // len(PhantomState)} parameter-less hypercalls "
+          f"x {len(PhantomState)} phantom states\n")
+
+    result = campaign.run()
+
+    by_function: dict[str, dict[str, str]] = defaultdict(dict)
+    for record in result.records:
+        function, state = record.test_id.split("@", 1)
+        if record.sim_crashed:
+            outcome = "SIM CRASH"
+        elif record.never_returned:
+            outcome = "no return"
+        elif record.first_rc is None:
+            outcome = "not invoked"
+        else:
+            outcome = rc.name_of(record.first_rc)
+        by_function[function][state] = outcome
+
+    states = [s.value for s in PhantomState]
+    width = max(len(f) for f in by_function)
+    print(f"{'hypercall'.ljust(width)}  " + "  ".join(s[:12].ljust(12) for s in states))
+    for function, outcomes in sorted(by_function.items()):
+        row = "  ".join(outcomes.get(s, "-")[:12].ljust(12) for s in states)
+        print(f"{function.ljust(width)}  {row}")
+
+    print(f"\nfailures: {len(result.failures)}")
+    for record, classification in result.failures:
+        print(f"  {record.test_id}: {classification.severity.value}")
+    if not result.failures:
+        print("the parameter-less services are robust under every phantom state")
+        print("(consistent with the paper: the nine findings all involve")
+        print(" parameterised services).")
+
+
+if __name__ == "__main__":
+    main()

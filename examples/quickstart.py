@@ -1,0 +1,45 @@
+"""Quickstart: boot the testbed, run one suite, read the findings.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.fault import Campaign, report
+from repro.testbed import build_system
+
+
+def fly_the_testbed() -> None:
+    """Boot the EagleEye TSP system and let it fly for one second."""
+    print("=== EagleEye TSP on XtratuM 3.4.0 (simulated LEON3) ===")
+    sim = build_system()
+    kernel = sim.boot()
+    sim.run_major_frames(4)  # 4 x 250 ms
+    print(f"virtual time      : {sim.now_us / 1e6:.2f} s")
+    print(f"hypercalls served : {kernel.hypercall_count}")
+    print(f"health monitor    : {len(kernel.hm.records)} events")
+    telemetry = kernel.ipc.channels["CH_TM_AOCS"]
+    print(f"AOCS telemetry    : {telemetry.writes} frames published")
+    print()
+
+
+def run_one_suite() -> None:
+    """Inject faults through XM_set_timer and classify the outcomes."""
+    print("=== Robustness suite: XM_set_timer ===")
+    campaign = Campaign(functions=("XM_set_timer",))
+    print(f"generated test cases: {campaign.total_tests()}")
+    result = campaign.run()
+    print(report.severity_summary(result))
+    print()
+    print(report.issues_report(result))
+    print()
+
+
+def main() -> None:
+    fly_the_testbed()
+    run_one_suite()
+    print("Next: examples/eagleeye_full_campaign.py reproduces Table III.")
+
+
+if __name__ == "__main__":
+    main()

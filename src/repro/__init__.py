@@ -1,0 +1,29 @@
+"""repro — separation kernel robustness testing (XtratuM case study).
+
+A full-system reproduction of *"Separation Kernel Robustness Testing:
+The XtratuM Case Study"* (Grixti et al., CLUSTER 2016):
+
+- :mod:`repro.xtypes` — XtratuM interface types (Table I).
+- :mod:`repro.sparc` / :mod:`repro.tsim` — the LEON3 board and TSIM-like
+  target simulator substrate.
+- :mod:`repro.xm` — the XtratuM separation kernel model (61 hypercalls,
+  scheduler, memory manager, IPC, health monitor, traces, timers),
+  including the historical defects the paper uncovered.
+- :mod:`repro.xal` / :mod:`repro.testbed` — partition runtime and the
+  EagleEye TSP testbed.
+- :mod:`repro.fault` — the paper's contribution: the data-type fault
+  model robustness-testing toolset (XML-driven test generation, mutant
+  sources, campaign execution, CRASH-scale classification, issue
+  clustering, reporting).
+
+Quickstart::
+
+    from repro.fault import Campaign
+    campaign = Campaign.paper_campaign()
+    result = campaign.run()
+    print(result.table3())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,237 @@
+"""Command-line front end: ``repro-campaign``.
+
+Mirrors the paper's shell-script automation: a whole campaign —
+generation, execution, log analysis and reporting — runs with no
+intervention from the test administrator.
+
+Subcommands::
+
+    repro-campaign run [--version V] [--functions F1,F2] [--processes N]
+                       [--frames N] [--strategy cartesian|pairwise|random]
+                       [--log out.jsonl]
+    repro-campaign report --log out.jsonl
+    repro-campaign tables            # Table I, Table II, Fig. 8, XML excerpts
+    repro-campaign phantom           # parameter-less coverage extension
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.fault import report
+from repro.fault.campaign import Campaign
+from repro.fault.combinator import (
+    CartesianStrategy,
+    OneFactorStrategy,
+    PairwiseStrategy,
+    RandomSampleStrategy,
+)
+from repro.fault.phantom import PhantomCampaign
+from repro.fault.testlog import CampaignLog
+from repro.xm.vulns import FIXED_VERSION, VULNERABLE_VERSION
+
+_STRATEGIES = {
+    "cartesian": CartesianStrategy,
+    "one-factor": OneFactorStrategy,
+    "pairwise": PairwiseStrategy,
+    "random": RandomSampleStrategy,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Separation kernel robustness testing (XtratuM case study)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a robustness campaign")
+    run.add_argument(
+        "--version",
+        default=VULNERABLE_VERSION,
+        choices=[VULNERABLE_VERSION, FIXED_VERSION],
+        help="kernel version under test",
+    )
+    run.add_argument(
+        "--functions",
+        default=None,
+        help="comma-separated hypercall subset (default: all tested)",
+    )
+    run.add_argument("--processes", type=int, default=None, help="parallel workers")
+    run.add_argument("--frames", type=int, default=2, help="major frames per test")
+    run.add_argument(
+        "--strategy",
+        default="cartesian",
+        choices=sorted(_STRATEGIES),
+        help="dataset generation strategy",
+    )
+    run.add_argument("--log", default=None, help="write the campaign log (JSONL)")
+    run.add_argument("--dossier", default=None, help="write a Markdown dossier")
+    run.add_argument("--quiet", action="store_true", help="suppress progress")
+
+    rep = sub.add_parser("report", help="re-analyse a saved campaign log")
+    rep.add_argument("--log", required=True, help="JSONL log to analyse")
+    rep.add_argument(
+        "--version",
+        default=VULNERABLE_VERSION,
+        choices=[VULNERABLE_VERSION, FIXED_VERSION],
+        help="kernel version the log was recorded against",
+    )
+
+    sub.add_parser("tables", help="print Table I, Table II, Fig. 8 and XML excerpts")
+    sub.add_parser("phantom", help="run the phantom-parameter extension")
+
+    truth = sub.add_parser(
+        "truthbase", help="dry run: export the documented expectations (no execution)"
+    )
+    truth.add_argument("--out", required=True, help="truth base output (JSONL)")
+    truth.add_argument(
+        "--version",
+        default=VULNERABLE_VERSION,
+        choices=[VULNERABLE_VERSION, FIXED_VERSION],
+    )
+    truth.add_argument("--functions", default=None)
+
+    feed = sub.add_parser(
+        "feedback", help="rank dictionary values by the failures they exposed"
+    )
+    feed.add_argument("--log", required=True, help="campaign log to mine (JSONL)")
+    feed.add_argument("--top", type=int, default=15)
+
+    cmp_ = sub.add_parser(
+        "compare", help="compare two campaign logs (e.g. 3.4.0 vs 3.4.1)"
+    )
+    cmp_.add_argument("--left", required=True, help="baseline log (JSONL)")
+    cmp_.add_argument("--right", required=True, help="candidate log (JSONL)")
+    cmp_.add_argument("--left-version", default=VULNERABLE_VERSION)
+    cmp_.add_argument("--right-version", default=FIXED_VERSION)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    functions = tuple(args.functions.split(",")) if args.functions else None
+    campaign = Campaign(
+        functions=functions,
+        kernel_version=args.version,
+        frames=args.frames,
+        strategy=_STRATEGIES[args.strategy](),
+    )
+    total = campaign.total_tests()
+    print(f"# campaign: {total} tests on XtratuM {args.version}", file=sys.stderr)
+
+    def progress(done: int, out_of: int, record) -> None:  # noqa: ANN001
+        if not args.quiet and done % 200 == 0:
+            print(f"#   {done}/{out_of} ...", file=sys.stderr)
+
+    result = campaign.run(processes=args.processes, progress=progress)
+    if args.log:
+        result.log.save(args.log)
+        print(f"# log written to {args.log}", file=sys.stderr)
+    if args.dossier:
+        from repro.fault.dossier import write_dossier
+
+        write_dossier(result, args.dossier, campaign)
+        print(f"# dossier written to {args.dossier}", file=sys.stderr)
+    print(report.campaign_summary(result))
+    print()
+    print(report.table3(result))
+    print()
+    print(report.issues_report(result))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    log = CampaignLog.load(args.log)
+    campaign = Campaign(kernel_version=args.version)
+    result = campaign.analyse(log)
+    print(report.campaign_summary(result))
+    print()
+    print(report.table3(result))
+    print()
+    print(report.issues_report(result))
+    print()
+    print(report.severity_summary(result))
+    return 0
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    from repro.fault.xmlio import fig2_excerpt, fig3_excerpt
+
+    print("Table I — XtratuM data types")
+    print(report.table1())
+    print()
+    print("Table II — xm_s32_t test-value set")
+    print(report.table2())
+    print()
+    print(report.fig8())
+    print()
+    print("Fig. 2 — API Header XML excerpt")
+    print(fig2_excerpt())
+    print()
+    print("Fig. 3 — Data Type XML excerpt")
+    print(fig3_excerpt())
+    return 0
+
+
+def _cmd_truthbase(args: argparse.Namespace) -> int:
+    from repro.fault.truthbase import build_truthbase
+
+    functions = tuple(args.functions.split(",")) if args.functions else None
+    campaign = Campaign(functions=functions, kernel_version=args.version)
+    base = build_truthbase(campaign)
+    base.save(args.out)
+    print(f"truth base: {len(base)} documented expectations -> {args.out}")
+    print(f"expected-error share: {base.expected_error_share():.0%}")
+    return 0
+
+
+def _cmd_feedback(args: argparse.Namespace) -> int:
+    from repro.fault.feedback import feedback_report
+
+    log = CampaignLog.load(args.log)
+    campaign = Campaign()
+    result = campaign.analyse(log)
+    print(feedback_report(result, top=args.top))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.fault.export import compare_versions
+
+    left = Campaign(kernel_version=args.left_version).analyse(
+        CampaignLog.load(args.left)
+    )
+    right = Campaign(kernel_version=args.right_version).analyse(
+        CampaignLog.load(args.right)
+    )
+    print(compare_versions(left, right).markdown())
+    return 0
+
+
+def _cmd_phantom(_args: argparse.Namespace) -> int:
+    result = PhantomCampaign().run()
+    print(f"phantom cases executed : {len(result.records)}")
+    print(f"failures               : {len(result.failures)}")
+    for record, classification in result.failures:
+        print(f"  {record.test_id}: {classification.severity.value}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "report": _cmd_report,
+        "tables": _cmd_tables,
+        "phantom": _cmd_phantom,
+        "truthbase": _cmd_truthbase,
+        "feedback": _cmd_feedback,
+        "compare": _cmd_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+"""The data-type fault model robustness-testing toolset.
+
+This package is the paper's contribution: a black-box fault-injection
+framework for separation kernels that derives test cases from the data
+types of hypercall parameters (Ballista lineage).
+
+Pipeline (Figs. 1, 4 and 5 of the paper):
+
+1. :mod:`~repro.fault.dictionaries` + :mod:`~repro.fault.apimodel` —
+   the Data Type XML and API Header XML inputs (round-tripped by
+   :mod:`~repro.fault.xmlio`).
+2. :mod:`~repro.fault.matrix` — the ``test_value_matrix`` of values per
+   parameter.
+3. :mod:`~repro.fault.combinator` — dataset generation (Eq. 1 cartesian
+   product, plus pairwise/random ablation strategies).
+4. :mod:`~repro.fault.mutant` — one mutant source (C text + executable
+   spec) per dataset.
+5. :mod:`~repro.fault.executor` / :mod:`~repro.fault.campaign` — packing
+   the test partition, running the TSP system on the simulator, logging.
+6. :mod:`~repro.fault.oracle`, :mod:`~repro.fault.classify`,
+   :mod:`~repro.fault.issues` — log analysis: expected-behaviour oracle,
+   CRASH-scale classification, issue clustering.
+7. :mod:`~repro.fault.report` — Tables I-III, Fig. 8 and the issue list.
+"""
+
+from repro.fault.dictionaries import (
+    DictionarySet,
+    Symbol,
+    TestValue,
+    TypeDictionary,
+    builtin_dictionaries,
+)
+from repro.fault.apimodel import ApiFunction, ApiParameter, api_model_from_table
+from repro.fault.matrix import TestValueMatrix, build_matrix
+from repro.fault.combinator import (
+    CartesianStrategy,
+    OneFactorStrategy,
+    PairwiseStrategy,
+    RandomSampleStrategy,
+    combinations_total,
+)
+from repro.fault.mutant import MutantSource, TestCallSpec, generate_mutants
+from repro.fault.testlog import CampaignLog, TestRecord
+from repro.fault.oracle import Expectation, OracleContext, ReferenceOracle
+from repro.fault.classify import Classification, FailureKind, Severity, classify
+from repro.fault.issues import Issue, cluster_issues
+from repro.fault.executor import ExecutionResult, TestExecutor
+from repro.fault.campaign import Campaign, CampaignResult
+from repro.fault.truthbase import TruthBase, build_truthbase, compare_to_truthbase
+from repro.fault.feedback import (
+    extend_dictionaries,
+    offending_values,
+    regression_dictionaries,
+    value_effectiveness,
+)
+from repro.fault.stress import StressComparison, StressExecutor, run_stress_comparison
+from repro.fault.stateful_oracle import StatefulOracle, capture_state, classify_stateful
+from repro.fault.regression import replay as replay_known_vulnerabilities
+from repro.fault.regression import vulnerability_specs
+from repro.fault.phantom import PhantomCampaign, PhantomState
+from repro.fault.dossier import build_dossier, write_dossier
+from repro.fault import report
+
+__all__ = [
+    "DictionarySet",
+    "Symbol",
+    "TestValue",
+    "TypeDictionary",
+    "builtin_dictionaries",
+    "ApiFunction",
+    "ApiParameter",
+    "api_model_from_table",
+    "TestValueMatrix",
+    "build_matrix",
+    "CartesianStrategy",
+    "OneFactorStrategy",
+    "PairwiseStrategy",
+    "RandomSampleStrategy",
+    "combinations_total",
+    "MutantSource",
+    "TestCallSpec",
+    "generate_mutants",
+    "CampaignLog",
+    "TestRecord",
+    "Expectation",
+    "OracleContext",
+    "ReferenceOracle",
+    "Classification",
+    "FailureKind",
+    "Severity",
+    "classify",
+    "Issue",
+    "cluster_issues",
+    "ExecutionResult",
+    "TestExecutor",
+    "Campaign",
+    "CampaignResult",
+    "TruthBase",
+    "build_truthbase",
+    "compare_to_truthbase",
+    "extend_dictionaries",
+    "offending_values",
+    "regression_dictionaries",
+    "value_effectiveness",
+    "StressComparison",
+    "StressExecutor",
+    "run_stress_comparison",
+    "StatefulOracle",
+    "capture_state",
+    "classify_stateful",
+    "replay_known_vulnerabilities",
+    "vulnerability_specs",
+    "PhantomCampaign",
+    "PhantomState",
+    "build_dossier",
+    "write_dossier",
+    "report",
+]

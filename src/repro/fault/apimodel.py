@@ -1,0 +1,134 @@
+"""The fault model's view of a kernel API (the API Header XML content).
+
+The toolset is kernel-agnostic: it consumes an :class:`ApiModel` that
+lists hypercall signatures and per-parameter dictionary bindings.  For
+the XtratuM campaign the model is generated from the kernel's own
+hypercall table; for another separation kernel it would be written (or
+parsed from XML) by the test administrator during the preparation phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.xm.api import HYPERCALL_TABLE, Category, HypercallDef
+
+
+@dataclass(frozen=True)
+class ApiParameter:
+    """One parameter in the API header."""
+
+    name: str
+    type_name: str
+    is_pointer: bool = False
+    dictionary: str | None = None
+
+    @property
+    def dictionary_key(self) -> str:
+        """The dictionary this parameter draws values from."""
+        return self.dictionary if self.dictionary is not None else self.type_name
+
+
+@dataclass(frozen=True)
+class ApiFunction:
+    """One hypercall in the API header."""
+
+    name: str
+    return_type: str
+    params: tuple[ApiParameter, ...]
+    category: str = ""
+    tested: bool = True
+    untested_reason: str | None = None
+
+    @property
+    def arity(self) -> int:
+        """Number of parameters."""
+        return len(self.params)
+
+    @property
+    def has_params(self) -> bool:
+        """Whether the data-type model applies directly."""
+        return bool(self.params)
+
+
+@dataclass
+class ApiModel:
+    """A whole kernel interface."""
+
+    kernel_name: str
+    functions: dict[str, ApiFunction] = field(default_factory=dict)
+
+    def add(self, function: ApiFunction) -> None:
+        """Register a function; duplicates are an error."""
+        if function.name in self.functions:
+            raise ValueError(f"duplicate API function: {function.name}")
+        self.functions[function.name] = function
+
+    def lookup(self, name: str) -> ApiFunction:
+        """Function by name; KeyError with context otherwise."""
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"API function not in model: {name!r}") from None
+
+    def __iter__(self) -> Iterator[ApiFunction]:
+        return iter(self.functions.values())
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def tested_functions(self) -> list[ApiFunction]:
+        """Functions in campaign scope."""
+        return [f for f in self if f.tested]
+
+    def untested_functions(self) -> list[ApiFunction]:
+        """Functions out of scope, with reasons."""
+        return [f for f in self if not f.tested]
+
+    def parameterless_functions(self) -> list[ApiFunction]:
+        """Fig. 8's parameter-less group."""
+        return [f for f in self if not f.has_params]
+
+    def by_category(self) -> dict[str, list[ApiFunction]]:
+        """Table III grouping (insertion order preserved)."""
+        groups: dict[str, list[ApiFunction]] = {}
+        for fn in self:
+            groups.setdefault(fn.category, []).append(fn)
+        return groups
+
+
+def _from_def(hdef: HypercallDef) -> ApiFunction:
+    params = tuple(
+        ApiParameter(
+            name=p.name,
+            type_name=p.type_name,
+            is_pointer=p.is_pointer,
+            dictionary=p.dict_hint,
+        )
+        for p in hdef.params
+    )
+    return ApiFunction(
+        name=hdef.name,
+        return_type=hdef.return_type,
+        params=params,
+        category=hdef.category.value,
+        tested=hdef.tested,
+        untested_reason=hdef.untested_reason,
+    )
+
+
+def api_model_from_table(
+    table: tuple[HypercallDef, ...] = HYPERCALL_TABLE,
+    kernel_name: str = "XtratuM LEON3",
+) -> ApiModel:
+    """Build the XtratuM API model from the kernel's hypercall table."""
+    model = ApiModel(kernel_name)
+    for hdef in table:
+        model.add(_from_def(hdef))
+    return model
+
+
+def category_order() -> list[str]:
+    """Table III category display order."""
+    return [cat.value for cat in Category]

@@ -1,0 +1,264 @@
+"""Campaign orchestration: the whole methodology end to end (Fig. 1).
+
+A :class:`Campaign` binds the preparation-phase artefacts (API model,
+dictionaries, strategy, oracle) and runs the generation + execution +
+analysis pipeline over the in-scope hypercalls.  Execution is serial by
+default; pass ``processes`` to fan the independent test runs across a
+process pool (each test boots its own simulator, so the work is
+embarrassingly parallel — the paper ran its campaign from shell scripts
+for the same reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.fault.apimodel import ApiFunction, ApiModel, api_model_from_table
+from repro.fault.classify import Classification, Severity, classify
+from repro.fault.combinator import CartesianStrategy, GenerationStrategy
+from repro.fault.dictionaries import DictionarySet
+from repro.fault.executor import (
+    DEFAULT_FRAMES,
+    TestExecutor,
+    run_spec_dict,
+    spec_to_dict,
+)
+from repro.fault.issues import Issue, cluster_issues
+from repro.fault.matrix import build_matrix
+from repro.fault.mutant import TestCallSpec, dataset_to_spec
+from repro.fault.oracle import Expectation, OracleContext, ReferenceOracle
+from repro.fault.testlog import CampaignLog, TestRecord
+from repro.xm.vulns import VULNERABLE_VERSION
+
+
+@dataclass
+class HypercallSuite:
+    """All test cases for one hypercall."""
+
+    function: ApiFunction
+    specs: list[TestCallSpec]
+
+    @property
+    def size(self) -> int:
+        """Number of test cases in the suite."""
+        return len(self.specs)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced."""
+
+    log: CampaignLog
+    classified: list[tuple[TestRecord, Expectation, Classification]]
+    issues: list[Issue]
+    kernel_version: str
+    model: ApiModel
+    strategy_name: str
+
+    @property
+    def total_tests(self) -> int:
+        """Executed test cases."""
+        return len(self.log)
+
+    def failures(self) -> list[tuple[TestRecord, Expectation, Classification]]:
+        """Classified entries that failed."""
+        return [item for item in self.classified if item[2].is_failure]
+
+    def severity_counts(self) -> dict[Severity, int]:
+        """CRASH histogram over all tests."""
+        counts = {severity: 0 for severity in Severity}
+        for _record, _expectation, classification in self.classified:
+            counts[classification.severity] += 1
+        return counts
+
+    def issues_in(self, category: str) -> list[Issue]:
+        """Issues raised in one Table III category."""
+        return [issue for issue in self.issues if issue.category == category]
+
+    def issue_count(self) -> int:
+        """Number of clustered issues (the paper's '9')."""
+        return len(self.issues)
+
+
+ProgressHook = Callable[[int, int, TestRecord], None]
+
+
+@dataclass
+class Campaign:
+    """One configured robustness-testing campaign."""
+
+    model: ApiModel = field(default_factory=api_model_from_table)
+    dictionaries: DictionarySet = field(default_factory=DictionarySet)
+    strategy: GenerationStrategy = field(default_factory=CartesianStrategy)
+    kernel_version: str = VULNERABLE_VERSION
+    frames: int = DEFAULT_FRAMES
+    functions: tuple[str, ...] | None = None
+    oracle_context: OracleContext = field(default_factory=OracleContext)
+    #: Testbed factory for the serial executor; None = EagleEye.  The
+    #: process-parallel path always uses the default testbed (factories
+    #: do not cross process boundaries).
+    system_factory: object | None = None
+
+    @classmethod
+    def paper_campaign(cls, **overrides: object) -> "Campaign":
+        """The XtratuM case-study configuration (Table III scope)."""
+        return cls(**overrides)  # type: ignore[arg-type]
+
+    # -- generation ---------------------------------------------------------
+
+    def scope(self) -> list[ApiFunction]:
+        """The in-scope (tested) hypercalls."""
+        tested = self.model.tested_functions()
+        if self.functions is None:
+            return tested
+        wanted = set(self.functions)
+        return [fn for fn in tested if fn.name in wanted]
+
+    def suites(self) -> list[HypercallSuite]:
+        """Generate every suite (Fig. 4 steps 1-3)."""
+        out: list[HypercallSuite] = []
+        for function in self.scope():
+            matrix = build_matrix(function, self.dictionaries)
+            specs = [
+                dataset_to_spec(function, dataset, index)
+                for index, dataset in enumerate(self.strategy.generate(matrix))
+            ]
+            out.append(HypercallSuite(function=function, specs=specs))
+        return out
+
+    def iter_specs(self) -> Iterator[TestCallSpec]:
+        """All test cases across suites."""
+        for suite in self.suites():
+            yield from suite.specs
+
+    def total_tests(self) -> int:
+        """Campaign size before execution."""
+        return sum(suite.size for suite in self.suites())
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self,
+        processes: int | None = None,
+        progress: ProgressHook | None = None,
+        resume_from: CampaignLog | None = None,
+    ) -> CampaignResult:
+        """Execute the campaign and analyse the logs.
+
+        ``processes=None`` runs serially in-process; an integer fans out
+        across a multiprocessing pool with per-test process isolation.
+        ``resume_from`` skips tests already present in an earlier log
+        (an interrupted campaign picks up where it stopped, like the
+        paper's restartable shell scripts); the analysed result covers
+        the union.
+        """
+        specs = list(self.iter_specs())
+        done: list[TestRecord] = []
+        if resume_from is not None:
+            have = {record.test_id: record for record in resume_from}
+            done = [have[s.test_id] for s in specs if s.test_id in have]
+            specs = [s for s in specs if s.test_id not in have]
+        if processes is not None and self.system_factory is not None:
+            raise ValueError(
+                "process-parallel execution supports only the default testbed"
+            )
+        if processes is None:
+            records = self._run_serial(specs, progress)
+        else:
+            records = self._run_parallel(specs, processes, progress)
+        return self.analyse(CampaignLog([*done, *records]))
+
+    def _run_serial(
+        self, specs: list[TestCallSpec], progress: ProgressHook | None
+    ) -> list[TestRecord]:
+        executor = TestExecutor(
+            kernel_version=self.kernel_version,
+            frames=self.frames,
+            system_factory=self.system_factory,
+        )
+        records: list[TestRecord] = []
+        for index, spec in enumerate(specs):
+            record = executor.run(spec)
+            records.append(record)
+            if progress is not None:
+                progress(index + 1, len(specs), record)
+        return records
+
+    def _run_parallel(
+        self,
+        specs: list[TestCallSpec],
+        processes: int,
+        progress: ProgressHook | None,
+    ) -> list[TestRecord]:
+        import multiprocessing as mp
+
+        payloads = [
+            (spec_to_dict(spec), self.kernel_version, self.frames) for spec in specs
+        ]
+        records: list[TestRecord] = []
+        context = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+        with context.Pool(processes) as pool:
+            for index, data in enumerate(
+                pool.imap(run_spec_dict, payloads, chunksize=16)
+            ):
+                record = TestRecord.from_dict(data)
+                records.append(record)
+                if progress is not None:
+                    progress(index + 1, len(payloads), record)
+        return records
+
+    # -- analysis -----------------------------------------------------------
+
+    def analyse(self, log: CampaignLog) -> CampaignResult:
+        """Log-analysis phase: oracle, CRASH classification, clustering."""
+        oracle = ReferenceOracle(self.kernel_version, self.oracle_context)
+        spec_index = {spec.test_id: spec for spec in self.iter_specs()}
+        classified: list[tuple[TestRecord, Expectation, Classification]] = []
+        for record in log:
+            spec = spec_index.get(record.test_id)
+            if spec is None:
+                spec = self._rebuild_spec(record)
+            expectation = oracle.expect(spec)
+            classified.append((record, expectation, classify(record, expectation)))
+        issues = cluster_issues(classified)
+        return self._result(log, classified, issues)
+
+    def _rebuild_spec(self, record: TestRecord) -> TestCallSpec:
+        """Reconstruct a spec from a loaded log record's labels."""
+        from repro.fault.mutant import ArgSpec
+
+        function = self.model.lookup(record.function)
+        args: list[ArgSpec] = []
+        for param, label in zip(function.params, record.arg_labels):
+            dictionary = self.dictionaries.lookup(param.dictionary_key)
+            for tv in dictionary.values:
+                if tv.label == label:
+                    args.append(ArgSpec.from_test_value(param.name, tv))
+                    break
+            else:
+                raise KeyError(
+                    f"{record.test_id}: label {label!r} not in dictionary "
+                    f"{param.dictionary_key!r}"
+                )
+        return TestCallSpec(
+            test_id=record.test_id,
+            function=record.function,
+            category=record.category,
+            args=tuple(args),
+        )
+
+    def _result(
+        self,
+        log: CampaignLog,
+        classified: list[tuple[TestRecord, Expectation, Classification]],
+        issues: list[Issue],
+    ) -> CampaignResult:
+        return CampaignResult(
+            log=log,
+            classified=classified,
+            issues=issues,
+            kernel_version=self.kernel_version,
+            model=self.model,
+            strategy_name=getattr(self.strategy, "name", "custom"),
+        )

@@ -1,0 +1,196 @@
+"""Test dataset generation (Fig. 5, Test Dataset Generator stage).
+
+The paper generates *all* combinations of test values across parameters
+(Eq. 1).  Exhaustive cartesian generation is the reference strategy;
+pairwise and seeded-random strategies are provided as campaign-size
+ablations (the trade-off §III-A alludes to when it asks for "proper
+coverage" while staying "practically manageable").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Protocol
+
+from repro.fault.dictionaries import TestValue
+from repro.fault.matrix import TestValueMatrix
+
+#: One generated dataset: one test value per parameter.
+Dataset = tuple[TestValue, ...]
+
+
+def combinations_total(matrix: TestValueMatrix) -> int:
+    """Eq. 1: ``Π n_i`` over the matrix columns."""
+    return matrix.total_combinations
+
+
+class GenerationStrategy(Protocol):
+    """A dataset generation strategy."""
+
+    name: str
+
+    def generate(self, matrix: TestValueMatrix) -> Iterator[Dataset]:
+        """Yield datasets for the matrix."""
+        ...
+
+    def count(self, matrix: TestValueMatrix) -> int:
+        """Number of datasets :meth:`generate` will yield."""
+        ...
+
+
+@dataclass(frozen=True)
+class CartesianStrategy:
+    """The paper's exhaustive strategy (Eq. 1)."""
+
+    name: str = "cartesian"
+
+    def generate(self, matrix: TestValueMatrix) -> Iterator[Dataset]:
+        """All combinations, in column-major dictionary order."""
+        yield from itertools.product(*matrix.columns)
+
+    def count(self, matrix: TestValueMatrix) -> int:
+        """Exactly Eq. 1."""
+        return matrix.total_combinations
+
+
+@dataclass(frozen=True)
+class PairwiseStrategy:
+    """Greedy pairwise (2-wise) covering strategy.
+
+    Guarantees every pair of values across any two parameters appears in
+    at least one dataset — a standard combinatorial-testing reduction.
+    Falls back to cartesian for single-parameter calls.
+    """
+
+    name: str = "pairwise"
+
+    def generate(self, matrix: TestValueMatrix) -> Iterator[Dataset]:
+        """Greedy horizontal growth over uncovered pairs."""
+        columns = matrix.columns
+        if len(columns) < 2:
+            yield from itertools.product(*columns)
+            return
+        uncovered: set[tuple[int, int, int, int]] = set()
+        for (i, col_i), (j, col_j) in itertools.combinations(enumerate(columns), 2):
+            for a in range(len(col_i)):
+                for b in range(len(col_j)):
+                    uncovered.add((i, a, j, b))
+        while uncovered:
+            chosen = [-1] * len(columns)
+            # Seed with the pair that appears first in the uncovered set
+            # ordering (deterministic: sort once).
+            seed = min(uncovered)
+            chosen[seed[0]], chosen[seed[2]] = seed[1], seed[3]
+            for index, column in enumerate(columns):
+                if chosen[index] >= 0:
+                    continue
+                best_value, best_gain = 0, -1
+                for value_index in range(len(column)):
+                    gain = sum(
+                        1
+                        for (i, a, j, b) in uncovered
+                        if (i == index and a == value_index and chosen[j] == b)
+                        or (j == index and b == value_index and chosen[i] == a)
+                    )
+                    if gain > best_gain:
+                        best_value, best_gain = value_index, gain
+                chosen[index] = best_value
+            newly = {
+                (i, chosen[i], j, chosen[j])
+                for i, j in itertools.combinations(range(len(columns)), 2)
+            }
+            uncovered -= newly
+            yield tuple(columns[i][chosen[i]] for i in range(len(columns)))
+
+    def count(self, matrix: TestValueMatrix) -> int:
+        """Materialised count (pairwise size is data-dependent)."""
+        return sum(1 for _ in self.generate(matrix))
+
+
+@dataclass(frozen=True)
+class OneFactorStrategy:
+    """One-factor-at-a-time over a valid base vector.
+
+    The §V discussion notes that a logic model "could be potentially
+    used to generate more effective test datasets".  This strategy uses
+    the dictionaries' own validity knowledge (the Table II asterisks):
+    hold every parameter at its first maybe-valid value and vary one
+    parameter at a time through its full dictionary.  Each parameter's
+    robustness is exercised *unmasked* (all other inputs valid — the
+    Fig. 7 lesson applied by construction) at a cost of roughly
+    ``Σ n_i`` instead of ``Π n_i`` datasets.
+
+    The trade-off: defects requiring two simultaneously-interesting
+    values (other than the base) are out of reach.
+    """
+
+    name: str = "one-factor"
+
+    @staticmethod
+    def _base(column: tuple[TestValue, ...]) -> TestValue:
+        for tv in column:
+            if tv.maybe_valid:
+                return tv
+        return column[0]
+
+    def generate(self, matrix: TestValueMatrix) -> Iterator[Dataset]:
+        """The base dataset, then each single-parameter sweep."""
+        base = tuple(self._base(column) for column in matrix.columns)
+        seen: set[tuple[str, ...]] = set()
+
+        def emit(dataset: Dataset) -> Iterator[Dataset]:
+            key = tuple(tv.label for tv in dataset)
+            if key not in seen:
+                seen.add(key)
+                yield dataset
+
+        yield from emit(base)
+        for index, column in enumerate(matrix.columns):
+            for tv in column:
+                dataset = tuple(
+                    tv if i == index else base[i] for i in range(len(base))
+                )
+                yield from emit(dataset)
+
+    def count(self, matrix: TestValueMatrix) -> int:
+        """Materialised count (duplicates of the base are folded)."""
+        return sum(1 for _ in self.generate(matrix))
+
+
+@dataclass(frozen=True)
+class RandomSampleStrategy:
+    """Uniform sample of the cartesian space, without replacement.
+
+    Deterministic for a given seed.  ``fraction`` of the full space is
+    kept, with at least ``minimum`` datasets.
+    """
+
+    fraction: float = 0.25
+    minimum: int = 4
+    seed: int = 2016
+    name: str = "random"
+
+    def _indices(self, matrix: TestValueMatrix) -> list[int]:
+        import random
+
+        total = matrix.total_combinations
+        k = min(total, max(self.minimum, round(total * self.fraction)))
+        rng = random.Random(self.seed ^ hash(matrix.function.name))
+        return sorted(rng.sample(range(total), k))
+
+    def generate(self, matrix: TestValueMatrix) -> Iterator[Dataset]:
+        """Decode sampled lexicographic indices into datasets."""
+        shape = matrix.shape
+        for flat in self._indices(matrix):
+            dataset = []
+            remainder = flat
+            for size in reversed(shape):
+                remainder, pos = divmod(remainder, size)
+                dataset.append(pos)
+            indices = list(reversed(dataset))
+            yield tuple(matrix.columns[i][pos] for i, pos in enumerate(indices))
+
+    def count(self, matrix: TestValueMatrix) -> int:
+        """Size of the sample."""
+        return len(self._indices(matrix))

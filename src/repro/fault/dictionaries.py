@@ -1,0 +1,401 @@
+"""Test-value dictionaries: the heart of the data type fault model.
+
+A *dictionary* attaches a set of interesting values to a data type —
+boundary values, "magic" values from the testing literature, and values
+that uncovered issues in previous campaigns (the paper cites Ballista
+and the Critical Software RTEMS campaign as sources).  Values that can
+be *valid* for some hypercalls are included deliberately to avoid fault
+masking (Table II's asterisked entries; Fig. 7).
+
+Two kinds of values exist:
+
+- plain integers, passed through C conversion at the hypercall boundary;
+- :class:`Symbol` placeholders (``VALID_BUFFER`` …) resolved against the
+  test partition's memory layout at mutant-generation time — the
+  Ballista technique for producing *valid* pointer inputs.
+
+Whether a given value is valid is *not* a dictionary property: validity
+depends on the hypercall and parameter (per the paper's §V discussion),
+and is decided by the :mod:`~repro.fault.oracle`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+LLONG_MIN = -(2**63)
+LLONG_MAX = 2**63 - 1
+UINT_MAX = 4294967295
+INT_MIN = -2147483648
+INT_MAX = 2147483647
+
+
+class Symbol(enum.Enum):
+    """Symbolic test values resolved against the test-partition layout."""
+
+    VALID_BUFFER = "valid_buffer"
+    UNALIGNED_BUFFER = "unaligned_buffer"
+    VALID_NAME = "valid_name"
+    UNTERMINATED_NAME = "unterminated_name"
+    VALID_BATCH_START = "valid_batch_start"
+    VALID_BATCH_END = "valid_batch_end"
+
+
+@dataclass(frozen=True)
+class TestValue:
+    """One dictionary entry.
+
+    Exactly one of ``value``/``symbol`` is set.  ``label`` is the short
+    name used in logs and the Data Type XML (e.g. ``MIN_S32``);
+    ``maybe_valid`` marks Table II's asterisked entries.
+    """
+
+    __test__ = False  # keep pytest from collecting this library class
+
+    label: str
+    value: int | None = None
+    symbol: Symbol | None = None
+    maybe_valid: bool = False
+    #: Where the value came from: "boundary" (type range), "literature"
+    #: (Marick / Ballista suggestions), "previous-campaign" (values that
+    #: uncovered issues in earlier tests), "layout" (symbolic), or
+    #: "context" (parameter-specific knowledge).  Documents the Table II
+    #: sourcing claim; free-form for user dictionaries.
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.value is None) == (self.symbol is None):
+            raise ValueError("TestValue needs exactly one of value/symbol")
+
+    @property
+    def is_symbolic(self) -> bool:
+        """Whether the entry needs layout resolution."""
+        return self.symbol is not None
+
+    def literal(self) -> int:
+        """The integer value; error for symbolic entries."""
+        if self.value is None:
+            raise ValueError(f"symbolic value {self.label} has no literal")
+        return self.value
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.label
+
+
+def _v(label: str, value: int, maybe_valid: bool = False,
+       source: str = "literature") -> TestValue:
+    if source == "literature" and label.startswith(("MIN_", "MAX_", "LLONG_")):
+        source = "boundary"
+    return TestValue(label, value=value, maybe_valid=maybe_valid, source=source)
+
+
+def _s(label: str, symbol: Symbol, maybe_valid: bool = True) -> TestValue:
+    return TestValue(label, symbol=symbol, maybe_valid=maybe_valid, source="layout")
+
+
+@dataclass(frozen=True)
+class TypeDictionary:
+    """The test-value set for one data type or parameter context."""
+
+    __test__ = False  # keep pytest from collecting this library class
+
+    name: str
+    basic_type: str
+    values: tuple[TestValue, ...]
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[TestValue]:
+        return iter(self.values)
+
+    def labels(self) -> list[str]:
+        """Entry labels in order."""
+        return [v.label for v in self.values]
+
+
+# Unmapped probe addresses on the EagleEye memory map.
+NULL_PTR = 0
+LOW_PTR = 1
+UNMAPPED_PTR = 0x50000000
+HIGH_PTR = 0xFFFFFFF0
+
+
+def builtin_dictionaries() -> dict[str, TypeDictionary]:
+    """The campaign's dictionaries, keyed by dictionary name.
+
+    Type-level entries reproduce the paper's documented sets exactly:
+    ``xm_u32_t`` per Fig. 3 and ``xm_s32_t`` per Table II.  Context
+    dictionaries (``clock_id`` …) implement the §V observation that test
+    values should be selected with knowledge of the parameter's typical
+    use; the paper's own Fig. 3 set (five values for *every* u32) would
+    explode Table III's counts, so context sets keep the campaign
+    "practically manageable" exactly as the authors describe.
+    """
+    dicts: list[TypeDictionary] = [
+        TypeDictionary(
+            "xm_u32_t",
+            "xm_u32_t",
+            (
+                _v("0", 0, maybe_valid=True),
+                _v("1", 1, maybe_valid=True),
+                _v("2", 2, maybe_valid=True),
+                _v("16", 16, maybe_valid=True),
+                _v("MAX_U32", UINT_MAX),
+            ),
+            description="Fig. 3 unsigned int set",
+        ),
+        TypeDictionary(
+            "xm_s32_t",
+            "xm_s32_t",
+            (
+                _v("MIN_S32", INT_MIN),
+                _v("-16", -16, maybe_valid=True),
+                _v("-1", -1, maybe_valid=True),
+                _v("ZERO", 0, maybe_valid=True),
+                _v("1", 1, maybe_valid=True),
+                _v("2", 2, maybe_valid=True),
+                _v("16", 16, maybe_valid=True),
+                _v("MAX_S32", INT_MAX),
+            ),
+            description="Table II signed int set",
+        ),
+        TypeDictionary(
+            "xmTime_t",
+            "xm_s64_t",
+            (
+                _v("LLONG_MIN", LLONG_MIN),
+                _v("1", 1, maybe_valid=True),
+                _v("1SEC", 1_000_000, maybe_valid=True),
+                _v("LLONG_MAX", LLONG_MAX),
+            ),
+            description="time values in microseconds",
+        ),
+        TypeDictionary(
+            "xmSize_t",
+            "xm_u32_t",
+            (
+                _v("0", 0),
+                _v("1", 1, maybe_valid=True),
+                _v("16", 16, maybe_valid=True),
+                _v("4096", 4096, maybe_valid=True),
+                _v("MAX_U32", UINT_MAX),
+            ),
+            description="sizes in bytes",
+        ),
+        TypeDictionary(
+            "xmAddress_t",
+            "xm_u32_t",
+            (
+                _v("NULL", NULL_PTR),
+                _v("LOW", LOW_PTR),
+                _v("UNMAPPED", UNMAPPED_PTR),
+                _s("VALID", Symbol.VALID_BUFFER),
+                _v("HIGH", HIGH_PTR),
+            ),
+            description="32-bit physical addresses",
+        ),
+        TypeDictionary(
+            "xmIoAddress_t",
+            "xm_u32_t",
+            (
+                _v("NULL", NULL_PTR),
+                _v("RAM", 0x40000000),
+                _v("APB_GAP", 0x80000000),
+                _v("UART_STATUS", 0x80000104, maybe_valid=True),
+                _v("MAX_U32", UINT_MAX),
+            ),
+            description="I/O register addresses",
+        ),
+        # -- context dictionaries (paper §V) --------------------------------
+        TypeDictionary(
+            "clock_id",
+            "xm_u32_t",
+            (_v("HW_CLOCK", 0, maybe_valid=True), _v("EXEC_CLOCK", 1, maybe_valid=True)),
+            description="XM clock identifiers",
+        ),
+        TypeDictionary(
+            "plan_id",
+            "xm_u32_t",
+            (_v("PLAN0", 0, maybe_valid=True), _v("PLAN1", 1, maybe_valid=True)),
+            description="scheduling plan identifiers",
+        ),
+        TypeDictionary(
+            "port_id",
+            "xm_s32_t",
+            (
+                _v("-1", -1),
+                _v("0", 0, maybe_valid=True),
+                _v("1", 1, maybe_valid=True),
+                _v("2", 2),
+                _v("16", 16),
+            ),
+            description="port descriptors (FDIR opens 0 and 1)",
+        ),
+        TypeDictionary(
+            "partition_id_ctx",
+            "xm_s32_t",
+            (
+                _v("SELF", -1, maybe_valid=True),
+                _v("0", 0, maybe_valid=True),
+                _v("1", 1, maybe_valid=True),
+                _v("16", 16),
+            ),
+            description="partition ids for memory services",
+        ),
+        TypeDictionary(
+            "size_ctx",
+            "xm_u32_t",
+            (
+                _v("0", 0),
+                _v("16", 16, maybe_valid=True),
+                _v("MAX_U32", UINT_MAX),
+            ),
+            description="compact size set for multi-parameter calls",
+        ),
+        TypeDictionary(
+            "direction_ctx",
+            "xm_u32_t",
+            (
+                _v("SOURCE", 0, maybe_valid=True),
+                _v("DESTINATION", 1, maybe_valid=True),
+                _v("2", 2),
+            ),
+            description="port directions",
+        ),
+        TypeDictionary(
+            "entity_ctx",
+            "xm_u32_t",
+            (
+                _v("PARTITION", 0, maybe_valid=True),
+                _v("CHANNEL", 1, maybe_valid=True),
+            ),
+            description="name-resolution entity kinds",
+        ),
+        TypeDictionary(
+            "struct_ptr",
+            "xm_u32_t",
+            (
+                _v("NULL", NULL_PTR),
+                _v("UNMAPPED", UNMAPPED_PTR),
+                _s("VALID", Symbol.VALID_BUFFER),
+            ),
+            description="status-structure output pointers",
+        ),
+        TypeDictionary(
+            "buffer_ptr",
+            "xm_u32_t",
+            (
+                _v("NULL", NULL_PTR),
+                _v("UNMAPPED", UNMAPPED_PTR),
+                _s("UNALIGNED", Symbol.UNALIGNED_BUFFER),
+                _s("VALID", Symbol.VALID_BUFFER),
+            ),
+            description="message/data buffers",
+        ),
+        TypeDictionary(
+            "name_ptr",
+            "xm_u32_t",
+            (
+                _v("NULL", NULL_PTR),
+                _v("UNMAPPED", UNMAPPED_PTR),
+                _s("VALID_NAME", Symbol.VALID_NAME),
+                _s("UNTERMINATED", Symbol.UNTERMINATED_NAME, maybe_valid=False),
+            ),
+            description="identifier strings",
+        ),
+        TypeDictionary(
+            "out_ptr_small",
+            "xm_u32_t",
+            (
+                _v("NULL", NULL_PTR),
+                _s("VALID", Symbol.VALID_BUFFER),
+            ),
+            description="small scalar output pointers",
+        ),
+        TypeDictionary(
+            "batch_ptr_start",
+            "xm_u32_t",
+            (
+                _v("NULL", NULL_PTR),
+                _v("LOW", LOW_PTR),
+                _v("UNMAPPED", UNMAPPED_PTR),
+                _s("VALID", Symbol.VALID_BATCH_START),
+                _v("HIGH", HIGH_PTR),
+            ),
+            description="multicall batch start pointers",
+        ),
+        TypeDictionary(
+            "batch_ptr_end",
+            "xm_u32_t",
+            (
+                _v("NULL", NULL_PTR),
+                _v("LOW", LOW_PTR),
+                _v("UNMAPPED", UNMAPPED_PTR),
+                _s("VALID", Symbol.VALID_BATCH_END),
+                _v("HIGH", HIGH_PTR),
+            ),
+            description="multicall batch end pointers",
+        ),
+    ]
+    # Plain basic types not listed above fall back to sensible defaults.
+    dicts.append(
+        TypeDictionary(
+            "xm_u8_t",
+            "xm_u8_t",
+            (_v("0", 0, maybe_valid=True), _v("1", 1, maybe_valid=True), _v("MAX_U8", 255)),
+        )
+    )
+    dicts.append(
+        TypeDictionary(
+            "xm_s64_t",
+            "xm_s64_t",
+            (
+                _v("LLONG_MIN", LLONG_MIN),
+                _v("-1", -1, maybe_valid=True),
+                _v("0", 0, maybe_valid=True),
+                _v("1", 1, maybe_valid=True),
+                _v("LLONG_MAX", LLONG_MAX),
+            ),
+        )
+    )
+    return {d.name: d for d in dicts}
+
+
+@dataclass
+class DictionarySet:
+    """A named collection of dictionaries used by one campaign."""
+
+    dictionaries: dict[str, TypeDictionary] = field(default_factory=builtin_dictionaries)
+
+    def lookup(self, key: str) -> TypeDictionary:
+        """Dictionary by name; KeyError with context otherwise."""
+        try:
+            return self.dictionaries[key]
+        except KeyError:
+            raise KeyError(f"no test-value dictionary named {key!r}") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.dictionaries
+
+    def add(self, dictionary: TypeDictionary) -> None:
+        """Add or replace a dictionary."""
+        self.dictionaries[dictionary.name] = dictionary
+
+    def without_valid_values(self) -> "DictionarySet":
+        """Ablation variant: drop every maybe-valid entry.
+
+        Used by the fault-masking bench (Fig. 7): without valid entries,
+        an invalid first parameter masks later-parameter failures.
+        Dictionaries that would become empty keep their first entry.
+        """
+        stripped: dict[str, TypeDictionary] = {}
+        for name, d in self.dictionaries.items():
+            values = tuple(v for v in d.values if not v.maybe_valid)
+            if not values:
+                values = d.values[:1]
+            stripped[name] = TypeDictionary(d.name, d.basic_type, values, d.description)
+        return DictionarySet(stripped)

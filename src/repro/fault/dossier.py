@@ -1,0 +1,134 @@
+"""Qualification dossier generation.
+
+Robustness campaigns in the space domain feed verification dossiers.
+:func:`build_dossier` renders one self-contained Markdown document from
+a finished campaign: configuration, coverage, Table III, the issue list
+with CRASH severities, the severity heatmap, truth-base statistics and
+the dictionary-feedback ranking — everything a reviewer needs without
+touching the toolset.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.fault.campaign import Campaign, CampaignResult
+from repro.fault.classify import Severity
+from repro.fault.export import table3_markdown
+from repro.fault.feedback import offending_values
+from repro.fault.report import fig8_data
+from repro.fault.stats import wall_time_stats
+
+
+def _issues_markdown(result: CampaignResult) -> str:
+    if not result.issues:
+        return "No robustness issues raised.\n"
+    lines = [
+        "| # | Hypercall | Severity | Failure | Cases | Known id |",
+        "|---|---|---|---|---|---|",
+    ]
+    for index, issue in enumerate(result.issues, start=1):
+        lines.append(
+            f"| {index} | `{issue.hypercall}` | {issue.severity.value} | "
+            f"{issue.kind.value} | {issue.case_count} | "
+            f"{issue.matched_vulnerability or '-'} |"
+        )
+    lines.append("")
+    for issue in result.issues:
+        lines.append(f"- **{issue.matched_vulnerability or 'unregistered'}** — "
+                     f"{issue.description}")
+    return "\n".join(lines)
+
+
+def _severity_markdown(result: CampaignResult) -> str:
+    counts = result.severity_counts()
+    lines = ["| Severity | Tests |", "|---|---|"]
+    for severity in Severity:
+        lines.append(f"| {severity.value} | {counts[severity]} |")
+    return "\n".join(lines)
+
+
+def _offenders_markdown(result: CampaignResult, top: int = 10) -> str:
+    offenders = offending_values(result)[:top]
+    if not offenders:
+        return "No dictionary value participated in a failure.\n"
+    lines = [
+        "| Dictionary | Value | Failures | Tests | Rate |",
+        "|---|---|---|---|---|",
+    ]
+    for value in offenders:
+        lines.append(
+            f"| `{value.dictionary}` | `{value.label}` | {value.failures} | "
+            f"{value.tests} | {value.failure_rate:.0%} |"
+        )
+    return "\n".join(lines)
+
+
+def build_dossier(result: CampaignResult, campaign: Campaign | None = None) -> str:
+    """Render the full Markdown dossier for one campaign."""
+    fig8 = fig8_data(result.model)
+    wall = wall_time_stats(result.log)
+    failing = len(result.failures())
+    sections = [
+        "# Robustness campaign dossier",
+        "",
+        "## Campaign configuration",
+        "",
+        f"- kernel under test: **XtratuM {result.kernel_version}**",
+        f"- generation strategy: **{result.strategy_name}**",
+        f"- testbed: EagleEye TSP (5 partitions, 250 ms major frame; "
+        f"FDIR system partition hosts the fault placeholders)",
+        f"- API scope: {fig8.tested} of {fig8.total_hypercalls} hypercalls "
+        f"({fig8.tested_share:.0%}); {fig8.untested_parameterless} "
+        f"parameter-less out of scope",
+        "",
+        "## Coverage and outcomes (Table III)",
+        "",
+        table3_markdown(result),
+        "",
+        f"**{result.total_tests} tests executed, {failing} failing, "
+        f"{result.issue_count()} distinct issues.**",
+        "",
+        "## Raised issues",
+        "",
+        _issues_markdown(result),
+        "",
+        "## CRASH severity distribution",
+        "",
+        _severity_markdown(result),
+        "",
+        "## Most effective dictionary values",
+        "",
+        _offenders_markdown(result),
+        "",
+        "## Execution statistics",
+        "",
+        f"- total execution time: {wall['total']:.1f} s "
+        f"(median {wall['median'] * 1e3:.1f} ms, p95 {wall['p95'] * 1e3:.1f} ms, "
+        f"max {wall['max'] * 1e3:.1f} ms per test)",
+        "",
+    ]
+    if campaign is not None:
+        from repro.fault.truthbase import build_truthbase
+
+        truthbase = build_truthbase(campaign)
+        sections += [
+            "## Dry-run truth base",
+            "",
+            f"- documented expectations: {len(truthbase)}",
+            f"- expected-error share: {truthbase.expected_error_share():.0%} "
+            "(most generated datasets are invalid by construction)",
+            "",
+        ]
+    return "\n".join(sections)
+
+
+def write_dossier(
+    result: CampaignResult,
+    path: str | Path,
+    campaign: Campaign | None = None,
+) -> Path:
+    """Render and write the dossier; returns the path."""
+    out = Path(path)
+    out.write_text(build_dossier(result, campaign), encoding="utf-8")
+    return out

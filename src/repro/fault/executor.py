@@ -1,0 +1,166 @@
+"""Test execution: pack, boot, run, observe (paper steps 3-5).
+
+For each test case a *fresh* TSP system is packed: the FDIR test
+partition carries the fault placeholder, which stages the layout
+buffers, invokes the hypercall with the resolved dataset once per major
+frame, and records whether/what it returned.  The executor then runs
+the simulator for a fixed number of major frames, catching the two
+simulator-level failures, and distils everything the paper logs into a
+:class:`~repro.fault.testlog.TestRecord`.
+
+Two isolation modes exist:
+
+- in-process (default): fast, exact; a simulator crash is an exception,
+  not a process death, so no isolation is required for correctness;
+- subprocess: one OS process per test, faithful to the paper's
+  one-TSIM-per-test shell scripts and used by the parallel campaign
+  runner.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.fault.mutant import TestCallSpec, TestPartitionLayout, default_layout
+from repro.fault.testlog import Invocation, TestRecord
+from repro.testbed import build_system
+from repro.tsim.simulator import SimulatorCrash, SimulatorHang
+from repro.xm.errors import NoReturnFromHypercall
+from repro.xm.vulns import VULNERABLE_VERSION
+
+#: Major frames per test run ("a selected number of cyclic schedules").
+DEFAULT_FRAMES = 2
+#: Console lines kept in the record.
+CONSOLE_TAIL = 8
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """A record plus the executor inputs that produced it."""
+
+    record: TestRecord
+    spec: TestCallSpec
+    kernel_version: str
+
+
+class TestExecutor:
+    """Runs test-call specs on fresh EagleEye systems."""
+
+    __test__ = False  # keep pytest from collecting this library class
+
+    def __init__(
+        self,
+        kernel_version: str = VULNERABLE_VERSION,
+        frames: int = DEFAULT_FRAMES,
+        layout: TestPartitionLayout | None = None,
+        system_factory=None,
+    ) -> None:
+        self.kernel_version = kernel_version
+        self.frames = frames
+        self.layout = layout if layout is not None else default_layout()
+        #: Builds (payload, version) -> Simulator; defaults to EagleEye.
+        #: Swapping it retargets the whole campaign to another testbed
+        #: (e.g. repro.testbed.dummy.build_dummy_system).
+        self.system_factory = system_factory if system_factory is not None else build_system
+
+    def run(self, spec: TestCallSpec) -> TestRecord:
+        """Execute one test case and log the outcome."""
+        started = time.perf_counter()
+        layout = self.layout
+        invocations: list[Invocation] = []
+        staged_epoch = {"epoch": -1}
+
+        def payload(ctx, xm) -> None:  # noqa: ANN001 - FdirPayload signature
+            from repro.fault.stateful_oracle import capture_state
+
+            if staged_epoch["epoch"] != ctx.kernel.boot_epoch:
+                for address, data in layout.staging_writes():
+                    xm.write_bytes(address, data)
+                staged_epoch["epoch"] = ctx.kernel.boot_epoch
+            args = spec.resolve_args(layout)
+            state = capture_state(ctx.kernel)
+            try:
+                code = xm.call(spec.function, *args)
+            except NoReturnFromHypercall as exc:
+                invocations.append(
+                    Invocation(returned=False, note=str(exc), state=state)
+                )
+                raise
+            invocations.append(Invocation(returned=True, rc=code, state=state))
+
+        sim = self.system_factory(
+            fdir_payload=payload, kernel_version=self.kernel_version
+        )
+        kernel = sim.boot()
+        crashed = hung = False
+        try:
+            sim.run_major_frames(self.frames)
+        except SimulatorCrash:
+            crashed = True
+        except SimulatorHang:
+            hung = True
+
+        record = TestRecord(
+            test_id=spec.test_id,
+            function=spec.function,
+            category=spec.category,
+            arg_labels=spec.arg_labels(),
+            resolved_args=spec.resolve_args(layout),
+            invocations=invocations,
+            sim_crashed=crashed,
+            sim_hung=hung,
+            kernel_halted=kernel.is_halted(),
+            halt_reason=kernel.halt_reason or "",
+            resets=[(r.kind, r.source) for r in kernel.reset_log],
+            hm_events=[
+                (rec.event.name, rec.partition_id, rec.detail)
+                for rec in kernel.hm.records
+            ],
+            overruns=len(kernel.sched.overruns),
+            test_partition_state=(
+                kernel.partitions[0].state.value if 0 in kernel.partitions else ""
+            ),
+            console_tail=sim.machine.uart.lines()[-CONSOLE_TAIL:],
+            kernel_version=self.kernel_version,
+            frames=self.frames,
+            wall_time_s=time.perf_counter() - started,
+        )
+        return record
+
+
+def run_spec_dict(payload: tuple[dict, str, int]) -> dict:
+    """Module-level worker for process pools (picklable in/out).
+
+    Takes ``(spec_as_dict, kernel_version, frames)`` and returns the
+    record as a dict.
+    """
+    from repro.fault.mutant import ArgSpec
+
+    spec_dict, version, frames = payload
+    spec = TestCallSpec(
+        test_id=spec_dict["test_id"],
+        function=spec_dict["function"],
+        category=spec_dict["category"],
+        args=tuple(ArgSpec(**arg) for arg in spec_dict["args"]),
+    )
+    executor = TestExecutor(kernel_version=version, frames=frames)
+    return executor.run(spec).to_dict()
+
+
+def spec_to_dict(spec: TestCallSpec) -> dict:
+    """Picklable plain-dict form of a spec."""
+    return {
+        "test_id": spec.test_id,
+        "function": spec.function,
+        "category": spec.category,
+        "args": [
+            {
+                "param": a.param,
+                "label": a.label,
+                "value": a.value,
+                "symbol": a.symbol,
+            }
+            for a in spec.args
+        ],
+    }

@@ -1,0 +1,150 @@
+"""Structured exports: CSV and Markdown for reports and logs.
+
+Campaign artefacts feed downstream documents (qualification dossiers,
+issue trackers), so every table the paper reports is exportable in both
+formats, plus a side-by-side kernel-version comparison.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+
+from repro.fault.campaign import CampaignResult
+from repro.fault.report import Table3Row, table3_rows, table3_totals
+from repro.fault.testlog import CampaignLog
+from repro.xm import rc
+
+
+def table3_csv(result: CampaignResult) -> str:
+    """Table III as CSV (with totals row)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["category", "total_hypercalls", "hypercalls_tested", "tests", "raised_issues"]
+    )
+    for row in [*table3_rows(result), table3_totals(result)]:
+        writer.writerow(
+            [
+                row.category,
+                row.total_hypercalls,
+                row.hypercalls_tested,
+                row.tests,
+                row.raised_issues,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def table3_markdown(result: CampaignResult) -> str:
+    """Table III as a GitHub-flavoured Markdown table."""
+    lines = [
+        "| Hypercall category | Total | Tested | Tests | Raised issues |",
+        "|---|---|---|---|---|",
+    ]
+    for row in [*table3_rows(result), table3_totals(result)]:
+        bold = "**" if row.category == "Total" else ""
+        lines.append(
+            f"| {bold}{row.category}{bold} | {row.total_hypercalls} | "
+            f"{row.hypercalls_tested} | {row.tests} | {row.raised_issues} |"
+        )
+    return "\n".join(lines)
+
+
+def issues_csv(result: CampaignResult) -> str:
+    """The issue list as CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["hypercall", "category", "severity", "failure_kind", "cases",
+         "known_id", "description"]
+    )
+    for issue in result.issues:
+        writer.writerow(
+            [
+                issue.hypercall,
+                issue.category,
+                issue.severity.value,
+                issue.kind.value,
+                issue.case_count,
+                issue.matched_vulnerability or "",
+                issue.description,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def log_csv(log: CampaignLog) -> str:
+    """Per-test records as CSV (flat columns for spreadsheet triage)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["test_id", "function", "category", "args", "first_rc", "returned",
+         "sim_crashed", "kernel_halted", "resets", "overruns", "hm_events"]
+    )
+    for record in log:
+        first = record.first_rc
+        writer.writerow(
+            [
+                record.test_id,
+                record.function,
+                record.category,
+                " ".join(record.arg_labels),
+                rc.name_of(first) if first is not None else "",
+                int(not record.never_returned and record.invoked),
+                int(record.sim_crashed),
+                int(record.kernel_halted),
+                len(record.resets),
+                record.overruns,
+                ";".join(sorted(record.hm_event_names())),
+            ]
+        )
+    return buffer.getvalue()
+
+
+@dataclass(frozen=True)
+class VersionComparison:
+    """Side-by-side outcome of the same scope on two kernel versions."""
+
+    left: CampaignResult
+    right: CampaignResult
+
+    def fixed_issue_ids(self) -> set[str]:
+        """Issues present on the left and absent on the right."""
+        return self._ids(self.left) - self._ids(self.right)
+
+    def regressed_issue_ids(self) -> set[str]:
+        """Issues absent on the left and present on the right."""
+        return self._ids(self.right) - self._ids(self.left)
+
+    @staticmethod
+    def _ids(result: CampaignResult) -> set[str]:
+        return {
+            issue.matched_vulnerability or issue.description
+            for issue in result.issues
+        }
+
+    def markdown(self) -> str:
+        """Render the comparison."""
+        left_v = self.left.kernel_version
+        right_v = self.right.kernel_version
+        lines = [
+            f"| | XtratuM {left_v} | XtratuM {right_v} |",
+            "|---|---|---|",
+            f"| tests | {self.left.total_tests} | {self.right.total_tests} |",
+            f"| failing tests | {len(self.left.failures())} | "
+            f"{len(self.right.failures())} |",
+            f"| issues | {self.left.issue_count()} | {self.right.issue_count()} |",
+        ]
+        fixed = sorted(self.fixed_issue_ids())
+        regressed = sorted(self.regressed_issue_ids())
+        lines.append(f"| fixed in {right_v} | | {', '.join(fixed) or '-'} |")
+        if regressed:
+            lines.append(f"| regressed in {right_v} | | {', '.join(regressed)} |")
+        return "\n".join(lines)
+
+
+def compare_versions(left: CampaignResult, right: CampaignResult) -> VersionComparison:
+    """Build a version comparison from two finished campaigns."""
+    return VersionComparison(left=left, right=right)

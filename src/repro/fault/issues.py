@@ -1,0 +1,151 @@
+"""Issue clustering: from failing test cases to reportable defects.
+
+The paper reports *9 notable issues* out of 2662 tests, "some of which
+share common robustness vulnerabilities" — i.e. failing test cases are
+grouped into defects by human judgment.  This module encodes that
+judgment as an explicit, reproducible rule.  Each failure kind defines
+what distinguishes two defects:
+
+================== =====================================================
+failure kind        clustering key (besides hypercall + kind)
+================== =====================================================
+unexpected reset    the accepted invalid argument tuple — every invalid
+                    value the kernel *acted on* is a distinct missing
+                    validation (paper: reset(2), reset(16), reset(-1U))
+kernel halt /       none — one defect per hypercall and mechanism
+simulator crash     (paper: the 1 µs interval issue per clock)
+silent / hindering  the blamed parameter (paper: the negative interval,
+                    counted once across both clocks)
+unhandled trap      the first invalid pointer parameter (paper: the
+                    startAddr and endAddr cases, counted separately)
+temporal violation  none
+================== =====================================================
+
+Applied to the campaign this yields exactly the paper's 3 + 3 + 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fault.classify import Classification, FailureKind, Severity
+from repro.fault.oracle import Expectation
+from repro.fault.testlog import TestRecord
+from repro.xm.vulns import KNOWN_VULNERABILITIES, Vulnerability
+
+
+@dataclass
+class Issue:
+    """One clustered defect."""
+
+    hypercall: str
+    category: str
+    kind: FailureKind
+    detail_key: str
+    severity: Severity
+    description: str
+    test_cases: list[str] = field(default_factory=list)
+    example_args: tuple[str, ...] = ()
+    matched_vulnerability: str | None = None
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """The clustering identity."""
+        return (self.hypercall, self.kind.value, self.detail_key)
+
+    @property
+    def case_count(self) -> int:
+        """Failing test cases folded into the issue."""
+        return len(self.test_cases)
+
+
+def _detail_key(
+    record: TestRecord,
+    classification: Classification,
+    expectation: Expectation,
+) -> str:
+    kind = classification.kind
+    if kind is FailureKind.UNEXPECTED_RESET:
+        return "args=" + ",".join(record.arg_labels)
+    if kind in (FailureKind.WRONG_SUCCESS, FailureKind.WRONG_ERROR):
+        blamed = expectation.invalid_params[0] if expectation.invalid_params else "?"
+        return f"param={blamed}"
+    if kind in (FailureKind.UNHANDLED_TRAP, FailureKind.SPATIAL_VIOLATION):
+        blamed = expectation.invalid_params[0] if expectation.invalid_params else "?"
+        return f"param={blamed}"
+    return ""
+
+
+def _describe(record: TestRecord, classification: Classification, key: str) -> str:
+    call = f"{record.function}({', '.join(record.arg_labels)})"
+    return f"{call}: {classification.kind.value} — {classification.detail}"
+
+
+def cluster_issues(
+    classified: list[tuple[TestRecord, Expectation, Classification]],
+) -> list[Issue]:
+    """Group failing tests into issues, most severe first."""
+    issues: dict[tuple[str, str, str], Issue] = {}
+    severity_order = list(Severity)
+    for record, expectation, classification in classified:
+        if not classification.is_failure:
+            continue
+        key_detail = _detail_key(record, classification, expectation)
+        key = (record.function, classification.kind.value, key_detail)
+        issue = issues.get(key)
+        if issue is None:
+            issue = Issue(
+                hypercall=record.function,
+                category=record.category,
+                kind=classification.kind,
+                detail_key=key_detail,
+                severity=classification.severity,
+                description=_describe(record, classification, key_detail),
+                example_args=record.arg_labels,
+            )
+            issues[key] = issue
+        issue.test_cases.append(record.test_id)
+        if severity_order.index(classification.severity) < severity_order.index(
+            issue.severity
+        ):
+            issue.severity = classification.severity
+            issue.description = _describe(record, classification, key_detail)
+    result = sorted(
+        issues.values(),
+        key=lambda i: (severity_order.index(i.severity), i.hypercall, i.detail_key),
+    )
+    _match_known(result)
+    return result
+
+
+def _match_known(issues: list[Issue]) -> None:
+    """Attach ground-truth vulnerability idents where they apply."""
+    unclaimed: list[Vulnerability] = list(KNOWN_VULNERABILITIES)
+    for issue in issues:
+        for vuln in unclaimed:
+            if vuln.hypercall != issue.hypercall:
+                continue
+            if _matches(issue, vuln):
+                issue.matched_vulnerability = vuln.ident
+                unclaimed.remove(vuln)
+                break
+
+
+def _matches(issue: Issue, vuln: Vulnerability) -> bool:
+    kind = issue.kind
+    if vuln.ident.startswith("XM-RS"):
+        value = {"XM-RS-1": "2", "XM-RS-2": "16", "XM-RS-3": "MAX_U32"}[vuln.ident]
+        return kind is FailureKind.UNEXPECTED_RESET and issue.detail_key == f"args={value}"
+    if vuln.ident == "XM-ST-1":
+        return kind is FailureKind.KERNEL_HALT
+    if vuln.ident == "XM-ST-2":
+        return kind is FailureKind.SIM_CRASH
+    if vuln.ident == "XM-ST-3":
+        return kind is FailureKind.WRONG_SUCCESS and issue.detail_key == "param=interval"
+    if vuln.ident == "XM-MC-1":
+        return kind is FailureKind.UNHANDLED_TRAP and issue.detail_key == "param=startAddr"
+    if vuln.ident == "XM-MC-2":
+        return kind is FailureKind.UNHANDLED_TRAP and issue.detail_key == "param=endAddr"
+    if vuln.ident == "XM-MC-3":
+        return kind is FailureKind.TEMPORAL_VIOLATION
+    return False

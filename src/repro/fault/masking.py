@@ -1,0 +1,142 @@
+"""Fault-masking analysis (Fig. 7).
+
+Masking occurs when parameter validity checks on one parameter hide
+robustness failures behind another: ``hypercall(<invalid>, <faulty>)``
+returns a clean error code from the first check, so the faulty second
+parameter is never exercised.  The paper's countermeasure is including
+*valid* values in the dictionaries (Table II's asterisked entries).
+
+Two tools implement the analysis:
+
+- :func:`masking_pairs` mines a finished campaign for concrete masking
+  evidence: datasets where a failure occurs only once earlier
+  parameters hold valid values.
+- :func:`masked_issue_comparison` runs the ablation: the same campaign
+  with valid entries stripped from the dictionaries, demonstrating
+  which issues disappear (for ``XM_multicall``, every invalid
+  ``startAddr`` masks the ``endAddr`` defect and the temporal defect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fault.campaign import Campaign, CampaignResult
+
+
+@dataclass(frozen=True)
+class MaskingPair:
+    """Evidence that one parameter masks failures in another."""
+
+    function: str
+    masking_param: str
+    masked_param: str
+    masked_failure: str
+    failing_case: str
+    masked_case: str
+
+
+def masking_pairs(result: CampaignResult) -> list[MaskingPair]:
+    """Mine a campaign for Fig. 7-style masking evidence.
+
+    For every failing test whose expectation blames a *later* parameter,
+    find a sibling test identical at and after that parameter but with
+    an invalid *earlier* parameter — in the sibling, the failure (or the
+    clean error code) is attributed to the earlier parameter, so the
+    later parameter's defect is invisible: Fig. 7's Case 1 masking
+    Case 2.
+    """
+    pairs: list[MaskingPair] = []
+    by_function: dict[str, list] = {}
+    for item in result.classified:
+        by_function.setdefault(item[0].function, []).append(item)
+    for function, items in by_function.items():
+        failures = [
+            (r, e, c)
+            for (r, e, c) in items
+            if c.is_failure and e.invalid_params
+        ]
+        for record, expectation, classification in failures:
+            blamed = expectation.invalid_params[0]
+            params = [
+                arg for arg in _spec_params(result, record)
+            ]
+            if blamed not in params:
+                continue
+            blamed_pos = params.index(blamed)
+            for sibling, sib_exp, sib_cls in items:
+                if sibling is record:
+                    continue
+                if not _differs_only_before(record, sibling, blamed_pos):
+                    continue
+                if not sib_exp.invalid_params:
+                    continue
+                earlier = sib_exp.invalid_params[0]
+                if earlier in params and params.index(earlier) < blamed_pos:
+                    pairs.append(
+                        MaskingPair(
+                            function=function,
+                            masking_param=earlier,
+                            masked_param=blamed,
+                            masked_failure=classification.kind.value,
+                            failing_case=record.test_id,
+                            masked_case=sibling.test_id,
+                        )
+                    )
+                    break
+    return pairs
+
+
+def _spec_params(result: CampaignResult, record) -> list[str]:  # noqa: ANN001
+    function = result.model.lookup(record.function)
+    return [p.name for p in function.params]
+
+
+def _differs_only_before(record, sibling, position: int) -> bool:  # noqa: ANN001
+    """Labels match at/after ``position``, differ somewhere before it."""
+    a, b = record.arg_labels, sibling.arg_labels
+    if len(a) != len(b) or a[position:] != b[position:]:
+        return False
+    return a[:position] != b[:position]
+
+
+@dataclass(frozen=True)
+class MaskingAblation:
+    """Outcome of the valid-values ablation."""
+
+    full_result: CampaignResult
+    stripped_result: CampaignResult
+
+    @property
+    def full_issue_ids(self) -> set[str]:
+        """Issues found with the complete dictionaries."""
+        return {i.matched_vulnerability or i.description for i in self.full_result.issues}
+
+    @property
+    def stripped_issue_ids(self) -> set[str]:
+        """Issues still found without valid dictionary entries."""
+        return {
+            i.matched_vulnerability or i.description
+            for i in self.stripped_result.issues
+        }
+
+    @property
+    def masked_issue_ids(self) -> set[str]:
+        """Issues the ablation loses to fault masking."""
+        return self.full_issue_ids - self.stripped_issue_ids
+
+
+def masked_issue_comparison(
+    functions: tuple[str, ...] | None = None,
+    processes: int | None = None,
+) -> MaskingAblation:
+    """Run the campaign with and without valid dictionary entries."""
+    full = Campaign(functions=functions)
+    stripped = Campaign(
+        functions=functions,
+        dictionaries=full.dictionaries.without_valid_values(),
+    )
+    return MaskingAblation(
+        full_result=full.run(processes=processes),
+        stripped_result=stripped.run(processes=processes),
+    )

@@ -1,0 +1,59 @@
+"""The ``test_value_matrix`` (Fig. 5, XML Parser stage).
+
+For one hypercall, the matrix holds the test values associated with each
+input parameter, resolved from the dictionary set.  It is the input to
+the dataset generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fault.apimodel import ApiFunction
+from repro.fault.dictionaries import DictionarySet, TestValue
+
+
+@dataclass(frozen=True)
+class TestValueMatrix:
+    """Per-parameter test values for one hypercall."""
+
+    __test__ = False  # keep pytest from collecting this library class
+
+    function: ApiFunction
+    columns: tuple[tuple[TestValue, ...], ...]
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Number of test values per parameter."""
+        return tuple(len(col) for col in self.columns)
+
+    @property
+    def total_combinations(self) -> int:
+        """Eq. 1: the product of per-parameter counts."""
+        total = 1
+        for col in self.columns:
+            total *= len(col)
+        return total
+
+    def column(self, index: int) -> tuple[TestValue, ...]:
+        """Test values of one parameter."""
+        return self.columns[index]
+
+
+def build_matrix(function: ApiFunction, dictionaries: DictionarySet) -> TestValueMatrix:
+    """Resolve each parameter's dictionary into a matrix.
+
+    Raises KeyError when a parameter references an unknown dictionary —
+    the preparation-phase error the paper's toolset reports when the two
+    XML files disagree.
+    """
+    if not function.has_params:
+        raise ValueError(
+            f"{function.name} takes no parameters; the data-type model "
+            "does not apply directly (see the phantom-parameter extension)"
+        )
+    columns = tuple(
+        tuple(dictionaries.lookup(param.dictionary_key).values)
+        for param in function.params
+    )
+    return TestValueMatrix(function=function, columns=columns)

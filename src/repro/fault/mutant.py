@@ -1,0 +1,262 @@
+"""Mutant source generation (Fig. 5, Mutant Source Generator stage).
+
+Each dataset becomes one *mutant source*: in the paper, a C file with a
+single fault placeholder (one hypercall invoked with the dataset),
+compiled into the test partition.  Here each mutant carries both:
+
+- the faithful **C source text** (an auditable artefact, and what a
+  C-target port of the toolset would compile), and
+- an executable :class:`TestCallSpec` the Python test partition
+  interprets.
+
+Symbolic dictionary entries (``VALID_BUFFER`` …) resolve against the
+:class:`TestPartitionLayout` — fixed addresses inside the FDIR
+partition's test-buffer window where the test partition stages valid
+names, buffers and the multicall batch before invoking the call.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.fault.apimodel import ApiFunction
+from repro.fault.combinator import Dataset, GenerationStrategy
+from repro.fault.dictionaries import Symbol, TestValue
+from repro.fault.matrix import TestValueMatrix
+from repro.testbed.eagleeye import partition_area_base
+from repro.xal.runtime import TEST_BUFFER_OFFSET
+from repro.xm.api import hypercall_by_name
+
+#: Size of one multicall batch entry for XM_mask_irq(1): 3 words.
+_BATCH_ENTRY_WORDS = 3
+#: Number of entries in the staged batch — sized to overrun a 50 ms slot
+#: at 20 us per inner call (4096 * 20 us ~ 82 ms).
+BATCH_ENTRIES = 4096
+
+
+@dataclass(frozen=True)
+class TestPartitionLayout:
+    """Staged data inside the test partition's buffer window."""
+
+    __test__ = False  # keep pytest from collecting this library class
+
+    base: int
+
+    @property
+    def valid_buffer(self) -> int:
+        """A large writable scratch buffer."""
+        return self.base + 0x100
+
+    @property
+    def unaligned_buffer(self) -> int:
+        """The same buffer, deliberately odd-aligned."""
+        return self.base + 0x101
+
+    @property
+    def names(self) -> dict[str, int]:
+        """Addresses of staged NUL-terminated identifier strings."""
+        return {
+            "TM_MON": self.base + 0x800,
+            "FDIR_EVT": self.base + 0x820,
+            "PAYLOAD": self.base + 0x840,
+        }
+
+    @property
+    def unterminated_name(self) -> int:
+        """80 bytes of 'A' with no terminator within bounds."""
+        return self.base + 0x900
+
+    @property
+    def batch_start(self) -> int:
+        """Start of the staged multicall batch."""
+        return self.base + 0x1000
+
+    @property
+    def batch_end(self) -> int:
+        """One past the staged multicall batch."""
+        return self.batch_start + BATCH_ENTRIES * _BATCH_ENTRY_WORDS * 4
+
+    #: Which staged name each hypercall's VALID_NAME resolves to.
+    NAME_FOR_FUNCTION = {
+        "XM_create_sampling_port": "TM_MON",
+        "XM_get_sampling_port_info": "TM_MON",
+        "XM_create_queuing_port": "FDIR_EVT",
+        "XM_get_queuing_port_info": "FDIR_EVT",
+        "XM_get_gid_by_name": "PAYLOAD",
+    }
+
+    def resolve(self, symbol: Symbol, function_name: str) -> int:
+        """Address a symbolic test value stands for, per function."""
+        if symbol is Symbol.VALID_BUFFER:
+            return self.valid_buffer
+        if symbol is Symbol.UNALIGNED_BUFFER:
+            return self.unaligned_buffer
+        if symbol is Symbol.VALID_NAME:
+            name = self.NAME_FOR_FUNCTION.get(function_name, "TM_MON")
+            return self.names[name]
+        if symbol is Symbol.UNTERMINATED_NAME:
+            return self.unterminated_name
+        if symbol is Symbol.VALID_BATCH_START:
+            return self.batch_start
+        if symbol is Symbol.VALID_BATCH_END:
+            return self.batch_end
+        raise ValueError(f"unresolvable symbol: {symbol}")
+
+    def staging_writes(self) -> list[tuple[int, bytes]]:
+        """(address, data) pairs the test partition stages before a call."""
+        writes: list[tuple[int, bytes]] = []
+        for name, addr in self.names.items():
+            writes.append((addr, name.encode("ascii") + b"\0"))
+        writes.append((self.unterminated_name, b"A" * 80))
+        entry = struct.pack(
+            ">III", hypercall_by_name("XM_mask_irq").number, 1, 1
+        )
+        writes.append((self.batch_start, entry * BATCH_ENTRIES))
+        return writes
+
+
+def default_layout(partition_id: int = 0) -> TestPartitionLayout:
+    """Layout in the FDIR partition's test-buffer window."""
+    return TestPartitionLayout(partition_area_base(partition_id) + TEST_BUFFER_OFFSET)
+
+
+@dataclass(frozen=True)
+class ArgSpec:
+    """One argument of a test call (picklable)."""
+
+    param: str
+    label: str
+    value: int | None = None
+    symbol: str | None = None
+
+    @classmethod
+    def from_test_value(cls, param: str, tv: TestValue) -> "ArgSpec":
+        """Encode a dictionary entry."""
+        return cls(
+            param=param,
+            label=tv.label,
+            value=tv.value,
+            symbol=tv.symbol.value if tv.symbol is not None else None,
+        )
+
+    def resolve(self, layout: TestPartitionLayout, function_name: str) -> int:
+        """The concrete integer passed to the hypercall."""
+        if self.symbol is not None:
+            return layout.resolve(Symbol(self.symbol), function_name)
+        assert self.value is not None
+        return self.value
+
+
+@dataclass(frozen=True)
+class TestCallSpec:
+    """One fault placeholder: a hypercall plus one dataset."""
+
+    __test__ = False  # keep pytest from collecting this library class
+
+    test_id: str
+    function: str
+    category: str
+    args: tuple[ArgSpec, ...]
+
+    def resolve_args(self, layout: TestPartitionLayout) -> tuple[int, ...]:
+        """Concrete argument tuple for execution."""
+        return tuple(arg.resolve(layout, self.function) for arg in self.args)
+
+    def arg_labels(self) -> tuple[str, ...]:
+        """Dictionary labels, for logs and reports."""
+        return tuple(arg.label for arg in self.args)
+
+    def describe(self) -> str:
+        """``XM_set_timer(HW_CLOCK, 1, LLONG_MIN)`` style rendering."""
+        return f"{self.function}({', '.join(self.arg_labels())})"
+
+
+@dataclass(frozen=True)
+class MutantSource:
+    """One mutant: the C artefact plus the executable spec."""
+
+    spec: TestCallSpec
+    c_source: str
+
+    @property
+    def filename(self) -> str:
+        """Suggested file name for the mutant source."""
+        return f"mutant_{self.spec.test_id}.c"
+
+
+_C_SYMBOL_MACROS = {
+    Symbol.VALID_BUFFER.value: "TP_VALID_BUFFER",
+    Symbol.UNALIGNED_BUFFER.value: "TP_UNALIGNED_BUFFER",
+    Symbol.VALID_NAME.value: "TP_VALID_NAME",
+    Symbol.UNTERMINATED_NAME.value: "TP_UNTERMINATED_NAME",
+    Symbol.VALID_BATCH_START.value: "TP_BATCH_START",
+    Symbol.VALID_BATCH_END.value: "TP_BATCH_END",
+}
+
+
+def _c_literal(arg: ArgSpec, param_type: str, is_pointer: bool) -> str:
+    if arg.symbol is not None:
+        macro = _C_SYMBOL_MACROS[arg.symbol]
+        return f"({param_type} *){macro}" if is_pointer else f"({param_type}){macro}"
+    assert arg.value is not None
+    suffix = "LL" if abs(arg.value) > 0x7FFFFFFF else ""
+    if is_pointer:
+        return f"({param_type} *){arg.value:#x}"
+    return f"({param_type}){arg.value}{suffix}"
+
+
+def render_c_source(spec: TestCallSpec, function: ApiFunction) -> str:
+    """Render the mutant C source in the paper's test-partition style."""
+    call_args = ",\n        ".join(
+        _c_literal(arg, p.type_name, p.is_pointer)
+        for arg, p in zip(spec.args, function.params)
+    )
+    arg_comment = ", ".join(
+        f"{p.name}={arg.label}" for arg, p in zip(spec.args, function.params)
+    )
+    invocation = (
+        f"{spec.function}(\n        {call_args}\n    )" if spec.args else f"{spec.function}()"
+    )
+    return f"""/* Mutant source {spec.test_id} — generated by the robustness toolset.
+ * Fault placeholder: {spec.function} ({spec.category})
+ * Dataset: {arg_comment or '(none)'}
+ */
+#include <xm.h>
+#include "test_partition.h"
+
+void tp_fault_placeholder(void)
+{{
+    {function.return_type} tp_rc;
+
+    tp_stage_buffers();
+    tp_rc = {invocation};
+    tp_log_result("{spec.function}", tp_rc);
+}}
+"""
+
+
+def generate_mutants(
+    matrix: TestValueMatrix,
+    strategy: GenerationStrategy,
+) -> Iterator[MutantSource]:
+    """Generate one mutant per dataset (Fig. 5 end to end)."""
+    function = matrix.function
+    for index, dataset in enumerate(strategy.generate(matrix)):
+        spec = dataset_to_spec(function, dataset, index)
+        yield MutantSource(spec=spec, c_source=render_c_source(spec, function))
+
+
+def dataset_to_spec(function: ApiFunction, dataset: Dataset, index: int) -> TestCallSpec:
+    """Encode one dataset as a picklable test-call spec."""
+    args = tuple(
+        ArgSpec.from_test_value(param.name, tv)
+        for param, tv in zip(function.params, dataset)
+    )
+    return TestCallSpec(
+        test_id=f"{function.name}#{index:04d}",
+        function=function.name,
+        category=function.category,
+        args=args,
+    )

@@ -1,0 +1,227 @@
+"""Phantom parameters: testing parameter-less hypercalls (§V).
+
+The data-type model does not apply directly to the 10 parameter-less
+hypercalls (16 % of the API), yet those calls are still influenced by
+system state.  Ballista's *phantom parameter* technique treats the
+system state as an extra parameter: a dummy module drives the system
+into a chosen state before the module under test is invoked.
+
+Here a :class:`PhantomState` is that parameter: each state has a setter
+executed (as the test partition) before the parameter-less call.  The
+same states double as *stress conditions* for ordinary hypercalls —
+the §V observation that robustness results differ under stress.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.fault.apimodel import ApiModel, api_model_from_table
+from repro.fault.classify import Classification, FailureKind, Severity
+from repro.fault.testlog import Invocation, TestRecord
+from repro.testbed import build_system
+from repro.tsim.simulator import SimulatorCrash, SimulatorHang
+from repro.xm import rc
+from repro.xm.errors import NoReturnFromHypercall
+from repro.xm.hm import HmEvent
+from repro.xm.vulns import VULNERABLE_VERSION
+
+
+class PhantomState(enum.Enum):
+    """System states used as phantom parameters."""
+
+    NOMINAL = "nominal"
+    HM_PRESSURE = "hm_pressure"
+    IPC_SATURATED = "ipc_saturated"
+    PARTITIONS_DEGRADED = "partitions_degraded"
+    TIMER_ARMED = "timer_armed"
+
+
+def _apply_state(state: PhantomState, ctx, xm) -> None:  # noqa: ANN001
+    """Drive the system into the phantom state (runs as FDIR)."""
+    kernel = ctx.kernel
+    if state is PhantomState.NOMINAL:
+        return
+    if state is PhantomState.HM_PRESSURE:
+        # Fill the HM log close to capacity.
+        for _ in range(kernel.hm.capacity - 4):
+            kernel.hm.raise_event(HmEvent.PARTITION_ERROR, 1, kernel.sim.now_us)
+        return
+    if state is PhantomState.IPC_SATURATED:
+        port = xm.create_queuing_port("FDIR_EVT", 8, 48, rc.XM_SOURCE_PORT)
+        if port >= 0:
+            for _ in range(8):
+                xm.send_queuing_message(port, bytes(48))
+        return
+    if state is PhantomState.PARTITIONS_DEGRADED:
+        xm.call("XM_halt_partition", 3)
+        xm.call("XM_suspend_partition", 2)
+        return
+    if state is PhantomState.TIMER_ARMED:
+        xm.set_timer(rc.XM_HW_CLOCK, 100_000, 100_000)
+        return
+    raise AssertionError(f"unhandled phantom state: {state}")
+
+
+#: Expected return codes per parameter-less hypercall (from the manual).
+_EXPECTED: dict[str, frozenset[int]] = {
+    "XM_halt_system": frozenset(),  # never returns
+    "XM_idle_self": frozenset({rc.XM_OK}),
+    "XM_hm_reset_events": frozenset({rc.XM_OK}),
+    "XM_trace_flush": frozenset({rc.XM_OK, rc.XM_NO_ACTION}),
+    "XM_enable_irqs": frozenset({rc.XM_OK}),
+    "XM_sparc_flush_regwin": frozenset({rc.XM_OK}),
+    "XM_sparc_flush_cache": frozenset({rc.XM_OK}),
+    "XM_sparc_enable_traps": frozenset({rc.XM_OK}),
+    "XM_sparc_disable_traps": frozenset({rc.XM_OK}),
+    "XM_sparc_get_psr": frozenset(),  # non-negative PSR word
+}
+_NONNEG = {"XM_sparc_get_psr"}
+_NO_RETURN = {"XM_halt_system"}
+
+
+@dataclass(frozen=True)
+class PhantomCase:
+    """One (hypercall, phantom state) test."""
+
+    function: str
+    state: PhantomState
+
+    @property
+    def test_id(self) -> str:
+        """Log identifier: ``<hypercall>@<state>``."""
+        return f"{self.function}@{self.state.value}"
+
+
+@dataclass
+class PhantomResult:
+    """Outcome of a phantom campaign."""
+
+    records: list[TestRecord] = field(default_factory=list)
+    classifications: list[Classification] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[tuple[TestRecord, Classification]]:
+        """Failing cases."""
+        return [
+            (record, cls)
+            for record, cls in zip(self.records, self.classifications)
+            if cls.is_failure
+        ]
+
+    def by_state(self) -> dict[PhantomState, int]:
+        """Failures per phantom state."""
+        out = {state: 0 for state in PhantomState}
+        for record, cls in self.failures:
+            state = PhantomState(record.test_id.split("@", 1)[1])
+            out[state] += 1
+        return out
+
+
+class PhantomCampaign:
+    """Parameter-less hypercall coverage via phantom parameters."""
+
+    def __init__(
+        self,
+        kernel_version: str = VULNERABLE_VERSION,
+        states: tuple[PhantomState, ...] = tuple(PhantomState),
+        model: ApiModel | None = None,
+        frames: int = 2,
+    ) -> None:
+        self.kernel_version = kernel_version
+        self.states = states
+        self.model = model if model is not None else api_model_from_table()
+        self.frames = frames
+
+    def cases(self) -> list[PhantomCase]:
+        """The cross product of parameter-less calls and states."""
+        return [
+            PhantomCase(fn.name, state)
+            for fn in self.model.parameterless_functions()
+            for state in self.states
+        ]
+
+    def run(self) -> PhantomResult:
+        """Execute every case on a fresh system."""
+        result = PhantomResult()
+        for case in self.cases():
+            record = self._run_case(case)
+            result.records.append(record)
+            result.classifications.append(self._classify(case, record))
+        return result
+
+    def _run_case(self, case: PhantomCase) -> TestRecord:
+        invocations: list[Invocation] = []
+
+        def payload(ctx, xm) -> None:  # noqa: ANN001
+            if not invocations:
+                _apply_state(case.state, ctx, xm)
+            try:
+                code = xm.call(case.function)
+            except NoReturnFromHypercall as exc:
+                invocations.append(Invocation(returned=False, note=str(exc)))
+                raise
+            invocations.append(Invocation(returned=True, rc=code))
+
+        sim = build_system(fdir_payload=payload, kernel_version=self.kernel_version)
+        kernel = sim.boot()
+        crashed = hung = False
+        try:
+            sim.run_major_frames(self.frames)
+        except SimulatorCrash:
+            crashed = True
+        except SimulatorHang:
+            hung = True
+        return TestRecord(
+            test_id=case.test_id,
+            function=case.function,
+            category="(phantom)",
+            arg_labels=(case.state.value,),
+            invocations=invocations,
+            sim_crashed=crashed,
+            sim_hung=hung,
+            kernel_halted=kernel.is_halted(),
+            halt_reason=kernel.halt_reason or "",
+            resets=[(r.kind, r.source) for r in kernel.reset_log],
+            hm_events=[
+                (rec.event.name, rec.partition_id, rec.detail)
+                for rec in kernel.hm.records
+            ],
+            overruns=len(kernel.sched.overruns),
+            kernel_version=self.kernel_version,
+            frames=self.frames,
+        )
+
+    def _classify(self, case: PhantomCase, record: TestRecord) -> Classification:
+        if record.sim_crashed:
+            return Classification(Severity.CATASTROPHIC, FailureKind.SIM_CRASH)
+        if record.sim_hung:
+            return Classification(Severity.RESTART, FailureKind.SIM_HANG)
+        if case.function in _NO_RETURN:
+            if record.never_returned:
+                return Classification(Severity.PASS, FailureKind.NONE)
+            return Classification(
+                Severity.SILENT, FailureKind.WRONG_SUCCESS, "halt returned"
+            )
+        if record.kernel_halted:
+            return Classification(
+                Severity.CATASTROPHIC, FailureKind.KERNEL_HALT, record.halt_reason
+            )
+        if record.never_returned:
+            return Classification(Severity.RESTART, FailureKind.NO_RETURN)
+        code = record.first_rc
+        if code is None:
+            # Not invoked at all (e.g. state setter halted the caller):
+            # inconclusive, counted as pass with a note.
+            return Classification(Severity.PASS, FailureKind.NONE, "not invoked")
+        allowed = _EXPECTED.get(case.function, frozenset())
+        if code in allowed or (case.function in _NONNEG and code >= 0):
+            return Classification(Severity.PASS, FailureKind.NONE)
+        if code >= 0:
+            return Classification(
+                Severity.SILENT, FailureKind.WRONG_SUCCESS, f"rc={code}"
+            )
+        return Classification(
+            Severity.HINDERING, FailureKind.WRONG_ERROR, f"rc={rc.name_of(code)}"
+        )

@@ -1,0 +1,147 @@
+"""Vectorised log aggregation.
+
+Campaign logs reach thousands of records; the aggregations the reports
+and benches need (per-category counts, severity histograms, wall-time
+percentiles, return-code distributions) are computed here with NumPy on
+column arrays extracted once from the log — the "vectorise the hot
+loop" rule from the optimisation guides, applied to the analysis path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fault.campaign import CampaignResult
+from repro.fault.classify import Severity
+from repro.fault.testlog import CampaignLog
+
+
+@dataclass(frozen=True)
+class LogColumns:
+    """Columnar view of a campaign log."""
+
+    categories: np.ndarray
+    functions: np.ndarray
+    returned: np.ndarray
+    first_rc: np.ndarray
+    wall_time_s: np.ndarray
+    crashed: np.ndarray
+    halted: np.ndarray
+    resets: np.ndarray
+
+    @classmethod
+    def from_log(cls, log: CampaignLog) -> "LogColumns":
+        """Extract columns in one pass over the records."""
+        n = len(log)
+        categories = np.empty(n, dtype=object)
+        functions = np.empty(n, dtype=object)
+        returned = np.zeros(n, dtype=bool)
+        first_rc = np.full(n, np.iinfo(np.int64).min, dtype=np.int64)
+        wall = np.zeros(n, dtype=np.float64)
+        crashed = np.zeros(n, dtype=bool)
+        halted = np.zeros(n, dtype=bool)
+        resets = np.zeros(n, dtype=np.int64)
+        for i, record in enumerate(log):
+            categories[i] = record.category
+            functions[i] = record.function
+            rc0 = record.first_rc
+            if rc0 is not None:
+                returned[i] = True
+                first_rc[i] = rc0
+            wall[i] = record.wall_time_s
+            crashed[i] = record.sim_crashed
+            halted[i] = record.kernel_halted
+            resets[i] = len(record.resets)
+        return cls(categories, functions, returned, first_rc, wall, crashed, halted, resets)
+
+
+def tests_per_category(log: CampaignLog) -> dict[str, int]:
+    """Category -> executed tests."""
+    cols = LogColumns.from_log(log)
+    values, counts = np.unique(cols.categories.astype(str), return_counts=True)
+    return dict(zip(values.tolist(), counts.tolist()))
+
+
+def rc_distribution(log: CampaignLog) -> dict[int, int]:
+    """Return code -> count over first invocations that returned."""
+    cols = LogColumns.from_log(log)
+    codes = cols.first_rc[cols.returned]
+    values, counts = np.unique(codes, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def wall_time_stats(log: CampaignLog) -> dict[str, float]:
+    """min/median/p95/max/total of per-test wall time, in seconds."""
+    cols = LogColumns.from_log(log)
+    wall = cols.wall_time_s
+    if wall.size == 0:
+        return {"min": 0.0, "median": 0.0, "p95": 0.0, "max": 0.0, "total": 0.0}
+    return {
+        "min": float(wall.min()),
+        "median": float(np.median(wall)),
+        "p95": float(np.percentile(wall, 95)),
+        "max": float(wall.max()),
+        "total": float(wall.sum()),
+    }
+
+
+def severity_matrix(result: CampaignResult) -> tuple[list[str], np.ndarray]:
+    """(category labels, category x severity count matrix)."""
+    categories = sorted({r.category for r, _e, _c in result.classified})
+    severities = list(Severity)
+    matrix = np.zeros((len(categories), len(severities)), dtype=np.int64)
+    cat_index = {c: i for i, c in enumerate(categories)}
+    sev_index = {s: i for i, s in enumerate(severities)}
+    for record, _expectation, classification in result.classified:
+        matrix[cat_index[record.category], sev_index[classification.severity]] += 1
+    return categories, matrix
+
+
+def response_diversity(result: CampaignResult, function: str) -> dict[str, set[str]]:
+    """Distinct system responses per argument tuple for one hypercall.
+
+    §V observes that "different invalid values often elicit different
+    system responses from a given hypercall"; this maps each dataset
+    (by its labels) to the set of distinct observable responses it drew
+    (return-code name, or the failure mechanism), so a test
+    administrator can see which value choices matter.
+    """
+    from repro.xm import rc as rc_mod
+
+    out: dict[str, set[str]] = {}
+    for record, _expectation, classification in result.classified:
+        if record.function != function:
+            continue
+        key = ", ".join(record.arg_labels)
+        responses = out.setdefault(key, set())
+        if classification.is_failure:
+            responses.add(classification.kind.value)
+        for invocation in record.invocations:
+            if invocation.returned and invocation.rc is not None:
+                responses.add(rc_mod.name_of(invocation.rc))
+            elif not invocation.returned:
+                responses.add("no return")
+    return out
+
+
+def distinct_response_count(result: CampaignResult, function: str) -> int:
+    """How many distinct responses one hypercall produced overall."""
+    responses: set[str] = set()
+    for per_dataset in response_diversity(result, function).values():
+        responses |= per_dataset
+    return len(responses)
+
+
+def failure_rate_by_function(result: CampaignResult) -> dict[str, float]:
+    """Function -> fraction of its tests that failed."""
+    totals: dict[str, int] = {}
+    fails: dict[str, int] = {}
+    for record, _expectation, classification in result.classified:
+        totals[record.function] = totals.get(record.function, 0) + 1
+        if classification.is_failure:
+            fails[record.function] = fails.get(record.function, 0) + 1
+    return {
+        fn: fails.get(fn, 0) / total for fn, total in sorted(totals.items())
+    }

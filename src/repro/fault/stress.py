@@ -1,0 +1,186 @@
+"""State-based stress testing (§V).
+
+The paper cites evidence that "robustness results are different when the
+system under test is subjected to different states and different stress
+conditions" and proposes phantom parameters to set a stressful state
+before invoking the test calls.  This module applies that idea to the
+*parameterised* campaign: every test runs twice, once on the quiet
+testbed and once with a phantom state applied first, and the per-test
+classifications are diffed.
+
+A classification that changes under stress is a *state-sensitive
+outcome*.  Some are new robustness information (a latent failure only
+reachable in the stressed state); others expose context-dependence of
+the expected-behaviour oracle itself — e.g. with the HM log pre-filled,
+``XM_hm_seek`` offsets the quiet-system oracle deems out of range become
+legitimate, which is precisely the paper's argument (§V) that a full
+logic model must track system state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fault.campaign import Campaign, CampaignResult
+from repro.fault.classify import Classification, Severity, classify
+from repro.fault.executor import TestExecutor
+from repro.fault.mutant import TestCallSpec
+from repro.fault.phantom import PhantomState, _apply_state
+from repro.fault.testlog import CampaignLog, TestRecord
+
+
+class StressExecutor(TestExecutor):
+    """A test executor that applies a phantom state before the call."""
+
+    def __init__(self, state: PhantomState, **kw: object) -> None:
+        super().__init__(**kw)  # type: ignore[arg-type]
+        self.state = state
+
+    def run(self, spec: TestCallSpec) -> TestRecord:
+        """Execute with the state setter prepended to the placeholder."""
+        from repro.fault.testlog import Invocation
+        from repro.testbed import build_system
+        from repro.tsim.simulator import SimulatorCrash, SimulatorHang
+        from repro.xm.errors import NoReturnFromHypercall
+
+        layout = self.layout
+        invocations: list[Invocation] = []
+        prepared = {"epoch": -1}
+
+        def payload(ctx, xm) -> None:  # noqa: ANN001
+            from repro.fault.stateful_oracle import capture_state
+
+            if prepared["epoch"] != ctx.kernel.boot_epoch:
+                for address, data in layout.staging_writes():
+                    xm.write_bytes(address, data)
+                _apply_state(self.state, ctx, xm)
+                prepared["epoch"] = ctx.kernel.boot_epoch
+            args = spec.resolve_args(layout)
+            snapshot = capture_state(ctx.kernel)
+            try:
+                code = xm.call(spec.function, *args)
+            except NoReturnFromHypercall as exc:
+                invocations.append(
+                    Invocation(returned=False, note=str(exc), state=snapshot)
+                )
+                raise
+            invocations.append(Invocation(returned=True, rc=code, state=snapshot))
+
+        sim = build_system(fdir_payload=payload, kernel_version=self.kernel_version)
+        kernel = sim.boot()
+        crashed = hung = False
+        try:
+            sim.run_major_frames(self.frames)
+        except SimulatorCrash:
+            crashed = True
+        except SimulatorHang:
+            hung = True
+        return TestRecord(
+            test_id=spec.test_id,
+            function=spec.function,
+            category=spec.category,
+            arg_labels=spec.arg_labels(),
+            resolved_args=spec.resolve_args(layout),
+            invocations=invocations,
+            sim_crashed=crashed,
+            sim_hung=hung,
+            kernel_halted=kernel.is_halted(),
+            halt_reason=kernel.halt_reason or "",
+            resets=[(r.kind, r.source) for r in kernel.reset_log],
+            hm_events=[
+                (rec.event.name, rec.partition_id, rec.detail)
+                for rec in kernel.hm.records
+            ],
+            overruns=len(kernel.sched.overruns),
+            test_partition_state=(
+                kernel.partitions[0].state.value if 0 in kernel.partitions else ""
+            ),
+            kernel_version=self.kernel_version,
+            frames=self.frames,
+        )
+
+
+@dataclass(frozen=True)
+class StateSensitivity:
+    """One test whose classification changed under stress."""
+
+    test_id: str
+    function: str
+    nominal: Classification
+    stressed: Classification
+
+    @property
+    def got_worse(self) -> bool:
+        """Whether stress surfaced a (more severe) failure."""
+        order = list(Severity)
+        return order.index(self.stressed.severity) < order.index(self.nominal.severity)
+
+
+@dataclass
+class StressComparison:
+    """Nominal-vs-stressed campaign diff."""
+
+    state: PhantomState
+    nominal: CampaignResult
+    stressed_log: CampaignLog
+    sensitivities: list[StateSensitivity] = field(default_factory=list)
+
+    @property
+    def stable_tests(self) -> int:
+        """Tests whose classification did not change."""
+        return self.nominal.total_tests - len(self.sensitivities)
+
+    def newly_failing(self) -> list[StateSensitivity]:
+        """Sensitivities where the stressed run is strictly worse."""
+        return [s for s in self.sensitivities if s.got_worse]
+
+
+def run_stress_comparison(
+    state: PhantomState,
+    functions: tuple[str, ...] | None = None,
+    kernel_version: str | None = None,
+) -> StressComparison:
+    """Run a scoped campaign nominally and under one phantom state."""
+    kw = {} if kernel_version is None else {"kernel_version": kernel_version}
+    campaign = Campaign(functions=functions, **kw)  # type: ignore[arg-type]
+    nominal = campaign.run()
+
+    executor = StressExecutor(
+        state, kernel_version=campaign.kernel_version, frames=campaign.frames
+    )
+    stressed_records = [executor.run(spec) for spec in campaign.iter_specs()]
+    stressed_log = CampaignLog(stressed_records)
+
+    # Classify the stressed records against the same (quiet-system)
+    # oracle: divergences are state sensitivities by definition.
+    from repro.fault.oracle import ReferenceOracle
+
+    oracle = ReferenceOracle(campaign.kernel_version, campaign.oracle_context)
+    spec_index = {spec.test_id: spec for spec in campaign.iter_specs()}
+    nominal_cls = {
+        record.test_id: classification
+        for record, _expectation, classification in nominal.classified
+    }
+    sensitivities: list[StateSensitivity] = []
+    for record in stressed_records:
+        expectation = oracle.expect(spec_index[record.test_id])
+        stressed_cls = classify(record, expectation)
+        baseline = nominal_cls[record.test_id]
+        if (stressed_cls.severity, stressed_cls.kind) != (
+            baseline.severity,
+            baseline.kind,
+        ):
+            sensitivities.append(
+                StateSensitivity(
+                    test_id=record.test_id,
+                    function=record.function,
+                    nominal=baseline,
+                    stressed=stressed_cls,
+                )
+            )
+    return StressComparison(
+        state=state,
+        nominal=nominal,
+        stressed_log=stressed_log,
+        sensitivities=sensitivities,
+    )

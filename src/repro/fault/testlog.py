@@ -1,0 +1,140 @@
+"""Per-test logging (the paper's Log Analysis inputs, §III-C).
+
+During each test execution the campaign logs exactly what the paper
+lists: return codes, exception handlers (here: HM events and simulator
+exceptions), partition and kernel statuses, and the fault monitor's
+actions.  A :class:`TestRecord` is the machine-readable unit; a
+:class:`CampaignLog` persists them as JSONL for later analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """Outcome of one invocation of the test call (once per major frame).
+
+    ``state`` is the optional pre-call system snapshot used by the
+    state-aware oracle (see :mod:`repro.fault.stateful_oracle`).
+    """
+
+    returned: bool
+    rc: int | None = None
+    note: str = ""
+    state: dict | None = None
+
+
+@dataclass
+class TestRecord:
+    """Everything logged for one executed test case."""
+
+    __test__ = False  # keep pytest from collecting this library class
+
+    test_id: str
+    function: str
+    category: str
+    arg_labels: tuple[str, ...] = ()
+    resolved_args: tuple[int, ...] = ()
+    invocations: list[Invocation] = field(default_factory=list)
+    sim_crashed: bool = False
+    sim_hung: bool = False
+    kernel_halted: bool = False
+    halt_reason: str = ""
+    resets: list[tuple[str, str]] = field(default_factory=list)
+    hm_events: list[tuple[str, int, str]] = field(default_factory=list)
+    overruns: int = 0
+    test_partition_state: str = ""
+    console_tail: list[str] = field(default_factory=list)
+    kernel_version: str = ""
+    frames: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def invoked(self) -> bool:
+        """Whether the fault placeholder ran at least once."""
+        return bool(self.invocations)
+
+    @property
+    def first_rc(self) -> int | None:
+        """Return code of the first invocation, if it returned."""
+        for inv in self.invocations:
+            if inv.returned:
+                return inv.rc
+            return None
+        return None
+
+    @property
+    def never_returned(self) -> bool:
+        """Whether the first invocation failed to return."""
+        return bool(self.invocations) and not self.invocations[0].returned
+
+    def hm_event_names(self) -> set[str]:
+        """Distinct HM event codes observed."""
+        return {name for (name, _pid, _detail) in self.hm_events}
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        data = asdict(self)
+        data["arg_labels"] = list(self.arg_labels)
+        data["resolved_args"] = list(self.resolved_args)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TestRecord":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(data)
+        data["arg_labels"] = tuple(data.get("arg_labels", ()))
+        data["resolved_args"] = tuple(data.get("resolved_args", ()))
+        data["invocations"] = [
+            Invocation(**inv) for inv in data.get("invocations", [])
+        ]
+        data["resets"] = [tuple(r) for r in data.get("resets", [])]
+        data["hm_events"] = [tuple(e) for e in data.get("hm_events", [])]
+        return cls(**data)
+
+
+class CampaignLog:
+    """An append-only collection of test records with JSONL persistence."""
+
+    def __init__(self, records: Iterable[TestRecord] = ()) -> None:
+        self.records: list[TestRecord] = list(records)
+
+    def append(self, record: TestRecord) -> None:
+        """Add one record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TestRecord]:
+        return iter(self.records)
+
+    def by_function(self, function: str) -> list[TestRecord]:
+        """Records of one hypercall."""
+        return [r for r in self.records if r.function == function]
+
+    def by_category(self, category: str) -> list[TestRecord]:
+        """Records of one Table III category."""
+        return [r for r in self.records if r.category == category]
+
+    def save(self, path: str | Path) -> None:
+        """Write JSONL."""
+        with Path(path).open("w", encoding="utf-8") as fh:
+            for record in self.records:
+                fh.write(json.dumps(record.to_dict()) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignLog":
+        """Read JSONL."""
+        log = cls()
+        with Path(path).open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    log.append(TestRecord.from_dict(json.loads(line)))
+        return log

@@ -1,0 +1,206 @@
+"""XML round trip for the two kernel-specific inputs.
+
+The toolset is configured by two XML files (a technique the paper takes
+from the Xception toolset): the **API Header XML** listing hypercalls
+and parameter types (Fig. 2), and the **Data Type XML** listing test
+values per data type (Fig. 3).  This module writes and parses both in
+the paper's format, with small extensions (a ``Dictionary`` attribute
+for context dictionaries, ``Symbol`` entries for layout-resolved
+values) that are ignored by readers that do not know them.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.fault.apimodel import ApiFunction, ApiModel, ApiParameter
+from repro.fault.dictionaries import (
+    DictionarySet,
+    Symbol,
+    TestValue,
+    TypeDictionary,
+)
+
+
+class XmlFormatError(ValueError):
+    """The document does not follow the expected schema."""
+
+
+# -- API Header XML -----------------------------------------------------------
+
+
+def api_model_to_xml(model: ApiModel) -> str:
+    """Serialise an API model in the Fig. 2 format."""
+    root = ET.Element("ApiHeader", Kernel=model.kernel_name)
+    for fn in model:
+        fel = ET.SubElement(
+            root,
+            "Function",
+            Name=fn.name,
+            ReturnType=fn.return_type,
+            IsPointer="NO",
+            Category=fn.category,
+            Tested="YES" if fn.tested else "NO",
+        )
+        if fn.untested_reason:
+            fel.set("UntestedReason", fn.untested_reason)
+        plist = ET.SubElement(fel, "ParametersList")
+        for param in fn.params:
+            pel = ET.SubElement(
+                plist,
+                "Parameter",
+                Name=param.name,
+                Type=param.type_name,
+                IsPointer="YES" if param.is_pointer else "NO",
+            )
+            if param.dictionary is not None:
+                pel.set("Dictionary", param.dictionary)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def api_model_from_xml(text: str) -> ApiModel:
+    """Parse the Fig. 2 format back into an API model."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlFormatError(f"malformed XML: {exc}") from exc
+    if root.tag != "ApiHeader":
+        raise XmlFormatError(f"expected <ApiHeader>, got <{root.tag}>")
+    model = ApiModel(root.get("Kernel", "unknown"))
+    for fel in root.findall("Function"):
+        name = fel.get("Name")
+        if not name:
+            raise XmlFormatError("<Function> without Name")
+        params = []
+        plist = fel.find("ParametersList")
+        if plist is not None:
+            for pel in plist.findall("Parameter"):
+                pname = pel.get("Name")
+                ptype = pel.get("Type")
+                if not pname or not ptype:
+                    raise XmlFormatError(f"{name}: parameter missing Name/Type")
+                params.append(
+                    ApiParameter(
+                        name=pname,
+                        type_name=ptype,
+                        is_pointer=pel.get("IsPointer", "NO") == "YES",
+                        dictionary=pel.get("Dictionary"),
+                    )
+                )
+        model.add(
+            ApiFunction(
+                name=name,
+                return_type=fel.get("ReturnType", "xm_s32_t"),
+                params=tuple(params),
+                category=fel.get("Category", ""),
+                tested=fel.get("Tested", "YES") == "YES",
+                untested_reason=fel.get("UntestedReason"),
+            )
+        )
+    return model
+
+
+# -- Data Type XML ------------------------------------------------------------
+
+
+def dictionaries_to_xml(dicts: DictionarySet) -> str:
+    """Serialise a dictionary set in the Fig. 3 format."""
+    root = ET.Element("DataTypes")
+    for dictionary in dicts.dictionaries.values():
+        del_ = ET.SubElement(
+            root,
+            "DataType",
+            Name=dictionary.name,
+            BasicType=dictionary.basic_type,
+        )
+        if dictionary.description:
+            del_.set("Description", dictionary.description)
+        values = ET.SubElement(del_, "TestValues")
+        for tv in dictionary.values:
+            if tv.is_symbolic:
+                vel = ET.SubElement(values, "Symbol", Name=tv.symbol.value)
+            else:
+                vel = ET.SubElement(values, "Value")
+                vel.text = str(tv.value)
+            vel.set("Label", tv.label)
+            if tv.maybe_valid:
+                vel.set("MaybeValid", "YES")
+            if tv.source:
+                vel.set("Source", tv.source)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def dictionaries_from_xml(text: str) -> DictionarySet:
+    """Parse the Fig. 3 format back into a dictionary set."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlFormatError(f"malformed XML: {exc}") from exc
+    if root.tag != "DataTypes":
+        raise XmlFormatError(f"expected <DataTypes>, got <{root.tag}>")
+    out: dict[str, TypeDictionary] = {}
+    for del_ in root.findall("DataType"):
+        name = del_.get("Name")
+        if not name:
+            raise XmlFormatError("<DataType> without Name")
+        values: list[TestValue] = []
+        tvs = del_.find("TestValues")
+        if tvs is None:
+            raise XmlFormatError(f"{name}: missing <TestValues>")
+        for vel in tvs:
+            maybe_valid = vel.get("MaybeValid", "NO") == "YES"
+            if vel.tag == "Value":
+                if vel.text is None:
+                    raise XmlFormatError(f"{name}: empty <Value>")
+                raw = int(vel.text.strip())
+                values.append(
+                    TestValue(
+                        vel.get("Label", vel.text.strip()),
+                        value=raw,
+                        maybe_valid=maybe_valid,
+                        source=vel.get("Source", ""),
+                    )
+                )
+            elif vel.tag == "Symbol":
+                sym_name = vel.get("Name", "")
+                try:
+                    symbol = Symbol(sym_name)
+                except ValueError:
+                    raise XmlFormatError(f"{name}: unknown symbol {sym_name!r}") from None
+                values.append(
+                    TestValue(
+                        vel.get("Label", sym_name),
+                        symbol=symbol,
+                        maybe_valid=maybe_valid,
+                        source=vel.get("Source", ""),
+                    )
+                )
+            else:
+                raise XmlFormatError(f"{name}: unexpected <{vel.tag}>")
+        out[name] = TypeDictionary(
+            name=name,
+            basic_type=del_.get("BasicType", "xm_u32_t"),
+            values=tuple(values),
+            description=del_.get("Description", ""),
+        )
+    return DictionarySet(out)
+
+
+def fig2_excerpt() -> str:
+    """The paper's Fig. 2 example: XM_reset_partition's API header."""
+    from repro.fault.apimodel import api_model_from_table
+
+    model = api_model_from_table()
+    fn = model.lookup("XM_reset_partition")
+    sub = ApiModel(model.kernel_name)
+    sub.add(fn)
+    return api_model_to_xml(sub)
+
+
+def fig3_excerpt() -> str:
+    """The paper's Fig. 3 example: the xm_u32_t test-value set."""
+    dicts = DictionarySet()
+    sub = DictionarySet({"xm_u32_t": dicts.lookup("xm_u32_t")})
+    return dictionaries_to_xml(sub)

@@ -1,0 +1,51 @@
+"""Behavioural model of a SPARC V8 LEON3 target.
+
+The paper's testbed is a LEON3 with MMU simulated by Aeroflex Gaisler's
+TSIM.  The robustness campaign never inspects pipeline state; it observes
+*memory protection faults, traps, interrupts, timers and console output*.
+This package models exactly that surface:
+
+- :mod:`~repro.sparc.memory` — physical memory areas, per-context access
+  permissions, byte-addressable storage.
+- :mod:`~repro.sparc.traps` — the SPARC V8 trap table and trap exceptions.
+- :mod:`~repro.sparc.iobus` — memory-mapped I/O bus with device registers.
+- :mod:`~repro.sparc.irqmp` — the LEON3 multiprocessor interrupt
+  controller (IRQMP), single-core configuration.
+- :mod:`~repro.sparc.timerhw` — GPTIMER general-purpose timer units.
+- :mod:`~repro.sparc.uart` — APBUART console sink.
+- :mod:`~repro.sparc.cpu` — processor privilege/trap-level state, the
+  "error mode" double-trap rule that kills the simulator.
+"""
+
+from repro.sparc.memory import (
+    Access,
+    MemoryArea,
+    MemoryFault,
+    PhysicalMemory,
+    AddressSpace,
+)
+from repro.sparc.traps import Trap, TrapType
+from repro.sparc.iobus import IoBus, IoDevice, IoFault
+from repro.sparc.irqmp import IrqController
+from repro.sparc.timerhw import GpTimerUnit, HwTimer
+from repro.sparc.uart import Uart
+from repro.sparc.cpu import CpuState, ProcessorErrorMode
+
+__all__ = [
+    "Access",
+    "MemoryArea",
+    "MemoryFault",
+    "PhysicalMemory",
+    "AddressSpace",
+    "Trap",
+    "TrapType",
+    "IoBus",
+    "IoDevice",
+    "IoFault",
+    "IrqController",
+    "GpTimerUnit",
+    "HwTimer",
+    "Uart",
+    "CpuState",
+    "ProcessorErrorMode",
+]

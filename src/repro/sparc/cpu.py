@@ -1,0 +1,88 @@
+"""Processor privilege and trap-level state.
+
+SPARC V8 rule that matters for the case study: taking a trap while traps
+are disabled (PSR.ET = 0 — i.e. while already inside a trap handler that
+has not re-enabled them) puts the processor into *error mode* and halts
+it.  On a simulated target this is precisely the failure that killed TSIM
+in the paper's ``XM_set_timer(1, 1, 1)`` test, so the model surfaces it as
+:class:`ProcessorErrorMode` for the simulator layer to translate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sparc.traps import Trap, TrapType
+
+
+class ProcessorErrorMode(Exception):
+    """The CPU entered error mode (trap while PSR.ET = 0) and halted."""
+
+    def __init__(self, cause: Trap) -> None:
+        super().__init__(f"processor error mode: {cause}")
+        self.cause = cause
+
+
+@dataclass
+class CpuState:
+    """PSR-level processor state for a single LEON3 core.
+
+    Attributes
+    ----------
+    supervisor:
+        PSR.S — True while the separation kernel runs.
+    traps_enabled:
+        PSR.ET — cleared on trap entry, restored on exit.
+    pil:
+        Processor interrupt level: IRQ lines at or below are deferred.
+    trap_depth:
+        Nesting depth of the software trap-handler model.
+    """
+
+    supervisor: bool = True
+    traps_enabled: bool = True
+    pil: int = 0
+    trap_depth: int = 0
+    history: list[int] = field(default_factory=list)
+
+    def reset(self) -> None:
+        """Power-on state: supervisor mode, traps enabled."""
+        self.supervisor = True
+        self.traps_enabled = True
+        self.pil = 0
+        self.trap_depth = 0
+        self.history.clear()
+
+    def can_take_interrupt(self, irq: int) -> bool:
+        """Whether an external IRQ would be accepted right now."""
+        return self.traps_enabled and irq > self.pil
+
+    def enter_trap(self, trap: Trap) -> None:
+        """Vector into a trap handler.
+
+        Raises :class:`ProcessorErrorMode` when traps are disabled — the
+        double-trap condition that halts the core (and crashes TSIM).
+        """
+        if not self.traps_enabled:
+            raise ProcessorErrorMode(trap)
+        self.traps_enabled = False
+        self.supervisor = True
+        self.trap_depth += 1
+        self.history.append(trap.number)
+
+    def exit_trap(self, to_supervisor: bool = False) -> None:
+        """Return from a trap handler (``rett``)."""
+        if self.trap_depth == 0:
+            raise RuntimeError("exit_trap with no trap active")
+        self.trap_depth -= 1
+        self.traps_enabled = True
+        self.supervisor = to_supervisor or self.trap_depth > 0
+
+    def take(self, trap: Trap) -> None:
+        """Convenience: enter and immediately exit a handled trap."""
+        self.enter_trap(trap)
+        self.exit_trap()
+
+    def taken(self, trap_type: TrapType) -> int:
+        """How many traps of the given type have been taken since reset."""
+        return self.history.count(int(trap_type))

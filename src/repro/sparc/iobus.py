@@ -1,0 +1,85 @@
+"""Memory-mapped I/O bus.
+
+LEON3 peripherals (UART, timers, interrupt controller) live on the APB/AHB
+bus at fixed addresses.  Spatial partitioning extends to I/O: a partition
+may only touch the I/O registers its configuration grants, so the bus
+checks a context name against each device's allowed set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class IoFault(Exception):
+    """An I/O access hit an unmapped or forbidden register."""
+
+    def __init__(self, address: int, reason: str) -> None:
+        super().__init__(f"I/O {reason} @ {address:#010x}")
+        self.address = address
+        self.reason = reason
+
+
+@dataclass
+class IoDevice:
+    """One device: a register window plus read/write handlers.
+
+    ``read_reg``/``write_reg`` receive the register *offset* within the
+    window.  ``allowed`` lists context names permitted to access the
+    device; the kernel context (``"kernel"``) is always permitted.
+    """
+
+    name: str
+    base: int
+    size: int
+    read_reg: Callable[[int], int]
+    write_reg: Callable[[int, int], None]
+    allowed: set[str] = field(default_factory=set)
+
+    def contains(self, address: int) -> bool:
+        """Whether the address falls inside the register window."""
+        return self.base <= address < self.base + self.size
+
+
+class IoBus:
+    """The bus: routes register accesses to devices with access control."""
+
+    def __init__(self) -> None:
+        self._devices: list[IoDevice] = []
+
+    def attach(self, device: IoDevice) -> None:
+        """Attach a device; windows must not overlap."""
+        for existing in self._devices:
+            if existing.contains(device.base) or device.contains(existing.base):
+                raise ValueError(f"I/O window overlap: {device.name} vs {existing.name}")
+        self._devices.append(device)
+
+    def device_at(self, address: int) -> IoDevice | None:
+        """The device owning ``address``, or None."""
+        for dev in self._devices:
+            if dev.contains(address):
+                return dev
+        return None
+
+    def _resolve(self, address: int, context: str) -> tuple[IoDevice, int]:
+        dev = self.device_at(address)
+        if dev is None:
+            raise IoFault(address, "unmapped")
+        if context != "kernel" and context not in dev.allowed:
+            raise IoFault(address, f"forbidden for {context}")
+        return dev, address - dev.base
+
+    def read(self, address: int, context: str = "kernel") -> int:
+        """Read one 32-bit register."""
+        dev, offset = self._resolve(address, context)
+        return dev.read_reg(offset) & 0xFFFFFFFF
+
+    def write(self, address: int, value: int, context: str = "kernel") -> None:
+        """Write one 32-bit register."""
+        dev, offset = self._resolve(address, context)
+        dev.write_reg(offset, value & 0xFFFFFFFF)
+
+    def devices(self) -> list[IoDevice]:
+        """All attached devices."""
+        return list(self._devices)

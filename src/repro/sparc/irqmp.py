@@ -1,0 +1,102 @@
+"""LEON3 IRQMP interrupt controller, single-core configuration.
+
+Fifteen external interrupt lines (1-15).  The controller keeps pending,
+mask and force registers; an interrupt is *delivered* when pending & mask
+is non-zero and traps are enabled at the CPU.  Delivery order is highest
+line first, as on real IRQMP.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+NUM_LINES = 15
+
+
+class IrqController:
+    """Pending/mask/force state for IRQ lines 1..15."""
+
+    def __init__(self) -> None:
+        self._pending: int = 0
+        self._mask: int = 0
+        self._delivery_hook: Callable[[int], None] | None = None
+
+    @staticmethod
+    def _bit(line: int) -> int:
+        if not 1 <= line <= NUM_LINES:
+            raise ValueError(f"IRQ line out of range: {line}")
+        return 1 << line
+
+    def set_delivery_hook(self, hook: Callable[[int], None] | None) -> None:
+        """Called with the line number whenever an IRQ becomes deliverable."""
+        self._delivery_hook = hook
+
+    def raise_irq(self, line: int) -> None:
+        """Assert an interrupt line (device side)."""
+        self._pending |= self._bit(line)
+        self._notify()
+
+    def clear(self, line: int) -> None:
+        """Clear a pending line (acknowledge)."""
+        self._pending &= ~self._bit(line)
+
+    def mask(self, line: int) -> None:
+        """Disable delivery of a line."""
+        self._mask &= ~self._bit(line)
+
+    def unmask(self, line: int) -> None:
+        """Enable delivery of a line."""
+        self._mask |= self._bit(line)
+        self._notify()
+
+    def is_pending(self, line: int) -> bool:
+        """Whether the line is asserted."""
+        return bool(self._pending & self._bit(line))
+
+    def is_masked(self, line: int) -> bool:
+        """Whether delivery of the line is disabled."""
+        return not (self._mask & self._bit(line))
+
+    @property
+    def pending_word(self) -> int:
+        """Raw pending register."""
+        return self._pending
+
+    @property
+    def mask_word(self) -> int:
+        """Raw mask register."""
+        return self._mask
+
+    def set_pending_word(self, word: int) -> None:
+        """Force the pending register (IRQMP force register semantics)."""
+        self._pending = word & 0xFFFE
+        self._notify()
+
+    def set_mask_word(self, word: int) -> None:
+        """Set the mask register wholesale."""
+        self._mask = word & 0xFFFE
+        self._notify()
+
+    def next_deliverable(self) -> int | None:
+        """Highest pending-and-unmasked line, or None."""
+        word = self._pending & self._mask
+        if not word:
+            return None
+        return word.bit_length() - 1
+
+    def acknowledge(self) -> int | None:
+        """Deliver: clear and return the highest deliverable line."""
+        line = self.next_deliverable()
+        if line is not None:
+            self.clear(line)
+        return line
+
+    def reset(self) -> None:
+        """Controller reset: everything cleared and masked."""
+        self._pending = 0
+        self._mask = 0
+
+    def _notify(self) -> None:
+        line = self.next_deliverable()
+        if line is not None and self._delivery_hook is not None:
+            self._delivery_hook(line)

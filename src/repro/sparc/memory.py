@@ -1,0 +1,235 @@
+"""Physical memory map and per-context address spaces.
+
+Spatial partitioning rests on the MMU: every partition sees only the
+memory areas its configuration grants, with per-area access rights.  The
+model keeps an explicit byte store per area so that code under test can
+actually read and write buffers (the ``XM_multicall`` batch buffer, IPC
+message payloads, console strings) and so that a stray pointer from a test
+dictionary faults exactly where real hardware would.
+
+Addresses are 32-bit; a :class:`MemoryFault` carries the faulting address
+and maps onto the SPARC ``data_access_exception`` trap.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+ADDRESS_MASK = 0xFFFFFFFF
+
+
+class Access(enum.Flag):
+    """Access rights on a memory area."""
+
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    EXEC = enum.auto()
+    RW = READ | WRITE
+    RWX = READ | WRITE | EXEC
+
+
+class MemoryFault(Exception):
+    """A memory access violated the map or the rights of the context.
+
+    Attributes
+    ----------
+    address:
+        The faulting byte address.
+    access:
+        The attempted access kind.
+    reason:
+        Human-readable fault cause (``"unmapped"`` / ``"protection"`` /
+        ``"unaligned"``).
+    """
+
+    def __init__(self, address: int, access: Access, reason: str) -> None:
+        super().__init__(f"{reason} fault: {access.name} @ {address:#010x}")
+        self.address = address
+        self.access = access
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class MemoryArea:
+    """One contiguous physical memory area.
+
+    ``owner`` names the configuration object the area belongs to (kernel,
+    a partition, or ``"shared"``); ``rights`` are the rights granted *to
+    that owner's context*.
+    """
+
+    name: str
+    start: int
+    size: int
+    rights: Access = Access.RW
+    owner: str = "kernel"
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"area {self.name}: size must be positive")
+        if self.start < 0 or self.start + self.size - 1 > ADDRESS_MASK:
+            raise ValueError(f"area {self.name}: outside 32-bit space")
+
+    @property
+    def end(self) -> int:
+        """First address past the area."""
+        return self.start + self.size
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        """Whether ``[address, address+size)`` lies fully inside."""
+        return self.start <= address and address + size <= self.end
+
+    def overlaps(self, other: "MemoryArea") -> bool:
+        """Whether the two areas share any byte."""
+        return self.start < other.end and other.start < self.end
+
+
+class PhysicalMemory:
+    """The machine's physical memory: a set of non-overlapping areas.
+
+    Backing storage is allocated lazily per area (a ``bytearray``), so a
+    4 GiB address space costs only what is actually mapped.
+    """
+
+    def __init__(self, areas: Iterable[MemoryArea] = ()) -> None:
+        self._areas: list[MemoryArea] = []
+        self._starts: list[int] = []
+        self._store: dict[str, bytearray] = {}
+        for area in areas:
+            self.add_area(area)
+
+    def add_area(self, area: MemoryArea) -> None:
+        """Map a new area; overlap with an existing area is an error."""
+        for existing in self._areas:
+            if existing.overlaps(area):
+                raise ValueError(
+                    f"area {area.name} [{area.start:#x},{area.end:#x}) overlaps "
+                    f"{existing.name} [{existing.start:#x},{existing.end:#x})"
+                )
+        self._areas.append(area)
+        self._areas.sort(key=lambda a: a.start)
+        self._starts = [a.start for a in self._areas]
+
+    def area_at(self, address: int, size: int = 1) -> MemoryArea | None:
+        """The area fully containing the range, or None.
+
+        Areas are disjoint and sorted, so a bisect finds the only
+        candidate — this is the hottest lookup in campaign execution.
+        """
+        index = bisect.bisect_right(self._starts, address) - 1
+        if index < 0:
+            return None
+        area = self._areas[index]
+        return area if area.contains(address, size) else None
+
+    def areas(self) -> Iterator[MemoryArea]:
+        """All mapped areas, ascending by start address."""
+        return iter(self._areas)
+
+    def _backing(self, area: MemoryArea) -> bytearray:
+        buf = self._store.get(area.name)
+        if buf is None:
+            buf = bytearray(area.size)
+            self._store[area.name] = buf
+        return buf
+
+    def read(self, address: int, size: int) -> bytes:
+        """Raw physical read; faults on unmapped ranges."""
+        area = self.area_at(address, size)
+        if area is None:
+            raise MemoryFault(address, Access.READ, "unmapped")
+        buf = self._backing(area)
+        off = address - area.start
+        return bytes(buf[off : off + size])
+
+    def write(self, address: int, data: bytes) -> None:
+        """Raw physical write; faults on unmapped ranges."""
+        area = self.area_at(address, len(data))
+        if area is None:
+            raise MemoryFault(address, Access.WRITE, "unmapped")
+        buf = self._backing(area)
+        off = address - area.start
+        buf[off : off + len(data)] = data
+
+    def clear(self) -> None:
+        """Zero all backing storage (cold reset)."""
+        self._store.clear()
+
+
+@dataclass
+class AddressSpace:
+    """The view of physical memory granted to one execution context.
+
+    The kernel context holds every area; a partition context holds only
+    the areas its configuration assigns.  All accesses are checked against
+    the area rights *as granted to this context* — a successful check then
+    reads/writes the shared physical store.
+    """
+
+    name: str
+    physical: PhysicalMemory
+    grants: dict[str, Access] = field(default_factory=dict)
+
+    def grant(self, area_name: str, rights: Access) -> None:
+        """Grant (or widen) rights on a physical area."""
+        self.grants[area_name] = self.grants.get(area_name, Access.NONE) | rights
+
+    def check(self, address: int, size: int, access: Access) -> MemoryArea:
+        """Validate an access; returns the area or raises MemoryFault."""
+        address &= ADDRESS_MASK
+        area = self.physical.area_at(address, size)
+        if area is None:
+            raise MemoryFault(address, access, "unmapped")
+        granted = self.grants.get(area.name, Access.NONE)
+        if access & granted != access:
+            raise MemoryFault(address, access, "protection")
+        return area
+
+    def read(self, address: int, size: int) -> bytes:
+        """Checked read."""
+        self.check(address, size, Access.READ)
+        return self.physical.read(address & ADDRESS_MASK, size)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Checked write."""
+        self.check(address, len(data), Access.WRITE)
+        self.physical.write(address & ADDRESS_MASK, data)
+
+    def read_u32(self, address: int) -> int:
+        """Checked aligned 32-bit big-endian read (SPARC is big-endian)."""
+        if address % 4:
+            raise MemoryFault(address, Access.READ, "unaligned")
+        return int.from_bytes(self.read(address, 4), "big")
+
+    def write_u32(self, address: int, value: int) -> None:
+        """Checked aligned 32-bit big-endian write."""
+        if address % 4:
+            raise MemoryFault(address, Access.WRITE, "unaligned")
+        self.write(address, (value & 0xFFFFFFFF).to_bytes(4, "big"))
+
+    def read_cstring(self, address: int, max_len: int = 4096) -> bytes:
+        """Read a NUL-terminated string, fault-checked.
+
+        Reads in area-bounded chunks (identical fault behaviour to a
+        byte-wise scan: the first unreadable byte faults) and stops at
+        the first NUL or after ``max_len`` bytes.
+        """
+        out = bytearray()
+        cursor = address & ADDRESS_MASK
+        remaining = max_len
+        while remaining > 0:
+            area = self.check(cursor, 1, Access.READ)
+            chunk_len = min(remaining, area.end - cursor)
+            chunk = self.physical.read(cursor, chunk_len)
+            nul = chunk.find(b"\0")
+            if nul >= 0:
+                out += chunk[:nul]
+                return bytes(out)
+            out += chunk
+            cursor += chunk_len
+            remaining -= chunk_len
+        return bytes(out)

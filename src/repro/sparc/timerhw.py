@@ -1,0 +1,104 @@
+"""GPTIMER general-purpose timer units.
+
+The LEON3 GPTIMER block provides a shared prescaler and several decrement
+timers.  In this behavioural model a timer is programmed with an absolute
+expiry on the simulator's microsecond clock; the simulator's event loop
+asks the unit for its next deadline and fires :meth:`HwTimer.expire` when
+virtual time reaches it.  XtratuM multiplexes its HW clock and partition
+timers on top of these units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class HwTimer:
+    """One hardware timer channel.
+
+    ``deadline_us`` is an absolute virtual time; None means disarmed.
+    ``callback`` fires on expiry with the expiry time.
+    """
+
+    name: str
+    irq_line: int
+    deadline_us: int | None = None
+    callback: Callable[[int], None] | None = None
+    fired_count: int = 0
+
+    def arm(self, deadline_us: int, callback: Callable[[int], None]) -> None:
+        """Program an absolute expiry."""
+        if deadline_us < 0:
+            raise ValueError("deadline must be non-negative")
+        self.deadline_us = deadline_us
+        self.callback = callback
+
+    def disarm(self) -> None:
+        """Cancel any programmed expiry."""
+        self.deadline_us = None
+        self.callback = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether an expiry is programmed."""
+        return self.deadline_us is not None
+
+    def expire(self, now_us: int) -> None:
+        """Fire the timer: disarm first, then invoke the callback.
+
+        Disarming before the callback mirrors hardware one-shot semantics
+        and lets the callback re-arm for periodic behaviour.
+        """
+        cb = self.callback
+        self.disarm()
+        self.fired_count += 1
+        if cb is not None:
+            cb(now_us)
+
+
+@dataclass
+class GpTimerUnit:
+    """A GPTIMER block with several channels."""
+
+    name: str = "gptimer0"
+    channels: list[HwTimer] = field(default_factory=list)
+
+    @classmethod
+    def leon3_default(cls) -> "GpTimerUnit":
+        """The usual LEON3 configuration: two channels on IRQ 8 and 9."""
+        return cls(
+            channels=[
+                HwTimer("gptimer0.0", irq_line=8),
+                HwTimer("gptimer0.1", irq_line=9),
+            ]
+        )
+
+    def channel(self, index: int) -> HwTimer:
+        """Channel by index; raises IndexError past the end."""
+        return self.channels[index]
+
+    def next_deadline(self) -> tuple[int, HwTimer] | None:
+        """Earliest (deadline, timer) over armed channels, or None."""
+        best: tuple[int, HwTimer] | None = None
+        for timer in self.channels:
+            if timer.deadline_us is None:
+                continue
+            if best is None or timer.deadline_us < best[0]:
+                best = (timer.deadline_us, timer)
+        return best
+
+    def expire_due(self, now_us: int) -> int:
+        """Fire every channel whose deadline has passed; returns count."""
+        fired = 0
+        for timer in self.channels:
+            if timer.deadline_us is not None and timer.deadline_us <= now_us:
+                timer.expire(now_us)
+                fired += 1
+        return fired
+
+    def reset(self) -> None:
+        """Disarm every channel."""
+        for timer in self.channels:
+            timer.disarm()

@@ -1,0 +1,66 @@
+"""SPARC V8 trap model.
+
+Traps are how everything abnormal surfaces on the target: memory faults,
+illegal instructions, timer expirations and hypercall software traps.  The
+campaign's log-analysis phase keys on which trap fired and whether the
+kernel's handlers contained it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TrapType(enum.IntEnum):
+    """SPARC V8 trap numbers (subset relevant to the testbed)."""
+
+    RESET = 0x00
+    INSTRUCTION_ACCESS_EXCEPTION = 0x01
+    ILLEGAL_INSTRUCTION = 0x02
+    PRIVILEGED_INSTRUCTION = 0x03
+    WINDOW_OVERFLOW = 0x05
+    WINDOW_UNDERFLOW = 0x06
+    MEM_ADDRESS_NOT_ALIGNED = 0x07
+    FP_EXCEPTION = 0x08
+    DATA_ACCESS_EXCEPTION = 0x09
+    TAG_OVERFLOW = 0x0A
+    WATCHPOINT = 0x0B
+    # External interrupts occupy 0x11-0x1F on LEON3 (IRQ 1-15).
+    INTERRUPT_BASE = 0x10
+    DIVIDE_BY_ZERO = 0x2A
+    # Software traps (ta instruction): XtratuM uses one for hypercalls.
+    SW_TRAP_BASE = 0x80
+    HYPERCALL = 0xF0
+
+    @classmethod
+    def for_interrupt(cls, irq: int) -> int:
+        """Trap number for external interrupt line ``irq`` (1-15)."""
+        if not 1 <= irq <= 15:
+            raise ValueError(f"LEON3 IRQ lines are 1-15, got {irq}")
+        return int(cls.INTERRUPT_BASE) + irq
+
+
+class Trap(Exception):
+    """A raised SPARC trap, carrying the trap type and fault context.
+
+    Raising a :class:`Trap` models the hardware vectoring into the trap
+    table; whoever owns the trap table (the separation kernel) catches it
+    and decides the outcome.  An *unhandled* trap while already in a trap
+    handler puts the processor into error mode (see :mod:`repro.sparc.cpu`).
+    """
+
+    def __init__(self, trap_type: TrapType | int, detail: str = "", address: int | None = None) -> None:
+        ttype = TrapType(trap_type) if isinstance(trap_type, TrapType) else trap_type
+        name = ttype.name if isinstance(ttype, TrapType) else f"trap {ttype:#x}"
+        msg = f"{name}" + (f": {detail}" if detail else "")
+        if address is not None:
+            msg += f" @ {address:#010x}"
+        super().__init__(msg)
+        self.trap_type = ttype
+        self.detail = detail
+        self.address = address
+
+    @property
+    def number(self) -> int:
+        """The numeric trap vector."""
+        return int(self.trap_type)

@@ -1,0 +1,49 @@
+"""APBUART console device.
+
+Everything the kernel and partitions print flows through here; the
+campaign's log collector snapshots the console after every test run, as
+the paper's shell scripts captured TSIM's output.
+"""
+
+from __future__ import annotations
+
+
+class Uart:
+    """A write-only console sink that accumulates lines with timestamps."""
+
+    def __init__(self, name: str = "uart0") -> None:
+        self.name = name
+        self._lines: list[tuple[int, str, str]] = []
+        self._partial: dict[str, str] = {}
+
+    def write(self, text: str, now_us: int = 0, source: str = "kernel") -> None:
+        """Append text; newline-terminated chunks become stored lines."""
+        buf = self._partial.get(source, "") + text
+        while "\n" in buf:
+            line, buf = buf.split("\n", 1)
+            self._lines.append((now_us, source, line))
+        self._partial[source] = buf
+
+    def flush(self, now_us: int = 0) -> None:
+        """Force out any partial line from every source."""
+        for source, buf in list(self._partial.items()):
+            if buf:
+                self._lines.append((now_us, source, buf))
+            self._partial[source] = ""
+
+    def lines(self, source: str | None = None) -> list[str]:
+        """Stored lines, optionally filtered by source."""
+        return [text for (_, src, text) in self._lines if source is None or src == source]
+
+    def records(self) -> list[tuple[int, str, str]]:
+        """(time_us, source, line) tuples in emission order."""
+        return list(self._lines)
+
+    def transcript(self) -> str:
+        """The whole console as one string."""
+        return "\n".join(text for (_, _, text) in self._lines)
+
+    def clear(self) -> None:
+        """Drop all captured output."""
+        self._lines.clear()
+        self._partial.clear()

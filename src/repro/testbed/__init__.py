@@ -1,0 +1,24 @@
+"""The EagleEye TSP testbed.
+
+EagleEye is ESA's reference spacecraft mission — a representative earth
+observation satellite used to validate new on-board technologies.  Its
+TSP incarnation runs XtratuM on a LEON3 with five partitions over a
+250 ms major frame; the FDIR partition is the only *system* partition
+and therefore hosts the fault placeholders during robustness campaigns
+(Fig. 6 of the paper).
+"""
+
+from repro.testbed.eagleeye import (
+    EAGLEEYE_MAJOR_FRAME_US,
+    PARTITION_IDS,
+    eagleeye_config,
+)
+from repro.testbed.builder import build_eagleeye_image, build_system
+
+__all__ = [
+    "EAGLEEYE_MAJOR_FRAME_US",
+    "PARTITION_IDS",
+    "eagleeye_config",
+    "build_eagleeye_image",
+    "build_system",
+]

@@ -1,0 +1,74 @@
+"""System integration: pack kernel + partitions into bootable images.
+
+This is the paper's step 4 ("the test partition is 'packed' with the
+rest of the partitions and the TSP system is run on the target-system
+simulator"): :func:`build_eagleeye_image` produces a
+:class:`~repro.tsim.image.SystemImage` for the EagleEye testbed, with an
+optional FDIR payload (the fault placeholder), and :func:`build_system`
+pairs it with a fresh LEON3 board.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.testbed.eagleeye import eagleeye_config
+from repro.testbed.partitions import AocsApp, FdirApp, IoApp, PayloadApp, PlatformApp
+from repro.tsim.image import PartitionImage, SystemImage
+from repro.tsim.machine import TargetMachine
+from repro.tsim.simulator import Simulator
+from repro.xm.config import XMConfig
+from repro.xm.kernel import Kernel
+from repro.xm.vulns import VULNERABLE_VERSION
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xal.runtime import Libxm
+    from repro.xm.sched import SlotContext
+
+FdirPayload = Callable[["SlotContext", "Libxm"], None]
+
+
+def build_eagleeye_image(
+    fdir_payload: FdirPayload | None = None,
+    kernel_version: str = VULNERABLE_VERSION,
+    config: XMConfig | None = None,
+) -> SystemImage:
+    """Pack the EagleEye system, optionally with a fault placeholder.
+
+    The partition application factories live in the image's partition
+    table; the kernel factory pulls them from there at boot, so swapping
+    one partition's software means repacking only that entry.
+    """
+    cfg = config if config is not None else eagleeye_config()
+
+    def kernel_factory(machine: TargetMachine, sim: Simulator) -> Kernel:
+        apps = {
+            name: part.app_factory for name, part in image.partitions.items()
+        }
+        return Kernel(machine, sim, cfg, apps, version=kernel_version)
+
+    image = SystemImage(kernel_factory=kernel_factory)
+    image.add_partition(
+        PartitionImage("FDIR", app_factory=lambda: FdirApp(payload=fdir_payload))
+    )
+    image.add_partition(PartitionImage("AOCS", app_factory=AocsApp))
+    image.add_partition(PartitionImage("PLATFORM", app_factory=PlatformApp))
+    image.add_partition(PartitionImage("PAYLOAD", app_factory=PayloadApp))
+    image.add_partition(PartitionImage("IO", app_factory=IoApp))
+    image.metadata["testbed"] = "EagleEye TSP"
+    image.metadata["kernel_version"] = kernel_version
+    return image
+
+
+def build_system(
+    fdir_payload: FdirPayload | None = None,
+    kernel_version: str = VULNERABLE_VERSION,
+    config: XMConfig | None = None,
+    event_budget: int | None = None,
+) -> Simulator:
+    """Build board + image and return an unbooted simulator."""
+    machine = TargetMachine.leon3()
+    image = build_eagleeye_image(fdir_payload, kernel_version, config)
+    if event_budget is None:
+        return Simulator(machine, image)
+    return Simulator(machine, image, event_budget=event_budget)

@@ -1,0 +1,115 @@
+"""The plain dummy-partition testbed of §III.
+
+Before the EagleEye case study, the methodology is described against "an
+IMA testbed with dummy partitions defined by the separation kernel under
+test" — a minimal three-partition system whose only purpose is hosting
+the test partition.  This module provides that testbed: a system test
+partition (the fault-placeholder host) plus two idle dummies, on a
+short 30 ms major frame for fast campaigns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sparc.memory import Access
+from repro.tsim.image import PartitionImage, SystemImage
+from repro.tsim.machine import TargetMachine
+from repro.tsim.simulator import Simulator
+from repro.xal.app import PartitionApplication
+from repro.xal.runtime import Libxm
+from repro.xm.config import (
+    MemoryAreaConfig,
+    PartitionConfig,
+    PlanConfig,
+    SlotConfig,
+    XMConfig,
+)
+from repro.xm.kernel import Kernel
+from repro.xm.vulns import VULNERABLE_VERSION
+
+#: Major frame of the dummy testbed.
+DUMMY_MAJOR_FRAME_US = 30_000
+_PART_BASE = 0x4010_0000
+_PART_SIZE = 0x4_0000
+
+
+def dummy_config() -> XMConfig:
+    """Three partitions, no channels, one 3-slot plan."""
+    config = XMConfig()
+    config.kernel_areas.append(
+        MemoryAreaConfig("xm_kernel", 0x4000_0000, 0x4_0000, Access.RWX)
+    )
+    names = ["TEST", "DUMMY1", "DUMMY2"]
+    for ident, name in enumerate(names):
+        config.partitions.append(
+            PartitionConfig(
+                ident=ident,
+                name=name,
+                system=(ident == 0),
+                memory_areas=(
+                    MemoryAreaConfig(
+                        f"{name.lower()}_ram",
+                        _PART_BASE + ident * _PART_SIZE,
+                        _PART_SIZE,
+                        Access.RWX,
+                    ),
+                ),
+            )
+        )
+    slots = tuple(
+        SlotConfig(slot_id=i, partition_id=i, start_us=i * 10_000, duration_us=10_000)
+        for i in range(3)
+    )
+    config.plans.append(
+        PlanConfig(ident=0, major_frame_us=DUMMY_MAJOR_FRAME_US, slots=slots)
+    )
+    return config
+
+
+class DummyApp(PartitionApplication):
+    """A partition that just burns a little CPU each slot."""
+
+    def on_step(self, ctx, xm: Libxm) -> None:  # noqa: ANN001
+        ctx.consume(200)
+
+
+class TestHostApp(PartitionApplication):
+    """The dummy testbed's fault-placeholder host."""
+
+    __test__ = False  # keep pytest from collecting this library class
+
+    def __init__(self, payload=None) -> None:  # noqa: ANN001
+        super().__init__()
+        self.payload = payload
+
+    def on_step(self, ctx, xm: Libxm) -> None:  # noqa: ANN001
+        ctx.consume(100)
+        if self.payload is not None:
+            self.payload(ctx, xm)
+
+
+def build_dummy_system(
+    fdir_payload: Callable | None = None,
+    kernel_version: str = VULNERABLE_VERSION,
+) -> Simulator:
+    """Pack and return an unbooted dummy-testbed simulator.
+
+    The payload parameter keeps the EagleEye builder's name so the two
+    factories are interchangeable for the test executor.
+    """
+    config = dummy_config()
+
+    def kernel_factory(machine: TargetMachine, sim: Simulator) -> Kernel:
+        apps = {
+            "TEST": lambda: TestHostApp(payload=fdir_payload),
+            "DUMMY1": DummyApp,
+            "DUMMY2": DummyApp,
+        }
+        return Kernel(machine, sim, config, apps, version=kernel_version)
+
+    image = SystemImage(kernel_factory=kernel_factory)
+    for name in ("TEST", "DUMMY1", "DUMMY2"):
+        image.add_partition(PartitionImage(name, app_factory=dict))
+    image.metadata["testbed"] = "dummy partitions"
+    return Simulator(TargetMachine.leon3(), image)

@@ -1,0 +1,146 @@
+"""EagleEye TSP static configuration.
+
+Five partitions on a 250 ms major frame (Fig. 6):
+
+====  =========  ======  =============================================
+id    name       kind    role
+====  =========  ======  =============================================
+0     FDIR       system  fault detection/isolation/recovery + testing
+1     AOCS       normal  attitude and orbit control
+2     PLATFORM   normal  platform data handling
+3     PAYLOAD    normal  earth-observation payload
+4     IO         normal  I/O concentrator / telemetry downlink
+====  =========  ======  =============================================
+
+Each partition owns one 256 KiB memory area; channels connect AOCS
+telemetry (sampling) to PLATFORM and FDIR, PLATFORM commands (queuing)
+to PAYLOAD, PAYLOAD data (queuing) to IO, and FDIR events (queuing) to
+IO.  Plan 0 is the nominal round-robin; plan 1 is a maintenance plan
+with a double-length FDIR slot and the payload parked.
+"""
+
+from __future__ import annotations
+
+from repro.sparc.memory import Access
+from repro.xm import rc
+from repro.xm.config import (
+    ChannelConfig,
+    MemoryAreaConfig,
+    PartitionConfig,
+    PlanConfig,
+    PortConfig,
+    SlotConfig,
+    XMConfig,
+)
+
+#: The paper's cyclic major frame.
+EAGLEEYE_MAJOR_FRAME_US = 250_000
+
+#: Partition identifiers.
+PARTITION_IDS = {"FDIR": 0, "AOCS": 1, "PLATFORM": 2, "PAYLOAD": 3, "IO": 4}
+
+_KERNEL_BASE = 0x4000_0000
+_PART_BASE = 0x4010_0000
+_PART_SIZE = 0x4_0000  # 256 KiB
+_SLOT_US = 50_000
+
+
+def partition_area_base(ident: int) -> int:
+    """Base address of a partition's memory area."""
+    return _PART_BASE + ident * _PART_SIZE
+
+
+def eagleeye_config() -> XMConfig:
+    """Build a fresh EagleEye configuration."""
+    config = XMConfig()
+    config.kernel_areas.append(
+        MemoryAreaConfig("xm_kernel", _KERNEL_BASE, 0x4_0000, Access.RWX)
+    )
+
+    channels = [
+        ChannelConfig("CH_TM_AOCS", "sampling", max_message_size=64, refresh_us=300_000),
+        ChannelConfig("CH_CMD", "queuing", max_message_size=32, depth=8),
+        ChannelConfig("CH_PL_DATA", "queuing", max_message_size=128, depth=16),
+        ChannelConfig("CH_FDIR_EVT", "queuing", max_message_size=48, depth=8),
+    ]
+    config.channels.extend(channels)
+
+    def area(name: str, ident: int) -> tuple[MemoryAreaConfig, ...]:
+        return (
+            MemoryAreaConfig(
+                f"{name.lower()}_ram", partition_area_base(ident), _PART_SIZE, Access.RWX
+            ),
+        )
+
+    config.partitions.append(
+        PartitionConfig(
+            ident=0,
+            name="FDIR",
+            system=True,
+            memory_areas=area("FDIR", 0),
+            ports=(
+                PortConfig("TM_MON", "CH_TM_AOCS", rc.XM_DESTINATION_PORT),
+                PortConfig("FDIR_EVT", "CH_FDIR_EVT", rc.XM_SOURCE_PORT),
+            ),
+            io_grants=("apbuart0",),
+        )
+    )
+    config.partitions.append(
+        PartitionConfig(
+            ident=1,
+            name="AOCS",
+            memory_areas=area("AOCS", 1),
+            ports=(PortConfig("TM_OUT", "CH_TM_AOCS", rc.XM_SOURCE_PORT),),
+        )
+    )
+    config.partitions.append(
+        PartitionConfig(
+            ident=2,
+            name="PLATFORM",
+            memory_areas=area("PLATFORM", 2),
+            ports=(
+                PortConfig("TM_IN", "CH_TM_AOCS", rc.XM_DESTINATION_PORT),
+                PortConfig("CMD_OUT", "CH_CMD", rc.XM_SOURCE_PORT),
+            ),
+        )
+    )
+    config.partitions.append(
+        PartitionConfig(
+            ident=3,
+            name="PAYLOAD",
+            memory_areas=area("PAYLOAD", 3),
+            ports=(
+                PortConfig("CMD_IN", "CH_CMD", rc.XM_DESTINATION_PORT),
+                PortConfig("PL_OUT", "CH_PL_DATA", rc.XM_SOURCE_PORT),
+            ),
+        )
+    )
+    config.partitions.append(
+        PartitionConfig(
+            ident=4,
+            name="IO",
+            memory_areas=area("IO", 4),
+            ports=(
+                PortConfig("PL_IN", "CH_PL_DATA", rc.XM_DESTINATION_PORT),
+                PortConfig("EVT_IN", "CH_FDIR_EVT", rc.XM_DESTINATION_PORT),
+            ),
+        )
+    )
+
+    nominal_slots = tuple(
+        SlotConfig(slot_id=i, partition_id=i, start_us=i * _SLOT_US, duration_us=_SLOT_US)
+        for i in range(5)
+    )
+    config.plans.append(
+        PlanConfig(ident=0, major_frame_us=EAGLEEYE_MAJOR_FRAME_US, slots=nominal_slots)
+    )
+    maintenance_slots = (
+        SlotConfig(slot_id=0, partition_id=0, start_us=0, duration_us=2 * _SLOT_US),
+        SlotConfig(slot_id=1, partition_id=1, start_us=2 * _SLOT_US, duration_us=_SLOT_US),
+        SlotConfig(slot_id=2, partition_id=2, start_us=3 * _SLOT_US, duration_us=_SLOT_US),
+        SlotConfig(slot_id=3, partition_id=4, start_us=4 * _SLOT_US, duration_us=_SLOT_US),
+    )
+    config.plans.append(
+        PlanConfig(ident=1, major_frame_us=EAGLEEYE_MAJOR_FRAME_US, slots=maintenance_slots)
+    )
+    return config

@@ -1,0 +1,139 @@
+"""EagleEye on-board software: the five partition applications.
+
+Representative behaviour, not flight code: AOCS publishes attitude
+telemetry every slot, PLATFORM consumes it and issues payload commands,
+PAYLOAD produces data frames, IO drains them to the (simulated)
+downlink, and FDIR monitors system health.  The FDIR application also
+carries the *fault placeholder* hook: in campaign mode the framework
+hands it a payload object invoked once per major frame — the paper's
+test-partition mechanism.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING, Callable
+
+from repro.xal.app import PartitionApplication
+from repro.xal.runtime import Libxm
+from repro.xm import rc
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xm.sched import SlotContext
+
+
+class AocsApp(PartitionApplication):
+    """Attitude and orbit control: publishes sampled telemetry."""
+
+    def on_boot(self, ctx: "SlotContext", xm: Libxm) -> None:
+        self.port = xm.create_sampling_port("TM_OUT", 64, rc.XM_SOURCE_PORT)
+        self.q_angle = 0
+
+    def on_step(self, ctx: "SlotContext", xm: Libxm) -> None:
+        code, now = xm.get_time(rc.XM_HW_CLOCK)
+        del code
+        # A toy attitude integrator standing in for the AOCS loop.
+        self.q_angle = (self.q_angle + 7) % 3600
+        ctx.consume(800)
+        frame = struct.pack(">qII", now, self.q_angle, self.steps)
+        frame += bytes(64 - len(frame))
+        if self.port >= 0:
+            xm.write_sampling_message(self.port, frame)
+
+
+class PlatformApp(PartitionApplication):
+    """Platform data handling: consumes telemetry, issues commands."""
+
+    def on_boot(self, ctx: "SlotContext", xm: Libxm) -> None:
+        self.tm_port = xm.create_sampling_port("TM_IN", 64, rc.XM_DESTINATION_PORT, 300_000)
+        self.cmd_port = xm.create_queuing_port("CMD_OUT", 8, 32, rc.XM_SOURCE_PORT)
+        self.stale_frames = 0
+
+    def on_step(self, ctx: "SlotContext", xm: Libxm) -> None:
+        ctx.consume(500)
+        if self.tm_port >= 0:
+            code, data, valid = xm.read_sampling_message(self.tm_port, 64)
+            if code > 0 and not valid:
+                self.stale_frames += 1
+            del data
+        if self.cmd_port >= 0 and self.steps % 2 == 0:
+            cmd = struct.pack(">II", 0xC0DE, self.steps)
+            xm.send_queuing_message(self.cmd_port, cmd)
+
+
+class PayloadApp(PartitionApplication):
+    """Earth-observation payload: consumes commands, produces frames."""
+
+    def on_boot(self, ctx: "SlotContext", xm: Libxm) -> None:
+        self.cmd_port = xm.create_queuing_port("CMD_IN", 8, 32, rc.XM_DESTINATION_PORT)
+        self.data_port = xm.create_queuing_port("PL_OUT", 16, 128, rc.XM_SOURCE_PORT)
+        self.frames = 0
+
+    def on_step(self, ctx: "SlotContext", xm: Libxm) -> None:
+        ctx.consume(1500)
+        if self.cmd_port >= 0:
+            code, _data, _rest = xm.receive_queuing_message(self.cmd_port, 32)
+            del code
+        if self.data_port >= 0:
+            self.frames += 1
+            frame = struct.pack(">IIq", 0xDA7A, self.frames, ctx.now_us)
+            frame += bytes(128 - len(frame))
+            xm.send_queuing_message(self.data_port, frame)
+
+
+class IoApp(PartitionApplication):
+    """I/O concentrator: drains payload data and FDIR events."""
+
+    def on_boot(self, ctx: "SlotContext", xm: Libxm) -> None:
+        self.pl_port = xm.create_queuing_port("PL_IN", 16, 128, rc.XM_DESTINATION_PORT)
+        self.evt_port = xm.create_queuing_port("EVT_IN", 8, 48, rc.XM_DESTINATION_PORT)
+        self.downlinked = 0
+
+    def on_step(self, ctx: "SlotContext", xm: Libxm) -> None:
+        ctx.consume(400)
+        if self.pl_port >= 0:
+            while True:
+                code, _data, remaining = xm.receive_queuing_message(self.pl_port, 128)
+                if code <= 0:
+                    break
+                self.downlinked += 1
+                if remaining == 0:
+                    break
+        if self.evt_port >= 0:
+            code, data, _rest = xm.receive_queuing_message(self.evt_port, 48)
+            if code > 0:
+                ctx.console(f"IO: FDIR event downlinked ({len(data)} bytes)")
+
+
+class FdirApp(PartitionApplication):
+    """FDIR system partition — the campaign's test partition.
+
+    ``payload`` is the fault-placeholder hook: a callable invoked once
+    per slot (FDIR has one slot per major frame, satisfying the paper's
+    "test call invoked at least once per major frame").  Exceptions that
+    mean "the hypercall did not return" propagate: the partition really
+    stops, exactly like its C counterpart.
+    """
+
+    def __init__(self, payload: Callable[["SlotContext", Libxm], None] | None = None) -> None:
+        super().__init__()
+        self.payload = payload
+        self.hm_events_seen = 0
+
+    def on_boot(self, ctx: "SlotContext", xm: Libxm) -> None:
+        self.tm_port = xm.create_sampling_port("TM_MON", 64, rc.XM_DESTINATION_PORT, 300_000)
+        self.evt_port = xm.create_queuing_port("FDIR_EVT", 8, 48, rc.XM_SOURCE_PORT)
+
+    def on_step(self, ctx: "SlotContext", xm: Libxm) -> None:
+        ctx.consume(300)
+        if self.payload is not None:
+            self.payload(ctx, xm)
+            return
+        # Nominal FDIR duty: watch the health monitor and report.
+        code, status = xm.hm_status()
+        if code == rc.XM_OK and status is not None and status.unread_events:
+            count, entries = xm.hm_read(min(status.unread_events, 8))
+            if count > 0:
+                self.hm_events_seen += count
+                report = struct.pack(">II", 0xFD1B, count) + bytes(40)
+                xm.send_queuing_message(self.evt_port, report[:48])

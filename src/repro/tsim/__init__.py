@@ -1,0 +1,29 @@
+"""TSIM-like target simulator.
+
+The paper ran the TSP system on Aeroflex Gaisler's TSIM LEON3 simulator.
+This package provides the equivalent substrate: a discrete-event simulator
+that boots a packed system image (separation kernel + configuration +
+partition applications) on a modelled LEON3 board and runs it for a number
+of cyclic schedules.
+
+Crucially it reproduces TSIM's *own* failure mode: one of the paper's nine
+issues (``XM_set_timer(1, 1, 1)``) produced a timer trap that crashed the
+simulator itself, not just the kernel.  Here that surfaces as
+:class:`SimulatorCrash`.
+"""
+
+from repro.tsim.events import EventQueue, Event
+from repro.tsim.machine import TargetMachine
+from repro.tsim.image import SystemImage, PartitionImage
+from repro.tsim.simulator import Simulator, SimulatorCrash, SimulatorHang
+
+__all__ = [
+    "EventQueue",
+    "Event",
+    "TargetMachine",
+    "SystemImage",
+    "PartitionImage",
+    "Simulator",
+    "SimulatorCrash",
+    "SimulatorHang",
+]

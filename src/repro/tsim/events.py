@@ -1,0 +1,69 @@
+"""Discrete event queue on a microsecond virtual clock.
+
+Plain heapq-based priority queue.  Events at the same virtual time fire in
+scheduling order (a monotone sequence number breaks ties), which keeps
+whole-campaign runs deterministic — a property the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback."""
+
+    time_us: int
+    seq: int
+    name: str = field(compare=False)
+    callback: Callable[[int], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of events ordered by (time, insertion sequence)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+
+    def schedule(self, time_us: int, callback: Callable[[int], None], name: str = "") -> Event:
+        """Schedule ``callback(time_us)`` at an absolute virtual time."""
+        if time_us < 0:
+            raise ValueError("cannot schedule before time zero")
+        event = Event(time_us, next(self._seq), name, callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> int | None:
+        """Virtual time of the next live event, or None if empty."""
+        self._drop_cancelled()
+        return self._heap[0].time_us if self._heap else None
+
+    def pop(self) -> Event | None:
+        """Remove and return the next live event, or None."""
+        self._drop_cancelled()
+        return heapq.heappop(self._heap) if self._heap else None
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Drop everything (system reset)."""
+        self._heap.clear()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        self._drop_cancelled()
+        return bool(self._heap)

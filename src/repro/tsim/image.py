@@ -1,0 +1,62 @@
+"""Packed system images.
+
+The paper's step 4 "packs" the test partition with the rest of the
+partitions into a bootable image for TSIM.  Here an image bundles a
+*kernel factory* (so :mod:`repro.tsim` stays independent of the concrete
+kernel implementation), the partition applications, and free-form
+metadata recorded into campaign logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tsim.machine import TargetMachine
+    from repro.tsim.simulator import Simulator
+
+
+class KernelProtocol(Protocol):
+    """What the simulator needs from a booted separation kernel."""
+
+    #: Length of the cyclic schedule's major frame, microseconds.
+    major_frame_us: int
+
+    def boot(self) -> None:
+        """Cold-boot the kernel: build partitions, start the schedule."""
+
+    def is_halted(self) -> bool:
+        """True once the kernel has fatally halted (no more progress)."""
+
+
+@dataclass(frozen=True)
+class PartitionImage:
+    """One partition's executable: a factory producing its application.
+
+    The factory is called at kernel boot with no arguments and must return
+    an application object understood by the kernel's partition runtime
+    (see :class:`repro.xal.app.PartitionApplication`).
+    """
+
+    name: str
+    app_factory: Callable[[], Any]
+
+
+@dataclass
+class SystemImage:
+    """A bootable TSP system: kernel + configuration + partitions."""
+
+    kernel_factory: Callable[["TargetMachine", "Simulator"], KernelProtocol]
+    partitions: dict[str, PartitionImage] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def add_partition(self, image: PartitionImage) -> None:
+        """Pack one partition; duplicate names are an error."""
+        if image.name in self.partitions:
+            raise ValueError(f"duplicate partition in image: {image.name}")
+        self.partitions[image.name] = image
+
+    def partition_names(self) -> list[str]:
+        """Names of packed partitions, in packing order."""
+        return list(self.partitions)

@@ -1,0 +1,119 @@
+"""Assembly of one LEON3 board.
+
+Bundles the :mod:`repro.sparc` devices into the machine the simulator
+boots: physical memory, I/O bus with UART/IRQMP/GPTIMER windows, the
+interrupt controller, timers and the CPU state.  The standard memory map
+follows the usual LEON3 layout (SRAM at ``0x40000000``, APB I/O at
+``0x80000000``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sparc.cpu import CpuState
+from repro.sparc.iobus import IoBus, IoDevice
+from repro.sparc.irqmp import IrqController
+from repro.sparc.memory import Access, MemoryArea, PhysicalMemory
+from repro.sparc.timerhw import GpTimerUnit
+from repro.sparc.uart import Uart
+
+#: Base of on-board SRAM on a LEON3.
+RAM_BASE = 0x40000000
+#: Default SRAM size: 16 MiB, as on the EagleEye TSIM configuration.
+RAM_SIZE = 16 * 1024 * 1024
+#: APB peripheral window base.
+APB_BASE = 0x80000000
+
+UART_BASE = APB_BASE + 0x100
+IRQMP_BASE = APB_BASE + 0x200
+GPTIMER_BASE = APB_BASE + 0x300
+
+
+@dataclass
+class TargetMachine:
+    """One simulated LEON3 board."""
+
+    memory: PhysicalMemory = field(default_factory=PhysicalMemory)
+    iobus: IoBus = field(default_factory=IoBus)
+    irq: IrqController = field(default_factory=IrqController)
+    gptimer: GpTimerUnit = field(default_factory=GpTimerUnit.leon3_default)
+    uart: Uart = field(default_factory=Uart)
+    cpu: CpuState = field(default_factory=CpuState)
+    ram_base: int = RAM_BASE
+    ram_size: int = RAM_SIZE
+
+    @classmethod
+    def leon3(cls, ram_size: int = RAM_SIZE, map_ram: bool = False) -> "TargetMachine":
+        """Build the default board with devices attached.
+
+        RAM *areas* are normally mapped by the separation kernel from its
+        static configuration (per-partition areas drive the MMU model);
+        pass ``map_ram=True`` to map the whole SRAM as one area for
+        bare-board use without a kernel.
+        """
+        machine = cls(ram_size=ram_size)
+        if map_ram:
+            machine.memory.add_area(
+                MemoryArea("sram", RAM_BASE, ram_size, Access.RWX, owner="board")
+            )
+        machine._attach_devices()
+        return machine
+
+    def ram_contains(self, start: int, size: int) -> bool:
+        """Whether a byte range lies inside the board's SRAM window."""
+        return self.ram_base <= start and start + size <= self.ram_base + self.ram_size
+
+    def _attach_devices(self) -> None:
+        self.iobus.attach(
+            IoDevice(
+                name="apbuart0",
+                base=UART_BASE,
+                size=0x100,
+                read_reg=lambda off: 0x6 if off == 4 else 0,  # TX ready bits
+                write_reg=self._uart_write_reg,
+            )
+        )
+        self.iobus.attach(
+            IoDevice(
+                name="irqmp0",
+                base=IRQMP_BASE,
+                size=0x100,
+                read_reg=self._irqmp_read_reg,
+                write_reg=self._irqmp_write_reg,
+            )
+        )
+        self.iobus.attach(
+            IoDevice(
+                name="gptimer0",
+                base=GPTIMER_BASE,
+                size=0x100,
+                read_reg=lambda off: 0,
+                write_reg=lambda off, val: None,
+            )
+        )
+
+    def _uart_write_reg(self, offset: int, value: int) -> None:
+        if offset == 0:  # data register
+            self.uart.write(chr(value & 0xFF))
+
+    def _irqmp_read_reg(self, offset: int) -> int:
+        if offset == 0x04:  # pending
+            return self.irq.pending_word
+        if offset == 0x40:  # CPU0 mask
+            return self.irq.mask_word
+        return 0
+
+    def _irqmp_write_reg(self, offset: int, value: int) -> None:
+        if offset == 0x04:
+            self.irq.set_pending_word(value)
+        elif offset == 0x40:
+            self.irq.set_mask_word(value)
+
+    def reset(self, cold: bool) -> None:
+        """Board reset.  A cold reset clears RAM; warm keeps contents."""
+        if cold:
+            self.memory.clear()
+        self.irq.reset()
+        self.gptimer.reset()
+        self.cpu.reset()

@@ -1,0 +1,154 @@
+"""The target simulator core.
+
+A :class:`Simulator` owns virtual time and the event queue, boots a
+:class:`~repro.tsim.image.SystemImage` on a
+:class:`~repro.tsim.machine.TargetMachine`, and pumps events until a
+deadline.  Two abnormal terminations mirror the real campaign:
+
+- :class:`SimulatorCrash` — the processor entered error mode (double
+  trap); on the paper's testbed this killed TSIM itself.
+- :class:`SimulatorHang` — the event budget was exhausted without reaching
+  the deadline; the paper treats a test that "fails to return" as a
+  potential Restart-class failure.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.sparc.cpu import ProcessorErrorMode
+from repro.tsim.events import Event, EventQueue
+from repro.tsim.image import KernelProtocol, SystemImage
+from repro.tsim.machine import TargetMachine
+
+
+class SimulatorCrash(Exception):
+    """The simulator process itself died (processor error mode)."""
+
+    def __init__(self, cause: Exception, at_us: int) -> None:
+        super().__init__(f"simulator crashed at t={at_us}us: {cause}")
+        self.cause = cause
+        self.at_us = at_us
+
+
+class SimulatorHang(Exception):
+    """Event budget exhausted: the system is livelocked."""
+
+    def __init__(self, at_us: int, events: int) -> None:
+        super().__init__(f"simulator hang detected at t={at_us}us after {events} events")
+        self.at_us = at_us
+        self.events = events
+
+
+class SimState(enum.Enum):
+    """Lifecycle of a simulator instance."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    STOPPED = "stopped"
+    CRASHED = "crashed"
+    HUNG = "hung"
+
+
+class Simulator:
+    """Discrete-event LEON3 target simulator."""
+
+    #: Default per-run event budget; generous for nominal schedules, small
+    #: enough that a livelocked kernel is detected quickly.
+    DEFAULT_EVENT_BUDGET = 200_000
+
+    def __init__(
+        self,
+        machine: TargetMachine,
+        image: SystemImage,
+        event_budget: int = DEFAULT_EVENT_BUDGET,
+    ) -> None:
+        self.machine = machine
+        self.image = image
+        self.events = EventQueue()
+        self.state = SimState.CREATED
+        self.event_budget = event_budget
+        self._now_us = 0
+        self._dispatched = 0
+        self.kernel: KernelProtocol | None = None
+
+    # -- virtual time ------------------------------------------------------
+
+    @property
+    def now_us(self) -> int:
+        """Current virtual time in microseconds."""
+        return self._now_us
+
+    def schedule_at(self, time_us: int, callback: Callable[[int], None], name: str = "") -> Event:
+        """Schedule an absolute-time event; must not be in the past."""
+        if time_us < self._now_us:
+            raise ValueError(f"cannot schedule into the past ({time_us} < {self._now_us})")
+        return self.events.schedule(time_us, callback, name)
+
+    def schedule_after(self, delay_us: int, callback: Callable[[int], None], name: str = "") -> Event:
+        """Schedule relative to the current virtual time."""
+        return self.schedule_at(self._now_us + delay_us, callback, name)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def boot(self) -> KernelProtocol:
+        """Instantiate the kernel from the image and cold-boot it."""
+        if self.kernel is not None:
+            raise RuntimeError("image already booted")
+        self.kernel = self.image.kernel_factory(self.machine, self)
+        self.state = SimState.RUNNING
+        try:
+            self.kernel.boot()
+        except ProcessorErrorMode as exc:  # boot-time double trap
+            self.state = SimState.CRASHED
+            raise SimulatorCrash(exc, self._now_us) from exc
+        return self.kernel
+
+    def run_until(self, deadline_us: int) -> None:
+        """Pump events until virtual time reaches the deadline.
+
+        Stops early when the kernel halts fatally (the board is dead but
+        the simulator survives, so logs remain collectable).
+        """
+        if self.kernel is None:
+            raise RuntimeError("boot() before run")
+        if self.state is not SimState.RUNNING:
+            return
+        budget = self.event_budget
+        while True:
+            if self.kernel.is_halted():
+                self.state = SimState.STOPPED
+                return
+            next_time = self.events.peek_time()
+            if next_time is None or next_time > deadline_us:
+                # Never rewind: a deadline already in the past is a no-op.
+                self._now_us = max(self._now_us, deadline_us)
+                return
+            event = self.events.pop()
+            assert event is not None
+            self._now_us = event.time_us
+            self._dispatched += 1
+            budget -= 1
+            if budget <= 0:
+                self.state = SimState.HUNG
+                raise SimulatorHang(self._now_us, self._dispatched)
+            try:
+                event.callback(self._now_us)
+            except ProcessorErrorMode as exc:
+                self.state = SimState.CRASHED
+                raise SimulatorCrash(exc, self._now_us) from exc
+
+    def run_major_frames(self, count: int) -> None:
+        """Run a whole number of the kernel's major frames."""
+        if self.kernel is None:
+            raise RuntimeError("boot() before run")
+        frame = self.kernel.major_frame_us
+        if frame <= 0:
+            raise ValueError("kernel reports a non-positive major frame")
+        self.run_until(self._now_us + count * frame)
+
+    @property
+    def dispatched_events(self) -> int:
+        """Total events dispatched since construction."""
+        return self._dispatched

@@ -1,0 +1,13 @@
+"""XAL-like partition runtime.
+
+XtratuM partitions host a guest OS; the XtratuM Abstraction Layer (XAL)
+is the minimal single-threaded C runtime ESA used for bare partitions.
+This package is its Python analogue: an application base class the
+scheduler drives slot by slot, plus a ``libxm`` binding layer that wraps
+raw hypercalls with scratch-buffer management for out-parameters.
+"""
+
+from repro.xal.app import PartitionApplication
+from repro.xal.runtime import Libxm, ScratchAllocator
+
+__all__ = ["PartitionApplication", "Libxm", "ScratchAllocator"]

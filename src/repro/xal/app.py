@@ -1,0 +1,59 @@
+"""Partition application base class.
+
+The cyclic scheduler calls :meth:`PartitionApplication.step` once per
+slot with a :class:`~repro.xm.sched.SlotContext`.  Applications override
+:meth:`on_boot` (first slot after a partition boot/reset) and
+:meth:`on_step` (every slot).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.xal.runtime import Libxm
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xm.sched import SlotContext
+
+
+class PartitionApplication:
+    """Base class for partition software."""
+
+    def __init__(self) -> None:
+        self.booted = False
+        self.steps = 0
+
+    def step(self, ctx: "SlotContext") -> None:
+        """Scheduler entry point; dispatches boot/virq/step hooks."""
+        xm = Libxm(ctx)
+        if not self.booted:
+            self.booted = True
+            self.on_boot(ctx, xm)
+        self._deliver_virqs(ctx, xm)
+        self.steps += 1
+        self.on_step(ctx, xm)
+
+    def _deliver_virqs(self, ctx: "SlotContext", xm: Libxm) -> None:
+        """Deliver pending, unmasked virtual interrupts (highest first).
+
+        Mirrors XtratuM's para-virtualised interrupt model: virtual IRQs
+        pend while the partition is off-CPU and are delivered when it
+        next runs, clearing the pending bit per delivery.
+        """
+        partition = ctx.partition
+        deliverable = partition.virq_pending & partition.virq_mask
+        line = deliverable.bit_length() - 1
+        while line >= 0:
+            if deliverable & (1 << line):
+                partition.virq_pending &= ~(1 << line)
+                self.on_virq(ctx, xm, line)
+            line -= 1
+
+    def on_boot(self, ctx: "SlotContext", xm: Libxm) -> None:
+        """First execution after (re)boot; open ports, init state."""
+
+    def on_virq(self, ctx: "SlotContext", xm: Libxm, line: int) -> None:
+        """A virtual interrupt was delivered (unmasked + pending)."""
+
+    def on_step(self, ctx: "SlotContext", xm: Libxm) -> None:
+        """Periodic slot work."""

@@ -1,0 +1,221 @@
+"""``libxm`` bindings for partition code.
+
+Hypercalls with out-parameters need partition-owned buffers; the
+:class:`ScratchAllocator` hands out addresses inside the partition's own
+memory area (a bump allocator over a reserved scratch window), and
+:class:`Libxm` wraps the raw hypercall interface with read-back of
+results — the same service the C ``libxm`` provides to XAL applications.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING
+
+from repro.xm import rc
+from repro.xm.status import (
+    XmHmLogEntry,
+    XmHmStatus,
+    XmPartitionStatus,
+    XmPlanStatus,
+    XmPortStatus,
+    XmSystemStatus,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xm.sched import SlotContext
+
+#: Offset of the scratch window inside a partition's first memory area.
+SCRATCH_OFFSET = 0x10000
+#: Size of the scratch window.
+SCRATCH_SIZE = 0x8000
+#: Offset of the batch/test buffer window (used by the fault framework).
+TEST_BUFFER_OFFSET = 0x20000
+#: Size of the batch/test buffer window.
+TEST_BUFFER_SIZE = 0x20000
+
+
+class ScratchAllocator:
+    """Bump allocator over the partition's scratch window."""
+
+    def __init__(self, base: int, size: int = SCRATCH_SIZE) -> None:
+        self.base = base
+        self.size = size
+        self._next = base
+
+    def alloc(self, nbytes: int, align: int = 8) -> int:
+        """Allocate ``nbytes``; wraps around when the window fills."""
+        addr = (self._next + align - 1) // align * align
+        if addr + nbytes > self.base + self.size:
+            addr = self.base  # scratch data is transient; recycling is fine
+        self._next = addr + nbytes
+        return addr
+
+    def reset(self) -> None:
+        """Recycle the whole window."""
+        self._next = self.base
+
+
+class Libxm:
+    """Typed wrappers over the hypercall interface for one slot."""
+
+    def __init__(self, ctx: "SlotContext") -> None:
+        self.ctx = ctx
+        partition = ctx.partition
+        area = partition.config.memory_areas[0]
+        self.scratch = ScratchAllocator(area.start + SCRATCH_OFFSET)
+        self.test_buffer_base = area.start + TEST_BUFFER_OFFSET
+        self._space = partition.address_space
+
+    # -- raw access -----------------------------------------------------------
+
+    def call(self, name: str, *args: int) -> int:
+        """Raw hypercall."""
+        return self.ctx.hypercall(name, *args)
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Write into partition memory (partition rights apply)."""
+        self._space.write(address, data)
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        """Read from partition memory (partition rights apply)."""
+        return self._space.read(address, size)
+
+    def place(self, data: bytes) -> int:
+        """Copy data into scratch and return its address."""
+        addr = self.scratch.alloc(len(data))
+        self.write_bytes(addr, data)
+        return addr
+
+    def place_cstring(self, text: str) -> int:
+        """Place a NUL-terminated ASCII string in scratch."""
+        return self.place(text.encode("ascii") + b"\0")
+
+    # -- typed wrappers ----------------------------------------------------------
+
+    def get_time(self, clock_id: int) -> tuple[int, int]:
+        """``XM_get_time``: (return code, time value)."""
+        addr = self.scratch.alloc(8)
+        code = self.call("XM_get_time", clock_id, addr)
+        value = 0
+        if code == rc.XM_OK:
+            value = int.from_bytes(self.read_bytes(addr, 8), "big", signed=True)
+        return code, value
+
+    def set_timer(self, clock_id: int, abs_time: int, interval: int) -> int:
+        """``XM_set_timer``."""
+        return self.call("XM_set_timer", clock_id, abs_time, interval)
+
+    def get_system_status(self) -> tuple[int, XmSystemStatus | None]:
+        """``XM_get_system_status``: (return code, status)."""
+        addr = self.scratch.alloc(XmSystemStatus.SIZE)
+        code = self.call("XM_get_system_status", addr)
+        if code != rc.XM_OK:
+            return code, None
+        return code, XmSystemStatus.unpack(self.read_bytes(addr, XmSystemStatus.SIZE))
+
+    def get_partition_status(self, partition_id: int) -> tuple[int, XmPartitionStatus | None]:
+        """``XM_get_partition_status``: (return code, status)."""
+        addr = self.scratch.alloc(XmPartitionStatus.SIZE)
+        code = self.call("XM_get_partition_status", partition_id, addr)
+        if code != rc.XM_OK:
+            return code, None
+        return code, XmPartitionStatus.unpack(
+            self.read_bytes(addr, XmPartitionStatus.SIZE)
+        )
+
+    def get_plan_status(self) -> tuple[int, XmPlanStatus | None]:
+        """``XM_get_plan_status``: (return code, status)."""
+        addr = self.scratch.alloc(XmPlanStatus.SIZE)
+        code = self.call("XM_get_plan_status", addr)
+        if code != rc.XM_OK:
+            return code, None
+        return code, XmPlanStatus.unpack(self.read_bytes(addr, XmPlanStatus.SIZE))
+
+    def create_sampling_port(
+        self, name: str, max_msg_size: int, direction: int, refresh_us: int = 0
+    ) -> int:
+        """``XM_create_sampling_port``: descriptor or error code."""
+        return self.call(
+            "XM_create_sampling_port",
+            self.place_cstring(name),
+            max_msg_size,
+            direction,
+            refresh_us,
+        )
+
+    def write_sampling_message(self, port: int, data: bytes) -> int:
+        """``XM_write_sampling_message``."""
+        return self.call("XM_write_sampling_message", port, self.place(data), len(data))
+
+    def read_sampling_message(self, port: int, max_size: int) -> tuple[int, bytes, int]:
+        """``XM_read_sampling_message``: (code/length, data, validity)."""
+        buf = self.scratch.alloc(max(max_size, 1))
+        flags = self.scratch.alloc(4)
+        code = self.call("XM_read_sampling_message", port, buf, max_size, flags)
+        if code < 0 or code == rc.XM_OK:
+            return code, b"", 0
+        data = self.read_bytes(buf, code)
+        validity = struct.unpack(">I", self.read_bytes(flags, 4))[0]
+        return code, data, validity
+
+    def create_queuing_port(
+        self, name: str, max_no_msgs: int, max_msg_size: int, direction: int
+    ) -> int:
+        """``XM_create_queuing_port``: descriptor or error code."""
+        return self.call(
+            "XM_create_queuing_port",
+            self.place_cstring(name),
+            max_no_msgs,
+            max_msg_size,
+            direction,
+        )
+
+    def send_queuing_message(self, port: int, data: bytes) -> int:
+        """``XM_send_queuing_message``."""
+        return self.call("XM_send_queuing_message", port, self.place(data), len(data))
+
+    def receive_queuing_message(self, port: int, max_size: int) -> tuple[int, bytes, int]:
+        """``XM_receive_queuing_message``: (code/length, data, remaining)."""
+        buf = self.scratch.alloc(max(max_size, 1))
+        flags = self.scratch.alloc(4)
+        code = self.call("XM_receive_queuing_message", port, buf, max_size, flags)
+        if code < 0 or code == rc.XM_OK:
+            return code, b"", 0
+        data = self.read_bytes(buf, code)
+        remaining = struct.unpack(">I", self.read_bytes(flags, 4))[0]
+        return code, data, remaining
+
+    def get_port_status(self, port: int) -> tuple[int, XmPortStatus | None]:
+        """``XM_get_port_status``: (return code, status)."""
+        addr = self.scratch.alloc(XmPortStatus.SIZE)
+        code = self.call("XM_get_port_status", port, addr)
+        if code != rc.XM_OK:
+            return code, None
+        return code, XmPortStatus.unpack(self.read_bytes(addr, XmPortStatus.SIZE))
+
+    def hm_status(self) -> tuple[int, XmHmStatus | None]:
+        """``XM_hm_status``: (return code, status)."""
+        addr = self.scratch.alloc(XmHmStatus.SIZE)
+        code = self.call("XM_hm_status", addr)
+        if code != rc.XM_OK:
+            return code, None
+        return code, XmHmStatus.unpack(self.read_bytes(addr, XmHmStatus.SIZE))
+
+    def hm_read(self, max_logs: int) -> tuple[int, list[XmHmLogEntry]]:
+        """``XM_hm_read``: (count or error, entries)."""
+        addr = self.scratch.alloc(XmHmLogEntry.SIZE * max(max_logs, 1))
+        code = self.call("XM_hm_read", addr, max_logs)
+        if code <= 0:
+            return code, []
+        raw = self.read_bytes(addr, XmHmLogEntry.SIZE * code)
+        entries = [
+            XmHmLogEntry.unpack(raw[i * XmHmLogEntry.SIZE :])
+            for i in range(code)
+        ]
+        return code, entries
+
+    def write_console(self, text: str) -> int:
+        """``XM_write_console``."""
+        data = text.encode("ascii")
+        return self.call("XM_write_console", self.place(data), len(data))

@@ -1,0 +1,61 @@
+"""Behavioural model of the XtratuM separation kernel for LEON3.
+
+XtratuM is a bare-metal hypervisor providing time and space partitioning:
+a cyclic scheduler (temporal isolation), per-partition memory maps
+(spatial isolation), inter-partition communication ports, a health
+monitor, tracing, clocks/timers and interrupt management, all exposed to
+partitions through hypercalls.
+
+This package models the kernel at the hypercall/behaviour level — the
+level the paper's black-box data-type fault model exercises.  The 61
+hypercalls of Table III are registered in :mod:`repro.xm.api`; the
+historical robustness defects the paper uncovered are implemented
+verbatim and gated by kernel version in :mod:`repro.xm.vulns`
+(``3.4.0`` = the vulnerable kernel under test, ``3.4.1`` = the revised
+kernel the XM development team produced after the campaign).
+"""
+
+from repro.xm import rc
+from repro.xm.api import (
+    HYPERCALL_TABLE,
+    Category,
+    HypercallDef,
+    ParamDef,
+    hypercall_by_name,
+)
+from repro.xm.config import (
+    ChannelConfig,
+    MemoryAreaConfig,
+    PartitionConfig,
+    PlanConfig,
+    PortConfig,
+    SlotConfig,
+    XMConfig,
+)
+from repro.xm.kernel import Kernel, KernelPanic, NoReturnFromHypercall
+from repro.xm.partition import Partition, PartitionState
+from repro.xm.vulns import KNOWN_VULNERABILITIES, KernelFeatures, Vulnerability
+
+__all__ = [
+    "rc",
+    "HYPERCALL_TABLE",
+    "Category",
+    "HypercallDef",
+    "ParamDef",
+    "hypercall_by_name",
+    "ChannelConfig",
+    "MemoryAreaConfig",
+    "PartitionConfig",
+    "PlanConfig",
+    "PortConfig",
+    "SlotConfig",
+    "XMConfig",
+    "Kernel",
+    "KernelPanic",
+    "NoReturnFromHypercall",
+    "Partition",
+    "PartitionState",
+    "KNOWN_VULNERABILITIES",
+    "KernelFeatures",
+    "Vulnerability",
+]

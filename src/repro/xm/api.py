@@ -1,0 +1,717 @@
+"""The XtratuM hypercall API: 61 services in 11 categories (Table III).
+
+Every hypercall the kernel exposes is declared here once; the declaration
+drives three consumers:
+
+1. the kernel's dispatcher (``service`` names the handler method),
+2. the fault model's API-header generation (parameter names/types,
+   pointer-ness, and per-parameter *dictionary hints* — the paper's §V
+   context-specific test value sets),
+3. the campaign scoping of Table III (``tested`` / ``untested_reason``).
+
+Untested calls fall into the two groups Fig. 8 identifies: parameter-less
+hypercalls (10 of 61 ≈ 16 %), and calls excluded for cause on this
+testbed (struct-heavy inputs, single-core target, or operations that
+would corrupt the test harness itself).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Category(enum.Enum):
+    """Hypercall categories, in Table III order."""
+
+    SYSTEM = "System Management"
+    PARTITION = "Partition Management"
+    TIME = "Time Management"
+    PLAN = "Plan Management"
+    IPC = "Inter-Partition Communication"
+    MEMORY = "Memory Management"
+    HM = "Health Monitor Management"
+    TRACE = "Trace Management"
+    IRQ = "Interrupt Management"
+    MISC = "Miscellaneous"
+    SPARC = "Sparc V8 Specific"
+
+
+@dataclass(frozen=True)
+class ParamDef:
+    """One hypercall parameter.
+
+    ``dict_hint`` names the test-value dictionary the fault model should
+    use; None means "the default dictionary of the declared type".
+    ``out`` marks write-only (result) pointers.
+    """
+
+    name: str
+    type_name: str
+    is_pointer: bool = False
+    out: bool = False
+    dict_hint: str | None = None
+
+    @property
+    def dictionary_key(self) -> str:
+        """Resolved dictionary name for the fault model."""
+        return self.dict_hint if self.dict_hint is not None else self.type_name
+
+
+@dataclass(frozen=True)
+class HypercallDef:
+    """One hypercall declaration."""
+
+    number: int
+    name: str
+    category: Category
+    params: tuple[ParamDef, ...]
+    service: str
+    return_type: str = "xm_s32_t"
+    system_only: bool = False
+    tested: bool = True
+    untested_reason: str | None = None
+
+    @property
+    def has_params(self) -> bool:
+        """Whether the call takes any parameter (Fig. 8 grouping)."""
+        return bool(self.params)
+
+    @property
+    def arity(self) -> int:
+        """Number of parameters."""
+        return len(self.params)
+
+    def __post_init__(self) -> None:
+        if not self.tested and self.untested_reason is None:
+            raise ValueError(f"{self.name}: untested calls need a reason")
+        if self.tested and not self.params:
+            raise ValueError(f"{self.name}: parameter-less calls are untested in scope")
+
+
+NO_PARAMS = "parameter-less hypercall (out of data-type fault model scope)"
+STRUCT_HEAVY = "requires composite struct input outside the data-type dictionaries"
+SINGLE_CORE = "multicore/vCPU service; LEON3 testbed is single-core"
+HARNESS_RISK = "would corrupt the test harness/testbed itself"
+
+
+def _p(name: str, type_name: str, **kw: object) -> ParamDef:
+    return ParamDef(name, type_name, **kw)  # type: ignore[arg-type]
+
+
+def _ptr(name: str, type_name: str, hint: str, out: bool = False) -> ParamDef:
+    return ParamDef(name, type_name, is_pointer=True, out=out, dict_hint=hint)
+
+
+def _build_table() -> tuple[HypercallDef, ...]:
+    table: list[HypercallDef] = []
+    num = iter(range(1, 200))
+
+    def add(
+        name: str,
+        category: Category,
+        params: tuple[ParamDef, ...],
+        service: str,
+        **kw: object,
+    ) -> None:
+        table.append(
+            HypercallDef(next(num), name, category, params, service, **kw)  # type: ignore[arg-type]
+        )
+
+    # -- System Management (3) ---------------------------------------------
+    add(
+        "XM_get_system_status",
+        Category.SYSTEM,
+        (_ptr("status", "xmSystemStatus_t", "struct_ptr", out=True),),
+        "sysmgr.svc_get_system_status",
+        system_only=True,
+    )
+    add(
+        "XM_reset_system",
+        Category.SYSTEM,
+        (_p("mode", "xm_u32_t"),),
+        "sysmgr.svc_reset_system",
+        system_only=True,
+    )
+    add(
+        "XM_halt_system",
+        Category.SYSTEM,
+        (),
+        "sysmgr.svc_halt_system",
+        system_only=True,
+        tested=False,
+        untested_reason=NO_PARAMS,
+    )
+
+    # -- Partition Management (10) -----------------------------------------
+    add(
+        "XM_get_partition_status",
+        Category.PARTITION,
+        (
+            _p("partitionId", "xm_s32_t"),
+            _ptr("status", "xmPartitionStatus_t", "struct_ptr", out=True),
+        ),
+        "partmgr.svc_get_partition_status",
+        system_only=True,
+    )
+    add(
+        "XM_halt_partition",
+        Category.PARTITION,
+        (_p("partitionId", "xm_s32_t"),),
+        "partmgr.svc_halt_partition",
+        system_only=True,
+    )
+    add(
+        "XM_reset_partition",
+        Category.PARTITION,
+        (
+            _p("partitionId", "xm_s32_t"),
+            _p("resetMode", "xm_u32_t"),
+            _p("status", "xm_u32_t"),
+        ),
+        "partmgr.svc_reset_partition",
+        system_only=True,
+    )
+    add(
+        "XM_resume_partition",
+        Category.PARTITION,
+        (_p("partitionId", "xm_s32_t"),),
+        "partmgr.svc_resume_partition",
+        system_only=True,
+    )
+    add(
+        "XM_suspend_partition",
+        Category.PARTITION,
+        (_p("partitionId", "xm_s32_t"),),
+        "partmgr.svc_suspend_partition",
+        system_only=True,
+    )
+    add(
+        "XM_shutdown_partition",
+        Category.PARTITION,
+        (_p("partitionId", "xm_s32_t"),),
+        "partmgr.svc_shutdown_partition",
+        system_only=True,
+    )
+    add(
+        "XM_idle_self",
+        Category.PARTITION,
+        (),
+        "partmgr.svc_idle_self",
+        tested=False,
+        untested_reason=NO_PARAMS,
+    )
+    add(
+        "XM_halt_vcpu",
+        Category.PARTITION,
+        (_p("vcpuId", "xm_u32_t"),),
+        "partmgr.svc_halt_vcpu",
+        tested=False,
+        untested_reason=SINGLE_CORE,
+    )
+    add(
+        "XM_suspend_vcpu",
+        Category.PARTITION,
+        (_p("vcpuId", "xm_u32_t"),),
+        "partmgr.svc_suspend_vcpu",
+        tested=False,
+        untested_reason=SINGLE_CORE,
+    )
+    add(
+        "XM_resume_vcpu",
+        Category.PARTITION,
+        (_p("vcpuId", "xm_u32_t"),),
+        "partmgr.svc_resume_vcpu",
+        tested=False,
+        untested_reason=SINGLE_CORE,
+    )
+
+    # -- Time Management (2) -------------------------------------------------
+    add(
+        "XM_get_time",
+        Category.TIME,
+        (
+            _p("clockId", "xm_u32_t", dict_hint="clock_id"),
+            _ptr("time", "xmTime_t", "out_ptr_small", out=True),
+        ),
+        "timemgr.svc_get_time",
+    )
+    add(
+        "XM_set_timer",
+        Category.TIME,
+        (
+            _p("clockId", "xm_u32_t", dict_hint="clock_id"),
+            _p("absTime", "xmTime_t"),
+            _p("interval", "xmTime_t"),
+        ),
+        "timemgr.svc_set_timer",
+    )
+
+    # -- Plan Management (2) --------------------------------------------------
+    add(
+        "XM_switch_sched_plan",
+        Category.PLAN,
+        (_p("planId", "xm_u32_t", dict_hint="plan_id"),),
+        "planmgr.svc_switch_sched_plan",
+        system_only=True,
+    )
+    add(
+        "XM_get_plan_status",
+        Category.PLAN,
+        (_ptr("status", "xmPlanStatus_t", "struct_ptr", out=True),),
+        "planmgr.svc_get_plan_status",
+        tested=False,
+        untested_reason=STRUCT_HEAVY,
+    )
+
+    # -- Inter-Partition Communication (10) -----------------------------------
+    add(
+        "XM_create_sampling_port",
+        Category.IPC,
+        (
+            _ptr("portName", "xm_s8_t", "name_ptr"),
+            _p("maxMsgSize", "xmSize_t", dict_hint="size_ctx"),
+            _p("direction", "xm_u32_t", dict_hint="direction_ctx"),
+            _p("refreshPeriod", "xmTime_t"),
+        ),
+        "ipc.svc_create_sampling_port",
+    )
+    add(
+        "XM_write_sampling_message",
+        Category.IPC,
+        (
+            _p("portDesc", "xm_s32_t", dict_hint="port_id"),
+            _ptr("msgPtr", "xm_u8_t", "buffer_ptr"),
+            _p("msgSize", "xmSize_t", dict_hint="size_ctx"),
+        ),
+        "ipc.svc_write_sampling_message",
+    )
+    add(
+        "XM_read_sampling_message",
+        Category.IPC,
+        (
+            _p("portDesc", "xm_s32_t", dict_hint="port_id"),
+            _ptr("msgPtr", "xm_u8_t", "buffer_ptr", out=True),
+            _p("msgSize", "xmSize_t", dict_hint="size_ctx"),
+            _ptr("flags", "xm_u32_t", "out_ptr_small", out=True),
+        ),
+        "ipc.svc_read_sampling_message",
+    )
+    add(
+        "XM_create_queuing_port",
+        Category.IPC,
+        (
+            _ptr("portName", "xm_s8_t", "name_ptr"),
+            _p("maxNoMsgs", "xm_u32_t", dict_hint="size_ctx"),
+            _p("maxMsgSize", "xmSize_t", dict_hint="size_ctx"),
+            _p("direction", "xm_u32_t", dict_hint="direction_ctx"),
+        ),
+        "ipc.svc_create_queuing_port",
+    )
+    add(
+        "XM_send_queuing_message",
+        Category.IPC,
+        (
+            _p("portDesc", "xm_s32_t", dict_hint="port_id"),
+            _ptr("msgPtr", "xm_u8_t", "buffer_ptr"),
+            _p("msgSize", "xmSize_t", dict_hint="size_ctx"),
+        ),
+        "ipc.svc_send_queuing_message",
+    )
+    add(
+        "XM_receive_queuing_message",
+        Category.IPC,
+        (
+            _p("portDesc", "xm_s32_t", dict_hint="port_id"),
+            _ptr("msgPtr", "xm_u8_t", "buffer_ptr", out=True),
+            _p("msgSize", "xmSize_t", dict_hint="size_ctx"),
+            _ptr("flags", "xm_u32_t", "out_ptr_small", out=True),
+        ),
+        "ipc.svc_receive_queuing_message",
+    )
+    add(
+        "XM_get_port_status",
+        Category.IPC,
+        (
+            _p("portDesc", "xm_s32_t", dict_hint="port_id"),
+            _ptr("status", "xmPortStatus_t", "struct_ptr", out=True),
+        ),
+        "ipc.svc_get_port_status",
+    )
+    add(
+        "XM_flush_port",
+        Category.IPC,
+        (_p("portDesc", "xm_s32_t", dict_hint="port_id"),),
+        "ipc.svc_flush_port",
+    )
+    add(
+        "XM_get_sampling_port_info",
+        Category.IPC,
+        (
+            _ptr("portName", "xm_s8_t", "name_ptr"),
+            _ptr("info", "xmSamplingPortInfo_t", "struct_ptr", out=True),
+        ),
+        "ipc.svc_get_sampling_port_info",
+        tested=False,
+        untested_reason=STRUCT_HEAVY,
+    )
+    add(
+        "XM_get_queuing_port_info",
+        Category.IPC,
+        (
+            _ptr("portName", "xm_s8_t", "name_ptr"),
+            _ptr("info", "xmQueuingPortInfo_t", "struct_ptr", out=True),
+        ),
+        "ipc.svc_get_queuing_port_info",
+        tested=False,
+        untested_reason=STRUCT_HEAVY,
+    )
+
+    # -- Memory Management (2) -------------------------------------------------
+    add(
+        "XM_memory_copy",
+        Category.MEMORY,
+        (
+            _p("dstId", "xm_s32_t", dict_hint="partition_id_ctx"),
+            _p("dstAddr", "xmAddress_t"),
+            _p("srcId", "xm_s32_t", dict_hint="partition_id_ctx"),
+            _p("srcAddr", "xmAddress_t"),
+            _p("size", "xmSize_t", dict_hint="size_ctx"),
+        ),
+        "memmgr.svc_memory_copy",
+        system_only=True,
+    )
+    add(
+        "XM_update_page32",
+        Category.MEMORY,
+        (
+            _p("pageAddr", "xmAddress_t"),
+            _p("value", "xm_u32_t"),
+        ),
+        "memmgr.svc_update_page32",
+        tested=False,
+        untested_reason=HARNESS_RISK,
+    )
+
+    # -- Health Monitor Management (5) -------------------------------------------
+    add(
+        "XM_hm_status",
+        Category.HM,
+        (_ptr("status", "xmHmStatus_t", "struct_ptr", out=True),),
+        "hmmgr.svc_hm_status",
+        system_only=True,
+    )
+    add(
+        "XM_hm_read",
+        Category.HM,
+        (
+            _ptr("log", "xmHmLog_t", "buffer_ptr", out=True),
+            _p("noLogs", "xm_u32_t"),
+        ),
+        "hmmgr.svc_hm_read",
+        system_only=True,
+    )
+    add(
+        "XM_hm_seek",
+        Category.HM,
+        (
+            _p("offset", "xm_u32_t"),
+            _p("whence", "xm_u32_t"),
+        ),
+        "hmmgr.svc_hm_seek",
+        system_only=True,
+    )
+    add(
+        "XM_hm_reset_events",
+        Category.HM,
+        (),
+        "hmmgr.svc_hm_reset_events",
+        system_only=True,
+        tested=False,
+        untested_reason=NO_PARAMS,
+    )
+    add(
+        "XM_hm_raise_event",
+        Category.HM,
+        (_ptr("event", "xmHmLog_t", "struct_ptr"),),
+        "hmmgr.svc_hm_raise_event",
+        system_only=True,
+        tested=False,
+        untested_reason=STRUCT_HEAVY,
+    )
+
+    # -- Trace Management (5) -------------------------------------------------
+    add(
+        "XM_trace_open",
+        Category.TRACE,
+        (_p("streamId", "xm_s32_t"),),
+        "tracemgr.svc_trace_open",
+    )
+    add(
+        "XM_trace_read",
+        Category.TRACE,
+        (
+            _p("streamId", "xm_s32_t"),
+            _ptr("events", "xmTraceEvent_t", "buffer_ptr", out=True),
+            _p("noEvents", "xm_u32_t"),
+        ),
+        "tracemgr.svc_trace_read",
+    )
+    add(
+        "XM_trace_seek",
+        Category.TRACE,
+        (
+            _p("streamId", "xm_s32_t"),
+            _p("offset", "xm_u32_t"),
+            _p("whence", "xm_u32_t"),
+        ),
+        "tracemgr.svc_trace_seek",
+    )
+    add(
+        "XM_trace_status",
+        Category.TRACE,
+        (
+            _p("streamId", "xm_s32_t"),
+            _ptr("status", "xmTraceStatus_t", "struct_ptr", out=True),
+        ),
+        "tracemgr.svc_trace_status",
+    )
+    add(
+        "XM_trace_flush",
+        Category.TRACE,
+        (),
+        "tracemgr.svc_trace_flush",
+        tested=False,
+        untested_reason=NO_PARAMS,
+    )
+
+    # -- Interrupt Management (5) -----------------------------------------------
+    add(
+        "XM_route_irq",
+        Category.IRQ,
+        (
+            _p("irqType", "xm_u32_t"),
+            _p("irqLine", "xm_u32_t"),
+            _p("vector", "xm_u32_t"),
+        ),
+        "irqmgr.svc_route_irq",
+    )
+    add(
+        "XM_mask_irq",
+        Category.IRQ,
+        (_p("irqLine", "xm_u32_t"),),
+        "irqmgr.svc_mask_irq",
+    )
+    add(
+        "XM_unmask_irq",
+        Category.IRQ,
+        (_p("irqLine", "xm_u32_t"),),
+        "irqmgr.svc_unmask_irq",
+    )
+    add(
+        "XM_set_irqpend",
+        Category.IRQ,
+        (_p("irqLine", "xm_u32_t"),),
+        "irqmgr.svc_set_irqpend",
+    )
+    add(
+        "XM_enable_irqs",
+        Category.IRQ,
+        (),
+        "irqmgr.svc_enable_irqs",
+        tested=False,
+        untested_reason=NO_PARAMS,
+    )
+
+    # -- Miscellaneous (5) --------------------------------------------------------
+    add(
+        "XM_multicall",
+        Category.MISC,
+        (
+            _ptr("startAddr", "void", "batch_ptr_start"),
+            _ptr("endAddr", "void", "batch_ptr_end"),
+        ),
+        "miscmgr.svc_multicall",
+    )
+    add(
+        "XM_write_console",
+        Category.MISC,
+        (
+            _ptr("buffer", "xm_s8_t", "buffer_ptr"),
+            _p("length", "xmSize_t", dict_hint="size_ctx"),
+        ),
+        "miscmgr.svc_write_console",
+    )
+    add(
+        "XM_get_gid_by_name",
+        Category.MISC,
+        (
+            _ptr("name", "xm_s8_t", "name_ptr"),
+            _p("entity", "xm_u32_t", dict_hint="entity_ctx"),
+        ),
+        "miscmgr.svc_get_gid_by_name",
+    )
+    add(
+        "XM_get_hpv_info",
+        Category.MISC,
+        (_ptr("info", "xmHpvInfo_t", "struct_ptr", out=True),),
+        "miscmgr.svc_get_hpv_info",
+        tested=False,
+        untested_reason=STRUCT_HEAVY,
+    )
+    add(
+        "XM_params_get_pct",
+        Category.MISC,
+        (_ptr("pct", "xmAddress_t", "struct_ptr", out=True),),
+        "miscmgr.svc_params_get_pct",
+        tested=False,
+        untested_reason=STRUCT_HEAVY,
+    )
+
+    # -- Sparc V8 Specific (12) -----------------------------------------------------
+    add(
+        "XM_sparc_inport",
+        Category.SPARC,
+        (_p("port", "xmIoAddress_t"),),
+        "sparcmgr.svc_inport",
+    )
+    add(
+        "XM_sparc_outport",
+        Category.SPARC,
+        (
+            _p("port", "xmIoAddress_t"),
+            _p("value", "xm_u32_t"),
+        ),
+        "sparcmgr.svc_outport",
+    )
+    add(
+        "XM_sparc_atomic_add",
+        Category.SPARC,
+        (
+            _p("address", "xmAddress_t"),
+            _p("value", "xm_u32_t"),
+        ),
+        "sparcmgr.svc_atomic_add",
+    )
+    add(
+        "XM_sparc_atomic_and",
+        Category.SPARC,
+        (
+            _p("address", "xmAddress_t"),
+            _p("mask", "xm_u32_t"),
+        ),
+        "sparcmgr.svc_atomic_and",
+    )
+    add(
+        "XM_sparc_atomic_or",
+        Category.SPARC,
+        (
+            _p("address", "xmAddress_t"),
+            _p("mask", "xm_u32_t"),
+        ),
+        "sparcmgr.svc_atomic_or",
+    )
+    add(
+        "XM_sparc_flush_regwin",
+        Category.SPARC,
+        (),
+        "sparcmgr.svc_flush_regwin",
+        tested=False,
+        untested_reason=NO_PARAMS,
+    )
+    add(
+        "XM_sparc_flush_cache",
+        Category.SPARC,
+        (),
+        "sparcmgr.svc_flush_cache",
+        tested=False,
+        untested_reason=NO_PARAMS,
+    )
+    add(
+        "XM_sparc_enable_traps",
+        Category.SPARC,
+        (),
+        "sparcmgr.svc_enable_traps",
+        tested=False,
+        untested_reason=NO_PARAMS,
+    )
+    add(
+        "XM_sparc_disable_traps",
+        Category.SPARC,
+        (),
+        "sparcmgr.svc_disable_traps",
+        tested=False,
+        untested_reason=NO_PARAMS,
+    )
+    add(
+        "XM_sparc_get_psr",
+        Category.SPARC,
+        (),
+        "sparcmgr.svc_get_psr",
+        tested=False,
+        untested_reason=NO_PARAMS,
+    )
+    add(
+        "XM_sparc_install_trap_handler",
+        Category.SPARC,
+        (
+            _p("trapNr", "xm_u32_t"),
+            _p("handler", "xmAddress_t"),
+        ),
+        "sparcmgr.svc_install_trap_handler",
+        tested=False,
+        untested_reason=HARNESS_RISK,
+    )
+    add(
+        "XM_sparc_set_tbr",
+        Category.SPARC,
+        (_p("tbr", "xmAddress_t"),),
+        "sparcmgr.svc_set_tbr",
+        tested=False,
+        untested_reason=HARNESS_RISK,
+    )
+
+    return tuple(table)
+
+
+#: The full, immutable hypercall table.
+HYPERCALL_TABLE: tuple[HypercallDef, ...] = _build_table()
+
+_BY_NAME: dict[str, HypercallDef] = {h.name: h for h in HYPERCALL_TABLE}
+_BY_NUMBER: dict[int, HypercallDef] = {h.number: h for h in HYPERCALL_TABLE}
+
+
+def hypercall_by_name(name: str) -> HypercallDef:
+    """Lookup by name; KeyError with context otherwise."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown hypercall: {name!r}") from None
+
+
+def hypercall_by_number(number: int) -> HypercallDef | None:
+    """Lookup by hypercall number, None when unknown."""
+    return _BY_NUMBER.get(number)
+
+
+def by_category() -> dict[Category, list[HypercallDef]]:
+    """Table III grouping: category → hypercalls."""
+    groups: dict[Category, list[HypercallDef]] = {cat: [] for cat in Category}
+    for h in HYPERCALL_TABLE:
+        groups[h.category].append(h)
+    return groups
+
+
+def tested_hypercalls() -> list[HypercallDef]:
+    """The campaign scope (39 calls)."""
+    return [h for h in HYPERCALL_TABLE if h.tested]
+
+
+def untested_hypercalls() -> list[HypercallDef]:
+    """Out-of-scope calls (22), with reasons."""
+    return [h for h in HYPERCALL_TABLE if not h.tested]
+
+
+def parameterless_hypercalls() -> list[HypercallDef]:
+    """Fig. 8's 16 %: calls with no parameters (10)."""
+    return [h for h in HYPERCALL_TABLE if not h.has_params]

@@ -1,0 +1,393 @@
+"""XM_CF system configuration.
+
+XtratuM is statically configured: partitions, their memory areas and I/O
+grants, communication channels/ports, and the cyclic scheduling plans are
+all fixed at integration time.  :class:`XMConfig` is that configuration;
+:meth:`XMConfig.validate` enforces the integration rules the real
+configuration compiler enforces (non-overlapping memory, slots inside the
+major frame, port/channel consistency).
+
+The configuration can round-trip through an XM_CF-like XML document via
+:func:`config_to_xml` / :func:`config_from_xml`.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+from repro.sparc.memory import Access
+
+
+class ConfigError(ValueError):
+    """The configuration violates an integration rule."""
+
+
+@dataclass(frozen=True)
+class MemoryAreaConfig:
+    """One memory area assigned to a partition (or the kernel)."""
+
+    name: str
+    start: int
+    size: int
+    rights: Access = Access.RW
+
+    @property
+    def end(self) -> int:
+        """First address past the area."""
+        return self.start + self.size
+
+
+@dataclass(frozen=True)
+class PortConfig:
+    """One communication port of a partition."""
+
+    name: str
+    channel: str
+    direction: int  # rc.XM_SOURCE_PORT or rc.XM_DESTINATION_PORT
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """One inter-partition channel.
+
+    ``kind`` is ``"sampling"`` or ``"queuing"``; ``depth`` applies to
+    queuing channels, ``refresh_us`` to sampling channels.
+    """
+
+    name: str
+    kind: str
+    max_message_size: int
+    depth: int = 1
+    refresh_us: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sampling", "queuing"):
+            raise ConfigError(f"channel {self.name}: bad kind {self.kind!r}")
+        if self.max_message_size <= 0:
+            raise ConfigError(f"channel {self.name}: bad max message size")
+        if self.kind == "queuing" and self.depth <= 0:
+            raise ConfigError(f"channel {self.name}: queuing depth must be positive")
+
+
+@dataclass(frozen=True)
+class PartitionConfig:
+    """Static description of one partition."""
+
+    ident: int
+    name: str
+    system: bool = False
+    memory_areas: tuple[MemoryAreaConfig, ...] = ()
+    ports: tuple[PortConfig, ...] = ()
+    io_grants: tuple[str, ...] = ()
+    console: bool = True
+
+
+@dataclass(frozen=True)
+class SlotConfig:
+    """One slot of a cyclic plan: a partition window inside the frame."""
+
+    slot_id: int
+    partition_id: int
+    start_us: int
+    duration_us: int
+
+    @property
+    def end_us(self) -> int:
+        """First microsecond past the slot."""
+        return self.start_us + self.duration_us
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """One cyclic scheduling plan."""
+
+    ident: int
+    major_frame_us: int
+    slots: tuple[SlotConfig, ...]
+
+
+@dataclass
+class XMConfig:
+    """The full system configuration."""
+
+    partitions: list[PartitionConfig] = field(default_factory=list)
+    channels: list[ChannelConfig] = field(default_factory=list)
+    plans: list[PlanConfig] = field(default_factory=list)
+    kernel_areas: list[MemoryAreaConfig] = field(default_factory=list)
+    hm_actions: dict[str, str] = field(default_factory=dict)
+
+    # -- lookups -----------------------------------------------------------
+
+    def partition(self, ident: int) -> PartitionConfig:
+        """Partition config by id; ConfigError when absent."""
+        for part in self.partitions:
+            if part.ident == ident:
+                return part
+        raise ConfigError(f"no partition with id {ident}")
+
+    def has_partition(self, ident: int) -> bool:
+        """Whether a partition id exists."""
+        return any(p.ident == ident for p in self.partitions)
+
+    def channel(self, name: str) -> ChannelConfig:
+        """Channel config by name; ConfigError when absent."""
+        for chan in self.channels:
+            if chan.name == name:
+                return chan
+        raise ConfigError(f"no channel named {name!r}")
+
+    def plan(self, ident: int) -> PlanConfig:
+        """Plan config by id; ConfigError when absent."""
+        for plan in self.plans:
+            if plan.ident == ident:
+                return plan
+        raise ConfigError(f"no plan with id {ident}")
+
+    def has_plan(self, ident: int) -> bool:
+        """Whether a plan id exists."""
+        return any(p.ident == ident for p in self.plans)
+
+    def system_partitions(self) -> list[PartitionConfig]:
+        """Partitions with system privileges."""
+        return [p for p in self.partitions if p.system]
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Enforce integration rules; raises ConfigError on violation."""
+        if not self.partitions:
+            raise ConfigError("a TSP system needs at least one partition")
+        if not self.plans:
+            raise ConfigError("a TSP system needs at least one scheduling plan")
+
+        ids = [p.ident for p in self.partitions]
+        if len(set(ids)) != len(ids):
+            raise ConfigError("duplicate partition ids")
+        names = [p.name for p in self.partitions]
+        if len(set(names)) != len(names):
+            raise ConfigError("duplicate partition names")
+
+        self._validate_memory()
+        self._validate_plans()
+        self._validate_ports()
+
+    def _validate_memory(self) -> None:
+        all_areas: list[tuple[str, MemoryAreaConfig]] = [
+            ("kernel", a) for a in self.kernel_areas
+        ]
+        for part in self.partitions:
+            if not part.memory_areas:
+                raise ConfigError(f"partition {part.name}: no memory areas")
+            all_areas.extend((part.name, a) for a in part.memory_areas)
+        for i, (owner_a, a) in enumerate(all_areas):
+            for owner_b, b in all_areas[i + 1 :]:
+                if a.start < b.end and b.start < a.end:
+                    raise ConfigError(
+                        f"memory overlap: {owner_a}/{a.name} and {owner_b}/{b.name}"
+                    )
+
+    def _validate_plans(self) -> None:
+        plan_ids = [p.ident for p in self.plans]
+        if len(set(plan_ids)) != len(plan_ids):
+            raise ConfigError("duplicate plan ids")
+        for plan in self.plans:
+            if plan.major_frame_us <= 0:
+                raise ConfigError(f"plan {plan.ident}: non-positive major frame")
+            prev_end = 0
+            for slot in sorted(plan.slots, key=lambda s: s.start_us):
+                if slot.duration_us <= 0:
+                    raise ConfigError(f"plan {plan.ident}: empty slot {slot.slot_id}")
+                if not self.has_partition(slot.partition_id):
+                    raise ConfigError(
+                        f"plan {plan.ident}: slot {slot.slot_id} references "
+                        f"unknown partition {slot.partition_id}"
+                    )
+                if slot.start_us < prev_end:
+                    raise ConfigError(f"plan {plan.ident}: overlapping slots")
+                if slot.end_us > plan.major_frame_us:
+                    raise ConfigError(
+                        f"plan {plan.ident}: slot {slot.slot_id} exceeds major frame"
+                    )
+                prev_end = slot.end_us
+
+    def _validate_ports(self) -> None:
+        for part in self.partitions:
+            port_names = [p.name for p in part.ports]
+            if len(set(port_names)) != len(port_names):
+                raise ConfigError(f"partition {part.name}: duplicate port names")
+            for port in part.ports:
+                chan = self.channel(port.channel)  # raises when missing
+                if port.direction not in (0, 1):
+                    raise ConfigError(
+                        f"partition {part.name}: port {port.name} bad direction"
+                    )
+                del chan
+
+
+# -- XML round trip ----------------------------------------------------------
+
+
+def config_to_xml(config: XMConfig) -> str:
+    """Serialise to an XM_CF-like XML document."""
+    root = ET.Element("SystemDescription")
+    hw = ET.SubElement(root, "HwDescription")
+    for area in config.kernel_areas:
+        ET.SubElement(
+            hw,
+            "Region",
+            name=area.name,
+            start=f"{area.start:#x}",
+            size=str(area.size),
+        )
+    parts = ET.SubElement(root, "PartitionTable")
+    for part in config.partitions:
+        pel = ET.SubElement(
+            parts,
+            "Partition",
+            id=str(part.ident),
+            name=part.name,
+            flags="system" if part.system else "none",
+            console="Uart" if part.console else "None",
+        )
+        mem = ET.SubElement(pel, "PhysicalMemoryAreas")
+        for area in part.memory_areas:
+            ET.SubElement(
+                mem,
+                "Area",
+                name=area.name,
+                start=f"{area.start:#x}",
+                size=str(area.size),
+                flags=str(area.rights.value),
+            )
+        ports = ET.SubElement(pel, "PortTable")
+        for port in part.ports:
+            ET.SubElement(
+                ports,
+                "Port",
+                name=port.name,
+                channel=port.channel,
+                direction="source" if port.direction == 0 else "destination",
+            )
+        io = ET.SubElement(pel, "IoPorts")
+        for grant in part.io_grants:
+            ET.SubElement(io, "Device", name=grant)
+    chans = ET.SubElement(root, "Channels")
+    for chan in config.channels:
+        ET.SubElement(
+            chans,
+            "Channel",
+            name=chan.name,
+            kind=chan.kind,
+            maxMessageSize=str(chan.max_message_size),
+            depth=str(chan.depth),
+            refreshUs=str(chan.refresh_us),
+        )
+    hm = ET.SubElement(root, "HealthMonitor")
+    for event_name, action_name in config.hm_actions.items():
+        ET.SubElement(hm, "Event", name=event_name, action=action_name)
+    sched = ET.SubElement(root, "CyclicPlanTable")
+    for plan in config.plans:
+        plel = ET.SubElement(
+            sched, "Plan", id=str(plan.ident), majorFrame=str(plan.major_frame_us)
+        )
+        for slot in plan.slots:
+            ET.SubElement(
+                plel,
+                "Slot",
+                id=str(slot.slot_id),
+                partitionId=str(slot.partition_id),
+                start=str(slot.start_us),
+                duration=str(slot.duration_us),
+            )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def config_from_xml(text: str) -> XMConfig:
+    """Parse an XM_CF-like XML document back into an :class:`XMConfig`."""
+    root = ET.fromstring(text)
+    config = XMConfig()
+    hw = root.find("HwDescription")
+    if hw is not None:
+        for region in hw.findall("Region"):
+            config.kernel_areas.append(
+                MemoryAreaConfig(
+                    name=region.get("name", "region"),
+                    start=int(region.get("start", "0"), 0),
+                    size=int(region.get("size", "0")),
+                )
+            )
+    parts = root.find("PartitionTable")
+    if parts is not None:
+        for pel in parts.findall("Partition"):
+            areas = tuple(
+                MemoryAreaConfig(
+                    name=a.get("name", "area"),
+                    start=int(a.get("start", "0"), 0),
+                    size=int(a.get("size", "0")),
+                    rights=Access(int(a.get("flags", str(Access.RW.value)))),
+                )
+                for a in pel.findall("PhysicalMemoryAreas/Area")
+            )
+            ports = tuple(
+                PortConfig(
+                    name=p.get("name", "port"),
+                    channel=p.get("channel", ""),
+                    direction=0 if p.get("direction") == "source" else 1,
+                )
+                for p in pel.findall("PortTable/Port")
+            )
+            grants = tuple(
+                d.get("name", "") for d in pel.findall("IoPorts/Device")
+            )
+            config.partitions.append(
+                PartitionConfig(
+                    ident=int(pel.get("id", "0")),
+                    name=pel.get("name", "partition"),
+                    system=pel.get("flags") == "system",
+                    memory_areas=areas,
+                    ports=ports,
+                    io_grants=grants,
+                    console=pel.get("console") != "None",
+                )
+            )
+    chans = root.find("Channels")
+    if chans is not None:
+        for cel in chans.findall("Channel"):
+            config.channels.append(
+                ChannelConfig(
+                    name=cel.get("name", "channel"),
+                    kind=cel.get("kind", "sampling"),
+                    max_message_size=int(cel.get("maxMessageSize", "1")),
+                    depth=int(cel.get("depth", "1")),
+                    refresh_us=int(cel.get("refreshUs", "0")),
+                )
+            )
+    hm = root.find("HealthMonitor")
+    if hm is not None:
+        for event in hm.findall("Event"):
+            name = event.get("name")
+            action = event.get("action")
+            if name and action:
+                config.hm_actions[name] = action
+    sched = root.find("CyclicPlanTable")
+    if sched is not None:
+        for plel in sched.findall("Plan"):
+            slots = tuple(
+                SlotConfig(
+                    slot_id=int(s.get("id", "0")),
+                    partition_id=int(s.get("partitionId", "0")),
+                    start_us=int(s.get("start", "0")),
+                    duration_us=int(s.get("duration", "0")),
+                )
+                for s in plel.findall("Slot")
+            )
+            config.plans.append(
+                PlanConfig(
+                    ident=int(plel.get("id", "0")),
+                    major_frame_us=int(plel.get("majorFrame", "0")),
+                    slots=slots,
+                )
+            )
+    return config

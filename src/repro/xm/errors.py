@@ -1,0 +1,19 @@
+"""Kernel-internal control-flow exceptions.
+
+Split from :mod:`repro.xm.kernel` so service managers can raise them
+without importing the kernel module (avoiding an import cycle).
+"""
+
+from __future__ import annotations
+
+
+class KernelPanic(Exception):
+    """An unrecoverable kernel-internal error (system fatal error)."""
+
+
+class NoReturnFromHypercall(Exception):
+    """The hypercall does not return control to the calling partition.
+
+    Raised for self-halt/suspend/reset, system resets, and for calls
+    terminated by the Health Monitor (unhandled traps).
+    """

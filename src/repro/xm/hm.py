@@ -1,0 +1,167 @@
+"""The XtratuM Health Monitor.
+
+The HM detects and handles irregular events in partitions or the kernel
+itself, as early as possible, so offending processes are dealt with and
+faults contained.  Every event is matched against a configured action
+table; the log is what the robustness campaign mines to classify
+failures, so event codes here map directly onto the CRASH-scale
+classifier in :mod:`repro.fault.classify`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.xm.status import XmHmLogEntry
+
+
+class HmEvent(enum.Enum):
+    """Health monitor event codes."""
+
+    PARTITION_ERROR = 0x01
+    MEM_PROTECTION = 0x02
+    UNHANDLED_TRAP = 0x03
+    TEMPORAL_VIOLATION = 0x04
+    FATAL_ERROR = 0x05
+    PARTITION_HALTED = 0x06
+    PARTITION_RESET = 0x07
+    SYSTEM_RESET = 0x08
+    WATCHDOG = 0x09
+    SCHED_ERROR = 0x0A
+
+
+class HmAction(enum.Enum):
+    """Configured reactions."""
+
+    IGNORE = "ignore"
+    LOG = "log"
+    HALT_PARTITION = "halt_partition"
+    RESET_PARTITION_WARM = "reset_partition_warm"
+    RESET_PARTITION_COLD = "reset_partition_cold"
+    HALT_SYSTEM = "halt_system"
+    RESET_SYSTEM = "reset_system"
+    PROPAGATE = "propagate"
+
+
+#: Default action table: conservative fault containment.
+DEFAULT_ACTIONS: dict[HmEvent, HmAction] = {
+    HmEvent.PARTITION_ERROR: HmAction.LOG,
+    HmEvent.MEM_PROTECTION: HmAction.HALT_PARTITION,
+    HmEvent.UNHANDLED_TRAP: HmAction.HALT_PARTITION,
+    HmEvent.TEMPORAL_VIOLATION: HmAction.LOG,
+    HmEvent.FATAL_ERROR: HmAction.HALT_SYSTEM,
+    HmEvent.PARTITION_HALTED: HmAction.LOG,
+    HmEvent.PARTITION_RESET: HmAction.LOG,
+    HmEvent.SYSTEM_RESET: HmAction.LOG,
+    HmEvent.WATCHDOG: HmAction.LOG,
+    HmEvent.SCHED_ERROR: HmAction.LOG,
+}
+
+#: Kernel-scope event records use this partition id.
+KERNEL_SCOPE = -1
+
+
+@dataclass(frozen=True)
+class HmRecord:
+    """One logged health monitor event."""
+
+    event: HmEvent
+    partition_id: int
+    timestamp_us: int
+    detail: str = ""
+    payload: int = 0
+    action: HmAction = HmAction.LOG
+
+    def to_log_entry(self) -> XmHmLogEntry:
+        """Wire representation for the ``XM_hm_read`` hypercall."""
+        return XmHmLogEntry(
+            event_code=self.event.value,
+            partition_id=self.partition_id,
+            timestamp_us=self.timestamp_us,
+            payload=self.payload,
+        )
+
+
+@dataclass
+class HealthMonitor:
+    """Event log plus action lookup.
+
+    The log is a bounded ring: on overflow the oldest record is dropped
+    and ``lost_events`` counts it, mirroring the real HM's behaviour of
+    never blocking the kernel on logging.
+    """
+
+    capacity: int = 256
+    actions: dict[HmEvent, HmAction] = field(default_factory=lambda: dict(DEFAULT_ACTIONS))
+    records: list[HmRecord] = field(default_factory=list)
+    lost_events: int = 0
+    read_cursor: int = 0
+    total_events: int = 0
+
+    def action_for(self, event: HmEvent) -> HmAction:
+        """Configured action for an event (LOG when unconfigured)."""
+        return self.actions.get(event, HmAction.LOG)
+
+    def raise_event(
+        self,
+        event: HmEvent,
+        partition_id: int,
+        timestamp_us: int,
+        detail: str = "",
+        payload: int = 0,
+    ) -> HmRecord:
+        """Record an event and return it with its resolved action.
+
+        The *caller* (the kernel) executes the action; the HM only decides
+        and logs, which keeps the decision auditable in the record.
+        """
+        action = self.action_for(event)
+        record = HmRecord(event, partition_id, timestamp_us, detail, payload, action)
+        self.records.append(record)
+        self.total_events += 1
+        if len(self.records) > self.capacity:
+            self.records.pop(0)
+            self.lost_events += 1
+            if self.read_cursor > 0:
+                self.read_cursor -= 1
+        return record
+
+    def unread(self) -> list[HmRecord]:
+        """Records not yet consumed through ``XM_hm_read``."""
+        return self.records[self.read_cursor :]
+
+    def consume(self, count: int) -> list[HmRecord]:
+        """Read and advance the cursor by up to ``count`` records."""
+        out = self.records[self.read_cursor : self.read_cursor + count]
+        self.read_cursor += len(out)
+        return out
+
+    def seek(self, offset: int, whence: int) -> int | None:
+        """Move the read cursor; returns the new cursor or None if invalid.
+
+        ``whence``: 0 = absolute, 1 = relative to cursor, 2 = from end.
+        """
+        if whence == 0:
+            target = offset
+        elif whence == 1:
+            target = self.read_cursor + offset
+        elif whence == 2:
+            target = len(self.records) + offset
+        else:
+            return None
+        if not 0 <= target <= len(self.records):
+            return None
+        self.read_cursor = target
+        return target
+
+    def events_of(self, event: HmEvent) -> list[HmRecord]:
+        """All logged records with the given code."""
+        return [r for r in self.records if r.event is event]
+
+    def clear(self) -> None:
+        """Reset the log (``XM_hm_reset_events`` / system cold reset)."""
+        self.records.clear()
+        self.read_cursor = 0
+        self.lost_events = 0
+        self.total_events = 0

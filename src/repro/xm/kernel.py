@@ -1,0 +1,335 @@
+"""The XtratuM kernel core: boot, reset, dispatch, fault containment.
+
+The kernel is the single supervisor-mode component.  Everything a
+partition asks of it goes through :meth:`Kernel.hypercall`, which
+
+1. charges the call's CPU cost against the running slot,
+2. applies C argument conversion per the declared parameter types,
+3. enforces the system-partition privilege check,
+4. dispatches to the owning manager, and
+5. contains faults: a :class:`~repro.sparc.memory.MemoryFault` escaping a
+   service is an *unhandled trap* — the Health Monitor decides the
+   action (halt the offending partition by default), and the hypercall
+   never returns to the caller.
+
+System resets (cold/warm) rebuild the partition world and restart the
+cyclic schedule; every reset is recorded in :attr:`Kernel.reset_log`,
+which is the campaign executor's ground-truth observation channel for
+the ``XM_reset_system`` findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.sparc.memory import Access, AddressSpace, MemoryArea, MemoryFault
+from repro.sparc.traps import Trap, TrapType
+from repro.xm import rc
+from repro.xm.api import HypercallDef, hypercall_by_name
+from repro.xm.config import XMConfig
+from repro.xm.errors import KernelPanic, NoReturnFromHypercall
+from repro.xm.hm import HealthMonitor, HmAction, HmEvent, HmRecord, KERNEL_SCOPE
+from repro.xm.partition import Partition, PartitionState
+from repro.xm.sched import CyclicScheduler
+from repro.xm.svc_hm import HmManager
+from repro.xm.svc_ipc import IpcManager
+from repro.xm.svc_irq import IrqManager
+from repro.xm.svc_memory import MemoryManager
+from repro.xm.svc_misc import MiscManager
+from repro.xm.svc_partition import PartitionManager
+from repro.xm.svc_plan import PlanManager
+from repro.xm.svc_sparc import SparcManager
+from repro.xm.svc_system import SystemManager
+from repro.xm.svc_time import TimeManager
+from repro.xm.svc_trace import TraceManager
+from repro.xm.vulns import KernelFeatures, VULNERABLE_VERSION
+from repro.xtypes import default_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tsim.machine import TargetMachine
+    from repro.tsim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class ResetRecord:
+    """One system reset observation (executor ground truth)."""
+
+    time_us: int
+    warm: bool
+    source: str
+
+    @property
+    def kind(self) -> str:
+        """``"warm"`` or ``"cold"``."""
+        return "warm" if self.warm else "cold"
+
+
+class Kernel:
+    """One booted XtratuM instance."""
+
+    #: CPU cost charged to the slot for every hypercall.
+    HYPERCALL_COST_US = 20
+    #: Latency of a system reset before the schedule restarts.
+    RESET_LATENCY_US = 1_000
+
+    NoReturn = NoReturnFromHypercall
+
+    def __init__(
+        self,
+        machine: "TargetMachine",
+        sim: "Simulator",
+        config: XMConfig,
+        apps: dict[str, Callable[[], object]] | None = None,
+        version: str = VULNERABLE_VERSION,
+    ) -> None:
+        config.validate()
+        self.machine = machine
+        self.sim = sim
+        self.config = config
+        self.apps = dict(apps or {})
+        self.features = KernelFeatures.for_version(version)
+        self.types = default_registry()
+
+        self.hm = HealthMonitor()
+        for event_name, action_name in config.hm_actions.items():
+            self.hm.actions[HmEvent[event_name]] = HmAction(action_name)
+
+        self.partitions: dict[int, Partition] = {}
+        self.kernel_space = AddressSpace("kernel", machine.memory)
+        self.sched = CyclicScheduler(self)
+
+        self.sysmgr = SystemManager(self)
+        self.partmgr = PartitionManager(self)
+        self.timemgr = TimeManager(self)
+        self.planmgr = PlanManager(self)
+        self.ipc = IpcManager(self)
+        self.memmgr = MemoryManager(self)
+        self.hmmgr = HmManager(self)
+        self.tracemgr = TraceManager(self)
+        self.irqmgr = IrqManager(self)
+        self.miscmgr = MiscManager(self)
+        self.sparcmgr = SparcManager(self)
+
+        self._halted = False
+        self._halt_reason: str | None = None
+        self.boot_epoch = 0
+        self.reset_counter = 0
+        self.warm_reset_counter = 0
+        self.reset_log: list[ResetRecord] = []
+        self.hypercall_count = 0
+        self._memory_mapped = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def version(self) -> str:
+        """Kernel version string (selects the feature set)."""
+        return self.features.version
+
+    @property
+    def major_frame_us(self) -> int:
+        """Active plan's major frame (simulator protocol)."""
+        return self.sched.major_frame_us
+
+    def boot(self) -> None:
+        """Cold boot: map memory, build partitions, start the schedule."""
+        self._map_memory()
+        self._build_partitions()
+        self.console(f"XM {self.version} boot: {len(self.partitions)} partitions")
+        self.sched.start()
+
+    def is_halted(self) -> bool:
+        """Whether the kernel has fatally halted."""
+        return self._halted
+
+    @property
+    def halt_reason(self) -> str | None:
+        """Why the kernel halted, if it did."""
+        return self._halt_reason
+
+    def halt(self, reason: str) -> None:
+        """Stop the system permanently (XM halt)."""
+        if not self._halted:
+            self._halted = True
+            self._halt_reason = reason
+            self.console(f"XM HALT: {reason}")
+
+    def fatal(self, detail: str) -> None:
+        """System fatal error: HM event, then halt (paper's 'XM halt')."""
+        self.hm_raise(HmEvent.FATAL_ERROR, KERNEL_SCOPE, detail=detail)
+
+    def _map_memory(self) -> None:
+        if self._memory_mapped:
+            return
+        for area in self.config.kernel_areas:
+            self._add_area(area.name, area.start, area.size, "kernel")
+        for part in self.config.partitions:
+            for area in part.memory_areas:
+                self._add_area(area.name, area.start, area.size, part.name)
+        self._memory_mapped = True
+
+    def _add_area(self, name: str, start: int, size: int, owner: str) -> None:
+        if not self.machine.ram_contains(start, size):
+            raise KernelPanic(
+                f"configured area {name} [{start:#x}+{size:#x}] outside board RAM"
+            )
+        self.machine.memory.add_area(MemoryArea(name, start, size, Access.RWX, owner))
+        self.kernel_space.grant(name, Access.RWX)
+
+    def _build_partitions(self) -> None:
+        for part_cfg in self.config.partitions:
+            space = AddressSpace(part_cfg.name, self.machine.memory)
+            for area in part_cfg.memory_areas:
+                space.grant(area.name, area.rights)
+            partition = Partition(config=part_cfg, address_space=space)
+            factory = self.apps.get(part_cfg.name)
+            partition.app = factory() if factory is not None else None
+            self.partitions[part_cfg.ident] = partition
+
+    # -- resets ---------------------------------------------------------------
+
+    def system_reset(self, warm: bool, source: str = "hypercall") -> None:
+        """Perform a system reset and never return to the caller.
+
+        Cold resets clear the HM log and zero RAM; warm resets preserve
+        both.  Either way the partition world is rebuilt and the cyclic
+        schedule restarts after the reset latency.
+        """
+        now = self.sim.now_us
+        self.reset_log.append(ResetRecord(now, warm, source))
+        self.console(f"XM {'warm' if warm else 'cold'} reset (source: {source})")
+        self.boot_epoch += 1
+        if warm:
+            self.warm_reset_counter += 1
+        else:
+            self.reset_counter += 1
+            self.hm.clear()
+            self.machine.memory.clear()
+        self.hm_raise(
+            HmEvent.SYSTEM_RESET,
+            KERNEL_SCOPE,
+            detail=f"{'warm' if warm else 'cold'} reset",
+        )
+        self.sim.events.clear()
+        self.sched.reset()
+        self._build_partitions()
+        self.sim.schedule_after(self.RESET_LATENCY_US, lambda _t: self.sched.start(),
+                                name="reset.reboot")
+        raise NoReturnFromHypercall(f"system {'warm' if warm else 'cold'} reset")
+
+    # -- health monitor -------------------------------------------------------
+
+    def hm_raise(
+        self,
+        event: HmEvent,
+        partition_id: int,
+        detail: str = "",
+        payload: int = 0,
+    ) -> HmRecord:
+        """Raise an HM event and execute its configured action."""
+        record = self.hm.raise_event(event, partition_id, self.sim.now_us, detail, payload)
+        self.console(f"HM {event.name} p{partition_id}: {detail}")
+        # The tracing facility mirrors HM activity into the kernel
+        # stream, where a system partition can read it back.
+        self.tracemgr.record(-1, opcode=event.value, partition_id=partition_id,
+                             word=payload)
+        self._apply_hm_action(record)
+        return record
+
+    def _apply_hm_action(self, record: HmRecord) -> None:
+        action = record.action
+        if action in (HmAction.IGNORE, HmAction.LOG, HmAction.PROPAGATE):
+            return
+        if action is HmAction.HALT_SYSTEM:
+            self.halt(f"HM action for {record.event.name}: {record.detail}")
+            return
+        partition = self.partitions.get(record.partition_id)
+        if partition is None:
+            return
+        if action is HmAction.HALT_PARTITION:
+            partition.set_state(PartitionState.HALTED, reason=f"HM:{record.event.name}")
+        elif action is HmAction.RESET_PARTITION_WARM:
+            self.reset_partition(partition, warm=True, status=record.event.value)
+        elif action is HmAction.RESET_PARTITION_COLD:
+            self.reset_partition(partition, warm=False, status=record.event.value)
+
+    def reset_partition(self, partition: Partition, warm: bool, status: int = 0) -> None:
+        """Rebuild one partition (app recreated, counters bumped)."""
+        partition.reset(warm, status)
+        factory = self.apps.get(partition.name)
+        partition.app = factory() if factory is not None else None
+        self.hm.raise_event(
+            HmEvent.PARTITION_RESET,
+            partition.ident,
+            self.sim.now_us,
+            detail="warm" if warm else "cold",
+        )
+
+    # -- dispatch --------------------------------------------------------------
+
+    def hypercall(self, caller: Partition, name: str, args: tuple[int, ...] = ()) -> int:
+        """Dispatch one hypercall from ``caller``.
+
+        Returns the service's return code; raises
+        :class:`NoReturnFromHypercall` when control does not come back.
+        """
+        self.sched.consume(self.HYPERCALL_COST_US)
+        self.hypercall_count += 1
+        try:
+            hdef = hypercall_by_name(name)
+        except KeyError:
+            return rc.XM_UNKNOWN_HYPERCALL
+        if len(args) != hdef.arity:
+            return rc.XM_INVALID_PARAM
+        if hdef.system_only and not caller.is_system:
+            return rc.XM_PERM_ERROR
+        converted = self._convert_args(hdef, args)
+        service = self._resolve_service(hdef)
+        try:
+            result = service(caller, *converted)
+        except NoReturnFromHypercall:
+            raise
+        except MemoryFault as fault:
+            self._unhandled_trap(caller, fault)
+            raise NoReturnFromHypercall(f"unhandled trap in {name}: {fault}") from fault
+        except KernelPanic as panic:
+            self.fatal(str(panic))
+            raise NoReturnFromHypercall(f"kernel panic in {name}: {panic}") from panic
+        return int(result)
+
+    def _convert_args(self, hdef: HypercallDef, args: tuple[int, ...]) -> list[int]:
+        converted: list[int] = []
+        for param, value in zip(hdef.params, args):
+            if param.is_pointer or param.type_name not in self.types:
+                # Pointers travel as 32-bit unsigned machine words.
+                converted.append(int(value) & 0xFFFFFFFF)
+            else:
+                converted.append(self.types.descriptor(param.type_name).convert(int(value)))
+        return converted
+
+    def _resolve_service(self, hdef: HypercallDef):  # noqa: ANN202
+        mgr_name, method_name = hdef.service.split(".")
+        manager = getattr(self, mgr_name)
+        return getattr(manager, method_name)
+
+    def _unhandled_trap(self, caller: Partition, fault: MemoryFault) -> None:
+        """Model a data-access exception taken in kernel context."""
+        trap = Trap(TrapType.DATA_ACCESS_EXCEPTION, str(fault), fault.address)
+        self.machine.cpu.enter_trap(trap)
+        try:
+            self.hm_raise(
+                HmEvent.UNHANDLED_TRAP,
+                caller.ident,
+                detail=f"data access exception: {fault}",
+                payload=fault.address & 0xFFFFFFFF,
+            )
+        finally:
+            if self.machine.cpu.trap_depth:
+                self.machine.cpu.exit_trap()
+
+    # -- console ----------------------------------------------------------------
+
+    def console(self, text: str) -> None:
+        """Kernel console line via the board UART."""
+        self.machine.uart.write(text + "\n", self.sim.now_us, source="kernel")

@@ -1,0 +1,108 @@
+"""Partition control blocks.
+
+A partition is the unit of both isolation pillars: it owns an address
+space (spatial) and schedule slots (temporal).  XtratuM distinguishes
+*normal* partitions from *system* partitions; only the latter may manage
+the state of the system and of other partitions — the reason the paper
+used EagleEye's FDIR system partition as the test partition.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sparc.memory import AddressSpace
+from repro.xm.config import PartitionConfig
+
+
+class PartitionState(enum.Enum):
+    """Lifecycle states of a partition."""
+
+    BOOT = "boot"
+    NORMAL = "normal"
+    IDLE = "idle"
+    SUSPENDED = "suspended"
+    HALTED = "halted"
+    SHUTDOWN = "shutdown"
+
+    def runnable(self) -> bool:
+        """Whether the scheduler should give the partition its slots."""
+        return self in (PartitionState.BOOT, PartitionState.NORMAL)
+
+
+@dataclass
+class VTimer:
+    """A partition's virtual timer on one clock."""
+
+    clock_id: int
+    armed: bool = False
+    next_expiry_us: int = 0
+    interval_us: int = 0
+    expirations: int = 0
+
+
+@dataclass
+class Partition:
+    """Runtime state of one partition."""
+
+    config: PartitionConfig
+    address_space: AddressSpace
+    state: PartitionState = PartitionState.BOOT
+    app: Any = None
+    reset_counter: int = 0
+    reset_status: int = 0
+    exec_clock_us: int = 0
+    vtimers: dict[int, VTimer] = field(default_factory=dict)
+    open_ports: dict[int, str] = field(default_factory=dict)
+    virq_pending: int = 0
+    virq_mask: int = 0
+    halted_by: str | None = None
+
+    @property
+    def ident(self) -> int:
+        """The configured partition id."""
+        return self.config.ident
+
+    @property
+    def name(self) -> str:
+        """The configured partition name."""
+        return self.config.name
+
+    @property
+    def is_system(self) -> bool:
+        """Whether the partition holds system privileges."""
+        return self.config.system
+
+    def set_state(self, state: PartitionState, reason: str | None = None) -> None:
+        """Transition the partition; remembers who halted it."""
+        self.state = state
+        if state in (PartitionState.HALTED, PartitionState.SHUTDOWN):
+            self.halted_by = reason or "unspecified"
+
+    def reset(self, warm: bool, status: int = 0) -> None:
+        """Partition-level reset: counters bump, timers and ports clear."""
+        self.reset_counter += 1
+        self.reset_status = status
+        self.state = PartitionState.BOOT
+        self.vtimers.clear()
+        self.open_ports.clear()
+        self.virq_pending = 0
+        self.virq_mask = 0
+        self.halted_by = None
+        if not warm:
+            self.exec_clock_us = 0
+
+    def timer(self, clock_id: int) -> VTimer:
+        """The partition's timer on the given clock, created on demand."""
+        if clock_id not in self.vtimers:
+            self.vtimers[clock_id] = VTimer(clock_id)
+        return self.vtimers[clock_id]
+
+    def owns_area(self, address: int, size: int = 1) -> bool:
+        """Whether the byte range lies inside one of its memory areas."""
+        for area in self.config.memory_areas:
+            if area.start <= address and address + size <= area.end:
+                return True
+        return False

@@ -1,0 +1,68 @@
+"""XtratuM hypercall return codes.
+
+Negative values are errors; ``XM_OK`` (0) is success.  Some services
+return non-negative descriptors (port ids) instead of ``XM_OK``.
+"""
+
+from __future__ import annotations
+
+XM_OK = 0
+XM_NO_ACTION = -1
+XM_UNKNOWN_HYPERCALL = -2
+XM_INVALID_PARAM = -3
+XM_PERM_ERROR = -4
+XM_INVALID_CONFIG = -5
+XM_INVALID_MODE = -6
+XM_NOT_AVAILABLE = -7
+XM_OP_NOT_ALLOWED = -8
+XM_MULTICALL_ERROR = -9
+XM_NO_SERVICE = -10
+XM_NO_SPACE = -11
+XM_INVALID_ADDRESS = -12
+
+#: Name table for logs and reports.
+NAMES: dict[int, str] = {
+    XM_OK: "XM_OK",
+    XM_NO_ACTION: "XM_NO_ACTION",
+    XM_UNKNOWN_HYPERCALL: "XM_UNKNOWN_HYPERCALL",
+    XM_INVALID_PARAM: "XM_INVALID_PARAM",
+    XM_PERM_ERROR: "XM_PERM_ERROR",
+    XM_INVALID_CONFIG: "XM_INVALID_CONFIG",
+    XM_INVALID_MODE: "XM_INVALID_MODE",
+    XM_NOT_AVAILABLE: "XM_NOT_AVAILABLE",
+    XM_OP_NOT_ALLOWED: "XM_OP_NOT_ALLOWED",
+    XM_MULTICALL_ERROR: "XM_MULTICALL_ERROR",
+    XM_NO_SERVICE: "XM_NO_SERVICE",
+    XM_NO_SPACE: "XM_NO_SPACE",
+    XM_INVALID_ADDRESS: "XM_INVALID_ADDRESS",
+}
+
+
+def name_of(code: int) -> str:
+    """Symbolic name of a return code (descriptors print as themselves)."""
+    if code in NAMES:
+        return NAMES[code]
+    if code > 0:
+        return f"DESCRIPTOR({code})"
+    return f"UNKNOWN_RC({code})"
+
+
+def is_error(code: int) -> bool:
+    """Whether the code signals an error."""
+    return code < 0
+
+
+# Reset modes (XM_reset_system / XM_reset_partition).
+XM_COLD_RESET = 0
+XM_WARM_RESET = 1
+
+# Clock identifiers.
+XM_HW_CLOCK = 0
+XM_EXEC_CLOCK = 1
+
+# Port directions.
+XM_SOURCE_PORT = 0
+XM_DESTINATION_PORT = 1
+
+# Self partition id alias.
+XM_PARTITION_SELF = -1

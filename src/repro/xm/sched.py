@@ -1,0 +1,176 @@
+"""The cyclic scheduler: XtratuM's temporal-isolation pillar.
+
+Partitions execute inside fixed slots of a cyclic plan; at any instant at
+most one partition owns the CPU.  The scheduler runs each slot as a
+discrete event, accounts the virtual CPU time the partition consumes
+(application work plus hypercall costs), and raises a Health Monitor
+``TEMPORAL_VIOLATION`` when a slot is overrun — which is precisely how
+the paper's ``XM_multicall`` temporal-isolation break becomes observable.
+
+Plan switches requested via ``XM_switch_sched_plan`` take effect at the
+next major-frame boundary, as in the real kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.sparc.memory import MemoryFault
+from repro.xm.config import PlanConfig, SlotConfig
+from repro.xm.hm import HmEvent
+from repro.xm.partition import PartitionState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xm.kernel import Kernel
+
+
+@dataclass
+class SlotContext:
+    """Execution context handed to a partition application for one slot."""
+
+    kernel: "Kernel"
+    partition_id: int
+    slot: SlotConfig
+    start_us: int
+
+    @property
+    def partition(self):  # noqa: ANN201 - avoids circular import in hints
+        """The running partition's control block."""
+        return self.kernel.partitions[self.partition_id]
+
+    @property
+    def now_us(self) -> int:
+        """Virtual time at slot start."""
+        return self.start_us
+
+    def consume(self, us: int) -> None:
+        """Model the application burning CPU time."""
+        self.kernel.sched.consume(us)
+
+    def hypercall(self, name: str, *args: int):  # noqa: ANN201
+        """Invoke a hypercall as this partition."""
+        return self.kernel.hypercall(self.partition, name, args)
+
+    def console(self, text: str) -> None:
+        """Partition-level console output (via the UART)."""
+        self.kernel.machine.uart.write(
+            text + "\n", self.kernel.sim.now_us, source=self.partition.name
+        )
+
+
+@dataclass
+class CyclicScheduler:
+    """Cyclic plan execution over the simulator's event queue."""
+
+    kernel: "Kernel"
+    current_plan_id: int = 0
+    requested_plan_id: int | None = None
+    major_frame_count: int = 0
+    current_slot: SlotConfig | None = None
+    slot_consumed_us: int = 0
+    overruns: list[tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def plan(self) -> PlanConfig:
+        """The active plan's configuration."""
+        return self.kernel.config.plan(self.current_plan_id)
+
+    @property
+    def major_frame_us(self) -> int:
+        """Active plan major frame length."""
+        return self.plan.major_frame_us
+
+    def start(self) -> None:
+        """Kick off the cyclic schedule at the current virtual time."""
+        self._on_frame_start(self.kernel.sim.now_us)
+
+    def request_plan_switch(self, plan_id: int) -> None:
+        """Record a switch; applied at the next major frame boundary."""
+        self.requested_plan_id = plan_id
+
+    def consume(self, us: int) -> None:
+        """Account CPU time against the running slot."""
+        if us < 0:
+            raise ValueError("cannot consume negative time")
+        self.slot_consumed_us += us
+
+    # -- event callbacks -----------------------------------------------------
+
+    def _on_frame_start(self, now: int) -> None:
+        if self.kernel.is_halted():
+            return
+        if self.requested_plan_id is not None:
+            self.current_plan_id = self.requested_plan_id
+            self.requested_plan_id = None
+        self.major_frame_count += 1
+        plan = self.plan
+        for slot in plan.slots:
+            self.kernel.sim.schedule_at(
+                now + slot.start_us,
+                self._make_slot_callback(slot),
+                name=f"slot{slot.slot_id}.p{slot.partition_id}",
+            )
+        self.kernel.sim.schedule_at(
+            now + plan.major_frame_us, self._on_frame_start, name="frame"
+        )
+
+    def _make_slot_callback(self, slot: SlotConfig):  # noqa: ANN202
+        def callback(now: int) -> None:
+            self._on_slot_start(now, slot)
+
+        return callback
+
+    def _on_slot_start(self, now: int, slot: SlotConfig) -> None:
+        kernel = self.kernel
+        if kernel.is_halted():
+            return
+        epoch = kernel.boot_epoch
+        partition = kernel.partitions.get(slot.partition_id)
+        if partition is None or not partition.state.runnable():
+            return
+        if partition.state is PartitionState.BOOT:
+            partition.set_state(PartitionState.NORMAL)
+        self.current_slot = slot
+        self.slot_consumed_us = 0
+        ctx = SlotContext(kernel, slot.partition_id, slot, now)
+        try:
+            if partition.app is not None:
+                partition.app.step(ctx)
+        except kernel.NoReturn:
+            # The partition halted/suspended/reset itself (or the system
+            # reset under it); nothing more runs in this slot.
+            pass
+        except MemoryFault as fault:
+            # The application itself touched memory it does not own:
+            # spatial isolation violation, contained by the HM.
+            if kernel.boot_epoch == epoch:
+                kernel.hm_raise(
+                    HmEvent.MEM_PROTECTION,
+                    slot.partition_id,
+                    detail=f"partition access fault: {fault}",
+                )
+        if kernel.boot_epoch != epoch or kernel.is_halted():
+            self.current_slot = None
+            return
+        consumed = self.slot_consumed_us
+        partition = kernel.partitions.get(slot.partition_id)
+        if partition is not None:
+            partition.exec_clock_us += consumed
+        if consumed > slot.duration_us:
+            overrun = consumed - slot.duration_us
+            self.overruns.append((now, slot.partition_id, overrun))
+            kernel.hm_raise(
+                HmEvent.TEMPORAL_VIOLATION,
+                slot.partition_id,
+                detail=f"slot {slot.slot_id} overrun by {overrun}us",
+                payload=overrun,
+            )
+        self.current_slot = None
+        self.slot_consumed_us = 0
+
+    def reset(self) -> None:
+        """Forget in-flight slot state (system reset path)."""
+        self.current_slot = None
+        self.slot_consumed_us = 0
+        self.requested_plan_id = None

@@ -1,0 +1,251 @@
+"""Hypercall status structures and their wire layouts.
+
+Status hypercalls write packed structures into partition-supplied
+buffers.  Each structure here knows its byte layout (big-endian, as on
+SPARC) so the kernel can serialise it through the partition's address
+space — which is exactly where bad status pointers from the fault
+dictionaries get caught.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+_U32 = ">I"
+_S32 = ">i"
+_S64 = ">q"
+
+
+@dataclass
+class XmSystemStatus:
+    """``xmSystemStatus_t``: global health of the TSP system."""
+
+    reset_counter: int = 0
+    warm_reset_counter: int = 0
+    current_plan: int = 0
+    current_time_us: int = 0
+    hm_events: int = 0
+
+    LAYOUT = ">IIIqI"
+    SIZE = struct.calcsize(LAYOUT)
+
+    def pack(self) -> bytes:
+        """Serialise to the wire layout."""
+        return struct.pack(
+            self.LAYOUT,
+            self.reset_counter & 0xFFFFFFFF,
+            self.warm_reset_counter & 0xFFFFFFFF,
+            self.current_plan & 0xFFFFFFFF,
+            self.current_time_us,
+            self.hm_events & 0xFFFFFFFF,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "XmSystemStatus":
+        """Deserialise from the wire layout."""
+        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
+        return cls(*fields)
+
+
+@dataclass
+class XmPartitionStatus:
+    """``xmPartitionStatus_t``: state of one partition."""
+
+    ident: int = 0
+    state: int = 0
+    reset_counter: int = 0
+    reset_status: int = 0
+    exec_clock_us: int = 0
+
+    LAYOUT = ">iIIIq"
+    SIZE = struct.calcsize(LAYOUT)
+
+    def pack(self) -> bytes:
+        """Serialise to the wire layout."""
+        return struct.pack(
+            self.LAYOUT,
+            self.ident,
+            self.state & 0xFFFFFFFF,
+            self.reset_counter & 0xFFFFFFFF,
+            self.reset_status & 0xFFFFFFFF,
+            self.exec_clock_us,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "XmPartitionStatus":
+        """Deserialise from the wire layout."""
+        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
+        return cls(*fields)
+
+
+@dataclass
+class XmPlanStatus:
+    """``xmPlanStatus_t``: cyclic schedule state."""
+
+    current_plan: int = 0
+    requested_plan: int = 0
+    current_slot: int = 0
+    major_frame_count: int = 0
+
+    LAYOUT = ">IIII"
+    SIZE = struct.calcsize(LAYOUT)
+
+    def pack(self) -> bytes:
+        """Serialise to the wire layout."""
+        return struct.pack(
+            self.LAYOUT,
+            self.current_plan & 0xFFFFFFFF,
+            self.requested_plan & 0xFFFFFFFF,
+            self.current_slot & 0xFFFFFFFF,
+            self.major_frame_count & 0xFFFFFFFF,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "XmPlanStatus":
+        """Deserialise from the wire layout."""
+        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
+        return cls(*fields)
+
+
+@dataclass
+class XmPortStatus:
+    """``xmPortStatus_t``: state of one communication port."""
+
+    port_id: int = 0
+    direction: int = 0
+    pending_messages: int = 0
+    last_message_size: int = 0
+    last_timestamp_us: int = 0
+
+    LAYOUT = ">iIIIq"
+    SIZE = struct.calcsize(LAYOUT)
+
+    def pack(self) -> bytes:
+        """Serialise to the wire layout."""
+        return struct.pack(
+            self.LAYOUT,
+            self.port_id,
+            self.direction & 0xFFFFFFFF,
+            self.pending_messages & 0xFFFFFFFF,
+            self.last_message_size & 0xFFFFFFFF,
+            self.last_timestamp_us,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "XmPortStatus":
+        """Deserialise from the wire layout."""
+        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
+        return cls(*fields)
+
+
+@dataclass
+class XmHmStatus:
+    """``xmHmStatus_t``: health monitor log state."""
+
+    total_events: int = 0
+    unread_events: int = 0
+    lost_events: int = 0
+
+    LAYOUT = ">III"
+    SIZE = struct.calcsize(LAYOUT)
+
+    def pack(self) -> bytes:
+        """Serialise to the wire layout."""
+        return struct.pack(
+            self.LAYOUT,
+            self.total_events & 0xFFFFFFFF,
+            self.unread_events & 0xFFFFFFFF,
+            self.lost_events & 0xFFFFFFFF,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "XmHmStatus":
+        """Deserialise from the wire layout."""
+        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
+        return cls(*fields)
+
+
+@dataclass
+class XmHmLogEntry:
+    """``xmHmLog_t``: one health monitor event record."""
+
+    event_code: int = 0
+    partition_id: int = 0
+    timestamp_us: int = 0
+    payload: int = 0
+
+    LAYOUT = ">IiqI"
+    SIZE = struct.calcsize(LAYOUT)
+
+    def pack(self) -> bytes:
+        """Serialise to the wire layout."""
+        return struct.pack(
+            self.LAYOUT,
+            self.event_code & 0xFFFFFFFF,
+            self.partition_id,
+            self.timestamp_us,
+            self.payload & 0xFFFFFFFF,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "XmHmLogEntry":
+        """Deserialise from the wire layout."""
+        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
+        return cls(*fields)
+
+
+@dataclass
+class XmTraceEvent:
+    """``xmTraceEvent_t``: one trace record."""
+
+    opcode: int = 0
+    partition_id: int = 0
+    timestamp_us: int = 0
+    word: int = 0
+
+    LAYOUT = ">IiqI"
+    SIZE = struct.calcsize(LAYOUT)
+
+    def pack(self) -> bytes:
+        """Serialise to the wire layout."""
+        return struct.pack(
+            self.LAYOUT,
+            self.opcode & 0xFFFFFFFF,
+            self.partition_id,
+            self.timestamp_us,
+            self.word & 0xFFFFFFFF,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "XmTraceEvent":
+        """Deserialise from the wire layout."""
+        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
+        return cls(*fields)
+
+
+@dataclass
+class XmTraceStatus:
+    """``xmTraceStatus_t``: one trace stream's state."""
+
+    total_events: int = 0
+    unread_events: int = 0
+    lost_events: int = 0
+
+    LAYOUT = ">III"
+    SIZE = struct.calcsize(LAYOUT)
+
+    def pack(self) -> bytes:
+        """Serialise to the wire layout."""
+        return struct.pack(
+            self.LAYOUT,
+            self.total_events & 0xFFFFFFFF,
+            self.unread_events & 0xFFFFFFFF,
+            self.lost_events & 0xFFFFFFFF,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "XmTraceStatus":
+        """Deserialise from the wire layout."""
+        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
+        return cls(*fields)

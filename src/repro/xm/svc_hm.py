@@ -1,0 +1,98 @@
+"""Health Monitor Management hypercalls (system partitions only)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.xm import rc
+from repro.xm.hm import HmEvent
+from repro.xm.partition import Partition
+from repro.xm.status import XmHmLogEntry, XmHmStatus
+from repro.xm.usercopy import copy_from_user, copy_to_user
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xm.kernel import Kernel
+
+#: Upper bound on one hm_read batch.
+MAX_HM_READ = 64
+
+
+class HmManager:
+    """Owner of the HM log services."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+
+    def svc_hm_status(self, caller: Partition, status_ptr: int) -> int:
+        """``XM_hm_status(xmHmStatus_t *status)``."""
+        hm = self.kernel.hm
+        status = XmHmStatus(
+            total_events=hm.total_events,
+            unread_events=len(hm.unread()),
+            lost_events=hm.lost_events,
+        )
+        if not copy_to_user(caller.address_space, status_ptr, status.pack()):
+            return rc.XM_INVALID_PARAM
+        return rc.XM_OK
+
+    def svc_hm_read(self, caller: Partition, log_ptr: int, no_logs: int) -> int:
+        """``XM_hm_read(xmHmLog_t *log, xm_u32_t noLogs)``.
+
+        Returns the number of records copied out (0 when none unread).
+        """
+        if no_logs == 0 or no_logs > MAX_HM_READ:
+            return rc.XM_INVALID_PARAM
+        hm = self.kernel.hm
+        unread = hm.unread()
+        count = min(no_logs, len(unread))
+        data = b"".join(r.to_log_entry().pack() for r in unread[:count])
+        if count == 0:
+            # Validate the buffer anyway: a single entry must fit.
+            if not copy_to_user(
+                caller.address_space, log_ptr, bytes(XmHmLogEntry.SIZE)
+            ):
+                return rc.XM_INVALID_PARAM
+            return 0
+        if not copy_to_user(caller.address_space, log_ptr, data):
+            return rc.XM_INVALID_PARAM
+        hm.consume(count)
+        return count
+
+    def svc_hm_seek(self, caller: Partition, offset: int, whence: int) -> int:
+        """``XM_hm_seek(xm_u32_t offset, xm_u32_t whence)``."""
+        result = self.kernel.hm.seek(offset, whence)
+        if result is None:
+            if self.kernel.features.hm_seek_wrong_error_code:
+                # Synthetic 3.4.0-beta defect: the documented code is
+                # XM_INVALID_PARAM; the beta reports XM_NO_ACTION — a
+                # Hindering failure on the CRASH scale.
+                return rc.XM_NO_ACTION
+            return rc.XM_INVALID_PARAM
+        return rc.XM_OK
+
+    def svc_hm_reset_events(self, caller: Partition) -> int:
+        """``XM_hm_reset_events(void)`` — parameter-less, out of scope."""
+        self.kernel.hm.clear()
+        return rc.XM_OK
+
+    def svc_hm_raise_event(self, caller: Partition, event_ptr: int) -> int:
+        """``XM_hm_raise_event(xmHmLog_t *event)``.
+
+        A system partition can inject an HM event (e.g. FDIR escalation);
+        excluded from campaign scope as a struct-input service.
+        """
+        raw = copy_from_user(caller.address_space, event_ptr, XmHmLogEntry.SIZE)
+        if raw is None:
+            return rc.XM_INVALID_PARAM
+        entry = XmHmLogEntry.unpack(raw)
+        try:
+            event = HmEvent(entry.event_code)
+        except ValueError:
+            return rc.XM_INVALID_PARAM
+        self.kernel.hm_raise(
+            event,
+            caller.ident,
+            detail="raised via XM_hm_raise_event",
+            payload=entry.payload,
+        )
+        return rc.XM_OK

@@ -1,0 +1,384 @@
+"""Inter-Partition Communication hypercalls.
+
+XtratuM channels are statically configured; partitions *open* ports onto
+them at runtime and the kernel polices every transfer — message sizes,
+directions and buffer ranges — so faults cannot propagate between
+partitions through IPC.  The campaign raised zero issues here, and every
+service below validates accordingly.
+
+Two port kinds exist, as in ARINC-653: *sampling* (last-value semantics
+with a refresh period) and *queuing* (bounded FIFO).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.xm import rc
+from repro.xm.config import ChannelConfig, PortConfig
+from repro.xm.partition import Partition
+from repro.xm.status import XmPortStatus
+from repro.xm.usercopy import copy_from_user, copy_to_user, read_user_string
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xm.kernel import Kernel
+
+
+@dataclass
+class SamplingChannel:
+    """Last-value channel state."""
+
+    config: ChannelConfig
+    message: bytes | None = None
+    timestamp_us: int = 0
+    writes: int = 0
+
+    def store(self, data: bytes, now_us: int) -> None:
+        """Overwrite the current value."""
+        self.message = data
+        self.timestamp_us = now_us
+        self.writes += 1
+
+    def is_valid(self, now_us: int) -> bool:
+        """Whether the stored value is within the refresh period."""
+        if self.message is None:
+            return False
+        if self.config.refresh_us <= 0:
+            return True
+        return now_us - self.timestamp_us <= self.config.refresh_us
+
+
+@dataclass
+class QueuingChannel:
+    """Bounded FIFO channel state."""
+
+    config: ChannelConfig
+    queue: deque[tuple[bytes, int]] = field(default_factory=deque)
+    sent: int = 0
+    dropped: int = 0
+
+    @property
+    def full(self) -> bool:
+        """Whether another message would exceed the configured depth."""
+        return len(self.queue) >= self.config.depth
+
+    def push(self, data: bytes, now_us: int) -> bool:
+        """Append; False when full (kernel returns XM_NO_SPACE)."""
+        if self.full:
+            self.dropped += 1
+            return False
+        self.queue.append((data, now_us))
+        self.sent += 1
+        return True
+
+    def pop(self) -> tuple[bytes, int] | None:
+        """Remove the oldest message, None when empty."""
+        return self.queue.popleft() if self.queue else None
+
+
+@dataclass
+class OpenPort:
+    """One opened port of one partition."""
+
+    descriptor: int
+    owner_id: int
+    config: PortConfig
+    kind: str
+    last_message_size: int = 0
+    last_timestamp_us: int = 0
+
+
+class IpcManager:
+    """Owner of channels and the port services."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self.channels: dict[str, SamplingChannel | QueuingChannel] = {}
+        for chan in kernel.config.channels:
+            if chan.kind == "sampling":
+                self.channels[chan.name] = SamplingChannel(chan)
+            else:
+                self.channels[chan.name] = QueuingChannel(chan)
+        self._ports: dict[tuple[int, int], OpenPort] = {}
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _port_config(self, caller: Partition, name: str) -> PortConfig | None:
+        for port in caller.config.ports:
+            if port.name == name:
+                return port
+        return None
+
+    def _find_open(self, caller: Partition, desc: int) -> OpenPort | None:
+        return self._ports.get((caller.ident, desc))
+
+    def _open(self, caller: Partition, port_cfg: PortConfig, kind: str) -> int:
+        for (owner, desc), port in self._ports.items():
+            if owner == caller.ident and port.config.name == port_cfg.name:
+                return desc  # idempotent open returns the same descriptor
+        desc = len(caller.open_ports)
+        caller.open_ports[desc] = port_cfg.name
+        self._ports[(caller.ident, desc)] = OpenPort(desc, caller.ident, port_cfg, kind)
+        return desc
+
+    def open_port_by_name(self, caller: Partition, name: str) -> int | None:
+        """Open a configured port directly (used by partition runtimes)."""
+        port_cfg = self._port_config(caller, name)
+        if port_cfg is None:
+            return None
+        chan = self.channels.get(port_cfg.channel)
+        if chan is None:
+            return None
+        kind = "sampling" if isinstance(chan, SamplingChannel) else "queuing"
+        return self._open(caller, port_cfg, kind)
+
+    # -- sampling ----------------------------------------------------------------
+
+    def svc_create_sampling_port(
+        self,
+        caller: Partition,
+        name_ptr: int,
+        max_msg_size: int,
+        direction: int,
+        refresh_period: int,
+    ) -> int:
+        """``XM_create_sampling_port(char *, xmSize_t, xm_u32_t, xmTime_t)``."""
+        name = read_user_string(caller.address_space, name_ptr)
+        if name is None:
+            return rc.XM_INVALID_PARAM
+        if direction not in (rc.XM_SOURCE_PORT, rc.XM_DESTINATION_PORT):
+            return rc.XM_INVALID_PARAM
+        if refresh_period < 0:
+            return rc.XM_INVALID_PARAM
+        port_cfg = self._port_config(caller, name)
+        if port_cfg is None:
+            return rc.XM_INVALID_CONFIG
+        chan = self.channels.get(port_cfg.channel)
+        if not isinstance(chan, SamplingChannel):
+            return rc.XM_INVALID_CONFIG
+        if direction != port_cfg.direction:
+            return rc.XM_INVALID_CONFIG
+        if max_msg_size != chan.config.max_message_size:
+            return rc.XM_INVALID_CONFIG
+        return self._open(caller, port_cfg, "sampling")
+
+    def svc_write_sampling_message(
+        self, caller: Partition, port_desc: int, msg_ptr: int, msg_size: int
+    ) -> int:
+        """``XM_write_sampling_message(xm_s32_t, void *, xmSize_t)``."""
+        port = self._find_open(caller, port_desc)
+        if port is None or port.kind != "sampling":
+            return rc.XM_INVALID_PARAM
+        if port.config.direction != rc.XM_SOURCE_PORT:
+            return rc.XM_INVALID_MODE
+        chan = self.channels[port.config.channel]
+        assert isinstance(chan, SamplingChannel)
+        if not 0 < msg_size <= chan.config.max_message_size:
+            return rc.XM_INVALID_PARAM
+        data = copy_from_user(caller.address_space, msg_ptr, msg_size)
+        if data is None:
+            return rc.XM_INVALID_PARAM
+        now = self.kernel.sim.now_us
+        chan.store(data, now)
+        port.last_message_size = msg_size
+        port.last_timestamp_us = now
+        return rc.XM_OK
+
+    def svc_read_sampling_message(
+        self,
+        caller: Partition,
+        port_desc: int,
+        msg_ptr: int,
+        msg_size: int,
+        flags_ptr: int,
+    ) -> int:
+        """``XM_read_sampling_message(xm_s32_t, void *, xmSize_t, xm_u32_t *)``."""
+        port = self._find_open(caller, port_desc)
+        if port is None or port.kind != "sampling":
+            return rc.XM_INVALID_PARAM
+        if port.config.direction != rc.XM_DESTINATION_PORT:
+            return rc.XM_INVALID_MODE
+        chan = self.channels[port.config.channel]
+        assert isinstance(chan, SamplingChannel)
+        if chan.message is None:
+            return rc.XM_NO_ACTION
+        if msg_size < len(chan.message):
+            return rc.XM_INVALID_PARAM
+        if not copy_to_user(caller.address_space, msg_ptr, chan.message):
+            return rc.XM_INVALID_PARAM
+        now = self.kernel.sim.now_us
+        flags = 1 if chan.is_valid(now) else 0
+        if not copy_to_user(caller.address_space, flags_ptr, struct.pack(">I", flags)):
+            return rc.XM_INVALID_PARAM
+        port.last_message_size = len(chan.message)
+        port.last_timestamp_us = chan.timestamp_us
+        return len(chan.message)
+
+    # -- queuing ---------------------------------------------------------------------
+
+    def svc_create_queuing_port(
+        self,
+        caller: Partition,
+        name_ptr: int,
+        max_no_msgs: int,
+        max_msg_size: int,
+        direction: int,
+    ) -> int:
+        """``XM_create_queuing_port(char *, xm_u32_t, xmSize_t, xm_u32_t)``."""
+        name = read_user_string(caller.address_space, name_ptr)
+        if name is None:
+            return rc.XM_INVALID_PARAM
+        if direction not in (rc.XM_SOURCE_PORT, rc.XM_DESTINATION_PORT):
+            return rc.XM_INVALID_PARAM
+        port_cfg = self._port_config(caller, name)
+        if port_cfg is None:
+            return rc.XM_INVALID_CONFIG
+        chan = self.channels.get(port_cfg.channel)
+        if not isinstance(chan, QueuingChannel):
+            return rc.XM_INVALID_CONFIG
+        if direction != port_cfg.direction:
+            return rc.XM_INVALID_CONFIG
+        if max_no_msgs != chan.config.depth:
+            return rc.XM_INVALID_CONFIG
+        if max_msg_size != chan.config.max_message_size:
+            return rc.XM_INVALID_CONFIG
+        return self._open(caller, port_cfg, "queuing")
+
+    def svc_send_queuing_message(
+        self, caller: Partition, port_desc: int, msg_ptr: int, msg_size: int
+    ) -> int:
+        """``XM_send_queuing_message(xm_s32_t, void *, xmSize_t)``."""
+        port = self._find_open(caller, port_desc)
+        if port is None or port.kind != "queuing":
+            return rc.XM_INVALID_PARAM
+        if port.config.direction != rc.XM_SOURCE_PORT:
+            return rc.XM_INVALID_MODE
+        chan = self.channels[port.config.channel]
+        assert isinstance(chan, QueuingChannel)
+        if not 0 < msg_size <= chan.config.max_message_size:
+            return rc.XM_INVALID_PARAM
+        data = copy_from_user(caller.address_space, msg_ptr, msg_size)
+        if data is None:
+            return rc.XM_INVALID_PARAM
+        now = self.kernel.sim.now_us
+        if not chan.push(data, now):
+            return rc.XM_NO_SPACE
+        port.last_message_size = msg_size
+        port.last_timestamp_us = now
+        return rc.XM_OK
+
+    def svc_receive_queuing_message(
+        self,
+        caller: Partition,
+        port_desc: int,
+        msg_ptr: int,
+        msg_size: int,
+        flags_ptr: int,
+    ) -> int:
+        """``XM_receive_queuing_message(xm_s32_t, void *, xmSize_t, xm_u32_t *)``."""
+        port = self._find_open(caller, port_desc)
+        if port is None or port.kind != "queuing":
+            return rc.XM_INVALID_PARAM
+        if port.config.direction != rc.XM_DESTINATION_PORT:
+            return rc.XM_INVALID_MODE
+        chan = self.channels[port.config.channel]
+        assert isinstance(chan, QueuingChannel)
+        if not chan.queue:
+            return rc.XM_NO_ACTION
+        head, timestamp = chan.queue[0]
+        if msg_size < len(head):
+            return rc.XM_INVALID_PARAM
+        if not copy_to_user(caller.address_space, msg_ptr, head):
+            return rc.XM_INVALID_PARAM
+        remaining = len(chan.queue) - 1
+        if not copy_to_user(
+            caller.address_space, flags_ptr, struct.pack(">I", remaining)
+        ):
+            return rc.XM_INVALID_PARAM
+        chan.pop()
+        port.last_message_size = len(head)
+        port.last_timestamp_us = timestamp
+        return len(head)
+
+    # -- status / info ---------------------------------------------------------------
+
+    def svc_get_port_status(self, caller: Partition, port_desc: int, status_ptr: int) -> int:
+        """``XM_get_port_status(xm_s32_t, xmPortStatus_t *)``."""
+        port = self._find_open(caller, port_desc)
+        if port is None:
+            return rc.XM_INVALID_PARAM
+        chan = self.channels[port.config.channel]
+        pending = len(chan.queue) if isinstance(chan, QueuingChannel) else (
+            1 if chan.message is not None else 0
+        )
+        status = XmPortStatus(
+            port_id=port.descriptor,
+            direction=port.config.direction,
+            pending_messages=pending,
+            last_message_size=port.last_message_size,
+            last_timestamp_us=port.last_timestamp_us,
+        )
+        if not copy_to_user(caller.address_space, status_ptr, status.pack()):
+            return rc.XM_INVALID_PARAM
+        return rc.XM_OK
+
+    def svc_flush_port(self, caller: Partition, port_desc: int) -> int:
+        """``XM_flush_port(xm_s32_t portDesc)``: drop buffered messages."""
+        port = self._find_open(caller, port_desc)
+        if port is None:
+            return rc.XM_INVALID_PARAM
+        chan = self.channels[port.config.channel]
+        if isinstance(chan, QueuingChannel):
+            chan.queue.clear()
+        else:
+            chan.message = None
+        return rc.XM_OK
+
+    def svc_get_sampling_port_info(
+        self, caller: Partition, name_ptr: int, info_ptr: int
+    ) -> int:
+        """``XM_get_sampling_port_info(char *, xmSamplingPortInfo_t *)``."""
+        name = read_user_string(caller.address_space, name_ptr)
+        if name is None:
+            return rc.XM_INVALID_PARAM
+        port_cfg = self._port_config(caller, name)
+        if port_cfg is None:
+            return rc.XM_INVALID_CONFIG
+        chan = self.channels.get(port_cfg.channel)
+        if not isinstance(chan, SamplingChannel):
+            return rc.XM_INVALID_CONFIG
+        info = struct.pack(
+            ">III",
+            chan.config.max_message_size,
+            port_cfg.direction,
+            chan.config.refresh_us & 0xFFFFFFFF,
+        )
+        if not copy_to_user(caller.address_space, info_ptr, info):
+            return rc.XM_INVALID_PARAM
+        return rc.XM_OK
+
+    def svc_get_queuing_port_info(
+        self, caller: Partition, name_ptr: int, info_ptr: int
+    ) -> int:
+        """``XM_get_queuing_port_info(char *, xmQueuingPortInfo_t *)``."""
+        name = read_user_string(caller.address_space, name_ptr)
+        if name is None:
+            return rc.XM_INVALID_PARAM
+        port_cfg = self._port_config(caller, name)
+        if port_cfg is None:
+            return rc.XM_INVALID_CONFIG
+        chan = self.channels.get(port_cfg.channel)
+        if not isinstance(chan, QueuingChannel):
+            return rc.XM_INVALID_CONFIG
+        info = struct.pack(
+            ">III",
+            chan.config.max_message_size,
+            port_cfg.direction,
+            chan.config.depth,
+        )
+        if not copy_to_user(caller.address_space, info_ptr, info):
+            return rc.XM_INVALID_PARAM
+        return rc.XM_OK

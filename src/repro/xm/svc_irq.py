@@ -1,0 +1,81 @@
+"""Interrupt Management hypercalls.
+
+XtratuM para-virtualises interrupts: partitions see *virtual* IRQ lines
+the kernel routes, masks and pends on their behalf.  The hardware IRQMP
+stays under exclusive kernel control — a partition only ever manipulates
+its own virtual interrupt state, which is what keeps these services
+robust (the campaign raised zero issues here).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.xm import rc
+from repro.xm.partition import Partition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xm.kernel import Kernel
+
+#: Valid hardware-routable lines (LEON3 IRQMP lines 1-15).
+HW_LINES = range(1, 16)
+#: Valid extended (software) virtual lines.
+EXTENDED_LINES = range(0, 32)
+#: Routing types.
+IRQ_TYPE_HW = 0
+IRQ_TYPE_EXTENDED = 1
+
+
+class IrqManager:
+    """Owner of the virtual interrupt services."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        #: (partition, type, line) -> vector routing table.
+        self.routes: dict[tuple[int, int, int], int] = {}
+
+    def svc_route_irq(
+        self, caller: Partition, irq_type: int, irq_line: int, vector: int
+    ) -> int:
+        """``XM_route_irq(xm_u32_t type, xm_u32_t line, xm_u32_t vector)``."""
+        if irq_type == IRQ_TYPE_HW:
+            if irq_line not in HW_LINES:
+                return rc.XM_INVALID_PARAM
+        elif irq_type == IRQ_TYPE_EXTENDED:
+            if irq_line not in EXTENDED_LINES:
+                return rc.XM_INVALID_PARAM
+        else:
+            return rc.XM_INVALID_PARAM
+        if not 0 <= vector <= 255:
+            return rc.XM_INVALID_PARAM
+        self.routes[(caller.ident, irq_type, irq_line)] = vector
+        return rc.XM_OK
+
+    def _check_line(self, irq_line: int) -> bool:
+        return irq_line in EXTENDED_LINES
+
+    def svc_mask_irq(self, caller: Partition, irq_line: int) -> int:
+        """``XM_mask_irq(xm_u32_t irqLine)``: mask a virtual line."""
+        if not self._check_line(irq_line):
+            return rc.XM_INVALID_PARAM
+        caller.virq_mask &= ~(1 << irq_line)
+        return rc.XM_OK
+
+    def svc_unmask_irq(self, caller: Partition, irq_line: int) -> int:
+        """``XM_unmask_irq(xm_u32_t irqLine)``: unmask a virtual line."""
+        if not self._check_line(irq_line):
+            return rc.XM_INVALID_PARAM
+        caller.virq_mask |= 1 << irq_line
+        return rc.XM_OK
+
+    def svc_set_irqpend(self, caller: Partition, irq_line: int) -> int:
+        """``XM_set_irqpend(xm_u32_t irqLine)``: pend a virtual line."""
+        if not self._check_line(irq_line):
+            return rc.XM_INVALID_PARAM
+        caller.virq_pending |= 1 << irq_line
+        return rc.XM_OK
+
+    def svc_enable_irqs(self, caller: Partition) -> int:
+        """``XM_enable_irqs(void)`` — parameter-less, out of scope."""
+        caller.virq_mask |= 0xFFFFFFFF
+        return rc.XM_OK

@@ -1,0 +1,87 @@
+"""Memory Management hypercalls.
+
+``XM_memory_copy`` is a system-partition service for moving data between
+partition spaces (e.g. software upload); it validates every byte of both
+ranges against the *target partitions'* configured areas before copying.
+The campaign ran 991 tests against it in the paper and raised zero
+issues; the model validates accordingly.
+
+``XM_update_page32`` pokes a 32-bit word with kernel rights — precisely
+why the campaign excluded it (a stray poke corrupts the testbed).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sparc.memory import MemoryFault
+from repro.xm import rc
+from repro.xm.partition import Partition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xm.kernel import Kernel
+
+#: Upper bound on one copy, mirroring the kernel's bounded-work rule.
+MAX_COPY_BYTES = 1 << 20
+
+
+class MemoryManager:
+    """Owner of the memory services."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self.copies = 0
+
+    def _resolve(self, caller: Partition, partition_id: int) -> Partition | None:
+        if partition_id == rc.XM_PARTITION_SELF:
+            return caller
+        return self.kernel.partitions.get(partition_id)
+
+    def svc_memory_copy(
+        self,
+        caller: Partition,
+        dst_id: int,
+        dst_addr: int,
+        src_id: int,
+        src_addr: int,
+        size: int,
+    ) -> int:
+        """``XM_memory_copy(xm_s32_t, xmAddress_t, xm_s32_t, xmAddress_t, xmSize_t)``."""
+        dst = self._resolve(caller, dst_id)
+        src = self._resolve(caller, src_id)
+        if dst is None or src is None:
+            return rc.XM_INVALID_PARAM
+        if size == 0 or size > MAX_COPY_BYTES:
+            return rc.XM_INVALID_PARAM
+        if not src.owns_area(src_addr, size):
+            return rc.XM_INVALID_ADDRESS
+        if not dst.owns_area(dst_addr, size):
+            return rc.XM_INVALID_ADDRESS
+        try:
+            data = self.kernel.machine.memory.read(src_addr, size)
+            self.kernel.machine.memory.write(dst_addr, data)
+        except MemoryFault:
+            # Configured-but-unmapped areas cannot occur after boot; this
+            # is belt-and-braces, still a clean error to the caller.
+            return rc.XM_INVALID_ADDRESS
+        self.copies += 1
+        return rc.XM_OK
+
+    def svc_update_page32(self, caller: Partition, page_addr: int, value: int) -> int:
+        """``XM_update_page32(xmAddress_t pageAddr, xm_u32_t value)``.
+
+        Restricted to the caller's own areas and 4-byte alignment; with
+        kernel rights otherwise (the reason it stayed out of campaign
+        scope).
+        """
+        if page_addr % 4:
+            return rc.XM_INVALID_PARAM
+        if not caller.owns_area(page_addr, 4):
+            return rc.XM_INVALID_ADDRESS
+        try:
+            self.kernel.machine.memory.write(
+                page_addr, (value & 0xFFFFFFFF).to_bytes(4, "big")
+            )
+        except MemoryFault:
+            return rc.XM_INVALID_ADDRESS
+        return rc.XM_OK

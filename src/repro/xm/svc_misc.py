@@ -1,0 +1,153 @@
+"""Miscellaneous hypercalls, including the vulnerable ``XM_multicall``.
+
+``XM_multicall(void *startAddr, void *endAddr)`` packs several hypercalls
+in a buffer and executes them as a batch.  The kernel under test (3.4.0)
+carries the paper's last three findings:
+
+- **XM-MC-1/2** — neither pointer is validated: the kernel touches the
+  first word at ``startAddr`` and the last word at ``endAddr - 4``
+  directly, so an invalid pointer raises an unhandled data-access
+  exception in kernel context (the HM then halts the partition).
+- **XM-MC-3** — batch execution is not preempted: a large batch runs past
+  the partition's slot, breaking temporal isolation.
+
+The revised kernel removed the service (``XM_NO_SERVICE``).
+
+Batch wire format (32-bit big-endian words)::
+
+    [ hypercall_number, nargs, arg0 … argN-1 ] … repeated …
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING
+
+from repro.xm import rc
+from repro.xm.api import hypercall_by_number
+from repro.xm.partition import Partition
+from repro.xm.usercopy import copy_from_user, copy_to_user, read_user_string
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xm.kernel import Kernel
+
+#: Sane bound on per-entry argument count inside a batch.
+MAX_BATCH_ARGS = 8
+#: Bound on console writes per call.
+MAX_CONSOLE_WRITE = 1024
+
+#: ``entity`` values for ``XM_get_gid_by_name``.
+ENTITY_PARTITION = 0
+ENTITY_CHANNEL = 1
+
+
+class MiscManager:
+    """Owner of the miscellaneous services."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self.batches_executed = 0
+
+    # -- multicall -------------------------------------------------------------
+
+    def svc_multicall(self, caller: Partition, start_addr: int, end_addr: int) -> int:
+        """``XM_multicall(void *startAddr, void *endAddr)``."""
+        kernel = self.kernel
+        if not kernel.features.multicall_available:
+            return rc.XM_NO_SERVICE
+        # Defect XM-MC-1/2: the 3.4.0 kernel probes both ends of the
+        # batch with *kernel* rights and no validation; a bad pointer
+        # faults right here, in kernel context.
+        kspace = kernel.kernel_space
+        kspace.read_u32(start_addr & ~0x3)
+        kspace.read_u32((end_addr - 4) & 0xFFFFFFFF & ~0x3)
+        executed = 0
+        addr = start_addr
+        while addr + 8 <= end_addr:
+            number = kspace.read_u32(addr)
+            nargs = kspace.read_u32(addr + 4)
+            if nargs > MAX_BATCH_ARGS:
+                return rc.XM_MULTICALL_ERROR
+            if addr + 8 + 4 * nargs > end_addr:
+                return rc.XM_MULTICALL_ERROR
+            args = tuple(kspace.read_u32(addr + 8 + 4 * i) for i in range(nargs))
+            hdef = hypercall_by_number(number)
+            if hdef is None or hdef.name == "XM_multicall":
+                # Unknown or recursive entries are skipped with an error
+                # note; the batch itself continues (defect XM-MC-3: no
+                # preemption point either way).
+                kernel.sched.consume(kernel.HYPERCALL_COST_US)
+            else:
+                kernel.hypercall(caller, hdef.name, args)
+            executed += 1
+            addr += 8 + 4 * nargs
+        self.batches_executed += 1
+        return executed
+
+    # -- console ------------------------------------------------------------------
+
+    def svc_write_console(self, caller: Partition, buffer_ptr: int, length: int) -> int:
+        """``XM_write_console(char *buffer, xmSize_t length)``."""
+        if length == 0:
+            return 0
+        if length > MAX_CONSOLE_WRITE:
+            return rc.XM_INVALID_PARAM
+        data = copy_from_user(caller.address_space, buffer_ptr, length)
+        if data is None:
+            return rc.XM_INVALID_PARAM
+        text = data.decode("ascii", errors="replace")
+        self.kernel.machine.uart.write(text, self.kernel.sim.now_us, source=caller.name)
+        return length
+
+    # -- name resolution --------------------------------------------------------------
+
+    def svc_get_gid_by_name(self, caller: Partition, name_ptr: int, entity: int) -> int:
+        """``XM_get_gid_by_name(char *name, xm_u32_t entity)``.
+
+        Returns the global id of a partition (entity 0) or channel
+        (entity 1) by name.
+        """
+        name = read_user_string(caller.address_space, name_ptr)
+        if name is None:
+            return rc.XM_INVALID_PARAM
+        if entity == ENTITY_PARTITION:
+            for part in self.kernel.config.partitions:
+                if part.name == name:
+                    return part.ident
+            return rc.XM_INVALID_CONFIG
+        if entity == ENTITY_CHANNEL:
+            for index, chan in enumerate(self.kernel.config.channels):
+                if chan.name == name:
+                    return index
+            return rc.XM_INVALID_CONFIG
+        return rc.XM_INVALID_PARAM
+
+    # -- info services ------------------------------------------------------------------
+
+    def svc_get_hpv_info(self, caller: Partition, info_ptr: int) -> int:
+        """``XM_get_hpv_info(xmHpvInfo_t *info)``: hypervisor build info."""
+        numeric = self.kernel.version.split("-")[0]
+        major, minor, patch = (int(x) for x in numeric.split("."))
+        info = struct.pack(
+            ">IIII",
+            major,
+            minor,
+            patch,
+            len(self.kernel.partitions),
+        )
+        if not copy_to_user(caller.address_space, info_ptr, info):
+            return rc.XM_INVALID_PARAM
+        return rc.XM_OK
+
+    def svc_params_get_pct(self, caller: Partition, pct_ptr: int) -> int:
+        """``XM_params_get_pct(xmAddress_t *pct)``.
+
+        Writes the address of the caller's partition control table (the
+        base of its first memory area in this model).
+        """
+        if not caller.config.memory_areas:
+            return rc.XM_INVALID_CONFIG
+        base = caller.config.memory_areas[0].start
+        if not copy_to_user(caller.address_space, pct_ptr, struct.pack(">I", base)):
+            return rc.XM_INVALID_PARAM
+        return rc.XM_OK

@@ -1,0 +1,155 @@
+"""Partition Management hypercalls.
+
+All services here validate their parameters fully — the campaign raised
+zero issues in this category, and the model reflects that.  Operations a
+partition applies to *itself* (halt/suspend/reset/shutdown) do not
+return: that is documented behaviour the oracle knows about, not a
+robustness failure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.xm import rc
+from repro.xm.hm import HmEvent
+from repro.xm.partition import Partition, PartitionState
+from repro.xm.status import XmPartitionStatus
+from repro.xm.usercopy import copy_to_user
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xm.kernel import Kernel
+
+
+class PartitionManager:
+    """Owner of the partition-control services."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+
+    def _resolve(self, caller: Partition, partition_id: int) -> Partition | None:
+        """Resolve an id; ``XM_PARTITION_SELF`` (-1) aliases the caller."""
+        if partition_id == rc.XM_PARTITION_SELF:
+            return caller
+        return self.kernel.partitions.get(partition_id)
+
+    def svc_get_partition_status(
+        self, caller: Partition, partition_id: int, status_ptr: int
+    ) -> int:
+        """``XM_get_partition_status(xm_s32_t, xmPartitionStatus_t *)``."""
+        target = self._resolve(caller, partition_id)
+        if target is None:
+            return rc.XM_INVALID_PARAM
+        state_codes = {state: idx for idx, state in enumerate(PartitionState)}
+        status = XmPartitionStatus(
+            ident=target.ident,
+            state=state_codes[target.state],
+            reset_counter=target.reset_counter,
+            reset_status=target.reset_status,
+            exec_clock_us=target.exec_clock_us,
+        )
+        if not copy_to_user(caller.address_space, status_ptr, status.pack()):
+            return rc.XM_INVALID_PARAM
+        return rc.XM_OK
+
+    def svc_halt_partition(self, caller: Partition, partition_id: int) -> int:
+        """``XM_halt_partition(xm_s32_t partitionId)``."""
+        target = self._resolve(caller, partition_id)
+        if target is None:
+            return rc.XM_INVALID_PARAM
+        target.set_state(PartitionState.HALTED, reason=f"halted by p{caller.ident}")
+        self.kernel.hm.raise_event(
+            HmEvent.PARTITION_HALTED,
+            target.ident,
+            self.kernel.sim.now_us,
+            detail=f"by partition {caller.ident}",
+        )
+        if target is caller:
+            raise self.kernel.NoReturn("partition halted itself")
+        return rc.XM_OK
+
+    def svc_reset_partition(
+        self, caller: Partition, partition_id: int, reset_mode: int, status: int
+    ) -> int:
+        """``XM_reset_partition(xm_s32_t, xm_u32_t mode, xm_u32_t status)``."""
+        target = self._resolve(caller, partition_id)
+        if target is None:
+            return rc.XM_INVALID_PARAM
+        if reset_mode not in (rc.XM_COLD_RESET, rc.XM_WARM_RESET):
+            return rc.XM_INVALID_PARAM
+        self.kernel.reset_partition(target, warm=reset_mode == rc.XM_WARM_RESET, status=status)
+        if target is caller:
+            raise self.kernel.NoReturn("partition reset itself")
+        return rc.XM_OK
+
+    def svc_resume_partition(self, caller: Partition, partition_id: int) -> int:
+        """``XM_resume_partition(xm_s32_t partitionId)``."""
+        target = self._resolve(caller, partition_id)
+        if target is None:
+            return rc.XM_INVALID_PARAM
+        if target.state is not PartitionState.SUSPENDED:
+            return rc.XM_NO_ACTION
+        target.set_state(PartitionState.NORMAL)
+        return rc.XM_OK
+
+    def svc_suspend_partition(self, caller: Partition, partition_id: int) -> int:
+        """``XM_suspend_partition(xm_s32_t partitionId)``."""
+        target = self._resolve(caller, partition_id)
+        if target is None:
+            return rc.XM_INVALID_PARAM
+        if not target.state.runnable():
+            return rc.XM_NO_ACTION
+        target.set_state(PartitionState.SUSPENDED)
+        if target is caller:
+            raise self.kernel.NoReturn("partition suspended itself")
+        return rc.XM_OK
+
+    def svc_shutdown_partition(self, caller: Partition, partition_id: int) -> int:
+        """``XM_shutdown_partition(xm_s32_t partitionId)``.
+
+        Shutdown is a *request*: the target gets a chance to terminate
+        cleanly; the model transitions it directly to SHUTDOWN.
+        """
+        target = self._resolve(caller, partition_id)
+        if target is None:
+            return rc.XM_INVALID_PARAM
+        target.set_state(PartitionState.SHUTDOWN, reason=f"shutdown by p{caller.ident}")
+        if target is caller:
+            raise self.kernel.NoReturn("partition shut itself down")
+        return rc.XM_OK
+
+    def svc_idle_self(self, caller: Partition) -> int:
+        """``XM_idle_self(void)``: yield the remainder of the slot."""
+        sched = self.kernel.sched
+        if sched.current_slot is not None:
+            remaining = sched.current_slot.duration_us - sched.slot_consumed_us
+            if remaining > 0:
+                sched.consume(remaining)
+        return rc.XM_OK
+
+    def _vcpu_check(self, vcpu_id: int) -> int | None:
+        """Single-core target: only vCPU 0 exists."""
+        if vcpu_id != 0:
+            return rc.XM_INVALID_PARAM
+        return None
+
+    def svc_halt_vcpu(self, caller: Partition, vcpu_id: int) -> int:
+        """``XM_halt_vcpu(xm_u32_t vcpuId)`` (single-core: vCPU 0 = self)."""
+        err = self._vcpu_check(vcpu_id)
+        if err is not None:
+            return err
+        return self.svc_halt_partition(caller, caller.ident)
+
+    def svc_suspend_vcpu(self, caller: Partition, vcpu_id: int) -> int:
+        """``XM_suspend_vcpu(xm_u32_t vcpuId)``."""
+        err = self._vcpu_check(vcpu_id)
+        if err is not None:
+            return err
+        return self.svc_suspend_partition(caller, caller.ident)
+
+    def svc_resume_vcpu(self, caller: Partition, vcpu_id: int) -> int:
+        """``XM_resume_vcpu(xm_u32_t vcpuId)``."""
+        err = self._vcpu_check(vcpu_id)
+        if err is not None:
+            return err
+        return self.svc_resume_partition(caller, caller.ident)

@@ -1,0 +1,48 @@
+"""Plan Management hypercalls: cyclic schedule plan switching."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.xm import rc
+from repro.xm.partition import Partition
+from repro.xm.status import XmPlanStatus
+from repro.xm.usercopy import copy_to_user
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xm.kernel import Kernel
+
+
+class PlanManager:
+    """Owner of scheduling-plan services."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+
+    def svc_switch_sched_plan(self, caller: Partition, plan_id: int) -> int:
+        """``XM_switch_sched_plan(xm_u32_t planId)``.
+
+        The switch is requested now and applied at the next major-frame
+        boundary, preserving the current frame's temporal guarantees.
+        """
+        if not self.kernel.config.has_plan(plan_id):
+            return rc.XM_INVALID_PARAM
+        self.kernel.sched.request_plan_switch(plan_id)
+        return rc.XM_OK
+
+    def svc_get_plan_status(self, caller: Partition, status_ptr: int) -> int:
+        """``XM_get_plan_status(xmPlanStatus_t *status)``."""
+        sched = self.kernel.sched
+        status = XmPlanStatus(
+            current_plan=sched.current_plan_id,
+            requested_plan=(
+                sched.requested_plan_id
+                if sched.requested_plan_id is not None
+                else sched.current_plan_id
+            ),
+            current_slot=(sched.current_slot.slot_id if sched.current_slot else 0),
+            major_frame_count=sched.major_frame_count,
+        )
+        if not copy_to_user(caller.address_space, status_ptr, status.pack()):
+            return rc.XM_INVALID_PARAM
+        return rc.XM_OK

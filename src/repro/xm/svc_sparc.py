@@ -1,0 +1,145 @@
+"""SPARC V8 specific hypercalls.
+
+Para-virtualised processor services: port I/O (policed by the per-
+partition I/O grants of the configuration), atomic read-modify-write on
+partition memory, and the register-window / cache / trap helpers a SPARC
+guest needs.  The trap-table services are implemented but stayed out of
+campaign scope — relocating the testbed's trap handling would destroy the
+harness itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sparc.iobus import IoFault
+from repro.sparc.memory import MemoryFault
+from repro.xm import rc
+from repro.xm.partition import Partition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xm.kernel import Kernel
+
+
+class SparcManager:
+    """Owner of the SPARC-specific services."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        #: (partition, trap number) -> handler address.
+        self.trap_handlers: dict[tuple[int, int], int] = {}
+        #: partition -> relocated trap base register.
+        self.tbr: dict[int, int] = {}
+
+    # -- port I/O -----------------------------------------------------------
+
+    def _io_allowed(self, caller: Partition, port: int) -> bool:
+        device = self.kernel.machine.iobus.device_at(port)
+        if device is None:
+            return False
+        return device.name in caller.config.io_grants
+
+    def svc_inport(self, caller: Partition, port: int) -> int:
+        """``XM_sparc_inport(xmIoAddress_t port)``: returns the register.
+
+        The register value is returned in the low 31 bits (descriptors
+        are non-negative); errors are the usual negative codes.
+        """
+        if self.kernel.machine.iobus.device_at(port) is None:
+            return rc.XM_INVALID_PARAM
+        if not self._io_allowed(caller, port):
+            return rc.XM_PERM_ERROR
+        try:
+            # The kernel performs the access after checking the grant.
+            value = self.kernel.machine.iobus.read(port)
+        except IoFault:
+            return rc.XM_PERM_ERROR
+        return value & 0x7FFFFFFF
+
+    def svc_outport(self, caller: Partition, port: int, value: int) -> int:
+        """``XM_sparc_outport(xmIoAddress_t port, xm_u32_t value)``."""
+        if self.kernel.machine.iobus.device_at(port) is None:
+            return rc.XM_INVALID_PARAM
+        if not self._io_allowed(caller, port):
+            return rc.XM_PERM_ERROR
+        try:
+            self.kernel.machine.iobus.write(port, value)
+        except IoFault:
+            return rc.XM_PERM_ERROR
+        return rc.XM_OK
+
+    # -- atomics --------------------------------------------------------------
+
+    def _atomic(self, caller: Partition, address: int, fn) -> int:  # noqa: ANN001
+        if address % 4:
+            return rc.XM_INVALID_PARAM
+        if not caller.owns_area(address, 4):
+            return rc.XM_INVALID_ADDRESS
+        try:
+            old = int.from_bytes(self.kernel.machine.memory.read(address, 4), "big")
+            new = fn(old) & 0xFFFFFFFF
+            self.kernel.machine.memory.write(address, new.to_bytes(4, "big"))
+        except MemoryFault:
+            return rc.XM_INVALID_ADDRESS
+        return rc.XM_OK
+
+    def svc_atomic_add(self, caller: Partition, address: int, value: int) -> int:
+        """``XM_sparc_atomic_add(xmAddress_t, xm_u32_t)``."""
+        return self._atomic(caller, address, lambda old: old + value)
+
+    def svc_atomic_and(self, caller: Partition, address: int, mask: int) -> int:
+        """``XM_sparc_atomic_and(xmAddress_t, xm_u32_t)``."""
+        return self._atomic(caller, address, lambda old: old & mask)
+
+    def svc_atomic_or(self, caller: Partition, address: int, mask: int) -> int:
+        """``XM_sparc_atomic_or(xmAddress_t, xm_u32_t)``."""
+        return self._atomic(caller, address, lambda old: old | mask)
+
+    # -- processor helpers -------------------------------------------------------
+
+    def svc_flush_regwin(self, caller: Partition) -> int:
+        """``XM_sparc_flush_regwin(void)``: spill register windows."""
+        return rc.XM_OK
+
+    def svc_flush_cache(self, caller: Partition) -> int:
+        """``XM_sparc_flush_cache(void)``: flush I/D caches."""
+        return rc.XM_OK
+
+    def svc_enable_traps(self, caller: Partition) -> int:
+        """``XM_sparc_enable_traps(void)``: set the virtual PSR.ET."""
+        caller.virq_mask |= 1
+        return rc.XM_OK
+
+    def svc_disable_traps(self, caller: Partition) -> int:
+        """``XM_sparc_disable_traps(void)``: clear the virtual PSR.ET."""
+        caller.virq_mask &= ~1
+        return rc.XM_OK
+
+    def svc_get_psr(self, caller: Partition) -> int:
+        """``XM_sparc_get_psr(void)``: the caller's virtual PSR word."""
+        psr = 0x080  # PS bit: previous supervisor
+        if caller.virq_mask & 1:
+            psr |= 0x20  # ET
+        return psr
+
+    # -- trap table (out of campaign scope) ------------------------------------------
+
+    def svc_install_trap_handler(
+        self, caller: Partition, trap_nr: int, handler: int
+    ) -> int:
+        """``XM_sparc_install_trap_handler(xm_u32_t, xmAddress_t)``."""
+        if not 0 <= trap_nr <= 255:
+            return rc.XM_INVALID_PARAM
+        if handler != 0 and not caller.owns_area(handler, 4):
+            return rc.XM_INVALID_ADDRESS
+        self.trap_handlers[(caller.ident, trap_nr)] = handler
+        return rc.XM_OK
+
+    def svc_set_tbr(self, caller: Partition, tbr: int) -> int:
+        """``XM_sparc_set_tbr(xmAddress_t tbr)``."""
+        if tbr % 4096:
+            return rc.XM_INVALID_PARAM
+        if not caller.owns_area(tbr, 4096):
+            return rc.XM_INVALID_ADDRESS
+        self.tbr[caller.ident] = tbr
+        return rc.XM_OK

@@ -1,0 +1,64 @@
+"""System Management hypercalls.
+
+``XM_reset_system`` carries the paper's first three findings: the
+vulnerable kernel derives warm-vs-cold from the mode word's low bit
+without validating the rest (a faithful model of ``mode & 1`` selection
+in C), so 2 and 16 cold-reset the system and 4294967295 warm-resets it
+where ``XM_INVALID_PARAM`` is expected.  The revised kernel validates
+the mode first.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.xm import rc
+from repro.xm.status import XmSystemStatus
+from repro.xm.usercopy import copy_to_user
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xm.kernel import Kernel
+    from repro.xm.partition import Partition
+
+
+class SystemManager:
+    """Owner of the system-scope services."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+
+    def svc_get_system_status(self, caller: "Partition", status_ptr: int) -> int:
+        """``XM_get_system_status(xmSystemStatus_t *status)``."""
+        kernel = self.kernel
+        status = XmSystemStatus(
+            reset_counter=kernel.reset_counter,
+            warm_reset_counter=kernel.warm_reset_counter,
+            current_plan=kernel.sched.current_plan_id,
+            current_time_us=kernel.sim.now_us,
+            hm_events=kernel.hm.total_events,
+        )
+        if not copy_to_user(caller.address_space, status_ptr, status.pack()):
+            return rc.XM_INVALID_PARAM
+        return rc.XM_OK
+
+    def svc_reset_system(self, caller: "Partition", mode: int) -> int:
+        """``XM_reset_system(xm_u32_t mode)``.
+
+        Valid modes: ``XM_COLD_RESET`` (0) and ``XM_WARM_RESET`` (1).
+        """
+        features = self.kernel.features
+        if features.reset_system_mode_check:
+            if mode not in (rc.XM_COLD_RESET, rc.XM_WARM_RESET):
+                return rc.XM_INVALID_PARAM
+            warm = mode == rc.XM_WARM_RESET
+        else:
+            # Defect XM-RS-*: only the low bit is consulted; any even
+            # invalid mode cold-resets, any odd one warm-resets.
+            warm = bool(mode & 1)
+        self.kernel.system_reset(warm, source=f"XM_reset_system({mode})")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def svc_halt_system(self, caller: "Partition") -> int:
+        """``XM_halt_system(void)`` — parameter-less, untested in scope."""
+        self.kernel.halt(f"XM_halt_system by partition {caller.ident}")
+        raise self.kernel.NoReturn("system halted")

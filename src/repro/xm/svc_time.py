@@ -1,0 +1,189 @@
+"""Time Management hypercalls: clocks and the vulnerable timer service.
+
+``XM_set_timer`` carries three of the paper's nine findings:
+
+- **XM-ST-1** — on the HW clock, an interval of ~1 µs makes the next
+  expiry always already past by the time the handler checks it; the
+  handler re-enters recursively until the kernel stack overflows →
+  system fatal error, XM halt.
+- **XM-ST-2** — the same tiny interval on the execution clock races with
+  the timer trap: a second trap is taken while traps are disabled, the
+  processor enters error mode, and the *simulator itself* crashes.
+- **XM-ST-3** — a negative interval (``LLONG_MIN``) is accepted and the
+  call returns success where ``XM_INVALID_PARAM`` is expected.
+
+The revised kernel enforces a 50 µs minimum interval and rejects
+negative intervals.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sparc.traps import Trap, TrapType
+from repro.xm import rc
+from repro.xm.errors import KernelPanic
+from repro.xm.partition import Partition, VTimer
+from repro.xm.usercopy import copy_to_user
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xm.kernel import Kernel
+
+#: Virtual IRQ line used for partition timer expiry.
+TIMER_VIRQ = 10
+#: Hardware IRQMP line of the GPTIMER channel backing the HW clock.
+HW_TIMER_IRQ = 8
+#: CPU time one timer-handler pass costs; an interval below this can
+#: never catch up, which is the root cause of XM-ST-1/2.
+TIMER_HANDLER_COST_US = 5
+#: Kernel stack depth the recursive handler survives before overflowing.
+KERNEL_STACK_MAX_DEPTH = 32
+
+
+class TimeManager:
+    """Owner of clocks and partition timers."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self.stack_overflows = 0
+
+    # -- clocks ----------------------------------------------------------------
+
+    def read_clock(self, caller: Partition, clock_id: int) -> int | None:
+        """Current value of a clock for the calling partition, or None."""
+        if clock_id == rc.XM_HW_CLOCK:
+            return self.kernel.sim.now_us
+        if clock_id == rc.XM_EXEC_CLOCK:
+            extra = 0
+            sched = self.kernel.sched
+            if sched.current_slot is not None and (
+                sched.current_slot.partition_id == caller.ident
+            ):
+                extra = sched.slot_consumed_us
+            return caller.exec_clock_us + extra
+        return None
+
+    def svc_get_time(self, caller: Partition, clock_id: int, time_ptr: int) -> int:
+        """``XM_get_time(xm_u32_t clockId, xmTime_t *time)``."""
+        value = self.read_clock(caller, clock_id)
+        if value is None:
+            return rc.XM_INVALID_PARAM
+        data = int(value).to_bytes(8, "big", signed=True)
+        if not copy_to_user(caller.address_space, time_ptr, data):
+            return rc.XM_INVALID_PARAM
+        return rc.XM_OK
+
+    # -- timers ------------------------------------------------------------------
+
+    def svc_set_timer(
+        self, caller: Partition, clock_id: int, abs_time: int, interval: int
+    ) -> int:
+        """``XM_set_timer(xm_u32_t clockId, xmTime_t absTime, xmTime_t interval)``."""
+        if clock_id not in (rc.XM_HW_CLOCK, rc.XM_EXEC_CLOCK):
+            return rc.XM_INVALID_PARAM
+        features = self.kernel.features
+        if features.set_timer_negative_check and interval < 0:
+            return rc.XM_INVALID_PARAM
+        if 0 < interval < features.set_timer_min_interval_us:
+            return rc.XM_INVALID_PARAM
+        # absTime <= 0 disarms the timer; that is documented contract,
+        # so the oracle treats non-positive absTime values as valid.
+        timer = caller.timer(clock_id)
+        if abs_time <= 0:
+            timer.armed = False
+            return rc.XM_OK
+        timer.armed = True
+        timer.interval_us = interval
+        timer.next_expiry_us = abs_time
+        self._schedule_expiry(caller, timer)
+        return rc.XM_OK
+
+    def _deadline_for(self, caller: Partition, timer: VTimer) -> int:
+        """Translate a clock target into an absolute simulator time."""
+        now = self.kernel.sim.now_us
+        if timer.clock_id == rc.XM_HW_CLOCK:
+            return max(now, timer.next_expiry_us)
+        exec_now = caller.exec_clock_us
+        return now + max(0, timer.next_expiry_us - exec_now)
+
+    def _schedule_expiry(self, caller: Partition, timer: VTimer) -> None:
+        deadline = self._deadline_for(caller, timer)
+        epoch = self.kernel.boot_epoch
+        ident = caller.ident
+        clock_id = timer.clock_id
+
+        def on_expiry(now: int) -> None:
+            self._on_expiry(now, ident, clock_id, epoch)
+
+        self.kernel.sim.schedule_at(deadline, on_expiry, name=f"vtimer.p{ident}.c{clock_id}")
+
+    def _on_expiry(self, now: int, partition_id: int, clock_id: int, epoch: int) -> None:
+        kernel = self.kernel
+        if kernel.is_halted() or kernel.boot_epoch != epoch:
+            return
+        partition = kernel.partitions.get(partition_id)
+        if partition is None:
+            return
+        timer = partition.vtimers.get(clock_id)
+        if timer is None or not timer.armed:
+            return
+        try:
+            self._run_handler(partition, timer, now)
+        except KernelPanic as panic:
+            kernel.fatal(str(panic))
+
+    def _run_handler(self, partition: Partition, timer: VTimer, now: int) -> None:
+        """The kernel timer handler, including the historical defect.
+
+        Each handler pass costs :data:`TIMER_HANDLER_COST_US`.  With a
+        positive interval smaller than that cost, the re-armed expiry is
+        already past when re-checked, so the handler re-enters itself.
+        """
+        features = self.kernel.features
+        machine = self.kernel.machine
+        cpu = machine.cpu
+        depth = 0
+        handler_clock = now
+        while True:
+            depth += 1
+            timer.expirations += 1
+            # The GPTIMER expiry arrives as IRQ 8 through the IRQMP; the
+            # kernel takes the trap, acknowledges the line, and pends
+            # the partition's virtual timer interrupt.
+            machine.irq.raise_irq(HW_TIMER_IRQ)
+            if depth == 1:
+                cpu.take(Trap(TrapType.for_interrupt(HW_TIMER_IRQ), "timer expiry"))
+            machine.irq.clear(HW_TIMER_IRQ)
+            partition.virq_pending |= 1 << TIMER_VIRQ
+            handler_clock += TIMER_HANDLER_COST_US
+            if timer.interval_us <= 0:
+                # One-shot (interval 0), or — on the vulnerable kernel —
+                # a negative interval silently treated as one-shot
+                # (defect XM-ST-3: the success code was already returned
+                # by svc_set_timer without validation).
+                timer.armed = False
+                return
+            timer.next_expiry_us += timer.interval_us
+            next_deadline = self._deadline_for(partition, timer)
+            if next_deadline > handler_clock:
+                # Nominal periodic behaviour: hand the next expiry back
+                # to the event queue and leave the handler.
+                self._schedule_expiry(partition, timer)
+                return
+            # The next expiry is already expired by the time it is
+            # checked: the handler is invoked again (defects XM-ST-1/2).
+            if timer.clock_id == rc.XM_EXEC_CLOCK:
+                # Exec-clock expiry arrives as a fresh timer trap while
+                # the previous one still has traps disabled: processor
+                # error mode; TSIM dies (XM-ST-2).
+                trap = Trap(TrapType.for_interrupt(8), "timer trap re-entry")
+                cpu.enter_trap(trap)
+                cpu.enter_trap(Trap(TrapType.for_interrupt(8), "nested timer trap"))
+                raise AssertionError("unreachable")  # pragma: no cover
+            if depth > KERNEL_STACK_MAX_DEPTH:
+                # HW-clock recursion overflows the kernel stack (XM-ST-1).
+                self.stack_overflows += 1
+                raise KernelPanic(
+                    "kernel stack overflow: recursive timer handler "
+                    f"(interval={timer.interval_us}us)"
+                )

@@ -1,0 +1,162 @@
+"""Trace Management hypercalls.
+
+Each partition owns one trace stream; the kernel owns stream -1.  Normal
+partitions may only open their own stream, system partitions may open
+any.  Streams are bounded rings, like the HM log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.xm import rc
+from repro.xm.partition import Partition
+from repro.xm.status import XmTraceEvent, XmTraceStatus
+from repro.xm.usercopy import copy_to_user
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xm.kernel import Kernel
+
+#: Kernel trace stream id.
+KERNEL_STREAM = -1
+#: Per-stream ring capacity.
+STREAM_CAPACITY = 128
+#: Upper bound on one trace_read batch.
+MAX_TRACE_READ = 64
+
+
+@dataclass
+class TraceStream:
+    """One bounded trace ring."""
+
+    stream_id: int
+    events: list[XmTraceEvent] = field(default_factory=list)
+    cursor: int = 0
+    total: int = 0
+    lost: int = 0
+
+    def record(self, opcode: int, partition_id: int, now_us: int, word: int = 0) -> None:
+        """Append one event, dropping the oldest on overflow."""
+        self.events.append(
+            XmTraceEvent(opcode=opcode, partition_id=partition_id,
+                         timestamp_us=now_us, word=word)
+        )
+        self.total += 1
+        if len(self.events) > STREAM_CAPACITY:
+            self.events.pop(0)
+            self.lost += 1
+            if self.cursor > 0:
+                self.cursor -= 1
+
+    def unread(self) -> list[XmTraceEvent]:
+        """Events past the read cursor."""
+        return self.events[self.cursor :]
+
+    def seek(self, offset: int, whence: int) -> bool:
+        """Move the cursor; False when the target is out of range."""
+        if whence == 0:
+            target = offset
+        elif whence == 1:
+            target = self.cursor + offset
+        elif whence == 2:
+            target = len(self.events) + offset
+        else:
+            return False
+        if not 0 <= target <= len(self.events):
+            return False
+        self.cursor = target
+        return True
+
+
+class TraceManager:
+    """Owner of the trace streams and services."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self.streams: dict[int, TraceStream] = {KERNEL_STREAM: TraceStream(KERNEL_STREAM)}
+        for part in kernel.config.partitions:
+            self.streams[part.ident] = TraceStream(part.ident)
+        self.opened: set[tuple[int, int]] = set()
+
+    def record(self, stream_id: int, opcode: int, partition_id: int, word: int = 0) -> None:
+        """Kernel-side helper to trace an event."""
+        stream = self.streams.get(stream_id)
+        if stream is not None:
+            stream.record(opcode, partition_id, self.kernel.sim.now_us, word)
+
+    def _accessible(self, caller: Partition, stream_id: int) -> TraceStream | None:
+        stream = self.streams.get(stream_id)
+        if stream is None:
+            return None
+        if not caller.is_system and stream_id != caller.ident:
+            return None
+        return stream
+
+    def svc_trace_open(self, caller: Partition, stream_id: int) -> int:
+        """``XM_trace_open(xm_s32_t streamId)``: returns the descriptor."""
+        stream = self._accessible(caller, stream_id)
+        if stream is None:
+            return rc.XM_INVALID_PARAM if stream_id not in self.streams else rc.XM_PERM_ERROR
+        self.opened.add((caller.ident, stream_id))
+        return stream_id & 0x7FFFFFFF if stream_id >= 0 else 0x7FFFFFFF
+
+    def svc_trace_read(
+        self, caller: Partition, stream_id: int, events_ptr: int, no_events: int
+    ) -> int:
+        """``XM_trace_read(xm_s32_t, xmTraceEvent_t *, xm_u32_t)``.
+
+        Returns the number of events copied out.
+        """
+        stream = self._accessible(caller, stream_id)
+        if stream is None:
+            return rc.XM_INVALID_PARAM if stream_id not in self.streams else rc.XM_PERM_ERROR
+        if no_events == 0 or no_events > MAX_TRACE_READ:
+            return rc.XM_INVALID_PARAM
+        unread = stream.unread()
+        count = min(no_events, len(unread))
+        if count == 0:
+            if not copy_to_user(
+                caller.address_space, events_ptr, bytes(XmTraceEvent.SIZE)
+            ):
+                return rc.XM_INVALID_PARAM
+            return 0
+        data = b"".join(ev.pack() for ev in unread[:count])
+        if not copy_to_user(caller.address_space, events_ptr, data):
+            return rc.XM_INVALID_PARAM
+        stream.cursor += count
+        return count
+
+    def svc_trace_seek(
+        self, caller: Partition, stream_id: int, offset: int, whence: int
+    ) -> int:
+        """``XM_trace_seek(xm_s32_t, xm_u32_t offset, xm_u32_t whence)``."""
+        stream = self._accessible(caller, stream_id)
+        if stream is None:
+            return rc.XM_INVALID_PARAM if stream_id not in self.streams else rc.XM_PERM_ERROR
+        if not stream.seek(offset, whence):
+            return rc.XM_INVALID_PARAM
+        return rc.XM_OK
+
+    def svc_trace_status(self, caller: Partition, stream_id: int, status_ptr: int) -> int:
+        """``XM_trace_status(xm_s32_t, xmTraceStatus_t *)``."""
+        stream = self._accessible(caller, stream_id)
+        if stream is None:
+            return rc.XM_INVALID_PARAM if stream_id not in self.streams else rc.XM_PERM_ERROR
+        status = XmTraceStatus(
+            total_events=stream.total,
+            unread_events=len(stream.unread()),
+            lost_events=stream.lost,
+        )
+        if not copy_to_user(caller.address_space, status_ptr, status.pack()):
+            return rc.XM_INVALID_PARAM
+        return rc.XM_OK
+
+    def svc_trace_flush(self, caller: Partition) -> int:
+        """``XM_trace_flush(void)``: clear the caller's own stream."""
+        stream = self.streams.get(caller.ident)
+        if stream is None:
+            return rc.XM_NO_ACTION
+        stream.events.clear()
+        stream.cursor = 0
+        return rc.XM_OK

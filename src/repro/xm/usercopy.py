@@ -1,0 +1,53 @@
+"""Validated user-memory accessors.
+
+Robust hypercall services never touch a partition-supplied pointer
+directly: they go through these helpers, which validate the whole range
+against the *calling partition's* address space and convert any fault
+into a clean ``None``/``False`` the service maps to ``XM_INVALID_PARAM``.
+
+The paper's ``XM_multicall`` defect is exactly a service that skipped
+this layer — see :mod:`repro.xm.svc_misc`.
+"""
+
+from __future__ import annotations
+
+from repro.sparc.memory import AddressSpace, MemoryFault
+
+
+def copy_from_user(space: AddressSpace, address: int, size: int) -> bytes | None:
+    """Read ``size`` bytes from the partition; None when invalid."""
+    if size < 0:
+        return None
+    if size == 0:
+        return b""
+    try:
+        return space.read(address, size)
+    except MemoryFault:
+        return None
+
+
+def copy_to_user(space: AddressSpace, address: int, data: bytes) -> bool:
+    """Write into the partition; False when the range is invalid."""
+    try:
+        space.write(address, data)
+    except MemoryFault:
+        return False
+    return True
+
+
+def read_user_string(space: AddressSpace, address: int, max_len: int = 64) -> str | None:
+    """Read a bounded NUL-terminated ASCII string; None when invalid.
+
+    A string that is unterminated within ``max_len`` bytes is treated as
+    invalid, as the real kernel bounds identifier lengths.
+    """
+    try:
+        raw = space.read_cstring(address, max_len + 1)
+    except MemoryFault:
+        return None
+    if len(raw) > max_len:
+        return None
+    try:
+        return raw.decode("ascii")
+    except UnicodeDecodeError:
+        return None

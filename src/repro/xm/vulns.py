@@ -1,0 +1,189 @@
+"""Known defect registry and kernel feature gating.
+
+The paper's campaign ran against the then-current XtratuM for LEON3 and
+uncovered nine robustness issues in three hypercalls; the paper also
+records how the XM development team revised each service afterwards.
+Both behaviours are implemented: :class:`KernelFeatures` selects between
+the *vulnerable* kernel (version ``3.4.0``, as tested) and the *revised*
+kernel (``3.4.1``).  The registry below documents each defect and is used
+by the issue-matching benches to check that the campaign rediscovers all
+of them and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The version of the kernel the paper tested (defects present).
+VULNERABLE_VERSION = "3.4.0"
+#: The revised kernel after the campaign's findings were fixed.
+FIXED_VERSION = "3.4.1"
+#: A synthetic pre-release with one additional seeded defect: an
+#: incorrect error code (XM_NO_ACTION where XM_INVALID_PARAM is
+#: documented) from ``XM_hm_seek`` on a bad whence/offset.  The paper found
+#: no Hindering failures and left their systematic detection as future
+#: work; this variant exists so the oracle's Hindering path can be
+#: demonstrated end to end (see DESIGN.md).
+BETA_VERSION = "3.4.0-beta"
+
+
+@dataclass(frozen=True)
+class KernelFeatures:
+    """Validation behaviour toggles, derived from the kernel version.
+
+    Attributes correspond one-to-one to the fixes the paper reports:
+
+    - ``reset_system_mode_check`` — ``XM_reset_system`` rejects modes
+      other than cold(0)/warm(1) with ``XM_INVALID_PARAM``.
+    - ``set_timer_min_interval_us`` — minimum accepted timer interval;
+      the revised kernel rejects intervals under 50 µs.
+    - ``set_timer_negative_check`` — negative intervals rejected.
+    - ``multicall_available`` — the revised kernel removed the service.
+    """
+
+    version: str
+    reset_system_mode_check: bool
+    set_timer_min_interval_us: int
+    set_timer_negative_check: bool
+    multicall_available: bool
+    hm_seek_wrong_error_code: bool = False
+
+    @classmethod
+    def for_version(cls, version: str) -> "KernelFeatures":
+        """Feature set for a kernel version string."""
+        if version == VULNERABLE_VERSION:
+            return cls(
+                version=version,
+                reset_system_mode_check=False,
+                set_timer_min_interval_us=0,
+                set_timer_negative_check=False,
+                multicall_available=True,
+            )
+        if version == BETA_VERSION:
+            return cls(
+                version=version,
+                reset_system_mode_check=False,
+                set_timer_min_interval_us=0,
+                set_timer_negative_check=False,
+                multicall_available=True,
+                hm_seek_wrong_error_code=True,
+            )
+        if version == FIXED_VERSION:
+            return cls(
+                version=version,
+                reset_system_mode_check=True,
+                set_timer_min_interval_us=50,
+                set_timer_negative_check=True,
+                multicall_available=False,
+            )
+        raise ValueError(f"unknown kernel version: {version!r}")
+
+    @property
+    def is_vulnerable(self) -> bool:
+        """True for the kernel as the paper tested it."""
+        return self.version == VULNERABLE_VERSION
+
+
+@dataclass(frozen=True)
+class Vulnerability:
+    """One documented defect (ground truth for the benches)."""
+
+    ident: str
+    hypercall: str
+    category: str
+    summary: str
+    crash_class: str
+    paper_fix: str
+
+
+#: Ground truth: the nine issues of Section IV, in paper order.
+KNOWN_VULNERABILITIES: tuple[Vulnerability, ...] = (
+    Vulnerability(
+        ident="XM-RS-1",
+        hypercall="XM_reset_system",
+        category="System Management",
+        summary="XM_reset_system(2) performs an unexpected kernel cold reset "
+        "instead of returning XM_INVALID_PARAM",
+        crash_class="Restart",
+        paper_fix="mode parameter now validated; XM_INVALID_PARAM for invalid modes",
+    ),
+    Vulnerability(
+        ident="XM-RS-2",
+        hypercall="XM_reset_system",
+        category="System Management",
+        summary="XM_reset_system(16) performs an unexpected kernel cold reset "
+        "instead of returning XM_INVALID_PARAM",
+        crash_class="Restart",
+        paper_fix="mode parameter now validated; XM_INVALID_PARAM for invalid modes",
+    ),
+    Vulnerability(
+        ident="XM-RS-3",
+        hypercall="XM_reset_system",
+        category="System Management",
+        summary="XM_reset_system(4294967295) performs an unexpected kernel warm "
+        "reset instead of returning XM_INVALID_PARAM",
+        crash_class="Restart",
+        paper_fix="mode parameter now validated; XM_INVALID_PARAM for invalid modes",
+    ),
+    Vulnerability(
+        ident="XM-ST-1",
+        hypercall="XM_set_timer",
+        category="Time Management",
+        summary="XM_set_timer on the HW clock with a 1 us interval re-enters the "
+        "timer handler recursively (next expiry always already past), "
+        "overflowing the kernel stack: system fatal error, XM halt",
+        crash_class="Catastrophic",
+        paper_fix="minimum interval defined; XM_INVALID_PARAM under 50 us",
+    ),
+    Vulnerability(
+        ident="XM-ST-2",
+        hypercall="XM_set_timer",
+        category="Time Management",
+        summary="XM_set_timer on the execution clock with a 1 us interval races "
+        "with the timer trap and crashes the TSIM simulator itself",
+        crash_class="Catastrophic",
+        paper_fix="minimum interval defined; XM_INVALID_PARAM under 50 us",
+    ),
+    Vulnerability(
+        ident="XM-ST-3",
+        hypercall="XM_set_timer",
+        category="Time Management",
+        summary="XM_set_timer accepts a negative interval (LLONG_MIN) and returns "
+        "success where XM_INVALID_PARAM is expected",
+        crash_class="Silent",
+        paper_fix="interval parameter now validated; XM_INVALID_PARAM for "
+        "invalid (negative) intervals",
+    ),
+    Vulnerability(
+        ident="XM-MC-1",
+        hypercall="XM_multicall",
+        category="Miscellaneous",
+        summary="XM_multicall with an invalid startAddr pointer is executed "
+        "without validation, causing unhandled data access exceptions",
+        crash_class="Abort",
+        paper_fix="service temporarily removed",
+    ),
+    Vulnerability(
+        ident="XM-MC-2",
+        hypercall="XM_multicall",
+        category="Miscellaneous",
+        summary="XM_multicall with an invalid endAddr pointer is executed "
+        "without validation, causing unhandled data access exceptions",
+        crash_class="Abort",
+        paper_fix="service temporarily removed",
+    ),
+    Vulnerability(
+        ident="XM-MC-3",
+        hypercall="XM_multicall",
+        category="Miscellaneous",
+        summary="a large XM_multicall batch executes past the partition's slot, "
+        "preventing nominal context switching: temporal isolation break",
+        crash_class="Catastrophic",
+        paper_fix="service temporarily removed",
+    ),
+)
+
+
+def vulnerabilities_for(hypercall: str) -> tuple[Vulnerability, ...]:
+    """Ground-truth defects attached to one hypercall."""
+    return tuple(v for v in KNOWN_VULNERABILITIES if v.hypercall == hypercall)

@@ -1,0 +1,65 @@
+"""XtratuM data types (Table I of the paper).
+
+XtratuM's interface types are compiler- and cross-development-independent
+fixed-width integers.  This package models them with exact C semantics:
+wrap-around on overflow for unsigned types, two's-complement wrap for
+signed types, and explicit size/signedness metadata so the fault-injection
+dictionaries can reason about type ranges.
+
+The public surface:
+
+- :class:`~repro.xtypes.inttypes.XmInt` — an immutable fixed-width integer
+  value with C conversion semantics.
+- The concrete type descriptors ``XM_U8 … XM_S64`` and the extended
+  aliases (``XM_TIME``, ``XM_ADDRESS`` …).
+- :class:`~repro.xtypes.registry.TypeRegistry` — the Table I registry
+  mapping XM type names to descriptors and ANSI C declarations.
+"""
+
+from repro.xtypes.inttypes import (
+    IntTypeDescriptor,
+    XmInt,
+    XM_U8,
+    XM_S8,
+    XM_U16,
+    XM_S16,
+    XM_U32,
+    XM_S32,
+    XM_U64,
+    XM_S64,
+)
+from repro.xtypes.extended import (
+    XM_TIME,
+    XM_ADDRESS,
+    XM_IO_ADDRESS,
+    XM_SIZE,
+    XM_SSIZE,
+    XM_ID,
+    XM_WORD,
+    EXTENDED_ALIASES,
+)
+from repro.xtypes.registry import TypeRegistry, TypeEntry, default_registry
+
+__all__ = [
+    "IntTypeDescriptor",
+    "XmInt",
+    "XM_U8",
+    "XM_S8",
+    "XM_U16",
+    "XM_S16",
+    "XM_U32",
+    "XM_S32",
+    "XM_U64",
+    "XM_S64",
+    "XM_TIME",
+    "XM_ADDRESS",
+    "XM_IO_ADDRESS",
+    "XM_SIZE",
+    "XM_SSIZE",
+    "XM_ID",
+    "XM_WORD",
+    "EXTENDED_ALIASES",
+    "TypeRegistry",
+    "TypeEntry",
+    "default_registry",
+]

@@ -1,0 +1,36 @@
+"""XM extended types (Table I): aliases of the basic fixed-width types.
+
+The extended types carry semantic meaning (a time, an address, an
+identifier) but share representation with a basic type.  Each alias is its
+own :class:`~repro.xtypes.inttypes.IntTypeDescriptor` so that dictionaries
+can attach *different* test-value sets to, say, ``xmTime_t`` and
+``xm_s64_t`` even though both are 64-bit signed.
+"""
+
+from __future__ import annotations
+
+from repro.xtypes.inttypes import IntTypeDescriptor
+
+# 32-bit unsigned aliases (Table I groups these under xm_u32_t).
+XM_WORD = IntTypeDescriptor("xmWord_t", 32, False, "unsigned int")
+XM_ADDRESS = IntTypeDescriptor("xmAddress_t", 32, False, "unsigned int")
+XM_IO_ADDRESS = IntTypeDescriptor("xmIoAddress_t", 32, False, "unsigned int")
+XM_SIZE = IntTypeDescriptor("xmSize_t", 32, False, "unsigned int")
+XM_ID = IntTypeDescriptor("xmId_t", 32, False, "unsigned int")
+
+# 32-bit signed alias.
+XM_SSIZE = IntTypeDescriptor("xmSSize_t", 32, True, "signed int")
+
+# 64-bit signed alias: times are expressed in microseconds in XtratuM.
+XM_TIME = IntTypeDescriptor("xmTime_t", 64, True, "signed long long")
+
+#: Mapping from extended type name to (descriptor, basic-type name).
+EXTENDED_ALIASES: dict[str, tuple[IntTypeDescriptor, str]] = {
+    "xmWord_t": (XM_WORD, "xm_u32_t"),
+    "xmAddress_t": (XM_ADDRESS, "xm_u32_t"),
+    "xmIoAddress_t": (XM_IO_ADDRESS, "xm_u32_t"),
+    "xmSize_t": (XM_SIZE, "xm_u32_t"),
+    "xmId_t": (XM_ID, "xm_u32_t"),
+    "xmSSize_t": (XM_SSIZE, "xm_s32_t"),
+    "xmTime_t": (XM_TIME, "xm_s64_t"),
+}

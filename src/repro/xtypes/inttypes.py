@@ -1,0 +1,213 @@
+"""Fixed-width integer types with C conversion semantics.
+
+XtratuM's hypercall ABI passes machine words; an out-of-range Python int
+supplied by a test dictionary must behave exactly as it would after the C
+calling convention truncated it.  :class:`IntTypeDescriptor` captures the
+width/signedness of one XM basic type and performs that truncation;
+:class:`XmInt` is an immutable value tagged with its descriptor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class IntTypeDescriptor:
+    """Width/signedness descriptor for one XM basic integer type.
+
+    Parameters
+    ----------
+    name:
+        XM type name, e.g. ``"xm_u32_t"``.
+    bits:
+        Storage width in bits (8, 16, 32 or 64).
+    signed:
+        True for two's-complement signed types.
+    c_decl:
+        The ANSI C declaration from Table I, e.g. ``"unsigned int"``.
+    """
+
+    name: str
+    bits: int
+    signed: bool
+    c_decl: str
+
+    def __post_init__(self) -> None:
+        if self.bits not in (8, 16, 32, 64):
+            raise ValueError(f"unsupported width: {self.bits} bits")
+
+    @property
+    def min(self) -> int:
+        """Smallest representable value."""
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max(self) -> int:
+        """Largest representable value."""
+        if self.signed:
+            return (1 << (self.bits - 1)) - 1
+        return (1 << self.bits) - 1
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage size in bytes."""
+        return self.bits // 8
+
+    @property
+    def modulus(self) -> int:
+        """2**bits — the wrap-around modulus."""
+        return 1 << self.bits
+
+    def contains(self, value: int) -> bool:
+        """Whether ``value`` is representable without conversion."""
+        return self.min <= value <= self.max
+
+    def convert(self, value: int) -> int:
+        """Apply C integer-conversion semantics to an arbitrary int.
+
+        Unsigned types wrap modulo ``2**bits``; signed types wrap into
+        two's-complement range (implementation-defined in C, but every
+        relevant SPARC/GCC target wraps, and so did the paper's testbed).
+        """
+        wrapped = value % self.modulus
+        if self.signed and wrapped > self.max:
+            wrapped -= self.modulus
+        return wrapped
+
+    def to_unsigned(self, value: int) -> int:
+        """Reinterpret a representable value as its raw bit pattern."""
+        return self.convert(value) % self.modulus
+
+    def boundary_values(self) -> tuple[int, ...]:
+        """The classic boundary values for this type (dictionary seeds)."""
+        if self.signed:
+            return (self.min, -1, 0, 1, self.max)
+        return (0, 1, self.max)
+
+    def iter_range_probes(self) -> Iterator[int]:
+        """Yield boundary values plus one-off-the-edge probes."""
+        yield from self.boundary_values()
+        yield self.min - 1
+        yield self.max + 1
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.name
+
+
+class XmInt:
+    """An immutable integer value tagged with an XM type descriptor.
+
+    Construction applies C conversion, so ``XmInt(XM_U8, 256)`` holds 0 and
+    ``XmInt(XM_S8, 255)`` holds -1.  Arithmetic returns plain Python ints
+    of the converted result; the class intentionally does not emulate C
+    usual-arithmetic-conversions between *different* XM types because the
+    kernel model never mixes them implicitly.
+    """
+
+    __slots__ = ("_type", "_value")
+
+    def __init__(self, type_: IntTypeDescriptor, value: int) -> None:
+        object.__setattr__(self, "_type", type_)
+        object.__setattr__(self, "_value", type_.convert(int(value)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("XmInt is immutable")
+
+    @property
+    def type(self) -> IntTypeDescriptor:
+        """The XM type descriptor this value is tagged with."""
+        return self._type
+
+    @property
+    def value(self) -> int:
+        """The converted Python integer value."""
+        return self._value
+
+    @property
+    def raw(self) -> int:
+        """The raw (unsigned) bit pattern of the stored value."""
+        return self._type.to_unsigned(self._value)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, XmInt):
+            return self._type == other._type and self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._type.name, self._value))
+
+    def __add__(self, other: "XmInt | int") -> "XmInt":
+        return XmInt(self._type, self._value + int(other))
+
+    def __sub__(self, other: "XmInt | int") -> "XmInt":
+        return XmInt(self._type, self._value - int(other))
+
+    def __mul__(self, other: "XmInt | int") -> "XmInt":
+        return XmInt(self._type, self._value * int(other))
+
+    def __neg__(self) -> "XmInt":
+        return XmInt(self._type, -self._value)
+
+    def __and__(self, other: "XmInt | int") -> "XmInt":
+        return XmInt(self._type, self.raw & self._type.to_unsigned(int(other)))
+
+    def __or__(self, other: "XmInt | int") -> "XmInt":
+        return XmInt(self._type, self.raw | self._type.to_unsigned(int(other)))
+
+    def __xor__(self, other: "XmInt | int") -> "XmInt":
+        return XmInt(self._type, self.raw ^ self._type.to_unsigned(int(other)))
+
+    def __lshift__(self, bits: int) -> "XmInt":
+        return XmInt(self._type, self.raw << bits)
+
+    def __rshift__(self, bits: int) -> "XmInt":
+        # C semantics: logical shift for unsigned, arithmetic for signed.
+        return XmInt(self._type, self._value >> bits)
+
+    def __lt__(self, other: "XmInt | int") -> bool:
+        return self._value < int(other)
+
+    def __le__(self, other: "XmInt | int") -> bool:
+        return self._value <= int(other)
+
+    def __gt__(self, other: "XmInt | int") -> bool:
+        return self._value > int(other)
+
+    def __ge__(self, other: "XmInt | int") -> bool:
+        return self._value >= int(other)
+
+    def __repr__(self) -> str:
+        return f"XmInt({self._type.name}, {self._value})"
+
+
+# Table I basic types -------------------------------------------------------
+
+XM_U8 = IntTypeDescriptor("xm_u8_t", 8, False, "unsigned char")
+XM_S8 = IntTypeDescriptor("xm_s8_t", 8, True, "signed char")
+XM_U16 = IntTypeDescriptor("xm_u16_t", 16, False, "unsigned short")
+XM_S16 = IntTypeDescriptor("xm_s16_t", 16, True, "signed short")
+XM_U32 = IntTypeDescriptor("xm_u32_t", 32, False, "unsigned int")
+XM_S32 = IntTypeDescriptor("xm_s32_t", 32, True, "signed int")
+XM_U64 = IntTypeDescriptor("xm_u64_t", 64, False, "unsigned long long")
+XM_S64 = IntTypeDescriptor("xm_s64_t", 64, True, "signed long long")
+
+BASIC_TYPES: tuple[IntTypeDescriptor, ...] = (
+    XM_U8,
+    XM_S8,
+    XM_U16,
+    XM_S16,
+    XM_U32,
+    XM_S32,
+    XM_U64,
+    XM_S64,
+)

@@ -1,0 +1,137 @@
+"""The Table I type registry.
+
+Maps every XM interface type name to its descriptor, its basic-type group
+and the ANSI C declaration, exactly as the paper's Table I lays them out.
+The registry is the single source of truth consulted by the fault-model
+dictionaries and the XML round-trip code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.xtypes.extended import EXTENDED_ALIASES
+from repro.xtypes.inttypes import BASIC_TYPES, IntTypeDescriptor
+
+
+@dataclass(frozen=True)
+class TypeEntry:
+    """One row of the (expanded) Table I.
+
+    ``basic_name`` is the XM basic type the entry aliases; for basic types
+    it equals ``descriptor.name``.
+    """
+
+    descriptor: IntTypeDescriptor
+    basic_name: str
+
+    @property
+    def name(self) -> str:
+        """The XM type name."""
+        return self.descriptor.name
+
+    @property
+    def is_extended(self) -> bool:
+        """True when the entry is an extended alias, not a basic type."""
+        return self.basic_name != self.descriptor.name
+
+    @property
+    def size_bits(self) -> int:
+        """Width in bits (Table I "Size" column)."""
+        return self.descriptor.bits
+
+    @property
+    def c_decl(self) -> str:
+        """Table I "ANSI C Types" column."""
+        return self.descriptor.c_decl
+
+
+class TypeRegistry:
+    """Registry of XM interface types.
+
+    A fresh registry contains exactly the Table I contents; users testing a
+    different kernel register their own types with :meth:`register`.
+    """
+
+    def __init__(self, populate: bool = True) -> None:
+        self._entries: dict[str, TypeEntry] = {}
+        if populate:
+            for desc in BASIC_TYPES:
+                self.register(desc, basic_name=desc.name)
+            for name, (desc, basic) in EXTENDED_ALIASES.items():
+                assert name == desc.name
+                self.register(desc, basic_name=basic)
+
+    def register(self, descriptor: IntTypeDescriptor, basic_name: str | None = None) -> TypeEntry:
+        """Add a type; returns its entry.  Re-registering a name is an error."""
+        if descriptor.name in self._entries:
+            raise ValueError(f"type already registered: {descriptor.name}")
+        basic = basic_name or descriptor.name
+        if basic != descriptor.name and basic not in self._entries:
+            raise ValueError(f"unknown basic type: {basic}")
+        entry = TypeEntry(descriptor, basic)
+        self._entries[descriptor.name] = entry
+        return entry
+
+    def lookup(self, name: str) -> TypeEntry:
+        """Return the entry for ``name``; KeyError with context otherwise."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(f"unknown XM type: {name!r}") from None
+
+    def descriptor(self, name: str) -> IntTypeDescriptor:
+        """Shortcut for ``lookup(name).descriptor``."""
+        return self.lookup(name).descriptor
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[TypeEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def basic_types(self) -> list[TypeEntry]:
+        """Entries for the eight basic types, in Table I order."""
+        return [e for e in self if not e.is_extended]
+
+    def extended_types(self) -> list[TypeEntry]:
+        """Entries for the extended aliases, in Table I order."""
+        return [e for e in self if e.is_extended]
+
+    def group_by_basic(self) -> dict[str, list[TypeEntry]]:
+        """Table I layout: basic type name → [basic entry, aliases...]."""
+        groups: dict[str, list[TypeEntry]] = {}
+        for entry in self:
+            groups.setdefault(entry.basic_name, []).append(entry)
+        return groups
+
+    def table1_rows(self) -> list[dict[str, object]]:
+        """Rows of Table I: basic type, extended aliases, size, C type."""
+        rows: list[dict[str, object]] = []
+        for basic, entries in self.group_by_basic.__call__().items():
+            aliases = [e.name for e in entries if e.is_extended]
+            base = next(e for e in entries if not e.is_extended)
+            rows.append(
+                {
+                    "basic": basic,
+                    "extended": aliases,
+                    "size_bits": base.size_bits,
+                    "c_decl": base.c_decl,
+                }
+            )
+        return rows
+
+
+_DEFAULT: TypeRegistry | None = None
+
+
+def default_registry() -> TypeRegistry:
+    """The shared, lazily-built Table I registry (treat as read-only)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = TypeRegistry()
+    return _DEFAULT

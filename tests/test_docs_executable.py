@@ -1,0 +1,59 @@
+"""Meta-test: documentation code blocks actually run.
+
+The tutorial and the README quickstart are executed verbatim; docs that
+rot break the build.
+"""
+
+import contextlib
+import io
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def python_blocks(path: Path) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+class TestTutorial:
+    def test_all_blocks_execute_in_order(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # blocks may write artefact files
+        namespace: dict = {}
+        blocks = python_blocks(ROOT / "docs" / "TUTORIAL.md")
+        assert len(blocks) >= 6
+        for index, block in enumerate(blocks):
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                exec(block, namespace)  # noqa: S102 - docs under test
+
+
+class TestReadme:
+    def test_quickstart_blocks_execute(self):
+        blocks = python_blocks(ROOT / "README.md")
+        assert blocks, "README lost its quickstart"
+        for block in blocks:
+            namespace: dict = {}
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                exec(block, namespace)  # noqa: S102 - docs under test
+
+    def test_readme_tables_are_current(self):
+        text = (ROOT / "README.md").read_text(encoding="utf-8")
+        assert "39 tested = 64 %" in text
+        assert "EXPERIMENTS.md" in text and "DESIGN.md" in text
+
+
+class TestExperimentsNumbers:
+    def test_headline_numbers_match_a_fresh_run(self):
+        """EXPERIMENTS.md's totals row is regenerated, not hand-typed."""
+        from repro.fault import Campaign, report
+
+        result = Campaign.paper_campaign().run()
+        totals = report.table3_totals(result)
+        text = (ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        assert f"**{totals.tests}**" in text
+        assert f"**{totals.raised_issues}**" in text

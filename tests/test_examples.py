@@ -1,0 +1,62 @@
+"""Smoke tests: every shipped example runs clean."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "timer_vulnerability_deep_dive.py",
+    "custom_kernel_api.py",
+]
+SLOW_EXAMPLES = [
+    "fault_masking_demo.py",
+    "phantom_parameters.py",
+]
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES + SLOW_EXAMPLES)
+def test_example_runs_clean(name):
+    proc = run_example(name)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout
+
+
+def test_quickstart_output_content():
+    proc = run_example("quickstart.py")
+    assert "EagleEye TSP" in proc.stdout
+    assert "XM-ST-1" in proc.stdout
+
+
+def test_deep_dive_shows_both_failure_modes():
+    proc = run_example("timer_vulnerability_deep_dive.py")
+    assert "stack overflow" in proc.stdout
+    assert "simulator crashed" in proc.stdout
+    assert "3.4.1" in proc.stdout
+
+
+def test_masking_demo_reports_masked_findings():
+    proc = run_example("fault_masking_demo.py")
+    assert "lost to fault masking" in proc.stdout
+    assert "XM-MC-2" in proc.stdout
+
+
+def test_full_campaign_example():
+    """The headline example: Table III + 9 findings + fixed-kernel rerun."""
+    proc = run_example("eagleeye_full_campaign.py")
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "all 9 known vulnerabilities rediscovered." in proc.stdout
+    assert "tests: 62, issues: 0" in proc.stdout

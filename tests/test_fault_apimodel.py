@@ -1,0 +1,126 @@
+"""Tests for the API model and its consistency with the kernel table."""
+
+import pytest
+
+from repro.fault.apimodel import (
+    ApiFunction,
+    ApiModel,
+    ApiParameter,
+    api_model_from_table,
+    category_order,
+)
+from repro.xm.api import (
+    HYPERCALL_TABLE,
+    Category,
+    by_category,
+    hypercall_by_name,
+    hypercall_by_number,
+    parameterless_hypercalls,
+    tested_hypercalls,
+    untested_hypercalls,
+)
+
+
+class TestKernelTable:
+    def test_sixty_one_hypercalls(self):
+        assert len(HYPERCALL_TABLE) == 61
+
+    def test_numbers_unique_and_dense(self):
+        numbers = [h.number for h in HYPERCALL_TABLE]
+        assert len(set(numbers)) == 61
+        assert numbers == sorted(numbers)
+
+    def test_lookup_by_name_and_number(self):
+        hdef = hypercall_by_name("XM_set_timer")
+        assert hypercall_by_number(hdef.number) is hdef
+        assert hypercall_by_number(9999) is None
+        with pytest.raises(KeyError):
+            hypercall_by_name("XM_nothing")
+
+    def test_table3_category_totals(self):
+        expected = {
+            Category.SYSTEM: (3, 2),
+            Category.PARTITION: (10, 6),
+            Category.TIME: (2, 2),
+            Category.PLAN: (2, 1),
+            Category.IPC: (10, 8),
+            Category.MEMORY: (2, 1),
+            Category.HM: (5, 3),
+            Category.TRACE: (5, 4),
+            Category.IRQ: (5, 4),
+            Category.MISC: (5, 3),
+            Category.SPARC: (12, 5),
+        }
+        groups = by_category()
+        for category, (total, tested) in expected.items():
+            calls = groups[category]
+            assert len(calls) == total, category
+            assert sum(1 for c in calls if c.tested) == tested, category
+
+    def test_scope_arithmetic(self):
+        assert len(tested_hypercalls()) == 39
+        assert len(untested_hypercalls()) == 22
+        assert len(parameterless_hypercalls()) == 10
+
+    def test_parameterless_are_all_untested(self):
+        for hdef in parameterless_hypercalls():
+            assert not hdef.tested
+
+    def test_tested_calls_have_params(self):
+        for hdef in tested_hypercalls():
+            assert hdef.has_params
+
+    def test_untested_have_reasons(self):
+        for hdef in untested_hypercalls():
+            assert hdef.untested_reason
+
+    def test_system_only_flags(self):
+        assert hypercall_by_name("XM_reset_system").system_only
+        assert hypercall_by_name("XM_memory_copy").system_only
+        assert not hypercall_by_name("XM_get_time").system_only
+
+    def test_services_are_unique(self):
+        services = [h.service for h in HYPERCALL_TABLE]
+        assert len(set(services)) == len(services)
+
+    def test_definition_invariants_enforced(self):
+        from repro.xm.api import HypercallDef, ParamDef
+
+        with pytest.raises(ValueError, match="need a reason"):
+            HypercallDef(200, "X", Category.MISC, (), "m.s", tested=False)
+        with pytest.raises(ValueError, match="parameter-less"):
+            HypercallDef(201, "Y", Category.MISC, (), "m.s", tested=True)
+        del ParamDef
+
+
+class TestApiModel:
+    def test_model_mirrors_table(self):
+        model = api_model_from_table()
+        assert len(model) == 61
+        assert len(model.tested_functions()) == 39
+        assert len(model.parameterless_functions()) == 10
+
+    def test_duplicate_add_rejected(self):
+        model = ApiModel("k")
+        fn = ApiFunction("F", "xm_s32_t", (ApiParameter("x", "xm_u32_t"),))
+        model.add(fn)
+        with pytest.raises(ValueError, match="duplicate"):
+            model.add(fn)
+
+    def test_lookup_missing(self):
+        with pytest.raises(KeyError, match="not in model"):
+            ApiModel("k").lookup("F")
+
+    def test_by_category_covers_order(self):
+        model = api_model_from_table()
+        assert set(model.by_category()) == set(category_order())
+
+    def test_category_order_matches_table3(self):
+        assert category_order()[0] == "System Management"
+        assert category_order()[-1] == "Sparc V8 Specific"
+
+    def test_dictionary_key_fallback(self):
+        param = ApiParameter("x", "xmTime_t")
+        assert param.dictionary_key == "xmTime_t"
+        hinted = ApiParameter("y", "xm_u32_t", dictionary="clock_id")
+        assert hinted.dictionary_key == "clock_id"

@@ -1,0 +1,169 @@
+"""Unit tests for the CRASH-scale classifier."""
+
+from repro.fault.classify import FailureKind, Severity, classify
+from repro.fault.oracle import Expectation
+from repro.fault.testlog import Invocation, TestRecord
+from repro.xm import rc
+
+
+def record(**kw) -> TestRecord:
+    base = dict(test_id="t", function="XM_x", category="c")
+    base.update(kw)
+    return TestRecord(**base)
+
+
+def expect_ok() -> Expectation:
+    return Expectation(allowed=frozenset({rc.XM_OK}))
+
+
+def expect_invalid() -> Expectation:
+    return Expectation(allowed=frozenset({rc.XM_INVALID_PARAM}))
+
+
+class TestSeverityLadder:
+    def test_sim_crash_is_catastrophic(self):
+        c = classify(record(sim_crashed=True), expect_ok())
+        assert c.severity is Severity.CATASTROPHIC
+        assert c.kind is FailureKind.SIM_CRASH
+
+    def test_sim_hang_is_restart(self):
+        c = classify(record(sim_hung=True), expect_ok())
+        assert c.severity is Severity.RESTART
+
+    def test_kernel_halt_is_catastrophic(self):
+        c = classify(
+            record(kernel_halted=True, halt_reason="stack overflow"), expect_ok()
+        )
+        assert c.severity is Severity.CATASTROPHIC
+        assert "stack overflow" in c.detail
+
+    def test_halt_system_halting_is_not_failure(self):
+        c = classify(
+            record(
+                function="XM_halt_system",
+                kernel_halted=True,
+                invocations=[Invocation(returned=False)],
+            ),
+            Expectation(allow_no_return=True),
+        )
+        assert c.severity is Severity.PASS
+
+    def test_unexpected_reset_is_restart(self):
+        c = classify(
+            record(resets=[("cold", "XM_reset_system(2)")]), expect_invalid()
+        )
+        assert c.severity is Severity.RESTART
+        assert c.kind is FailureKind.UNEXPECTED_RESET
+        assert "cold" in c.detail
+
+    def test_documented_reset_is_pass(self):
+        c = classify(
+            record(
+                function="XM_reset_system",
+                resets=[("warm", "XM_reset_system(1)")],
+                invocations=[Invocation(returned=False)],
+            ),
+            Expectation(allow_no_return=True),
+        )
+        assert c.severity is Severity.PASS
+
+    def test_temporal_violation_is_catastrophic(self):
+        c = classify(
+            record(
+                hm_events=[("TEMPORAL_VIOLATION", 0, "overrun")],
+                invocations=[Invocation(returned=True, rc=0)],
+            ),
+            expect_ok(),
+        )
+        assert c.severity is Severity.CATASTROPHIC
+        assert c.kind is FailureKind.TEMPORAL_VIOLATION
+
+    def test_unhandled_trap_is_abort(self):
+        c = classify(
+            record(
+                hm_events=[("UNHANDLED_TRAP", 0, "data access exception")],
+                invocations=[Invocation(returned=False)],
+            ),
+            expect_invalid(),
+        )
+        assert c.severity is Severity.ABORT
+
+    def test_mem_protection_is_abort(self):
+        c = classify(
+            record(hm_events=[("MEM_PROTECTION", 0, "fault")]), expect_ok()
+        )
+        assert c.severity is Severity.ABORT
+        assert c.kind is FailureKind.SPATIAL_VIOLATION
+
+    def test_unexpected_no_return_is_restart(self):
+        c = classify(
+            record(invocations=[Invocation(returned=False)]), expect_ok()
+        )
+        assert c.severity is Severity.RESTART
+        assert c.kind is FailureKind.NO_RETURN
+
+    def test_expected_no_return_is_pass(self):
+        c = classify(
+            record(invocations=[Invocation(returned=False)]),
+            Expectation(allow_no_return=True),
+        )
+        assert c.severity is Severity.PASS
+
+    def test_silent_wrong_success(self):
+        c = classify(
+            record(invocations=[Invocation(returned=True, rc=rc.XM_OK)]),
+            expect_invalid(),
+        )
+        assert c.severity is Severity.SILENT
+        assert "XM_OK" in c.detail and "XM_INVALID_PARAM" in c.detail
+
+    def test_hindering_wrong_error(self):
+        c = classify(
+            record(
+                invocations=[Invocation(returned=True, rc=rc.XM_PERM_ERROR)]
+            ),
+            expect_invalid(),
+        )
+        assert c.severity is Severity.HINDERING
+
+    def test_pass_on_matching_rc(self):
+        c = classify(
+            record(invocations=[Invocation(returned=True, rc=rc.XM_OK)]),
+            expect_ok(),
+        )
+        assert c.severity is Severity.PASS
+        assert not c.is_failure
+
+    def test_nonneg_expectation_accepts_descriptor(self):
+        c = classify(
+            record(invocations=[Invocation(returned=True, rc=7)]),
+            Expectation(allow_nonneg=True),
+        )
+        assert c.severity is Severity.PASS
+
+    def test_worst_invocation_wins(self):
+        # First invocation clean, second returns a wrong success.
+        c = classify(
+            record(
+                invocations=[
+                    Invocation(returned=True, rc=rc.XM_INVALID_PARAM),
+                    Invocation(returned=True, rc=rc.XM_OK),
+                ]
+            ),
+            expect_invalid(),
+        )
+        assert c.severity is Severity.SILENT
+
+    def test_precedence_crash_beats_silent(self):
+        c = classify(
+            record(
+                sim_crashed=True,
+                invocations=[Invocation(returned=True, rc=rc.XM_OK)],
+            ),
+            expect_invalid(),
+        )
+        assert c.severity is Severity.CATASTROPHIC
+
+    def test_not_invoked_is_pass(self):
+        c = classify(record(), expect_ok())
+        assert c.severity is Severity.PASS

@@ -1,0 +1,112 @@
+"""Unit tests for the test-value dictionaries."""
+
+import pytest
+
+from repro.fault.dictionaries import (
+    DictionarySet,
+    Symbol,
+    TestValue,
+    TypeDictionary,
+    builtin_dictionaries,
+)
+
+
+class TestTestValue:
+    def test_needs_exactly_one_of_value_symbol(self):
+        with pytest.raises(ValueError):
+            TestValue("x")
+        with pytest.raises(ValueError):
+            TestValue("x", value=1, symbol=Symbol.VALID_BUFFER)
+
+    def test_literal_of_symbolic_raises(self):
+        tv = TestValue("v", symbol=Symbol.VALID_NAME)
+        assert tv.is_symbolic
+        with pytest.raises(ValueError):
+            tv.literal()
+
+    def test_literal_of_plain(self):
+        assert TestValue("x", value=42).literal() == 42
+
+
+class TestBuiltinDictionaries:
+    def test_u32_matches_fig3(self):
+        d = builtin_dictionaries()["xm_u32_t"]
+        assert [v.value for v in d.values] == [0, 1, 2, 16, 4294967295]
+
+    def test_s32_matches_table2(self):
+        d = builtin_dictionaries()["xm_s32_t"]
+        assert [v.value for v in d.values] == [
+            -2147483648,
+            -16,
+            -1,
+            0,
+            1,
+            2,
+            16,
+            2147483647,
+        ]
+        assert d.labels()[0] == "MIN_S32"
+        assert d.labels()[-1] == "MAX_S32"
+
+    def test_table2_asterisks(self):
+        d = builtin_dictionaries()["xm_s32_t"]
+        flags = [v.maybe_valid for v in d.values]
+        # MIN and MAX are pure boundary values; the middle six can be
+        # valid depending on the hypercall (Table II asterisks).
+        assert flags == [False, True, True, True, True, True, True, False]
+
+    def test_time_dictionary_has_llong_min(self):
+        d = builtin_dictionaries()["xmTime_t"]
+        assert -(2**63) in [v.value for v in d.values]
+        assert 1 in [v.value for v in d.values]
+
+    def test_clock_context_dictionary(self):
+        d = builtin_dictionaries()["clock_id"]
+        assert [v.value for v in d.values] == [0, 1]
+
+    def test_pointer_dictionaries_have_symbols(self):
+        dicts = builtin_dictionaries()
+        for name in ("struct_ptr", "buffer_ptr", "name_ptr", "out_ptr_small"):
+            assert any(v.is_symbolic for v in dicts[name].values), name
+
+    def test_batch_dictionaries_distinct_symbols(self):
+        dicts = builtin_dictionaries()
+        start = [v.symbol for v in dicts["batch_ptr_start"].values if v.is_symbolic]
+        end = [v.symbol for v in dicts["batch_ptr_end"].values if v.is_symbolic]
+        assert start == [Symbol.VALID_BATCH_START]
+        assert end == [Symbol.VALID_BATCH_END]
+
+    def test_all_have_descriptions_or_values(self):
+        for d in builtin_dictionaries().values():
+            assert len(d) >= 2
+
+
+class TestDictionarySet:
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="no test-value dictionary"):
+            DictionarySet().lookup("nope")
+
+    def test_contains(self):
+        dicts = DictionarySet()
+        assert "xm_u32_t" in dicts
+        assert "nope" not in dicts
+
+    def test_add_replaces(self):
+        dicts = DictionarySet()
+        custom = TypeDictionary("xm_u32_t", "xm_u32_t", (TestValue("0", value=0),))
+        dicts.add(custom)
+        assert len(dicts.lookup("xm_u32_t")) == 1
+
+    def test_without_valid_values_strips_asterisked(self):
+        stripped = DictionarySet().without_valid_values()
+        s32 = stripped.lookup("xm_s32_t")
+        assert [v.value for v in s32.values] == [-2147483648, 2147483647]
+
+    def test_without_valid_values_keeps_nonempty(self):
+        stripped = DictionarySet().without_valid_values()
+        # clock_id is all maybe-valid: the first entry is kept.
+        assert len(stripped.lookup("clock_id")) == 1
+
+    def test_without_valid_values_drops_symbols(self):
+        stripped = DictionarySet().without_valid_values()
+        assert not any(v.is_symbolic for v in stripped.lookup("struct_ptr").values)

@@ -1,0 +1,71 @@
+"""Tests for the qualification dossier generator."""
+
+import pytest
+
+from repro.fault.campaign import Campaign
+from repro.fault.dossier import build_dossier, write_dossier
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return Campaign(functions=("XM_reset_system", "XM_set_timer"))
+
+
+@pytest.fixture(scope="module")
+def result(campaign):
+    return campaign.run()
+
+
+class TestDossier:
+    def test_contains_configuration(self, result):
+        text = build_dossier(result)
+        assert "XtratuM 3.4.0" in text
+        assert "cartesian" in text
+        assert "39 of 61 hypercalls (64%)" in text
+
+    def test_contains_table3_and_issues(self, result):
+        text = build_dossier(result)
+        assert "| Time Management | 2 | 2 | 32 | 3 |" in text
+        assert "XM-ST-1" in text and "XM-RS-3" in text
+
+    def test_contains_severity_and_offenders(self, result):
+        text = build_dossier(result)
+        assert "| Catastrophic | 2 |" in text
+        assert "`xmTime_t` | `LLONG_MIN`" in text
+
+    def test_truthbase_section_optional(self, campaign, result):
+        without = build_dossier(result)
+        with_tb = build_dossier(result, campaign)
+        assert "Dry-run truth base" not in without
+        assert "Dry-run truth base" in with_tb
+        assert "documented expectations: 37" in with_tb
+
+    def test_write_dossier(self, result, tmp_path):
+        path = write_dossier(result, tmp_path / "dossier.md")
+        assert path.exists()
+        assert path.read_text().startswith("# Robustness campaign dossier")
+
+    def test_clean_campaign_dossier(self):
+        clean = Campaign(functions=("XM_switch_sched_plan",)).run()
+        text = build_dossier(clean)
+        assert "No robustness issues raised." in text
+        assert "No dictionary value participated in a failure." in text
+
+    def test_cli_dossier_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "d.md"
+        assert (
+            main(
+                [
+                    "run",
+                    "--functions",
+                    "XM_switch_sched_plan",
+                    "--quiet",
+                    "--dossier",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert out.exists()

@@ -1,0 +1,100 @@
+"""Tests for CSV/Markdown exports and version comparison."""
+
+import csv
+import io
+
+import pytest
+
+from repro.fault.campaign import Campaign
+from repro.fault.export import (
+    compare_versions,
+    issues_csv,
+    log_csv,
+    table3_csv,
+    table3_markdown,
+)
+from repro.xm.vulns import FIXED_VERSION
+
+SCOPE = ("XM_reset_system", "XM_multicall")
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Campaign(functions=SCOPE).run()
+
+
+@pytest.fixture(scope="module")
+def fixed_result():
+    return Campaign(functions=SCOPE, kernel_version=FIXED_VERSION).run()
+
+
+class TestCsvExports:
+    def test_table3_csv_parses(self, result):
+        rows = list(csv.DictReader(io.StringIO(table3_csv(result))))
+        assert len(rows) == 12  # 11 categories + total
+        total = rows[-1]
+        assert total["category"] == "Total"
+        assert total["tests"] == "30"
+        assert total["raised_issues"] == "6"
+
+    def test_issues_csv(self, result):
+        rows = list(csv.DictReader(io.StringIO(issues_csv(result))))
+        assert len(rows) == 6
+        idents = {row["known_id"] for row in rows}
+        assert "XM-RS-1" in idents and "XM-MC-3" in idents
+
+    def test_log_csv_one_row_per_test(self, result):
+        rows = list(csv.DictReader(io.StringIO(log_csv(result.log))))
+        assert len(rows) == result.total_tests
+        crash_free = [r for r in rows if r["function"] == "XM_reset_system"]
+        assert all(r["sim_crashed"] == "0" for r in crash_free)
+
+    def test_log_csv_records_rc_names(self, result):
+        rows = list(csv.DictReader(io.StringIO(log_csv(result.log))))
+        by_id = {row["test_id"]: row for row in rows}
+        ok_reset = by_id["XM_reset_system#0000"]
+        assert ok_reset["first_rc"] == ""  # never returned (reset)
+        assert ok_reset["resets"] != "0"
+
+
+class TestMarkdownExports:
+    def test_table3_markdown_shape(self, result):
+        text = table3_markdown(result)
+        lines = text.splitlines()
+        assert lines[0].startswith("| Hypercall category |")
+        assert lines[1].startswith("|---")
+        assert "**Total**" in lines[-1]
+        assert len(lines) == 2 + 12
+
+
+class TestVersionComparison:
+    def test_fixed_issues_identified(self, result, fixed_result):
+        comparison = compare_versions(result, fixed_result)
+        fixed = comparison.fixed_issue_ids()
+        assert {"XM-RS-1", "XM-RS-2", "XM-RS-3", "XM-MC-1", "XM-MC-2", "XM-MC-3"} == fixed
+        assert comparison.regressed_issue_ids() == set()
+
+    def test_markdown_render(self, result, fixed_result):
+        text = compare_versions(result, fixed_result).markdown()
+        assert "XtratuM 3.4.0" in text and "XtratuM 3.4.1" in text
+        assert "| issues | 6 | 0 |" in text
+        assert "regressed" not in text
+
+    def test_regression_direction(self, result, fixed_result):
+        backwards = compare_versions(fixed_result, result)
+        assert backwards.regressed_issue_ids()
+        assert "regressed" in backwards.markdown()
+
+
+def test_lifecycle_example_runs():
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parent.parent / "examples" / "campaign_lifecycle.py"
+    proc = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=300
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "truth-base divergences" in proc.stdout
+    assert "issues remaining        : 0" in proc.stdout

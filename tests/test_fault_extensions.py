@@ -1,0 +1,104 @@
+"""Tests for the §V extensions: masking analysis and phantom parameters."""
+
+import pytest
+
+from repro.fault.campaign import Campaign
+from repro.fault.masking import (
+    MaskingPair,
+    masked_issue_comparison,
+    masking_pairs,
+)
+from repro.fault.phantom import PhantomCampaign, PhantomState
+from repro.xm.vulns import FIXED_VERSION
+
+
+class TestMaskingAnalysis:
+    @pytest.fixture(scope="class")
+    def ablation(self):
+        return masked_issue_comparison(
+            functions=("XM_multicall", "XM_set_timer", "XM_reset_system")
+        )
+
+    def test_full_campaign_finds_all_nine(self, ablation):
+        assert len(ablation.full_issue_ids) == 9
+
+    def test_stripped_campaign_loses_masked_issues(self, ablation):
+        assert len(ablation.stripped_issue_ids) < 9
+        assert ablation.masked_issue_ids
+
+    def test_endaddr_issue_is_masked(self, ablation):
+        """Fig. 7's exact scenario: without a valid startAddr, every test
+        faults on the first parameter and the endAddr defect is hidden."""
+        assert "XM-MC-2" in ablation.masked_issue_ids
+        assert "XM-MC-1" in ablation.stripped_issue_ids
+
+    def test_temporal_issue_requires_both_valid(self, ablation):
+        assert "XM-MC-3" in ablation.masked_issue_ids
+
+    def test_masking_pairs_mined_from_campaign(self):
+        result = Campaign(functions=("XM_multicall",)).run()
+        pairs = masking_pairs(result)
+        assert pairs
+        assert any(
+            p.masking_param == "startAddr" and p.masked_param == "endAddr"
+            for p in pairs
+        )
+
+    def test_masking_pair_fields(self):
+        result = Campaign(functions=("XM_multicall",)).run()
+        pair = next(
+            p
+            for p in masking_pairs(result)
+            if p.masked_param == "endAddr"
+        )
+        assert isinstance(pair, MaskingPair)
+        assert pair.function == "XM_multicall"
+        assert pair.failing_case != pair.masked_case
+
+
+class TestPhantomCampaign:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return PhantomCampaign().run()
+
+    def test_covers_all_parameterless_calls_and_states(self, result):
+        assert len(result.records) == 10 * len(PhantomState)
+
+    def test_no_failures_on_parameterless_calls(self, result):
+        assert result.failures == []
+
+    def test_states_recorded_in_ids(self, result):
+        ids = {r.test_id for r in result.records}
+        assert "XM_halt_system@nominal" in ids
+        assert "XM_sparc_get_psr@hm_pressure" in ids
+
+    def test_halt_system_never_returns(self, result):
+        for record in result.records:
+            if record.function == "XM_halt_system":
+                assert record.never_returned
+                assert record.kernel_halted
+
+    def test_hm_pressure_state_applied(self, result):
+        pressured = [
+            r
+            for r in result.records
+            if "hm_pressure" in r.test_id and r.function == "XM_hm_reset_events"
+        ]
+        assert pressured
+        # The HM log carried many injected events before the call.
+        assert len(pressured[0].hm_events) > 100 or pressured[0].first_rc == 0
+
+    def test_by_state_accounting(self, result):
+        by_state = result.by_state()
+        assert set(by_state) == set(PhantomState)
+        assert sum(by_state.values()) == len(result.failures)
+
+    def test_single_state_campaign(self):
+        campaign = PhantomCampaign(states=(PhantomState.NOMINAL,))
+        assert len(campaign.cases()) == 10
+
+    def test_fixed_kernel_phantom_also_clean(self):
+        result = PhantomCampaign(
+            kernel_version=FIXED_VERSION, states=(PhantomState.NOMINAL,)
+        ).run()
+        assert result.failures == []

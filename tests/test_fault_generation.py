@@ -1,0 +1,271 @@
+"""Unit + property tests for matrix building and dataset generation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fault.apimodel import ApiFunction, ApiParameter, api_model_from_table
+from repro.fault.combinator import (
+    CartesianStrategy,
+    PairwiseStrategy,
+    RandomSampleStrategy,
+    combinations_total,
+)
+from repro.fault.dictionaries import DictionarySet, TestValue, TypeDictionary
+from repro.fault.matrix import build_matrix
+
+
+def make_function(n_params: int, dict_names: list[str]) -> ApiFunction:
+    params = tuple(
+        ApiParameter(f"p{i}", "xm_u32_t", dictionary=dict_names[i])
+        for i in range(n_params)
+    )
+    return ApiFunction("F_test", "xm_s32_t", params, category="Test")
+
+
+def make_dicts(sizes: list[int]) -> DictionarySet:
+    dicts = DictionarySet({})
+    for i, size in enumerate(sizes):
+        dicts.add(
+            TypeDictionary(
+                f"d{i}",
+                "xm_u32_t",
+                tuple(TestValue(str(v), value=v) for v in range(size)),
+            )
+        )
+    return dicts
+
+
+class TestMatrix:
+    def test_shape_and_total(self):
+        fn = make_function(3, ["d0", "d1", "d2"])
+        matrix = build_matrix(fn, make_dicts([2, 3, 4]))
+        assert matrix.shape == (2, 3, 4)
+        assert matrix.total_combinations == 24
+
+    def test_missing_dictionary_raises(self):
+        fn = make_function(1, ["ghost"])
+        with pytest.raises(KeyError, match="ghost"):
+            build_matrix(fn, make_dicts([2]))
+
+    def test_parameterless_function_rejected(self):
+        fn = ApiFunction("F", "xm_s32_t", (), tested=False, untested_reason="x")
+        with pytest.raises(ValueError, match="no parameters"):
+            build_matrix(fn, make_dicts([]))
+
+    def test_default_dictionary_is_type_name(self):
+        param = ApiParameter("x", "xm_u32_t")
+        assert param.dictionary_key == "xm_u32_t"
+
+    def test_real_model_matrices_build(self):
+        model = api_model_from_table()
+        dicts = DictionarySet()
+        for fn in model.tested_functions():
+            matrix = build_matrix(fn, dicts)
+            assert matrix.total_combinations >= 1
+
+
+class TestEquationOne:
+    """Eq. 1: combinations_total == product of per-parameter counts."""
+
+    @given(st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_cartesian_count_matches_eq1(self, sizes):
+        fn = make_function(len(sizes), [f"d{i}" for i in range(len(sizes))])
+        matrix = build_matrix(fn, make_dicts(sizes))
+        expected = 1
+        for s in sizes:
+            expected *= s
+        assert combinations_total(matrix) == expected
+        generated = list(CartesianStrategy().generate(matrix))
+        assert len(generated) == expected
+        assert CartesianStrategy().count(matrix) == expected
+
+    @given(st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_cartesian_datasets_unique(self, sizes):
+        fn = make_function(len(sizes), [f"d{i}" for i in range(len(sizes))])
+        matrix = build_matrix(fn, make_dicts(sizes))
+        generated = list(CartesianStrategy().generate(matrix))
+        labels = [tuple(tv.label for tv in ds) for ds in generated]
+        assert len(set(labels)) == len(labels)
+
+    def test_paper_total_matches_eq1_per_call(self):
+        """Every suite size equals the product of its dictionary sizes."""
+        model = api_model_from_table()
+        dicts = DictionarySet()
+        for fn in model.tested_functions():
+            matrix = build_matrix(fn, dicts)
+            product = 1
+            for param in fn.params:
+                product *= len(dicts.lookup(param.dictionary_key))
+            assert matrix.total_combinations == product
+
+
+class TestPairwise:
+    @given(st.lists(st.integers(min_value=2, max_value=4), min_size=2, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_pairwise_covers_all_pairs(self, sizes):
+        fn = make_function(len(sizes), [f"d{i}" for i in range(len(sizes))])
+        matrix = build_matrix(fn, make_dicts(sizes))
+        datasets = list(PairwiseStrategy().generate(matrix))
+        indexed = [
+            tuple(matrix.columns[i].index(tv) for i, tv in enumerate(ds))
+            for ds in datasets
+        ]
+        for (i, si), (j, sj) in itertools.combinations(enumerate(sizes), 2):
+            for a in range(si):
+                for b in range(sj):
+                    assert any(ds[i] == a and ds[j] == b for ds in indexed), (
+                        f"pair ({i}={a}, {j}={b}) uncovered"
+                    )
+
+    @given(st.lists(st.integers(min_value=2, max_value=4), min_size=2, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_pairwise_no_larger_than_cartesian(self, sizes):
+        fn = make_function(len(sizes), [f"d{i}" for i in range(len(sizes))])
+        matrix = build_matrix(fn, make_dicts(sizes))
+        assert PairwiseStrategy().count(matrix) <= matrix.total_combinations
+
+    def test_pairwise_single_param_is_cartesian(self):
+        fn = make_function(1, ["d0"])
+        matrix = build_matrix(fn, make_dicts([4]))
+        assert PairwiseStrategy().count(matrix) == 4
+
+    def test_pairwise_reduces_large_spaces(self):
+        fn = make_function(4, ["d0", "d1", "d2", "d3"])
+        matrix = build_matrix(fn, make_dicts([4, 4, 4, 4]))
+        assert PairwiseStrategy().count(matrix) < 256
+
+
+class TestOneFactor:
+    def make_matrix(self, sizes):
+        fn = make_function(len(sizes), [f"d{i}" for i in range(len(sizes))])
+        return build_matrix(fn, make_dicts(sizes))
+
+    def test_size_is_sum_not_product(self):
+        from repro.fault.combinator import OneFactorStrategy
+
+        matrix = self.make_matrix([4, 5, 6])
+        # base + (4-1) + (5-1) + (6-1): base values fold into the base.
+        assert OneFactorStrategy().count(matrix) == 1 + 3 + 4 + 5
+
+    def test_every_value_appears(self):
+        from repro.fault.combinator import OneFactorStrategy
+
+        matrix = self.make_matrix([3, 4])
+        datasets = list(OneFactorStrategy().generate(matrix))
+        for index, column in enumerate(matrix.columns):
+            seen = {ds[index].label for ds in datasets}
+            assert seen == {tv.label for tv in column}
+
+    def test_base_uses_maybe_valid_values(self):
+        from repro.fault.combinator import OneFactorStrategy
+        from repro.fault.apimodel import api_model_from_table
+        from repro.fault.dictionaries import DictionarySet
+
+        fn = api_model_from_table().lookup("XM_multicall")
+        matrix = build_matrix(fn, DictionarySet())
+        base = next(OneFactorStrategy().generate(matrix))
+        assert [tv.label for tv in base] == ["VALID", "VALID"]
+
+    def test_no_duplicate_datasets(self):
+        from repro.fault.combinator import OneFactorStrategy
+
+        matrix = self.make_matrix([2, 2, 2])
+        datasets = [
+            tuple(tv.label for tv in ds)
+            for ds in OneFactorStrategy().generate(matrix)
+        ]
+        assert len(set(datasets)) == len(datasets)
+
+    def test_full_scope_size(self):
+        from repro.fault.campaign import Campaign
+        from repro.fault.combinator import OneFactorStrategy
+
+        campaign = Campaign(strategy=OneFactorStrategy())
+        assert campaign.total_tests() == 329
+
+
+class TestRandomSample:
+    def test_deterministic_for_seed(self):
+        fn = make_function(2, ["d0", "d1"])
+        matrix = build_matrix(fn, make_dicts([5, 5]))
+        strat = RandomSampleStrategy(fraction=0.5, seed=7)
+        a = [tuple(tv.label for tv in ds) for ds in strat.generate(matrix)]
+        b = [tuple(tv.label for tv in ds) for ds in strat.generate(matrix)]
+        assert a == b
+
+    def test_respects_fraction_and_minimum(self):
+        fn = make_function(2, ["d0", "d1"])
+        matrix = build_matrix(fn, make_dicts([10, 10]))
+        assert RandomSampleStrategy(fraction=0.25).count(matrix) == 25
+        assert RandomSampleStrategy(fraction=0.0, minimum=4).count(matrix) == 4
+
+    def test_sample_never_exceeds_space(self):
+        fn = make_function(1, ["d0"])
+        matrix = build_matrix(fn, make_dicts([3]))
+        assert RandomSampleStrategy(fraction=1.0, minimum=10).count(matrix) == 3
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_samples_are_valid_datasets(self, seed):
+        fn = make_function(3, ["d0", "d1", "d2"])
+        dicts = make_dicts([3, 4, 5])
+        matrix = build_matrix(fn, dicts)
+        strat = RandomSampleStrategy(fraction=0.3, seed=seed)
+        for ds in strat.generate(matrix):
+            assert len(ds) == 3
+            for col, tv in zip(matrix.columns, ds):
+                assert tv in col
+
+
+class TestCampaignSizes:
+    """The measured Table III test counts, fixed by construction."""
+
+    EXPECTED = {
+        "System Management": 8,
+        "Partition Management": 256,
+        "Time Management": 36,
+        "Plan Management": 2,
+        "Inter-Partition Communication": 632,
+        "Memory Management": 1200,
+        "Health Monitor Management": 48,
+        "Trace Management": 392,
+        "Interrupt Management": 140,
+        "Miscellaneous": 45,
+        "Sparc V8 Specific": 105,
+    }
+
+    def test_per_category_counts(self):
+        model = api_model_from_table()
+        dicts = DictionarySet()
+        totals: dict[str, int] = {}
+        for fn in model.tested_functions():
+            matrix = build_matrix(fn, dicts)
+            totals[fn.category] = totals.get(fn.category, 0) + matrix.total_combinations
+        assert totals == self.EXPECTED
+
+    def test_grand_total(self):
+        assert sum(self.EXPECTED.values()) == 2864
+
+    def test_category_ordering_matches_paper(self):
+        """The per-category ranking must match Table III's."""
+        paper = {
+            "Memory Management": 991,
+            "Inter-Partition Communication": 598,
+            "Trace Management": 428,
+            "Partition Management": 236,
+            "Interrupt Management": 172,
+            "Sparc V8 Specific": 88,
+            "Health Monitor Management": 64,
+            "Miscellaneous": 41,
+            "Time Management": 34,
+            "System Management": 8,
+            "Plan Management": 2,
+        }
+        ours_sorted = sorted(self.EXPECTED, key=self.EXPECTED.get, reverse=True)
+        paper_sorted = sorted(paper, key=paper.get, reverse=True)
+        assert ours_sorted == paper_sorted

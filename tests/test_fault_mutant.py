@@ -1,0 +1,125 @@
+"""Unit tests for mutant generation and symbol resolution."""
+
+import pytest
+
+from repro.fault.apimodel import api_model_from_table
+from repro.fault.combinator import CartesianStrategy
+from repro.fault.dictionaries import DictionarySet, Symbol
+from repro.fault.matrix import build_matrix
+from repro.fault.mutant import (
+    ArgSpec,
+    BATCH_ENTRIES,
+    default_layout,
+    generate_mutants,
+)
+from repro.testbed.eagleeye import partition_area_base
+from repro.xal.runtime import TEST_BUFFER_OFFSET, TEST_BUFFER_SIZE
+
+
+class TestLayout:
+    def test_layout_inside_fdir_test_window(self):
+        layout = default_layout()
+        window_start = partition_area_base(0) + TEST_BUFFER_OFFSET
+        window_end = window_start + TEST_BUFFER_SIZE
+        assert window_start <= layout.valid_buffer < window_end
+        assert window_start <= layout.batch_start < layout.batch_end <= window_end
+
+    def test_unaligned_buffer_is_odd(self):
+        assert default_layout().unaligned_buffer % 2 == 1
+
+    def test_name_resolution_per_function(self):
+        layout = default_layout()
+        sampling = layout.resolve(Symbol.VALID_NAME, "XM_create_sampling_port")
+        queuing = layout.resolve(Symbol.VALID_NAME, "XM_create_queuing_port")
+        assert sampling == layout.names["TM_MON"]
+        assert queuing == layout.names["FDIR_EVT"]
+        assert sampling != queuing
+
+    def test_batch_bounds(self):
+        layout = default_layout()
+        assert layout.batch_end - layout.batch_start == BATCH_ENTRIES * 12
+
+    def test_staging_writes_cover_all_symbols(self):
+        layout = default_layout()
+        staged = {addr for addr, _data in layout.staging_writes()}
+        assert layout.names["TM_MON"] in staged
+        assert layout.unterminated_name in staged
+        assert layout.batch_start in staged
+
+    def test_staged_names_are_nul_terminated(self):
+        for addr, data in default_layout().staging_writes():
+            del addr
+            if data.startswith(b"TM_MON"):
+                assert data.endswith(b"\0")
+
+    def test_unterminated_name_has_no_nul(self):
+        layout = default_layout()
+        for addr, data in layout.staging_writes():
+            if addr == layout.unterminated_name:
+                assert b"\0" not in data
+
+
+class TestArgSpec:
+    def test_literal_resolution(self):
+        arg = ArgSpec("x", "42", value=42)
+        assert arg.resolve(default_layout(), "F") == 42
+
+    def test_symbol_resolution(self):
+        arg = ArgSpec("p", "VALID", symbol=Symbol.VALID_BUFFER.value)
+        assert arg.resolve(default_layout(), "F") == default_layout().valid_buffer
+
+
+class TestMutantGeneration:
+    def setup_method(self):
+        self.model = api_model_from_table()
+        self.dicts = DictionarySet()
+
+    def mutants_for(self, name):
+        fn = self.model.lookup(name)
+        matrix = build_matrix(fn, self.dicts)
+        return list(generate_mutants(matrix, CartesianStrategy()))
+
+    def test_one_mutant_per_dataset(self):
+        mutants = self.mutants_for("XM_reset_system")
+        assert len(mutants) == 5
+
+    def test_test_ids_unique_and_ordered(self):
+        mutants = self.mutants_for("XM_set_timer")
+        ids = [m.spec.test_id for m in mutants]
+        assert len(set(ids)) == len(ids) == 32
+        assert ids[0] == "XM_set_timer#0000"
+
+    def test_c_source_contains_invocation(self):
+        mutant = self.mutants_for("XM_reset_system")[2]
+        assert "XM_reset_system(" in mutant.c_source
+        assert "(xm_u32_t)2" in mutant.c_source
+        assert mutant.filename == "mutant_XM_reset_system#0002.c"
+
+    def test_c_source_symbolic_macros(self):
+        mutants = self.mutants_for("XM_multicall")
+        valid_valid = [
+            m
+            for m in mutants
+            if m.spec.arg_labels() == ("VALID", "VALID")
+        ]
+        assert len(valid_valid) == 1
+        src = valid_valid[0].c_source
+        assert "TP_BATCH_START" in src and "TP_BATCH_END" in src
+
+    def test_c_source_llong_suffix(self):
+        mutants = self.mutants_for("XM_set_timer")
+        with_min = [m for m in mutants if "LLONG_MIN" in m.spec.arg_labels()]
+        assert "LL" in with_min[0].c_source
+
+    def test_spec_describe(self):
+        mutant = self.mutants_for("XM_set_timer")[0]
+        text = mutant.spec.describe()
+        assert text.startswith("XM_set_timer(")
+        assert "HW_CLOCK" in text
+
+    def test_resolved_args_match_c_semantics(self):
+        layout = default_layout()
+        for mutant in self.mutants_for("XM_reset_system"):
+            resolved = mutant.spec.resolve_args(layout)
+            assert len(resolved) == 1
+            assert 0 <= resolved[0] <= 0xFFFFFFFF

@@ -1,0 +1,260 @@
+"""Unit tests for the reference oracle."""
+
+import pytest
+
+from repro.fault.apimodel import api_model_from_table
+from repro.fault.dictionaries import DictionarySet, Symbol
+from repro.fault.mutant import ArgSpec, TestCallSpec
+from repro.fault.oracle import ReferenceOracle
+from repro.xm import rc
+from repro.xm.vulns import FIXED_VERSION
+
+
+def spec(function: str, *args: tuple[str, object]) -> TestCallSpec:
+    """Build a spec from (param, value-or-symbol) pairs."""
+    model = api_model_from_table()
+    fn = model.lookup(function)
+    arg_specs = []
+    for param, (label_value) in zip(fn.params, args):
+        name, value = label_value
+        assert name == param.name, f"expected {param.name}, got {name}"
+        if isinstance(value, Symbol):
+            arg_specs.append(ArgSpec(param.name, value.value, symbol=value.value))
+        else:
+            arg_specs.append(ArgSpec(param.name, str(value), value=value))
+    return TestCallSpec("t#0", function, fn.category, tuple(arg_specs))
+
+
+@pytest.fixture
+def oracle():
+    return ReferenceOracle()
+
+
+V = Symbol.VALID_BUFFER
+LLONG_MIN = -(2**63)
+
+
+class TestSystemOracle:
+    def test_reset_valid_modes_no_return(self, oracle):
+        for mode in (0, 1):
+            e = oracle.expect(spec("XM_reset_system", ("mode", mode)))
+            assert e.allow_no_return
+
+    def test_reset_invalid_modes(self, oracle):
+        for mode in (2, 16, 4294967295):
+            e = oracle.expect(spec("XM_reset_system", ("mode", mode)))
+            assert e.allowed == {rc.XM_INVALID_PARAM}
+            assert e.invalid_params == ("mode",)
+
+    def test_status_pointer(self, oracle):
+        good = oracle.expect(spec("XM_get_system_status", ("status", V)))
+        assert good.rc_acceptable(rc.XM_OK)
+        bad = oracle.expect(spec("XM_get_system_status", ("status", 0)))
+        assert bad.allowed == {rc.XM_INVALID_PARAM}
+
+
+class TestTimerOracle:
+    def test_small_interval_valid_on_vulnerable_docs(self, oracle):
+        e = oracle.expect(
+            spec("XM_set_timer", ("clockId", 0), ("absTime", 1), ("interval", 1))
+        )
+        assert e.rc_acceptable(rc.XM_OK)
+        assert not e.invalid_params
+
+    def test_small_interval_invalid_on_revised_docs(self):
+        revised = ReferenceOracle(FIXED_VERSION)
+        e = revised.expect(
+            spec("XM_set_timer", ("clockId", 0), ("absTime", 1), ("interval", 1))
+        )
+        assert e.allowed == {rc.XM_INVALID_PARAM}
+        assert "interval" in e.invalid_params
+
+    def test_negative_interval_always_invalid(self, oracle):
+        e = oracle.expect(
+            spec(
+                "XM_set_timer",
+                ("clockId", 1),
+                ("absTime", 1),
+                ("interval", LLONG_MIN),
+            )
+        )
+        assert e.allowed == {rc.XM_INVALID_PARAM}
+        assert e.invalid_params == ("interval",)
+
+    def test_bad_clock_blamed_first(self, oracle):
+        e = oracle.expect(
+            spec("XM_set_timer", ("clockId", 7), ("absTime", 1), ("interval", -1))
+        )
+        assert e.invalid_params[0] == "clockId"
+
+
+class TestMulticallOracle:
+    def test_valid_batch(self, oracle):
+        e = oracle.expect(
+            spec(
+                "XM_multicall",
+                ("startAddr", Symbol.VALID_BATCH_START),
+                ("endAddr", Symbol.VALID_BATCH_END),
+            )
+        )
+        assert e.allow_nonneg
+
+    def test_invalid_start_blamed(self, oracle):
+        e = oracle.expect(
+            spec(
+                "XM_multicall",
+                ("startAddr", 0),
+                ("endAddr", Symbol.VALID_BATCH_END),
+            )
+        )
+        assert e.invalid_params == ("startAddr",)
+
+    def test_invalid_end_blamed(self, oracle):
+        e = oracle.expect(
+            spec(
+                "XM_multicall",
+                ("startAddr", Symbol.VALID_BATCH_START),
+                ("endAddr", 0x50000000),
+            )
+        )
+        assert e.invalid_params == ("endAddr",)
+
+    def test_removed_service_on_revised_docs(self):
+        revised = ReferenceOracle(FIXED_VERSION)
+        e = revised.expect(
+            spec("XM_multicall", ("startAddr", 0), ("endAddr", 0))
+        )
+        assert e.allowed == {rc.XM_NO_SERVICE}
+
+
+class TestPartitionOracle:
+    def test_self_ops_no_return(self, oracle):
+        for ident in (-1, 0):
+            e = oracle.expect(spec("XM_halt_partition", ("partitionId", ident)))
+            assert e.allow_no_return
+
+    def test_other_partition_ok(self, oracle):
+        e = oracle.expect(spec("XM_halt_partition", ("partitionId", 2)))
+        assert e.rc_acceptable(rc.XM_OK)
+
+    def test_invalid_partition(self, oracle):
+        e = oracle.expect(spec("XM_halt_partition", ("partitionId", 16)))
+        assert e.allowed == {rc.XM_INVALID_PARAM}
+
+    def test_resume_state_dependent(self, oracle):
+        e = oracle.expect(spec("XM_resume_partition", ("partitionId", 1)))
+        assert e.rc_acceptable(rc.XM_OK)
+        assert e.rc_acceptable(rc.XM_NO_ACTION)
+
+
+class TestIpcOracle:
+    def test_write_on_destination_port_mode_error(self, oracle):
+        e = oracle.expect(
+            spec(
+                "XM_write_sampling_message",
+                ("portDesc", 0),
+                ("msgPtr", V),
+                ("msgSize", 16),
+            )
+        )
+        assert e.allowed == {rc.XM_INVALID_MODE}
+
+    def test_read_allows_empty_channel(self, oracle):
+        e = oracle.expect(
+            spec(
+                "XM_read_sampling_message",
+                ("portDesc", 0),
+                ("msgPtr", V),
+                ("msgSize", 4294967295),
+                ("flags", V),
+            )
+        )
+        assert e.rc_acceptable(rc.XM_NO_ACTION)
+        assert e.rc_acceptable(64)
+
+    def test_send_allows_queue_full(self, oracle):
+        e = oracle.expect(
+            spec(
+                "XM_send_queuing_message",
+                ("portDesc", 1),
+                ("msgPtr", V),
+                ("msgSize", 16),
+            )
+        )
+        assert e.rc_acceptable(rc.XM_OK)
+        assert e.rc_acceptable(rc.XM_NO_SPACE)
+
+    def test_create_sampling_size_mismatch_is_config_error(self, oracle):
+        e = oracle.expect(
+            spec(
+                "XM_create_sampling_port",
+                ("portName", Symbol.VALID_NAME),
+                ("maxMsgSize", 16),
+                ("direction", 1),
+                ("refreshPeriod", 1),
+            )
+        )
+        assert e.allowed == {rc.XM_INVALID_CONFIG}
+        assert "maxMsgSize" in e.invalid_params
+
+
+class TestMemoryOracle:
+    def test_valid_self_copy(self, oracle):
+        e = oracle.expect(
+            spec(
+                "XM_memory_copy",
+                ("dstId", 0),
+                ("dstAddr", V),
+                ("srcId", -1),
+                ("srcAddr", V),
+                ("size", 16),
+            )
+        )
+        assert e.rc_acceptable(rc.XM_OK)
+
+    def test_foreign_id_with_fdir_address(self, oracle):
+        e = oracle.expect(
+            spec(
+                "XM_memory_copy",
+                ("dstId", 0),
+                ("dstAddr", V),
+                ("srcId", 1),
+                ("srcAddr", V),
+                ("size", 16),
+            )
+        )
+        assert e.allowed == {rc.XM_INVALID_ADDRESS}
+
+    def test_size_zero(self, oracle):
+        e = oracle.expect(
+            spec(
+                "XM_memory_copy",
+                ("dstId", 0),
+                ("dstAddr", V),
+                ("srcId", 0),
+                ("srcAddr", V),
+                ("size", 0),
+            )
+        )
+        assert e.allowed == {rc.XM_INVALID_PARAM}
+
+
+class TestOracleCoverage:
+    def test_every_tested_hypercall_has_a_rule(self):
+        model = api_model_from_table()
+        oracle = ReferenceOracle()
+        dicts = DictionarySet()
+        from repro.fault.combinator import CartesianStrategy
+        from repro.fault.matrix import build_matrix
+        from repro.fault.mutant import dataset_to_spec
+
+        for fn in model.tested_functions():
+            matrix = build_matrix(fn, dicts)
+            first = next(CartesianStrategy().generate(matrix))
+            expectation = oracle.expect(dataset_to_spec(fn, first, 0))
+            assert expectation is not None, fn.name
+
+    def test_unknown_hypercall_has_no_rule(self):
+        oracle = ReferenceOracle()
+        with pytest.raises(KeyError, match="no oracle rule"):
+            oracle.expect(TestCallSpec("x", "XM_bogus", "?", ()))

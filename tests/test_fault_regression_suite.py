@@ -1,0 +1,58 @@
+"""Tests for the pinned vulnerability regression suite."""
+
+import pytest
+
+from repro.fault.classify import FailureKind
+from repro.fault.regression import (
+    expected_kind,
+    replay,
+    vulnerability_spec,
+    vulnerability_specs,
+)
+from repro.xm.vulns import FIXED_VERSION, KNOWN_VULNERABILITIES
+
+
+class TestSuiteShape:
+    def test_nine_pinned_specs(self):
+        specs = vulnerability_specs()
+        assert len(specs) == 9
+        assert len({s.test_id for s in specs}) == 9
+
+    def test_specs_target_the_right_hypercalls(self):
+        for vulnerability in KNOWN_VULNERABILITIES:
+            spec = vulnerability_spec(vulnerability)
+            assert spec.function == vulnerability.hypercall
+
+    def test_every_finding_has_an_expected_kind(self):
+        for vulnerability in KNOWN_VULNERABILITIES:
+            assert expected_kind(vulnerability.ident) is not None
+
+
+class TestReplay:
+    @pytest.fixture(scope="class")
+    def vulnerable_outcomes(self):
+        return {o.ident: o for o in replay()}
+
+    @pytest.fixture(scope="class")
+    def fixed_outcomes(self):
+        return {o.ident: o for o in replay(FIXED_VERSION)}
+
+    def test_all_reproduce_on_vulnerable_kernel(self, vulnerable_outcomes):
+        assert all(o.reproduced for o in vulnerable_outcomes.values())
+
+    def test_mechanisms_match_registry(self, vulnerable_outcomes):
+        assert vulnerable_outcomes["XM-ST-1"].kind is FailureKind.KERNEL_HALT
+        assert vulnerable_outcomes["XM-ST-2"].kind is FailureKind.SIM_CRASH
+        assert vulnerable_outcomes["XM-MC-3"].kind is FailureKind.TEMPORAL_VIOLATION
+
+    def test_none_reproduce_on_revised_kernel(self, fixed_outcomes):
+        assert not any(o.reproduced for o in fixed_outcomes.values())
+        assert all(not o.severity.is_failure for o in fixed_outcomes.values())
+
+    def test_crash_class_alignment_with_registry(self, vulnerable_outcomes):
+        """The replayed severities match the registry's crash classes."""
+        for vulnerability in KNOWN_VULNERABILITIES:
+            outcome = vulnerable_outcomes[vulnerability.ident]
+            assert outcome.severity.value == vulnerability.crash_class, (
+                vulnerability.ident
+            )

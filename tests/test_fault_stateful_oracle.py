@@ -1,0 +1,115 @@
+"""Tests for the state-aware oracle (the full §V logic model)."""
+
+import pytest
+
+from repro.fault.campaign import Campaign
+from repro.fault.classify import Severity
+from repro.fault.mutant import ArgSpec, TestCallSpec
+from repro.fault.phantom import PhantomState
+from repro.fault.stateful_oracle import (
+    StatefulOracle,
+    capture_state,
+    classify_stateful,
+    stateful_stress_comparison,
+)
+from repro.xm import rc
+
+from conftest import BootedSystem
+
+
+def hm_seek_spec(offset: int, whence: int) -> TestCallSpec:
+    return TestCallSpec(
+        "s#0",
+        "XM_hm_seek",
+        "Health Monitor Management",
+        (
+            ArgSpec("offset", str(offset), value=offset),
+            ArgSpec("whence", str(whence), value=whence),
+        ),
+    )
+
+
+class TestCaptureState:
+    def test_snapshot_fields(self):
+        system = BootedSystem()
+        state = capture_state(system.kernel)
+        assert state["hm_len"] == 0
+        assert state["tm_message"] == 0
+        assert "-1" in state["trace_lens"]
+
+    def test_snapshot_tracks_hm_growth(self):
+        from repro.xm.hm import HmEvent
+
+        system = BootedSystem()
+        for _ in range(3):
+            system.kernel.hm.raise_event(HmEvent.PARTITION_ERROR, 1, 0)
+        assert capture_state(system.kernel)["hm_len"] == 3
+
+    def test_snapshot_is_json_serialisable(self):
+        import json
+
+        system = BootedSystem()
+        json.dumps(capture_state(system.kernel))
+
+
+class TestStatefulExpectations:
+    def test_hm_seek_offset_valid_when_log_full(self):
+        oracle = StatefulOracle()
+        state = {"hm_len": 20, "hm_cursor": 0, "hm_unread": 20,
+                 "trace_lens": {}, "trace_cursors": {}, "tm_message": 0}
+        expectation = oracle.expect_in_state(hm_seek_spec(16, 0), state)
+        assert expectation.rc_acceptable(rc.XM_OK)
+
+    def test_hm_seek_offset_invalid_when_log_empty(self):
+        oracle = StatefulOracle()
+        state = {"hm_len": 0, "hm_cursor": 0, "hm_unread": 0,
+                 "trace_lens": {}, "trace_cursors": {}, "tm_message": 0}
+        expectation = oracle.expect_in_state(hm_seek_spec(16, 0), state)
+        assert expectation.allowed == {rc.XM_INVALID_PARAM}
+
+    def test_missing_state_falls_back_to_static(self):
+        oracle = StatefulOracle()
+        static = oracle.expect(hm_seek_spec(16, 0))
+        assert oracle.expect_in_state(hm_seek_spec(16, 0), None) == static
+
+    def test_bad_whence_still_invalid_regardless_of_state(self):
+        oracle = StatefulOracle()
+        state = {"hm_len": 50, "hm_cursor": 0, "hm_unread": 50,
+                 "trace_lens": {}, "trace_cursors": {}, "tm_message": 0}
+        expectation = oracle.expect_in_state(hm_seek_spec(0, 16), state)
+        assert expectation.allowed == {rc.XM_INVALID_PARAM}
+
+
+class TestEndToEnd:
+    def test_static_divergences_resolved_by_state(self):
+        static_div, stateful_div = stateful_stress_comparison(
+            PhantomState.HM_PRESSURE,
+            ("XM_hm_seek", "XM_hm_read", "XM_hm_status"),
+        )
+        assert len(static_div) == 6
+        assert stateful_div == []
+
+    def test_stateful_classification_on_quiet_campaign(self):
+        """On the quiet testbed the stateful oracle agrees with the
+        static one for every HM/trace test."""
+        campaign = Campaign(functions=("XM_hm_seek", "XM_trace_seek"))
+        result = campaign.run()
+        oracle = StatefulOracle()
+        spec_index = {spec.test_id: spec for spec in campaign.iter_specs()}
+        for record, _expectation, static_cls in result.classified:
+            stateful_cls = classify_stateful(
+                record, spec_index[record.test_id], oracle
+            )
+            assert stateful_cls.severity == static_cls.severity, record.test_id
+
+    def test_real_defects_still_detected_statefully(self):
+        campaign = Campaign(functions=("XM_set_timer",))
+        result = campaign.run()
+        oracle = StatefulOracle()
+        spec_index = {spec.test_id: spec for spec in campaign.iter_specs()}
+        severities = [
+            classify_stateful(record, spec_index[record.test_id], oracle).severity
+            for record, _e, _c in result.classified
+        ]
+        assert Severity.CATASTROPHIC in severities
+        assert Severity.SILENT in severities

@@ -1,0 +1,114 @@
+"""Unit tests for the API Header / Data Type XML round trip."""
+
+import pytest
+
+from repro.fault.apimodel import api_model_from_table
+from repro.fault.dictionaries import DictionarySet
+from repro.fault.xmlio import (
+    XmlFormatError,
+    api_model_from_xml,
+    api_model_to_xml,
+    dictionaries_from_xml,
+    dictionaries_to_xml,
+    fig2_excerpt,
+    fig3_excerpt,
+)
+
+
+class TestApiHeaderRoundTrip:
+    def test_full_model_roundtrip(self):
+        model = api_model_from_table()
+        parsed = api_model_from_xml(api_model_to_xml(model))
+        assert len(parsed) == len(model) == 61
+        for fn in model:
+            other = parsed.lookup(fn.name)
+            assert other == fn
+
+    def test_untested_reasons_preserved(self):
+        parsed = api_model_from_xml(api_model_to_xml(api_model_from_table()))
+        halt = parsed.lookup("XM_halt_system")
+        assert not halt.tested
+        assert "parameter-less" in (halt.untested_reason or "")
+
+    def test_dictionary_hints_preserved(self):
+        parsed = api_model_from_xml(api_model_to_xml(api_model_from_table()))
+        set_timer = parsed.lookup("XM_set_timer")
+        assert set_timer.params[0].dictionary == "clock_id"
+        assert set_timer.params[1].dictionary is None
+
+    def test_fig2_excerpt_matches_paper_shape(self):
+        text = fig2_excerpt()
+        assert 'Function Name="XM_reset_partition"' in text
+        assert 'ReturnType="xm_s32_t"' in text
+        assert text.count("<Parameter ") == 3
+        assert 'Name="resetMode" Type="xm_u32_t" IsPointer="NO"' in text
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(XmlFormatError, match="malformed"):
+            api_model_from_xml("<ApiHeader><oops")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(XmlFormatError, match="expected <ApiHeader>"):
+            api_model_from_xml("<Nope/>")
+
+    def test_function_without_name_rejected(self):
+        with pytest.raises(XmlFormatError, match="without Name"):
+            api_model_from_xml("<ApiHeader><Function/></ApiHeader>")
+
+    def test_parameter_without_type_rejected(self):
+        text = (
+            '<ApiHeader><Function Name="F"><ParametersList>'
+            '<Parameter Name="x"/></ParametersList></Function></ApiHeader>'
+        )
+        with pytest.raises(XmlFormatError, match="missing Name/Type"):
+            api_model_from_xml(text)
+
+
+class TestDataTypeRoundTrip:
+    def test_full_roundtrip(self):
+        dicts = DictionarySet()
+        parsed = dictionaries_from_xml(dictionaries_to_xml(dicts))
+        assert set(parsed.dictionaries) == set(dicts.dictionaries)
+        for name, original in dicts.dictionaries.items():
+            assert parsed.lookup(name).values == original.values
+
+    def test_fig3_excerpt_matches_paper(self):
+        text = fig3_excerpt()
+        assert 'DataType Name="xm_u32_t"' in text
+        assert "<Value" in text
+        for value in ("0", "1", "2", "16", "4294967295"):
+            assert f">{value}</Value>" in text
+
+    def test_symbols_round_trip(self):
+        parsed = dictionaries_from_xml(dictionaries_to_xml(DictionarySet()))
+        batch = parsed.lookup("batch_ptr_start")
+        assert any(v.is_symbolic for v in batch.values)
+
+    def test_unknown_symbol_rejected(self):
+        text = (
+            '<DataTypes><DataType Name="d" BasicType="xm_u32_t">'
+            '<TestValues><Symbol Name="bogus"/></TestValues>'
+            "</DataType></DataTypes>"
+        )
+        with pytest.raises(XmlFormatError, match="unknown symbol"):
+            dictionaries_from_xml(text)
+
+    def test_empty_value_rejected(self):
+        text = (
+            '<DataTypes><DataType Name="d" BasicType="xm_u32_t">'
+            "<TestValues><Value/></TestValues></DataType></DataTypes>"
+        )
+        with pytest.raises(XmlFormatError, match="empty"):
+            dictionaries_from_xml(text)
+
+    def test_missing_testvalues_rejected(self):
+        text = '<DataTypes><DataType Name="d" BasicType="xm_u32_t"/></DataTypes>'
+        with pytest.raises(XmlFormatError, match="missing <TestValues>"):
+            dictionaries_from_xml(text)
+
+    def test_maybe_valid_flag_round_trips(self):
+        parsed = dictionaries_from_xml(dictionaries_to_xml(DictionarySet()))
+        s32 = parsed.lookup("xm_s32_t")
+        assert [v.maybe_valid for v in s32.values] == [
+            False, True, True, True, True, True, True, False,
+        ]

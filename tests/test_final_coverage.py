@@ -1,0 +1,140 @@
+"""Final coverage batch: slot yielding, ring overflows, CLI strategies."""
+
+import pytest
+
+from repro.xm import rc
+from repro.xm.hm import HealthMonitor, HmEvent
+
+from conftest import BootedSystem
+
+
+class TestIdleSelfInSlot:
+    def test_idle_consumes_remainder_of_slot(self):
+        observed = {}
+
+        def payload(ctx, xm):
+            if observed:
+                return
+            xm.call("XM_idle_self")
+            observed["consumed"] = ctx.kernel.sched.slot_consumed_us
+
+        system = BootedSystem(fdir_payload=payload)
+        system.run_frames(1)
+        # FDIR's slot is 50 ms; idle_self consumed up to its end.
+        assert observed["consumed"] == 50_000
+
+    def test_idle_never_overruns(self):
+        def payload(ctx, xm):
+            xm.call("XM_idle_self")
+
+        system = BootedSystem(fdir_payload=payload)
+        system.run_frames(3)
+        assert system.kernel.sched.overruns == []
+
+
+class TestHmRingOverflow:
+    def test_cursor_tracks_dropped_records(self):
+        hm = HealthMonitor(capacity=4)
+        for _ in range(3):
+            hm.raise_event(HmEvent.PARTITION_ERROR, 0, 0)
+        hm.consume(2)  # cursor at 2
+        for _ in range(3):  # overflow by 2
+            hm.raise_event(HmEvent.PARTITION_ERROR, 0, 0)
+        assert hm.lost_events == 2
+        assert hm.read_cursor == 0
+        assert len(hm.unread()) == 4
+
+    def test_seek_bounds_after_overflow(self):
+        hm = HealthMonitor(capacity=4)
+        for _ in range(10):
+            hm.raise_event(HmEvent.PARTITION_ERROR, 0, 0)
+        assert hm.seek(4, 0) == 4
+        assert hm.seek(5, 0) is None
+
+
+class TestTraceRingOverflow:
+    def test_stream_drops_oldest(self):
+        system = BootedSystem()
+        stream = system.kernel.tracemgr.streams[0]
+        for i in range(200):
+            system.kernel.tracemgr.record(0, opcode=i, partition_id=0)
+        assert stream.lost == 200 - 128
+        assert stream.total == 200
+        assert stream.events[0].opcode == 200 - 128
+
+    def test_status_reports_losses(self):
+        from repro.xm.status import XmTraceStatus
+
+        system = BootedSystem()
+        for i in range(140):
+            system.kernel.tracemgr.record(0, opcode=i, partition_id=0)
+        addr = system.scratch()
+        assert system.call("XM_trace_status", 0, addr) == rc.XM_OK
+        status = XmTraceStatus.unpack(
+            system.fdir.address_space.read(addr, XmTraceStatus.SIZE)
+        )
+        assert status.lost_events == 12
+
+
+class TestCliStrategies:
+    @pytest.mark.parametrize("strategy", ["pairwise", "one-factor", "random"])
+    def test_run_with_alternative_strategy(self, strategy, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["run", "--functions", "XM_reset_system", "--quiet", "--strategy", strategy]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"Strategy          : {strategy}" in out or "Strategy" in out
+
+    def test_run_parallel_small(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "run",
+                    "--functions",
+                    "XM_switch_sched_plan",
+                    "--quiet",
+                    "--processes",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "Tests executed    : 2" in capsys.readouterr().out
+
+    def test_run_custom_frames(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "run",
+                    "--functions",
+                    "XM_switch_sched_plan",
+                    "--quiet",
+                    "--frames",
+                    "1",
+                ]
+            )
+            == 0
+        )
+
+
+class TestUartTimestamps:
+    def test_records_carry_emission_time(self):
+        system = BootedSystem()
+        system.run_frames(1)
+
+        def console(ctx, xm):
+            ctx.console("late line")
+
+        # Inject a console write at a known later slot.
+        system.kernel.partitions[0].app.payload = console
+        system.run_frames(1)
+        records = system.sim.machine.uart.records()
+        late = [t for (t, src, text) in records if text == "late line"]
+        assert late and late[0] >= 250_000

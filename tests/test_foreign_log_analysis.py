@@ -1,0 +1,61 @@
+"""Re-analysing logs whose specs the campaign did not generate itself."""
+
+import pytest
+
+from repro.fault.campaign import Campaign
+from repro.fault.combinator import OneFactorStrategy
+from repro.fault.testlog import CampaignLog
+
+
+class TestForeignLogAnalysis:
+    def test_log_reanalysed_under_different_strategy(self):
+        """A cartesian log analysed by a one-factor campaign: test ids
+        outside the campaign's own spec set are rebuilt from their
+        dictionary labels."""
+        cartesian = Campaign(functions=("XM_reset_system",))
+        log = cartesian.run().log
+        one_factor = Campaign(
+            functions=("XM_reset_system",), strategy=OneFactorStrategy()
+        )
+        result = one_factor.analyse(log)
+        assert result.total_tests == 5
+        assert result.issue_count() == 3
+
+    def test_foreign_ids_rebuild_specs_from_labels(self):
+        campaign = Campaign(functions=("XM_reset_system",))
+        log = campaign.run().log
+        # Rename ids so none match the campaign's own spec set: the
+        # analyser must rebuild specs from the dictionary labels.
+        for record in log.records:
+            record.test_id = "ext:" + record.test_id
+        result = campaign.analyse(log)
+        assert result.issue_count() == 3
+
+    def test_unknown_label_is_a_clear_error(self):
+        campaign = Campaign(functions=("XM_reset_system",))
+        log = campaign.run().log
+        log.records[0].test_id = "ext:broken"
+        log.records[0].arg_labels = ("NOT_A_LABEL",)
+        with pytest.raises(KeyError, match="NOT_A_LABEL"):
+            campaign.analyse(log)
+
+    def test_roundtrip_through_disk_preserves_analysis(self, tmp_path):
+        campaign = Campaign(functions=("XM_multicall",))
+        original = campaign.run()
+        path = tmp_path / "log.jsonl"
+        original.log.save(path)
+        reanalysed = campaign.analyse(CampaignLog.load(path))
+        assert reanalysed.issue_count() == original.issue_count()
+        assert [i.key for i in reanalysed.issues] == [
+            i.key for i in original.issues
+        ]
+
+    def test_invocation_states_survive_disk(self, tmp_path):
+        campaign = Campaign(functions=("XM_hm_seek",))
+        result = campaign.run()
+        path = tmp_path / "log.jsonl"
+        result.log.save(path)
+        loaded = CampaignLog.load(path)
+        record = loaded.records[0]
+        assert record.invocations[0].state is not None
+        assert "hm_len" in record.invocations[0].state

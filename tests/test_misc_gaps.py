@@ -1,0 +1,132 @@
+"""Small-gap tests: extended types, multi-reader IPC, arg conversion."""
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xtypes.extended import EXTENDED_ALIASES, XM_ADDRESS, XM_SSIZE, XM_TIME
+
+from conftest import BootedSystem
+
+
+class TestExtendedTypes:
+    def test_alias_map_is_complete(self):
+        assert set(EXTENDED_ALIASES) == {
+            "xmWord_t",
+            "xmAddress_t",
+            "xmIoAddress_t",
+            "xmSize_t",
+            "xmId_t",
+            "xmSSize_t",
+            "xmTime_t",
+        }
+
+    def test_alias_descriptors_match_basic_semantics(self):
+        for name, (descriptor, basic) in EXTENDED_ALIASES.items():
+            assert descriptor.name == name
+            signed = basic.startswith("xm_s")
+            assert descriptor.signed == signed, name
+
+    def test_time_is_signed_64(self):
+        assert XM_TIME.bits == 64 and XM_TIME.signed
+        assert XM_TIME.convert(2**63) == -(2**63)
+
+    def test_address_is_unsigned_32(self):
+        assert XM_ADDRESS.convert(-1) == 0xFFFFFFFF
+
+    def test_ssize_is_signed_32(self):
+        assert XM_SSIZE.convert(0x80000000) == -(2**31)
+
+
+class TestMultiReaderSamplingChannel:
+    def test_platform_and_fdir_see_same_telemetry(self):
+        """CH_TM_AOCS has two destination ports: last-value semantics
+        mean both readers observe the same frame."""
+        seen = {}
+
+        def payload(ctx, xm):
+            if "port" not in seen:
+                seen["port"] = xm.create_sampling_port(
+                    "TM_MON", 64, 1, 300_000
+                )
+                return
+            if "frame" not in seen:
+                code, data, valid = xm.read_sampling_message(seen["port"], 64)
+                if code > 0:
+                    seen["frame"] = data
+
+        system = BootedSystem(fdir_payload=payload)
+        system.run_frames(2)
+        # FDIR read a complete, well-formed AOCS frame (the publisher
+        # keeps writing after the read, so it need not be the latest).
+        timestamp, angle, steps = struct.unpack(">qII", seen["frame"][:16])
+        assert 0 <= timestamp <= system.sim.now_us
+        assert angle == (steps * 7) % 3600
+        # The platform app consumed the same channel independently.
+        assert system.kernel.partitions[2].app.steps >= 1
+
+    def test_reads_do_not_consume_sampling_messages(self):
+        system = BootedSystem()
+        system.run_frames(2)
+        chan = system.kernel.ipc.channels["CH_TM_AOCS"]
+        before = chan.message
+        # Both FDIR (monitor) and PLATFORM read every frame; the value
+        # is still there.
+        assert before is not None
+
+
+class TestArgumentConversionProperty:
+    @given(st.integers(min_value=-(2**70), max_value=2**70))
+    @settings(max_examples=40, deadline=None)
+    def test_dispatch_conversion_matches_type_descriptor(self, value):
+        """kernel._convert_args applies exactly the declared C conversion."""
+        from repro.xm.api import hypercall_by_name
+        from repro.xtypes import default_registry
+
+        system = BootedSystem()
+        hdef = hypercall_by_name("XM_reset_partition")
+        converted = system.kernel._convert_args(hdef, (value, value, value))
+        registry = default_registry()
+        assert converted[0] == registry.descriptor("xm_s32_t").convert(value)
+        assert converted[1] == registry.descriptor("xm_u32_t").convert(value)
+
+    def test_pointer_args_masked_to_machine_word(self):
+        from repro.xm.api import hypercall_by_name
+
+        system = BootedSystem()
+        hdef = hypercall_by_name("XM_get_system_status")
+        (converted,) = system.kernel._convert_args(hdef, (2**40 + 5,))
+        assert converted == (2**40 + 5) & 0xFFFFFFFF
+
+
+class TestStatusStructRoundTrips:
+    def test_all_status_structs_pack_unpack(self):
+        from repro.xm import status
+
+        for cls, kwargs in [
+            (status.XmSystemStatus, dict(reset_counter=3, current_time_us=-1)),
+            (status.XmPartitionStatus, dict(ident=-1, exec_clock_us=2**40)),
+            (status.XmPlanStatus, dict(current_plan=1, major_frame_count=99)),
+            (status.XmPortStatus, dict(port_id=-1, last_timestamp_us=7)),
+            (status.XmHmStatus, dict(total_events=5)),
+            (status.XmHmLogEntry, dict(event_code=4, partition_id=-1)),
+            (status.XmTraceEvent, dict(opcode=9, word=0xFFFFFFFF)),
+            (status.XmTraceStatus, dict(lost_events=2)),
+        ]:
+            original = cls(**kwargs)
+            packed = original.pack()
+            assert len(packed) == cls.SIZE
+            assert cls.unpack(packed) == original
+
+    def test_unpack_tolerates_trailing_bytes(self):
+        from repro.xm.status import XmHmStatus
+
+        packed = XmHmStatus(total_events=1).pack() + b"extra"
+        assert XmHmStatus.unpack(packed).total_events == 1
+
+    def test_layouts_are_big_endian(self):
+        from repro.xm.status import XmPlanStatus
+
+        packed = XmPlanStatus(current_plan=1).pack()
+        assert packed[:4] == struct.pack(">I", 1)

@@ -1,0 +1,117 @@
+"""Differential fuzz: the oracle must agree with the revised kernel.
+
+On the revised kernel (all defects fixed) every service is supposed to
+behave exactly as documented; therefore for *any* argument tuple the
+observed outcome must satisfy the oracle's expectation.  Hypothesis
+drives random (not just dictionary) values through integer-only
+hypercalls and cross-checks kernel vs oracle — the same consistency the
+full campaign asserts, generalised beyond the dictionaries.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fault.mutant import ArgSpec, TestCallSpec
+from repro.fault.oracle import ReferenceOracle
+from repro.xm.api import hypercall_by_name
+from repro.xm.errors import NoReturnFromHypercall
+from repro.xm.vulns import FIXED_VERSION
+
+from conftest import BootedSystem
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+s32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+s64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+_TYPE_STRATEGIES = {
+    "xm_u32_t": u32,
+    "xm_s32_t": s32,
+    "xmTime_t": s64,
+    "xmSize_t": u32,
+    "xmAddress_t": u32,
+    "xmIoAddress_t": u32,
+}
+
+
+def spec_for(function: str, values: tuple[int, ...]) -> TestCallSpec:
+    hdef = hypercall_by_name(function)
+    args = tuple(
+        ArgSpec(param.name, str(value), value=value)
+        for param, value in zip(hdef.params, values)
+    )
+    return TestCallSpec("fuzz#0", function, hdef.category.value, args)
+
+
+def check_consistency(function: str, values: tuple[int, ...]) -> None:
+    system = BootedSystem(version=FIXED_VERSION)
+    # Mirror campaign conditions: the FDIR application opens its two
+    # configured ports at boot, before any fault placeholder runs.
+    for port_name in ("TM_MON", "FDIR_EVT"):
+        system.kernel.ipc.open_port_by_name(system.fdir, port_name)
+    oracle = ReferenceOracle(FIXED_VERSION)
+    spec = spec_for(function, values)
+    expectation = oracle.expect(spec)
+    try:
+        code = system.call(function, *values)
+    except NoReturnFromHypercall:
+        assert expectation.allow_no_return, (function, values)
+        return
+    assert not system.kernel.is_halted(), (function, values)
+    assert expectation.rc_acceptable(code), (
+        function,
+        values,
+        code,
+        expectation,
+    )
+
+
+class TestOracleKernelConsistency:
+    @given(u32)
+    @settings(max_examples=30, deadline=None)
+    def test_reset_system(self, mode):
+        check_consistency("XM_reset_system", (mode,))
+
+    @given(s32, u32, u32)
+    @settings(max_examples=30, deadline=None)
+    def test_reset_partition(self, ident, mode, status):
+        check_consistency("XM_reset_partition", (ident, mode, status))
+
+    @given(s32)
+    @settings(max_examples=30, deadline=None)
+    def test_halt_partition(self, ident):
+        check_consistency("XM_halt_partition", (ident,))
+
+    @given(u32, u32, u32)
+    @settings(max_examples=30, deadline=None)
+    def test_route_irq(self, irq_type, line, vector):
+        check_consistency("XM_route_irq", (irq_type, line, vector))
+
+    @given(u32)
+    @settings(max_examples=20, deadline=None)
+    def test_mask_irq(self, line):
+        check_consistency("XM_mask_irq", (line,))
+
+    @given(u32)
+    @settings(max_examples=20, deadline=None)
+    def test_switch_sched_plan(self, plan):
+        check_consistency("XM_switch_sched_plan", (plan,))
+
+    @given(u32, u32)
+    @settings(max_examples=30, deadline=None)
+    def test_hm_seek(self, offset, whence):
+        check_consistency("XM_hm_seek", (offset, whence))
+
+    @given(u32, s64, s64)
+    @settings(max_examples=30, deadline=None)
+    def test_set_timer_on_fixed_kernel(self, clock, abs_time, interval):
+        check_consistency("XM_set_timer", (clock, abs_time, interval))
+
+    @given(s32)
+    @settings(max_examples=20, deadline=None)
+    def test_flush_port(self, port):
+        check_consistency("XM_flush_port", (port,))
+
+    @given(u32)
+    @settings(max_examples=20, deadline=None)
+    def test_sparc_inport(self, port):
+        check_consistency("XM_sparc_inport", (port,))

@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparc.memory import Access, AddressSpace, MemoryArea, PhysicalMemory
+from repro.tsim.events import EventQueue
+from repro.xtypes import XM_S8, XM_S16, XM_S32, XM_S64, XM_U8, XM_U16, XM_U32, XM_U64
+
+ALL_TYPES = [XM_U8, XM_S8, XM_U16, XM_S16, XM_U32, XM_S32, XM_U64, XM_S64]
+
+big_ints = st.integers(min_value=-(2**70), max_value=2**70)
+
+
+class TestIntegerConversionProperties:
+    @given(st.sampled_from(ALL_TYPES), big_ints)
+    @settings(max_examples=200, deadline=None)
+    def test_convert_lands_in_range(self, desc, value):
+        converted = desc.convert(value)
+        assert desc.min <= converted <= desc.max
+
+    @given(st.sampled_from(ALL_TYPES), big_ints)
+    @settings(max_examples=200, deadline=None)
+    def test_convert_is_idempotent(self, desc, value):
+        once = desc.convert(value)
+        assert desc.convert(once) == once
+
+    @given(st.sampled_from(ALL_TYPES), big_ints)
+    @settings(max_examples=200, deadline=None)
+    def test_convert_preserves_congruence(self, desc, value):
+        """C conversion preserves the value modulo 2**bits."""
+        assert desc.convert(value) % desc.modulus == value % desc.modulus
+
+    @given(st.sampled_from(ALL_TYPES), big_ints, big_ints)
+    @settings(max_examples=200, deadline=None)
+    def test_addition_homomorphism(self, desc, a, b):
+        """convert(a) + convert(b) == convert(a + b) after conversion."""
+        lhs = desc.convert(desc.convert(a) + desc.convert(b))
+        rhs = desc.convert(a + b)
+        assert lhs == rhs
+
+    @given(big_ints)
+    @settings(max_examples=100, deadline=None)
+    def test_signed_unsigned_bit_patterns_agree(self, value):
+        """Same width signed/unsigned conversions share bit patterns."""
+        for signed, unsigned in ((XM_S8, XM_U8), (XM_S32, XM_U32)):
+            s = signed.convert(value)
+            u = unsigned.convert(value)
+            assert signed.to_unsigned(s) == u
+
+
+@st.composite
+def disjoint_areas(draw):
+    """Random non-overlapping area lists within a 1 MiB window."""
+    count = draw(st.integers(min_value=1, max_value=6))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=0xFFFFF),
+                min_size=count * 2,
+                max_size=count * 2,
+                unique=True,
+            )
+        )
+    )
+    base = 0x40000000
+    areas = []
+    for i in range(count):
+        start, end = cuts[2 * i], cuts[2 * i + 1]
+        areas.append(MemoryArea(f"a{i}", base + start, end - start))
+    return areas
+
+
+class TestMemoryIsolationProperties:
+    @given(disjoint_areas())
+    @settings(max_examples=50, deadline=None)
+    def test_disjoint_areas_always_map(self, areas):
+        memory = PhysicalMemory()
+        for area in areas:
+            memory.add_area(area)
+        assert len(list(memory.areas())) == len(areas)
+
+    @given(disjoint_areas(), st.integers(min_value=0, max_value=0xFFFFF))
+    @settings(max_examples=50, deadline=None)
+    def test_every_byte_owned_by_at_most_one_area(self, areas, offset):
+        memory = PhysicalMemory()
+        for area in areas:
+            memory.add_area(area)
+        address = 0x40000000 + offset
+        owners = [a for a in memory.areas() if a.contains(address)]
+        assert len(owners) <= 1
+        assert (memory.area_at(address) is not None) == bool(owners)
+
+    @given(disjoint_areas())
+    @settings(max_examples=30, deadline=None)
+    def test_ungranted_space_sees_nothing(self, areas):
+        memory = PhysicalMemory()
+        for area in areas:
+            memory.add_area(area)
+        space = AddressSpace("p", memory)
+        import pytest
+
+        for area in areas:
+            with pytest.raises(Exception):
+                space.read(area.start, 1)
+        space.grant(areas[0].name, Access.READ)
+        assert space.read(areas[0].start, 1) == b"\0"
+
+
+class TestEventQueueProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=10_000), st.integers()),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pop_order_is_time_then_fifo(self, items):
+        queue = EventQueue()
+        for seq, (time_us, tag) in enumerate(items):
+            queue.schedule(time_us, lambda t: None, name=f"{seq}:{tag}")
+        popped = []
+        while queue:
+            event = queue.pop()
+            popped.append((event.time_us, event.seq))
+        assert popped == sorted(popped)
+        assert len(popped) == len(items)
+
+
+class TestSchedulerProperties:
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=8, deadline=None)
+    def test_slot_time_never_exceeds_frame(self, frames):
+        from conftest import BootedSystem
+
+        system = BootedSystem()
+        system.run_frames(frames)
+        plan = system.kernel.config.plan(0)
+        assert sum(s.duration_us for s in plan.slots) <= plan.major_frame_us
+        # Without overruns, accumulated exec time per partition never
+        # exceeds its share of the schedule.
+        for partition in system.kernel.partitions.values():
+            share = sum(
+                s.duration_us for s in plan.slots if s.partition_id == partition.ident
+            )
+            assert partition.exec_clock_us <= share * (frames + 1)
+
+
+class TestClassifierDeterminism:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_reset_system_oracle_total_on_u32(self, mode):
+        """The oracle yields a verdict for any converted u32 mode."""
+        from repro.fault.mutant import ArgSpec, TestCallSpec
+        from repro.fault.oracle import ReferenceOracle
+
+        spec = TestCallSpec(
+            "p#0",
+            "XM_reset_system",
+            "System Management",
+            (ArgSpec("mode", str(mode), value=mode),),
+        )
+        expectation = ReferenceOracle().expect(spec)
+        if mode in (0, 1):
+            assert expectation.allow_no_return
+        else:
+            assert expectation.invalid_params == ("mode",)

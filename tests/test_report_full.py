@@ -1,0 +1,65 @@
+"""Tests for the consolidated report, heatmap and compare CLI."""
+
+import pytest
+
+from repro.fault import report
+from repro.fault.campaign import Campaign
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Campaign(functions=("XM_set_timer", "XM_multicall")).run()
+
+
+class TestHeatmap:
+    def test_heatmap_renders_failure_columns(self, result):
+        text = report.severity_heatmap(result)
+        assert "Catast" in text
+        assert "Time Management" in text
+        assert "Pass" not in text.splitlines()[0]
+
+    def test_heatmap_counts(self, result):
+        lines = report.severity_heatmap(result).splitlines()
+        time_row = next(l for l in lines if l.startswith("Time Management"))
+        # 2 catastrophic (halt + crash) in the Time Management row.
+        assert time_row.split()[-5] == "2"
+
+
+class TestFullReport:
+    def test_contains_all_sections(self, result):
+        text = report.full_report(result)
+        assert "Kernel under test" in text
+        assert "Hypercall Category" in text
+        assert "XM-ST-1" in text
+        assert "Severity" in text
+
+    def test_full_report_on_clean_result(self):
+        clean = Campaign(functions=("XM_switch_sched_plan",)).run()
+        text = report.full_report(clean)
+        assert "No robustness issues raised." in text
+
+
+class TestCompareCli:
+    def test_compare_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        left = tmp_path / "old.jsonl"
+        right = tmp_path / "new.jsonl"
+        main(["run", "--functions", "XM_reset_system", "--quiet", "--log", str(left)])
+        main(
+            [
+                "run",
+                "--functions",
+                "XM_reset_system",
+                "--quiet",
+                "--version",
+                "3.4.1",
+                "--log",
+                str(right),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["compare", "--left", str(left), "--right", str(right)]) == 0
+        out = capsys.readouterr().out
+        assert "| issues | 3 | 0 |" in out
+        assert "XM-RS-1" in out

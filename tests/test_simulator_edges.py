@@ -1,0 +1,173 @@
+"""Edge-case tests for the simulator, machine and kernel lifecycle."""
+
+import pytest
+
+from repro.sparc.memory import Access, MemoryArea
+from repro.testbed import build_system
+from repro.testbed.eagleeye import eagleeye_config
+from repro.tsim.machine import TargetMachine
+from repro.tsim.simulator import SimState
+
+from conftest import BootedSystem
+
+
+class TestMachineEdges:
+    def test_leon3_map_ram_variant(self):
+        machine = TargetMachine.leon3(map_ram=True)
+        assert machine.memory.area_at(0x40000000) is not None
+
+    def test_default_board_has_no_ram_mapped(self):
+        machine = TargetMachine.leon3()
+        assert machine.memory.area_at(0x40000000) is None
+
+    def test_ram_contains(self):
+        machine = TargetMachine.leon3()
+        assert machine.ram_contains(0x40000000, 16)
+        assert not machine.ram_contains(0x3FFFFFFF, 16)
+        assert not machine.ram_contains(0x40000000 + machine.ram_size, 1)
+
+    def test_cold_reset_clears_memory_warm_keeps(self):
+        machine = TargetMachine.leon3()
+        machine.memory.add_area(MemoryArea("a", 0x40000000, 0x100, Access.RW))
+        machine.memory.write(0x40000000, b"live")
+        machine.reset(cold=False)
+        assert machine.memory.read(0x40000000, 4) == b"live"
+        machine.reset(cold=True)
+        assert machine.memory.read(0x40000000, 4) == bytes(4)
+
+    def test_uart_mmio_write_reaches_console(self):
+        from repro.tsim.machine import UART_BASE
+
+        machine = TargetMachine.leon3()
+        for ch in b"hi\n":
+            machine.iobus.write(UART_BASE, ch)
+        assert machine.uart.lines() == ["hi"]
+
+    def test_irqmp_mmio_registers(self):
+        from repro.tsim.machine import IRQMP_BASE
+
+        machine = TargetMachine.leon3()
+        machine.iobus.write(IRQMP_BASE + 0x40, 0xFF00)
+        assert machine.iobus.read(IRQMP_BASE + 0x40) == 0xFF00
+        machine.iobus.write(IRQMP_BASE + 0x04, 1 << 9)
+        assert machine.iobus.read(IRQMP_BASE + 0x04) == 1 << 9
+
+
+class TestKernelEdges:
+    def test_area_outside_board_ram_panics_at_boot(self):
+        from repro.xm.config import MemoryAreaConfig, PartitionConfig
+        from repro.xm.errors import KernelPanic
+
+        config = eagleeye_config()
+        config.partitions[4] = PartitionConfig(
+            ident=4,
+            name="IO",
+            memory_areas=(MemoryAreaConfig("io_ram", 0x7000_0000, 0x1000),),
+            ports=config.partitions[4].ports,
+        )
+        sim = build_system(config=config)
+        with pytest.raises(KernelPanic, match="outside board RAM"):
+            sim.boot()
+
+    def test_hypercall_count_increments(self):
+        system = BootedSystem()
+        before = system.kernel.hypercall_count
+        system.call("XM_mask_irq", 1)
+        assert system.kernel.hypercall_count == before + 1
+
+    def test_console_transcript_carries_boot_banner(self):
+        system = BootedSystem()
+        assert "XM 3.4.0 boot: 5 partitions" in system.sim.machine.uart.transcript()
+
+    def test_reset_log_kinds(self):
+        from repro.xm.errors import NoReturnFromHypercall
+
+        system = BootedSystem()
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_reset_system", 1)
+        system.run_frames(1)
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_reset_system", 0)
+        kinds = [record.kind for record in system.kernel.reset_log]
+        assert kinds == ["warm", "cold"]
+
+    def test_multiple_resets_keep_schedule_alive(self):
+        from repro.xm.errors import NoReturnFromHypercall
+
+        system = BootedSystem()
+        for _ in range(3):
+            with pytest.raises(NoReturnFromHypercall):
+                system.call("XM_reset_system", 1)
+            system.run_frames(1)
+        assert not system.kernel.is_halted()
+        assert system.kernel.warm_reset_counter == 3
+        assert system.kernel.boot_epoch == 3
+
+
+class TestSimulatorLifecycle:
+    def test_state_transitions(self):
+        system = BootedSystem()
+        assert system.sim.state is SimState.RUNNING
+        system.kernel.halt("test")
+        system.run_frames(1)
+        assert system.sim.state is SimState.STOPPED
+
+    def test_run_until_is_monotonic(self):
+        system = BootedSystem()
+        system.sim.run_until(100)
+        system.sim.run_until(50)  # already past; no-op
+        assert system.sim.now_us == 100
+
+    def test_dispatched_events_grow(self):
+        system = BootedSystem()
+        system.run_frames(1)
+        first = system.sim.dispatched_events
+        system.run_frames(1)
+        assert system.sim.dispatched_events > first
+
+    def test_crashed_simulator_stays_crashed(self):
+        from repro.tsim.simulator import SimulatorCrash
+
+        system = BootedSystem()
+        system.call("XM_set_timer", 1, 1, 1)
+        with pytest.raises(SimulatorCrash):
+            system.run_frames(1)
+        # Further runs are inert: the process died.
+        system.sim.run_until(10**9)
+        assert system.sim.state is SimState.CRASHED
+
+
+class TestMemoryEdgeCases:
+    def test_cstring_across_area_boundary_faults_cleanly(self):
+        from repro.sparc.memory import AddressSpace, MemoryFault, PhysicalMemory
+
+        memory = PhysicalMemory()
+        memory.add_area(MemoryArea("a", 0x1000, 0x10, Access.RW))
+        space = AddressSpace("t", memory)
+        space.grant("a", Access.RW)
+        space.write(0x1000, b"A" * 16)  # unterminated up to the area end
+        with pytest.raises(MemoryFault):
+            space.read_cstring(0x1000, max_len=64)
+
+    def test_cstring_terminated_at_last_byte(self):
+        from repro.sparc.memory import AddressSpace, PhysicalMemory
+
+        memory = PhysicalMemory()
+        memory.add_area(MemoryArea("a", 0x1000, 0x10, Access.RW))
+        space = AddressSpace("t", memory)
+        space.grant("a", Access.RW)
+        space.write(0x1000, b"ABCDEFGHIJKLMNO\0")
+        assert space.read_cstring(0x1000) == b"ABCDEFGHIJKLMNO"
+
+    def test_cstring_spanning_adjacent_areas(self):
+        from repro.sparc.memory import AddressSpace, PhysicalMemory
+
+        memory = PhysicalMemory()
+        memory.add_area(MemoryArea("a", 0x1000, 0x8, Access.RW))
+        memory.add_area(MemoryArea("b", 0x1008, 0x8, Access.RW))
+        space = AddressSpace("t", memory)
+        space.grant("a", Access.RW)
+        space.grant("b", Access.RW)
+        memory.write(0x1000, b"ABCDEFGH")
+        memory.write(0x1008, b"IJ\0" + bytes(5))
+        assert space.read_cstring(0x1000) == b"ABCDEFGHIJ"

@@ -1,0 +1,229 @@
+"""Unit tests for traps, CPU state, IRQ controller, timers, UART, I/O bus."""
+
+import pytest
+
+from repro.sparc import (
+    CpuState,
+    GpTimerUnit,
+    IoBus,
+    IoDevice,
+    IoFault,
+    IrqController,
+    ProcessorErrorMode,
+    Trap,
+    TrapType,
+    Uart,
+)
+
+
+class TestTraps:
+    def test_trap_number(self):
+        assert Trap(TrapType.DATA_ACCESS_EXCEPTION).number == 0x09
+
+    def test_interrupt_vector_mapping(self):
+        assert TrapType.for_interrupt(1) == 0x11
+        assert TrapType.for_interrupt(15) == 0x1F
+
+    def test_interrupt_line_bounds(self):
+        with pytest.raises(ValueError):
+            TrapType.for_interrupt(0)
+        with pytest.raises(ValueError):
+            TrapType.for_interrupt(16)
+
+    def test_trap_message_includes_address(self):
+        t = Trap(TrapType.DATA_ACCESS_EXCEPTION, "bad read", address=0xDEAD)
+        assert "0x0000dead" in str(t)
+
+
+class TestCpuState:
+    def test_nominal_trap_entry_exit(self):
+        cpu = CpuState()
+        cpu.enter_trap(Trap(TrapType.DATA_ACCESS_EXCEPTION))
+        assert not cpu.traps_enabled
+        assert cpu.trap_depth == 1
+        cpu.exit_trap()
+        assert cpu.traps_enabled
+        assert cpu.trap_depth == 0
+
+    def test_double_trap_is_error_mode(self):
+        cpu = CpuState()
+        cpu.enter_trap(Trap(TrapType.for_interrupt(8)))
+        with pytest.raises(ProcessorErrorMode):
+            cpu.enter_trap(Trap(TrapType.for_interrupt(8)))
+
+    def test_exit_without_entry_is_programming_error(self):
+        with pytest.raises(RuntimeError):
+            CpuState().exit_trap()
+
+    def test_interrupt_acceptance_honours_pil(self):
+        cpu = CpuState()
+        cpu.pil = 8
+        assert not cpu.can_take_interrupt(8)
+        assert cpu.can_take_interrupt(9)
+
+    def test_history_counts(self):
+        cpu = CpuState()
+        cpu.take(Trap(TrapType.DATA_ACCESS_EXCEPTION))
+        cpu.take(Trap(TrapType.DATA_ACCESS_EXCEPTION))
+        assert cpu.taken(TrapType.DATA_ACCESS_EXCEPTION) == 2
+
+    def test_reset_restores_power_on_state(self):
+        cpu = CpuState()
+        cpu.enter_trap(Trap(TrapType.DATA_ACCESS_EXCEPTION))
+        cpu.reset()
+        assert cpu.traps_enabled and cpu.trap_depth == 0 and not cpu.history
+
+
+class TestIrqController:
+    def test_raise_and_deliver_highest_first(self):
+        irq = IrqController()
+        irq.unmask(3)
+        irq.unmask(9)
+        irq.raise_irq(3)
+        irq.raise_irq(9)
+        assert irq.acknowledge() == 9
+        assert irq.acknowledge() == 3
+        assert irq.acknowledge() is None
+
+    def test_masked_lines_not_delivered(self):
+        irq = IrqController()
+        irq.raise_irq(5)
+        assert irq.next_deliverable() is None
+        irq.unmask(5)
+        assert irq.next_deliverable() == 5
+
+    def test_delivery_hook_fires_on_unmask(self):
+        irq = IrqController()
+        seen = []
+        irq.set_delivery_hook(seen.append)
+        irq.raise_irq(4)
+        assert seen == []
+        irq.unmask(4)
+        assert seen == [4]
+
+    def test_line_bounds(self):
+        irq = IrqController()
+        with pytest.raises(ValueError):
+            irq.raise_irq(0)
+        with pytest.raises(ValueError):
+            irq.raise_irq(16)
+
+    def test_reset_clears_everything(self):
+        irq = IrqController()
+        irq.unmask(2)
+        irq.raise_irq(2)
+        irq.reset()
+        assert irq.pending_word == 0 and irq.mask_word == 0
+
+    def test_word_registers_mask_bit0(self):
+        irq = IrqController()
+        irq.set_mask_word(0xFFFF)
+        assert irq.mask_word == 0xFFFE
+
+
+class TestGpTimer:
+    def test_leon3_default_has_two_channels(self):
+        unit = GpTimerUnit.leon3_default()
+        assert len(unit.channels) == 2
+        assert unit.channel(0).irq_line == 8
+
+    def test_arm_and_expire(self):
+        unit = GpTimerUnit.leon3_default()
+        fired = []
+        unit.channel(0).arm(100, fired.append)
+        assert unit.next_deadline()[0] == 100
+        assert unit.expire_due(99) == 0
+        assert unit.expire_due(100) == 1
+        assert fired == [100]
+        assert not unit.channel(0).armed
+
+    def test_expire_disarms_before_callback(self):
+        unit = GpTimerUnit.leon3_default()
+        timer = unit.channel(0)
+
+        def rearm(now):
+            timer.arm(now + 50, rearm)
+
+        timer.arm(10, rearm)
+        unit.expire_due(10)
+        assert timer.deadline_us == 60
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            GpTimerUnit.leon3_default().channel(0).arm(-1, lambda t: None)
+
+    def test_reset_disarms_all(self):
+        unit = GpTimerUnit.leon3_default()
+        unit.channel(0).arm(5, lambda t: None)
+        unit.reset()
+        assert unit.next_deadline() is None
+
+
+class TestUart:
+    def test_line_buffering(self):
+        uart = Uart()
+        uart.write("hel")
+        uart.write("lo\nworld\n", now_us=5)
+        assert uart.lines() == ["hello", "world"]
+
+    def test_sources_kept_separate(self):
+        uart = Uart()
+        uart.write("a", source="p0")
+        uart.write("b\n", source="p1")
+        uart.write("c\n", source="p0")
+        assert uart.lines("p0") == ["ac"]
+        assert uart.lines("p1") == ["b"]
+
+    def test_flush_emits_partial(self):
+        uart = Uart()
+        uart.write("partial", source="k")
+        uart.flush()
+        assert uart.lines() == ["partial"]
+
+    def test_transcript_and_clear(self):
+        uart = Uart()
+        uart.write("x\n")
+        assert uart.transcript() == "x"
+        uart.clear()
+        assert uart.lines() == []
+
+
+class TestIoBus:
+    def make_bus(self):
+        bus = IoBus()
+        store = {}
+        bus.attach(
+            IoDevice(
+                "dev0",
+                base=0x80000000,
+                size=0x100,
+                read_reg=lambda off: store.get(off, 0),
+                write_reg=store.__setitem__,
+                allowed={"p0"},
+            )
+        )
+        return bus
+
+    def test_read_write_roundtrip(self):
+        bus = self.make_bus()
+        bus.write(0x80000010, 42)
+        assert bus.read(0x80000010) == 42
+
+    def test_unmapped_faults(self):
+        bus = self.make_bus()
+        with pytest.raises(IoFault, match="unmapped"):
+            bus.read(0x90000000)
+
+    def test_context_permissions(self):
+        bus = self.make_bus()
+        bus.write(0x80000000, 1, context="p0")
+        with pytest.raises(IoFault, match="forbidden"):
+            bus.read(0x80000000, context="p1")
+        assert bus.read(0x80000000, context="kernel") == 1
+
+    def test_overlapping_windows_rejected(self):
+        bus = self.make_bus()
+        with pytest.raises(ValueError, match="overlap"):
+            bus.attach(
+                IoDevice("dev1", 0x80000080, 0x100, lambda o: 0, lambda o, v: None)
+            )

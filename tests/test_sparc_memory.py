@@ -1,0 +1,146 @@
+"""Unit tests for the memory map and address spaces."""
+
+import pytest
+
+from repro.sparc import Access, AddressSpace, MemoryArea, MemoryFault, PhysicalMemory
+
+
+def make_memory():
+    mem = PhysicalMemory()
+    mem.add_area(MemoryArea("a", 0x40000000, 0x1000, Access.RWX, owner="p0"))
+    mem.add_area(MemoryArea("b", 0x40001000, 0x1000, Access.RWX, owner="p1"))
+    return mem
+
+
+class TestMemoryArea:
+    def test_end_and_contains(self):
+        area = MemoryArea("x", 0x100, 0x10)
+        assert area.end == 0x110
+        assert area.contains(0x100)
+        assert area.contains(0x10F)
+        assert not area.contains(0x110)
+        assert area.contains(0x108, 8)
+        assert not area.contains(0x109, 8)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryArea("x", 0, 0)
+
+    def test_out_of_32bit_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryArea("x", 0xFFFFFFFF, 2)
+
+    def test_overlap_detection(self):
+        a = MemoryArea("a", 0x100, 0x100)
+        b = MemoryArea("b", 0x1FF, 0x10)
+        c = MemoryArea("c", 0x200, 0x10)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestPhysicalMemory:
+    def test_overlapping_add_rejected(self):
+        mem = make_memory()
+        with pytest.raises(ValueError, match="overlaps"):
+            mem.add_area(MemoryArea("c", 0x40000800, 0x1000))
+
+    def test_read_write_roundtrip(self):
+        mem = make_memory()
+        mem.write(0x40000010, b"hello")
+        assert mem.read(0x40000010, 5) == b"hello"
+
+    def test_unmapped_read_faults(self):
+        mem = make_memory()
+        with pytest.raises(MemoryFault) as exc:
+            mem.read(0x50000000, 4)
+        assert exc.value.reason == "unmapped"
+        assert exc.value.address == 0x50000000
+
+    def test_cross_area_access_faults(self):
+        # A range spanning two adjacent areas is not a single-area access.
+        mem = make_memory()
+        with pytest.raises(MemoryFault):
+            mem.read(0x40000FFC, 8)
+
+    def test_zero_initialised(self):
+        mem = make_memory()
+        assert mem.read(0x40000000, 16) == bytes(16)
+
+    def test_clear_zeroes_contents(self):
+        mem = make_memory()
+        mem.write(0x40000000, b"\xff" * 4)
+        mem.clear()
+        assert mem.read(0x40000000, 4) == bytes(4)
+
+    def test_area_at_returns_none_for_partial(self):
+        mem = make_memory()
+        assert mem.area_at(0x40000FFF, 2) is None
+        assert mem.area_at(0x40000FFF, 1).name == "a"
+
+
+class TestAddressSpace:
+    def test_grant_required_for_access(self):
+        mem = make_memory()
+        space = AddressSpace("p0", mem)
+        with pytest.raises(MemoryFault) as exc:
+            space.read(0x40000000, 4)
+        assert exc.value.reason == "protection"
+        space.grant("a", Access.READ)
+        assert space.read(0x40000000, 4) == bytes(4)
+
+    def test_write_needs_write_right(self):
+        mem = make_memory()
+        space = AddressSpace("p0", mem)
+        space.grant("a", Access.READ)
+        with pytest.raises(MemoryFault):
+            space.write(0x40000000, b"x")
+        space.grant("a", Access.WRITE)
+        space.write(0x40000000, b"x")
+        assert space.read(0x40000000, 1) == b"x"
+
+    def test_isolation_between_spaces(self):
+        mem = make_memory()
+        p0 = AddressSpace("p0", mem)
+        p0.grant("a", Access.RW)
+        p1 = AddressSpace("p1", mem)
+        p1.grant("b", Access.RW)
+        p0.write(0x40000000, b"zz")
+        with pytest.raises(MemoryFault):
+            p1.read(0x40000000, 2)
+
+    def test_u32_big_endian(self):
+        mem = make_memory()
+        space = AddressSpace("k", mem)
+        space.grant("a", Access.RW)
+        space.write_u32(0x40000004, 0x12345678)
+        assert space.read(0x40000004, 4) == b"\x12\x34\x56\x78"
+        assert space.read_u32(0x40000004) == 0x12345678
+
+    def test_unaligned_u32_faults(self):
+        mem = make_memory()
+        space = AddressSpace("k", mem)
+        space.grant("a", Access.RW)
+        with pytest.raises(MemoryFault) as exc:
+            space.read_u32(0x40000001)
+        assert exc.value.reason == "unaligned"
+
+    def test_address_masking_to_32bit(self):
+        mem = make_memory()
+        space = AddressSpace("k", mem)
+        space.grant("a", Access.RW)
+        # 2**32 + base wraps to base.
+        assert space.read((1 << 32) + 0x40000000, 4) == bytes(4)
+
+    def test_cstring_read(self):
+        mem = make_memory()
+        space = AddressSpace("k", mem)
+        space.grant("a", Access.RW)
+        space.write(0x40000100, b"PORT_A\0")
+        assert space.read_cstring(0x40000100) == b"PORT_A"
+
+    def test_cstring_unterminated_hits_limit(self):
+        mem = make_memory()
+        space = AddressSpace("k", mem)
+        space.grant("a", Access.RW)
+        space.write(0x40000100, b"A" * 16)
+        assert space.read_cstring(0x40000100, max_len=8) == b"A" * 8

@@ -1,0 +1,72 @@
+"""Integration tests: the full EagleEye OBSW flying nominally."""
+
+from repro.testbed import build_eagleeye_image, build_system
+from repro.xm.hm import HmEvent
+
+from conftest import BootedSystem
+
+
+class TestNominalMission:
+    def test_ten_frames_clean(self):
+        system = BootedSystem()
+        system.run_frames(10)
+        kernel = system.kernel
+        assert not kernel.is_halted()
+        assert kernel.reset_log == []
+        assert kernel.sched.overruns == []
+        assert not kernel.hm.events_of(HmEvent.UNHANDLED_TRAP)
+        assert not kernel.hm.events_of(HmEvent.MEM_PROTECTION)
+
+    def test_telemetry_chain_flows(self):
+        system = BootedSystem()
+        system.run_frames(5)
+        # AOCS publishes on the sampling channel every slot.
+        chan = system.kernel.ipc.channels["CH_TM_AOCS"]
+        assert chan.writes >= 5
+        assert chan.message is not None
+
+    def test_payload_data_downlinked(self):
+        system = BootedSystem()
+        system.run_frames(5)
+        io_app = system.kernel.partitions[4].app
+        assert io_app.downlinked >= 4
+
+    def test_commands_consumed_by_payload(self):
+        system = BootedSystem()
+        system.run_frames(6)
+        cmd = system.kernel.ipc.channels["CH_CMD"]
+        assert cmd.sent >= 2
+        # The payload drains commands, so the queue never overflows.
+        assert cmd.dropped == 0
+
+    def test_all_partitions_make_progress(self):
+        system = BootedSystem()
+        system.run_frames(4)
+        for partition in system.kernel.partitions.values():
+            assert partition.app.steps >= 4
+
+    def test_image_metadata(self):
+        image = build_eagleeye_image()
+        assert image.metadata["testbed"] == "EagleEye TSP"
+        assert image.partition_names() == ["FDIR", "AOCS", "PLATFORM", "PAYLOAD", "IO"]
+
+    def test_event_budget_override(self):
+        sim = build_system(event_budget=123)
+        assert sim.event_budget == 123
+
+
+class TestFdirMonitoring:
+    def test_fdir_forwards_hm_events(self):
+        system = BootedSystem()
+        # Inject a partition error so FDIR's duty loop reports it.
+        system.kernel.hm.raise_event(HmEvent.PARTITION_ERROR, 2, 0)
+        system.run_frames(3)
+        fdir_app = system.kernel.partitions[0].app
+        assert fdir_app.hm_events_seen >= 1
+        io_lines = system.sim.machine.uart.lines("IO")
+        assert any("FDIR event" in line for line in io_lines)
+
+    def test_quiet_system_reports_nothing(self):
+        system = BootedSystem()
+        system.run_frames(3)
+        assert system.kernel.partitions[0].app.hm_events_seen == 0

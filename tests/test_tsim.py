@@ -1,0 +1,149 @@
+"""Unit tests for the event queue and target simulator."""
+
+import pytest
+
+from repro.tsim import (
+    EventQueue,
+    PartitionImage,
+    Simulator,
+    SimulatorHang,
+    SystemImage,
+    TargetMachine,
+)
+from repro.tsim.simulator import SimState
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        order = []
+        q.schedule(20, lambda t: order.append("b"))
+        q.schedule(10, lambda t: order.append("a"))
+        while q:
+            ev = q.pop()
+            ev.callback(ev.time_us)
+        assert order == ["a", "b"]
+
+    def test_fifo_within_same_time(self):
+        q = EventQueue()
+        order = []
+        for tag in "abc":
+            q.schedule(5, lambda t, tag=tag: order.append(tag))
+        while q:
+            ev = q.pop()
+            ev.callback(ev.time_us)
+        assert order == ["a", "b", "c"]
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        ev = q.schedule(1, lambda t: None)
+        q.schedule(2, lambda t: None)
+        ev.cancel()
+        assert len(q) == 1
+        assert q.pop().time_us == 2
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.schedule(7, lambda t: None)
+        assert q.peek_time() == 7
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, lambda t: None)
+
+    def test_clear(self):
+        q = EventQueue()
+        q.schedule(1, lambda t: None)
+        q.clear()
+        assert not q
+
+
+class FakeKernel:
+    """Minimal KernelProtocol implementation for simulator tests."""
+
+    major_frame_us = 1000
+
+    def __init__(self, machine, sim):
+        self.sim = sim
+        self.halted = False
+        self.ticks = 0
+
+    def boot(self):
+        self.sim.schedule_at(0, self._tick, name="tick")
+
+    def _tick(self, now):
+        self.ticks += 1
+        if not self.halted:
+            self.sim.schedule_after(100, self._tick, name="tick")
+
+    def is_halted(self):
+        return self.halted
+
+
+def make_sim(kernel_cls=FakeKernel, **kw):
+    image = SystemImage(kernel_factory=kernel_cls)
+    return Simulator(TargetMachine.leon3(), image, **kw)
+
+
+class TestSimulator:
+    def test_boot_and_run_until(self):
+        sim = make_sim()
+        kernel = sim.boot()
+        sim.run_until(1000)
+        assert sim.now_us == 1000
+        assert kernel.ticks == 11  # t = 0, 100, ..., 1000
+
+    def test_run_major_frames(self):
+        sim = make_sim()
+        sim.boot()
+        sim.run_major_frames(3)
+        assert sim.now_us == 3000
+
+    def test_double_boot_rejected(self):
+        sim = make_sim()
+        sim.boot()
+        with pytest.raises(RuntimeError):
+            sim.boot()
+
+    def test_run_before_boot_rejected(self):
+        with pytest.raises(RuntimeError):
+            make_sim().run_until(10)
+
+    def test_halted_kernel_stops_run(self):
+        sim = make_sim()
+        kernel = sim.boot()
+        kernel.halted = True
+        sim.run_until(10_000)
+        assert sim.state is SimState.STOPPED
+        assert kernel.ticks <= 1
+
+    def test_schedule_into_past_rejected(self):
+        sim = make_sim()
+        sim.boot()
+        sim.run_until(500)
+        with pytest.raises(ValueError):
+            sim.schedule_at(100, lambda t: None)
+
+    def test_event_budget_hang_detection(self):
+        sim = make_sim(event_budget=50)
+        sim.boot()
+        with pytest.raises(SimulatorHang):
+            sim.run_until(100_000)
+        assert sim.state is SimState.HUNG
+
+    def test_partition_image_duplicates_rejected(self):
+        image = SystemImage(kernel_factory=FakeKernel)
+        image.add_partition(PartitionImage("A", app_factory=dict))
+        with pytest.raises(ValueError):
+            image.add_partition(PartitionImage("A", app_factory=dict))
+        assert image.partition_names() == ["A"]
+
+    def test_determinism_same_tick_counts(self):
+        runs = []
+        for _ in range(2):
+            sim = make_sim()
+            kernel = sim.boot()
+            sim.run_until(12345)
+            runs.append((kernel.ticks, sim.dispatched_events))
+        assert runs[0] == runs[1]

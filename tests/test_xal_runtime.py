@@ -1,0 +1,159 @@
+"""Tests for the XAL runtime: scratch allocation and libxm wrappers."""
+
+import pytest
+
+from repro.xal.runtime import SCRATCH_SIZE, ScratchAllocator
+from repro.xm import rc
+
+from conftest import BootedSystem
+
+
+class TestScratchAllocator:
+    def test_alignment(self):
+        alloc = ScratchAllocator(base=0x1000)
+        first = alloc.alloc(3)
+        second = alloc.alloc(8)
+        assert first % 8 == 0
+        assert second % 8 == 0
+        assert second >= first + 3
+
+    def test_wraps_when_full(self):
+        alloc = ScratchAllocator(base=0x1000, size=64)
+        alloc.alloc(48)
+        wrapped = alloc.alloc(32)
+        assert wrapped == 0x1000
+
+    def test_reset(self):
+        alloc = ScratchAllocator(base=0x1000)
+        alloc.alloc(100)
+        alloc.reset()
+        assert alloc.alloc(8) == 0x1000
+
+    def test_default_window_size(self):
+        alloc = ScratchAllocator(base=0)
+        assert alloc.size == SCRATCH_SIZE
+
+
+class LibxmHarness:
+    """Runs a closure inside an FDIR slot with a Libxm binding."""
+
+    @staticmethod
+    def run(fn):
+        out = {}
+
+        def payload(ctx, xm):
+            if "value" not in out:
+                out["value"] = fn(ctx, xm)
+
+        system = BootedSystem(fdir_payload=payload)
+        system.run_frames(1)
+        return out["value"]
+
+
+class TestLibxmWrappers:
+    def test_get_time(self):
+        code, value = LibxmHarness.run(lambda ctx, xm: xm.get_time(rc.XM_HW_CLOCK))
+        assert code == rc.XM_OK
+        assert value >= 0
+
+    def test_get_system_status(self):
+        code, status = LibxmHarness.run(lambda ctx, xm: xm.get_system_status())
+        assert code == rc.XM_OK
+        assert status.reset_counter == 0
+
+    def test_get_partition_status(self):
+        code, status = LibxmHarness.run(
+            lambda ctx, xm: xm.get_partition_status(1)
+        )
+        assert code == rc.XM_OK
+        assert status.ident == 1
+
+    def test_get_plan_status(self):
+        code, status = LibxmHarness.run(lambda ctx, xm: xm.get_plan_status())
+        assert code == rc.XM_OK
+        assert status.current_plan == 0
+
+    def test_write_console(self):
+        def fn(ctx, xm):
+            return xm.write_console("from libxm")
+
+        assert LibxmHarness.run(fn) == len("from libxm")
+
+    def test_place_cstring_round_trip(self):
+        def fn(ctx, xm):
+            addr = xm.place_cstring("HELLO")
+            return xm.read_bytes(addr, 6)
+
+        assert LibxmHarness.run(fn) == b"HELLO\0"
+
+    def test_hm_status_and_read(self):
+        def fn(ctx, xm):
+            from repro.xm.hm import HmEvent
+
+            ctx.kernel.hm.raise_event(HmEvent.PARTITION_ERROR, 1, 0, payload=5)
+            code, status = xm.hm_status()
+            count, entries = xm.hm_read(4)
+            return code, status.unread_events, count, entries[0].payload
+
+        code, unread, count, payload = LibxmHarness.run(fn)
+        assert code == rc.XM_OK
+        assert unread == 1
+        assert count == 1
+        assert payload == 5
+
+    def test_sampling_roundtrip_via_channel(self):
+        def fn(ctx, xm):
+            # Write directly into the channel (as AOCS would), then read
+            # through the FDIR port.
+            chan = ctx.kernel.ipc.channels["CH_TM_AOCS"]
+            chan.store(b"x" * 64, ctx.kernel.sim.now_us)
+            port = xm.create_sampling_port("TM_MON", 64, rc.XM_DESTINATION_PORT, 300_000)
+            return xm.read_sampling_message(port, 64)
+
+        code, data, valid = LibxmHarness.run(fn)
+        assert code == 64
+        assert data == b"x" * 64
+        assert valid == 1
+
+    def test_queuing_send(self):
+        def fn(ctx, xm):
+            port = xm.create_queuing_port("FDIR_EVT", 8, 48, rc.XM_SOURCE_PORT)
+            code = xm.send_queuing_message(port, b"EV" + bytes(10))
+            _, status = xm.get_port_status(port)
+            return code, status.pending_messages
+
+        code, pending = LibxmHarness.run(fn)
+        assert code == rc.XM_OK
+        assert pending == 1
+
+    def test_set_timer_wrapper(self):
+        def fn(ctx, xm):
+            return xm.set_timer(rc.XM_HW_CLOCK, 10_000_000, 1_000_000)
+
+        assert LibxmHarness.run(fn) == rc.XM_OK
+
+    def test_raw_call_unknown(self):
+        def fn(ctx, xm):
+            return xm.call("XM_bogus")
+
+        assert LibxmHarness.run(fn) == rc.XM_UNKNOWN_HYPERCALL
+
+
+class TestSlotContext:
+    def test_console_through_uart(self):
+        def payload(ctx, xm):
+            ctx.console("slot message")
+
+        system = BootedSystem(fdir_payload=payload)
+        system.run_frames(1)
+        assert "slot message" in system.sim.machine.uart.lines("FDIR")
+
+    def test_partition_accessor(self):
+        seen = {}
+
+        def payload(ctx, xm):
+            seen["name"] = ctx.partition.name
+
+        system = BootedSystem(fdir_payload=payload)
+        system.run_frames(1)
+        assert seen["name"] == "FDIR"

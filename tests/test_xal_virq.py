@@ -1,0 +1,100 @@
+"""Tests for virtual interrupt delivery to partition applications."""
+
+from repro.testbed import build_eagleeye_image
+from repro.testbed.partitions import FdirApp
+from repro.tsim.machine import TargetMachine
+from repro.tsim.simulator import Simulator
+from repro.xal.app import PartitionApplication
+from repro.xal.runtime import Libxm
+from repro.xm import rc
+from repro.xm.svc_time import TIMER_VIRQ
+
+
+class VirqRecorder(PartitionApplication):
+    """Records delivered virtual interrupts."""
+
+    def __init__(self):
+        super().__init__()
+        self.delivered: list[tuple[int, int]] = []
+
+    def on_virq(self, ctx, xm: Libxm, line: int) -> None:
+        self.delivered.append((ctx.now_us, line))
+
+
+def boot_with_fdir_app(app_factory):
+    image = build_eagleeye_image()
+    image.partitions["FDIR"] = type(image.partitions["FDIR"])(
+        "FDIR", app_factory
+    )
+    sim = Simulator(TargetMachine.leon3(), image)
+    kernel = sim.boot()
+    return sim, kernel
+
+
+class TestVirqDelivery:
+    def test_masked_virqs_stay_pending(self):
+        app = VirqRecorder()
+        sim, kernel = boot_with_fdir_app(lambda: app)
+        fdir = kernel.partitions[0]
+        fdir.virq_pending |= 1 << 5  # pend while masked
+        sim.run_major_frames(1)
+        assert app.delivered == []
+        assert fdir.virq_pending & (1 << 5)
+
+    def test_unmasked_virq_delivered_once(self):
+        app = VirqRecorder()
+        sim, kernel = boot_with_fdir_app(lambda: app)
+        fdir = kernel.partitions[0]
+        fdir.virq_mask |= 1 << 5
+        fdir.virq_pending |= 1 << 5
+        sim.run_major_frames(1)
+        lines = [line for (_t, line) in app.delivered]
+        assert lines == [5]
+        assert not fdir.virq_pending & (1 << 5)
+
+    def test_delivery_order_highest_first(self):
+        app = VirqRecorder()
+        sim, kernel = boot_with_fdir_app(lambda: app)
+        fdir = kernel.partitions[0]
+        fdir.virq_mask |= (1 << 3) | (1 << 9)
+        fdir.virq_pending |= (1 << 3) | (1 << 9)
+        sim.run_major_frames(1)
+        lines = [line for (_t, line) in app.delivered]
+        assert lines == [9, 3]
+
+    def test_timer_expiry_reaches_the_application(self):
+        class TimerApp(VirqRecorder):
+            def on_boot(self, ctx, xm):
+                xm.call("XM_unmask_irq", TIMER_VIRQ)
+                xm.set_timer(rc.XM_HW_CLOCK, 100_000, 0)
+
+        app = TimerApp()
+        sim, kernel = boot_with_fdir_app(lambda: app)
+        sim.run_major_frames(2)
+        lines = [line for (_t, line) in app.delivered]
+        assert TIMER_VIRQ in lines
+        # Delivered at the slot after the 100 ms expiry (t = 250 ms).
+        first_time = next(t for (t, line) in app.delivered if line == TIMER_VIRQ)
+        assert first_time == 250_000
+
+    def test_set_irqpend_self_delivery_next_slot(self):
+        class PendApp(VirqRecorder):
+            def on_step(self, ctx, xm):
+                if self.steps == 1:
+                    xm.call("XM_unmask_irq", 7)
+                    xm.call("XM_set_irqpend", 7)
+
+        app = PendApp()
+        sim, kernel = boot_with_fdir_app(lambda: app)
+        sim.run_major_frames(2)
+        lines = [line for (_t, line) in app.delivered]
+        assert lines == [7]
+
+    def test_nominal_testbed_unaffected(self):
+        """The stock EagleEye apps ignore virqs; the mission still flies."""
+        from conftest import BootedSystem
+
+        system = BootedSystem()
+        system.run_frames(4)
+        assert not system.kernel.is_halted()
+        assert system.kernel.sched.overruns == []

@@ -1,0 +1,188 @@
+"""Unit tests for the XM_CF configuration model and XML round trip."""
+
+import pytest
+
+from repro.sparc.memory import Access
+from repro.testbed.eagleeye import eagleeye_config
+from repro.xm.config import (
+    ChannelConfig,
+    ConfigError,
+    MemoryAreaConfig,
+    PartitionConfig,
+    PlanConfig,
+    SlotConfig,
+    XMConfig,
+    config_from_xml,
+    config_to_xml,
+)
+
+
+def minimal_config() -> XMConfig:
+    config = XMConfig()
+    config.partitions.append(
+        PartitionConfig(
+            ident=0,
+            name="P0",
+            system=True,
+            memory_areas=(MemoryAreaConfig("p0_ram", 0x40100000, 0x1000),),
+        )
+    )
+    config.plans.append(
+        PlanConfig(
+            ident=0,
+            major_frame_us=1000,
+            slots=(SlotConfig(0, 0, 0, 1000),),
+        )
+    )
+    return config
+
+
+class TestValidation:
+    def test_minimal_config_validates(self):
+        minimal_config().validate()
+
+    def test_eagleeye_validates(self):
+        eagleeye_config().validate()
+
+    def test_no_partitions_rejected(self):
+        config = XMConfig()
+        config.plans.append(PlanConfig(0, 1000, (SlotConfig(0, 0, 0, 1000),)))
+        with pytest.raises(ConfigError, match="at least one partition"):
+            config.validate()
+
+    def test_no_plans_rejected(self):
+        config = minimal_config()
+        config.plans.clear()
+        with pytest.raises(ConfigError, match="scheduling plan"):
+            config.validate()
+
+    def test_duplicate_partition_ids_rejected(self):
+        config = minimal_config()
+        config.partitions.append(
+            PartitionConfig(
+                ident=0,
+                name="P1",
+                memory_areas=(MemoryAreaConfig("p1_ram", 0x40200000, 0x1000),),
+            )
+        )
+        with pytest.raises(ConfigError, match="duplicate partition ids"):
+            config.validate()
+
+    def test_memory_overlap_rejected(self):
+        config = minimal_config()
+        config.partitions.append(
+            PartitionConfig(
+                ident=1,
+                name="P1",
+                memory_areas=(MemoryAreaConfig("p1_ram", 0x40100800, 0x1000),),
+            )
+        )
+        config.plans[0] = PlanConfig(
+            0, 1000, (SlotConfig(0, 0, 0, 500), SlotConfig(1, 1, 500, 500))
+        )
+        with pytest.raises(ConfigError, match="memory overlap"):
+            config.validate()
+
+    def test_partition_without_memory_rejected(self):
+        config = minimal_config()
+        config.partitions[0] = PartitionConfig(ident=0, name="P0", system=True)
+        with pytest.raises(ConfigError, match="no memory areas"):
+            config.validate()
+
+    def test_slot_beyond_major_frame_rejected(self):
+        config = minimal_config()
+        config.plans[0] = PlanConfig(0, 1000, (SlotConfig(0, 0, 500, 600),))
+        with pytest.raises(ConfigError, match="exceeds major frame"):
+            config.validate()
+
+    def test_overlapping_slots_rejected(self):
+        config = minimal_config()
+        config.plans[0] = PlanConfig(
+            0, 1000, (SlotConfig(0, 0, 0, 600), SlotConfig(1, 0, 500, 400))
+        )
+        with pytest.raises(ConfigError, match="overlapping slots"):
+            config.validate()
+
+    def test_slot_for_unknown_partition_rejected(self):
+        config = minimal_config()
+        config.plans[0] = PlanConfig(0, 1000, (SlotConfig(0, 7, 0, 1000),))
+        with pytest.raises(ConfigError, match="unknown partition"):
+            config.validate()
+
+    def test_port_to_unknown_channel_rejected(self):
+        from repro.xm.config import PortConfig
+
+        config = minimal_config()
+        config.partitions[0] = PartitionConfig(
+            ident=0,
+            name="P0",
+            system=True,
+            memory_areas=(MemoryAreaConfig("p0_ram", 0x40100000, 0x1000),),
+            ports=(PortConfig("P", "NOPE", 0),),
+        )
+        with pytest.raises(ConfigError, match="no channel"):
+            config.validate()
+
+    def test_bad_channel_kind_rejected(self):
+        with pytest.raises(ConfigError, match="bad kind"):
+            ChannelConfig("c", "broadcast", 16)
+
+    def test_queuing_needs_positive_depth(self):
+        with pytest.raises(ConfigError, match="depth"):
+            ChannelConfig("c", "queuing", 16, depth=0)
+
+
+class TestLookups:
+    def test_partition_lookup(self):
+        config = eagleeye_config()
+        assert config.partition(0).name == "FDIR"
+        with pytest.raises(ConfigError):
+            config.partition(9)
+
+    def test_system_partitions(self):
+        names = [p.name for p in eagleeye_config().system_partitions()]
+        assert names == ["FDIR"]
+
+    def test_plan_lookup(self):
+        config = eagleeye_config()
+        assert config.plan(1).major_frame_us == 250_000
+        assert config.has_plan(0) and not config.has_plan(2)
+
+    def test_channel_lookup(self):
+        config = eagleeye_config()
+        assert config.channel("CH_CMD").kind == "queuing"
+
+
+class TestXmlRoundTrip:
+    def test_eagleeye_roundtrip_preserves_structure(self):
+        original = eagleeye_config()
+        text = config_to_xml(original)
+        parsed = config_from_xml(text)
+        parsed.validate()
+        assert [p.name for p in parsed.partitions] == [
+            p.name for p in original.partitions
+        ]
+        assert [c.name for c in parsed.channels] == [
+            c.name for c in original.channels
+        ]
+        assert len(parsed.plans) == len(original.plans)
+        assert parsed.plan(0).slots == original.plan(0).slots
+
+    def test_roundtrip_preserves_ports_and_grants(self):
+        parsed = config_from_xml(config_to_xml(eagleeye_config()))
+        fdir = parsed.partition(0)
+        assert {p.name for p in fdir.ports} == {"TM_MON", "FDIR_EVT"}
+        assert fdir.io_grants == ("apbuart0",)
+        assert fdir.system
+
+    def test_roundtrip_preserves_memory_rights(self):
+        parsed = config_from_xml(config_to_xml(eagleeye_config()))
+        area = parsed.partition(1).memory_areas[0]
+        assert area.rights == Access.RWX
+        assert area.size == 0x40000
+
+    def test_xml_has_expected_elements(self):
+        text = config_to_xml(eagleeye_config())
+        assert "<SystemDescription>" in text
+        assert 'flags="system"' in text
+        assert "<CyclicPlanTable>" in text

@@ -1,0 +1,132 @@
+"""Tests for configurable Health Monitor actions and containment policy."""
+
+import pytest
+
+from repro.testbed import build_system
+from repro.testbed.eagleeye import eagleeye_config
+from repro.xm.config import config_from_xml, config_to_xml
+from repro.xm.hm import DEFAULT_ACTIONS, HealthMonitor, HmAction, HmEvent
+from repro.xm.partition import PartitionState
+
+
+def system_with_actions(actions: dict[str, str], fdir_payload=None):
+    config = eagleeye_config()
+    config.hm_actions.update(actions)
+    sim = build_system(fdir_payload=fdir_payload, config=config)
+    return sim, sim.boot()
+
+
+class TestDefaultPolicy:
+    def test_default_actions_conservative(self):
+        assert DEFAULT_ACTIONS[HmEvent.MEM_PROTECTION] is HmAction.HALT_PARTITION
+        assert DEFAULT_ACTIONS[HmEvent.FATAL_ERROR] is HmAction.HALT_SYSTEM
+        assert DEFAULT_ACTIONS[HmEvent.TEMPORAL_VIOLATION] is HmAction.LOG
+
+    def test_unconfigured_event_logs(self):
+        hm = HealthMonitor(actions={})
+        assert hm.action_for(HmEvent.WATCHDOG) is HmAction.LOG
+
+
+class TestConfiguredActions:
+    def test_config_overrides_default(self):
+        _sim, kernel = system_with_actions(
+            {"TEMPORAL_VIOLATION": "halt_partition"}
+        )
+        assert kernel.hm.actions[HmEvent.TEMPORAL_VIOLATION] is HmAction.HALT_PARTITION
+
+    def test_temporal_violation_halts_offender_when_configured(self):
+        def hog(ctx, xm):
+            ctx.consume(60_000)
+
+        sim, kernel = system_with_actions(
+            {"TEMPORAL_VIOLATION": "halt_partition"}, fdir_payload=hog
+        )
+        sim.run_major_frames(1)
+        assert kernel.partitions[0].state is PartitionState.HALTED
+        assert kernel.partitions[0].halted_by == "HM:TEMPORAL_VIOLATION"
+
+    def test_warm_reset_action_restarts_partition(self):
+        def wild(ctx, xm):
+            ctx.partition.address_space.read(0x40140000, 4)
+
+        sim, kernel = system_with_actions(
+            {"MEM_PROTECTION": "reset_partition_warm"}, fdir_payload=wild
+        )
+        sim.run_major_frames(1)
+        fdir = kernel.partitions[0]
+        # Reset instead of halted: the partition keeps flying.
+        assert fdir.state is not PartitionState.HALTED
+        assert fdir.reset_counter >= 1
+
+    def test_ignore_action_leaves_partition_running(self):
+        def wild(ctx, xm):
+            ctx.partition.address_space.read(0x40140000, 4)
+
+        sim, kernel = system_with_actions(
+            {"MEM_PROTECTION": "ignore"}, fdir_payload=wild
+        )
+        sim.run_major_frames(1)
+        assert kernel.partitions[0].state.runnable()
+
+    def test_halt_system_action(self):
+        def wild(ctx, xm):
+            ctx.partition.address_space.read(0x40140000, 4)
+
+        sim, kernel = system_with_actions(
+            {"MEM_PROTECTION": "halt_system"}, fdir_payload=wild
+        )
+        sim.run_major_frames(1)
+        assert kernel.is_halted()
+
+    def test_unknown_event_name_rejected(self):
+        with pytest.raises(KeyError):
+            system_with_actions({"NOT_AN_EVENT": "log"})
+
+    def test_unknown_action_name_rejected(self):
+        with pytest.raises(ValueError):
+            system_with_actions({"MEM_PROTECTION": "explode"})
+
+
+class TestHmActionsXmlRoundTrip:
+    def test_actions_survive_xml(self):
+        config = eagleeye_config()
+        config.hm_actions["TEMPORAL_VIOLATION"] = "halt_partition"
+        config.hm_actions["MEM_PROTECTION"] = "reset_partition_cold"
+        parsed = config_from_xml(config_to_xml(config))
+        assert parsed.hm_actions == config.hm_actions
+
+    def test_empty_actions_round_trip(self):
+        parsed = config_from_xml(config_to_xml(eagleeye_config()))
+        assert parsed.hm_actions == {}
+
+
+class TestContainmentUnderCampaignPolicy:
+    def test_stricter_policy_changes_multicall_outcome(self):
+        """With TEMPORAL_VIOLATION -> halt_partition, the big batch gets
+        its partition halted: same defect, harsher containment."""
+        import struct
+
+        from repro.testbed.eagleeye import partition_area_base
+        from repro.xal.runtime import TEST_BUFFER_OFFSET
+        from repro.xm.api import hypercall_by_name
+
+        state = {}
+
+        def payload(ctx, xm):
+            if "range" not in state:
+                base = partition_area_base(0) + TEST_BUFFER_OFFSET
+                entry = struct.pack(
+                    ">III", hypercall_by_name("XM_mask_irq").number, 1, 1
+                )
+                xm.write_bytes(base, entry * 4096)
+                state["range"] = (base, base + 4096 * 12)
+            start, end = state["range"]
+            xm.call("XM_multicall", start, end)
+
+        sim, kernel = system_with_actions(
+            {"TEMPORAL_VIOLATION": "halt_partition"}, fdir_payload=payload
+        )
+        sim.run_major_frames(1)
+        assert kernel.partitions[0].state is PartitionState.HALTED
+        # Other partitions keep their slots.
+        assert kernel.partitions[1].state.runnable()

@@ -1,0 +1,78 @@
+"""Tests for sampling-message freshness (refresh-period semantics)."""
+
+from repro.xm import rc
+
+from conftest import BootedSystem
+
+
+def read_with_validity(system, advance_us: int):
+    """Store telemetry, advance time, then read through FDIR's port."""
+    out = {}
+
+    def payload(ctx, xm):
+        if "port" not in out:
+            out["port"] = xm.create_sampling_port(
+                "TM_MON", 64, rc.XM_DESTINATION_PORT, 300_000
+            )
+            chan = ctx.kernel.ipc.channels["CH_TM_AOCS"]
+            chan.store(b"t" * 64, ctx.kernel.sim.now_us)
+            return
+        if "read" not in out and ctx.now_us >= advance_us:
+            out["read"] = xm.read_sampling_message(out["port"], 64)
+
+    system = BootedSystem(fdir_payload=payload)
+    frames = max(2, advance_us // 250_000 + 2)
+    system.run_frames(frames)
+    return out.get("read")
+
+
+class TestSamplingFreshness:
+    def test_fresh_message_valid(self):
+        code, data, validity = read_with_validity(None, advance_us=250_000)
+        assert code == 64
+        assert validity == 1
+
+    def test_stale_message_invalid_flag(self):
+        """Silence the publisher: the last frame outlives its 300 ms
+        refresh window and reads back with validity 0."""
+        out = {}
+
+        def payload(ctx, xm):
+            if "port" not in out:
+                out["port"] = xm.create_sampling_port(
+                    "TM_MON", 64, rc.XM_DESTINATION_PORT, 300_000
+                )
+                xm.call("XM_halt_partition", 1)  # AOCS publishes no more
+                chan = ctx.kernel.ipc.channels["CH_TM_AOCS"]
+                chan.store(b"t" * 64, ctx.kernel.sim.now_us)
+                return
+            if "read" not in out and ctx.now_us >= 500_000:
+                out["read"] = xm.read_sampling_message(out["port"], 64)
+
+        system = BootedSystem(fdir_payload=payload)
+        system.run_frames(3)
+        code, data, validity = out["read"]
+        assert code == 64
+        assert data == b"t" * 64
+        assert validity == 0
+
+    def test_zero_refresh_never_stale(self):
+        system = BootedSystem()
+        from repro.xm.config import ChannelConfig
+        from repro.xm.svc_ipc import SamplingChannel
+
+        chan = SamplingChannel(ChannelConfig("c", "sampling", 8, refresh_us=0))
+        chan.store(b"x", 0)
+        assert chan.is_valid(10**12)
+
+    def test_platform_app_counts_stale_frames(self):
+        """The PLATFORM consumer notices when AOCS stops publishing."""
+        from repro.xm.errors import NoReturnFromHypercall
+
+        system = BootedSystem()
+        system.run_frames(2)  # telemetry established
+        system.call("XM_halt_partition", 1)  # silence AOCS
+        system.run_frames(3)  # > 300 ms without fresh frames
+        platform_app = system.kernel.partitions[2].app
+        assert platform_app.stale_frames >= 1
+        del NoReturnFromHypercall

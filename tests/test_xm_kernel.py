@@ -1,0 +1,142 @@
+"""Unit tests for kernel boot, dispatch, privilege and fault containment."""
+
+import pytest
+
+from repro.sparc.memory import MemoryFault
+from repro.xm import rc
+from repro.xm.api import HYPERCALL_TABLE
+from repro.xm.errors import NoReturnFromHypercall
+from repro.xm.hm import HmEvent
+from repro.xm.partition import PartitionState
+
+from conftest import BootedSystem
+
+
+class TestBoot:
+    def test_five_partitions_built(self, system):
+        assert sorted(system.kernel.partitions) == [0, 1, 2, 3, 4]
+
+    def test_fdir_is_only_system_partition(self, system):
+        flags = {p.ident: p.is_system for p in system.kernel.partitions.values()}
+        assert flags == {0: True, 1: False, 2: False, 3: False, 4: False}
+
+    def test_major_frame_is_250ms(self, system):
+        assert system.kernel.major_frame_us == 250_000
+
+    def test_memory_areas_mapped(self, system):
+        names = {a.name for a in system.kernel.machine.memory.areas()}
+        assert {"xm_kernel", "fdir_ram", "aocs_ram"} <= names
+
+    def test_partition_space_cannot_touch_kernel(self, system):
+        with pytest.raises(MemoryFault):
+            system.fdir.address_space.read(0x40000000, 4)
+
+    def test_partition_space_cannot_touch_other_partition(self, system):
+        aocs_base = system.kernel.partitions[1].config.memory_areas[0].start
+        with pytest.raises(MemoryFault):
+            system.fdir.address_space.write(aocs_base, b"x")
+
+    def test_kernel_space_reads_everything(self, system):
+        for part in system.kernel.partitions.values():
+            base = part.config.memory_areas[0].start
+            assert system.kernel.kernel_space.read(base, 4) == bytes(4)
+
+
+class TestDispatch:
+    def test_unknown_hypercall(self, system):
+        assert system.call("XM_not_a_service") == rc.XM_UNKNOWN_HYPERCALL
+
+    def test_wrong_arity(self, system):
+        assert system.call("XM_reset_partition", 1) == rc.XM_INVALID_PARAM
+
+    def test_system_only_enforced_for_normal_partition(self, system):
+        code = system.call(
+            "XM_get_system_status", system.scratch(1), caller=system.aocs
+        )
+        assert code == rc.XM_PERM_ERROR
+
+    def test_system_partition_passes_privilege_check(self, system):
+        assert system.call("XM_get_system_status", system.scratch()) == rc.XM_OK
+
+    def test_argument_conversion_wraps_like_c(self, system):
+        # -1 as xm_u32_t mode must behave as 4294967295 (warm on 3.4.0).
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_reset_system", -1)
+        assert system.kernel.reset_log[-1].kind == "warm"
+
+    def test_every_tested_hypercall_dispatches(self, system):
+        """Every declared service resolves to a real manager method."""
+        for hdef in HYPERCALL_TABLE:
+            service = system.kernel._resolve_service(hdef)
+            assert callable(service), hdef.name
+
+    def test_hypercall_cost_charged(self, system):
+        before = system.kernel.sched.slot_consumed_us
+        system.call("XM_mask_irq", 1)
+        assert system.kernel.sched.slot_consumed_us == before + system.kernel.HYPERCALL_COST_US
+
+
+class TestFaultContainment:
+    def test_unhandled_trap_halts_partition(self, system):
+        # XM_multicall on 3.4.0 dereferences bad pointers in kernel context.
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_multicall", 0x50000000, 0x50000100)
+        assert system.fdir.state is PartitionState.HALTED
+        events = system.kernel.hm.events_of(HmEvent.UNHANDLED_TRAP)
+        assert len(events) == 1
+        assert events[0].partition_id == 0
+
+    def test_fatal_error_halts_system(self, system):
+        system.kernel.fatal("test fatal")
+        assert system.kernel.is_halted()
+        assert "FATAL_ERROR" in (system.kernel.halt_reason or "")
+
+    def test_halt_is_idempotent(self, system):
+        system.kernel.halt("first")
+        system.kernel.halt("second")
+        assert system.kernel.halt_reason == "first"
+
+
+class TestSystemReset:
+    def test_cold_reset_rebuilds_world(self, system):
+        system.fdir.exec_clock_us = 123
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_reset_system", rc.XM_COLD_RESET)
+        assert system.kernel.reset_counter == 1
+        assert system.kernel.boot_epoch == 1
+        assert system.kernel.partitions[0].exec_clock_us == 0
+        assert system.kernel.reset_log[0].kind == "cold"
+
+    def test_cold_reset_clears_hm_log(self, system):
+        system.kernel.hm.raise_event(HmEvent.PARTITION_ERROR, 1, 0)
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_reset_system", 0)
+        events = [r.event for r in system.kernel.hm.records]
+        assert HmEvent.PARTITION_ERROR not in events
+
+    def test_warm_reset_preserves_hm_log(self, system):
+        system.kernel.hm.raise_event(HmEvent.PARTITION_ERROR, 1, 0)
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_reset_system", 1)
+        events = [r.event for r in system.kernel.hm.records]
+        assert HmEvent.PARTITION_ERROR in events
+        assert system.kernel.warm_reset_counter == 1
+
+    def test_schedule_restarts_after_reset(self, system):
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_reset_system", 0)
+        system.run_frames(2)
+        assert system.kernel.sched.major_frame_count >= 1
+        assert not system.kernel.is_halted()
+
+
+class TestRevisedKernel:
+    def test_invalid_modes_rejected(self, fixed_system):
+        for mode in (2, 16, 4294967295):
+            assert fixed_system.call("XM_reset_system", mode) == rc.XM_INVALID_PARAM
+        assert fixed_system.kernel.reset_log == []
+
+    def test_valid_modes_still_reset(self, fixed_system):
+        with pytest.raises(NoReturnFromHypercall):
+            fixed_system.call("XM_reset_system", rc.XM_WARM_RESET)
+        assert fixed_system.kernel.reset_log[0].kind == "warm"

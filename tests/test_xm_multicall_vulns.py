@@ -1,0 +1,155 @@
+"""The three XM_multicall findings (XM-MC-1/2/3) end to end."""
+
+import struct
+
+import pytest
+
+from repro.testbed.eagleeye import partition_area_base
+from repro.xal.runtime import TEST_BUFFER_OFFSET
+from repro.xm import rc
+from repro.xm.api import hypercall_by_name
+from repro.xm.errors import NoReturnFromHypercall
+from repro.xm.hm import HmEvent
+from repro.xm.partition import PartitionState
+
+
+def write_batch(system, entries, partition_id: int = 0) -> tuple[int, int]:
+    """Pack [number, nargs, args...] entries into the test buffer."""
+    words: list[int] = []
+    for name, args in entries:
+        number = hypercall_by_name(name).number
+        words.extend([number, len(args), *args])
+    data = b"".join(struct.pack(">I", w & 0xFFFFFFFF) for w in words)
+    base = partition_area_base(partition_id) + TEST_BUFFER_OFFSET
+    system.kernel.machine.memory.write(base, data)
+    return base, base + len(data)
+
+
+class TestInvalidPointers:
+    @pytest.mark.parametrize("start", [0, 1, 0x50000000, 0xFFFFFFF0])
+    def test_invalid_start_faults(self, system, start):
+        with pytest.raises(NoReturnFromHypercall, match="unhandled trap"):
+            system.call("XM_multicall", start, start + 64)
+        assert system.fdir.state is PartitionState.HALTED
+        assert system.kernel.hm.events_of(HmEvent.UNHANDLED_TRAP)
+
+    @pytest.mark.parametrize("end", [0, 1, 0x50000000, 0xFFFFFFF0])
+    def test_invalid_end_faults(self, system, end):
+        start, _ = write_batch(system, [("XM_mask_irq", (1,))])
+        with pytest.raises(NoReturnFromHypercall, match="unhandled trap"):
+            system.call("XM_multicall", start, end)
+        assert system.fdir.state is PartitionState.HALTED
+
+    def test_fault_contained_to_test_partition(self, system):
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_multicall", 0x50000000, 0x50000040)
+        for ident in (1, 2, 3, 4):
+            assert system.kernel.partitions[ident].state.runnable()
+        assert not system.kernel.is_halted()
+
+
+class TestValidBatchExecution:
+    def test_small_batch_executes_entries(self, system):
+        start, end = write_batch(
+            system,
+            [
+                ("XM_mask_irq", (3,)),
+                ("XM_unmask_irq", (3,)),
+                ("XM_set_irqpend", (4,)),
+            ],
+        )
+        result = system.call("XM_multicall", start, end)
+        assert result == 3
+        assert system.fdir.virq_pending & (1 << 4)
+
+    def test_batch_inner_calls_charged(self, system):
+        start, end = write_batch(system, [("XM_mask_irq", (1,))] * 10)
+        before = system.kernel.sched.slot_consumed_us
+        system.call("XM_multicall", start, end)
+        consumed = system.kernel.sched.slot_consumed_us - before
+        # Outer call + 10 inner calls.
+        assert consumed == 11 * system.kernel.HYPERCALL_COST_US
+
+    def test_oversized_nargs_is_multicall_error(self, system):
+        base = partition_area_base(0) + TEST_BUFFER_OFFSET
+        system.kernel.machine.memory.write(base, struct.pack(">II", 1, 99))
+        assert system.call("XM_multicall", base, base + 8) == rc.XM_MULTICALL_ERROR
+
+    def test_truncated_entry_is_multicall_error(self, system):
+        base = partition_area_base(0) + TEST_BUFFER_OFFSET
+        number = hypercall_by_name("XM_mask_irq").number
+        system.kernel.machine.memory.write(base, struct.pack(">II", number, 3))
+        assert system.call("XM_multicall", base, base + 8) == rc.XM_MULTICALL_ERROR
+
+    def test_recursive_multicall_entry_skipped(self, system):
+        start, end = write_batch(system, [("XM_multicall", (0, 0))])
+        assert system.call("XM_multicall", start, end) == 1
+        assert system.fdir.state.runnable()
+
+
+class TestTemporalIsolationBreak:
+    """XM-MC-3: a big batch overruns the slot."""
+
+    def make_big_batch(self, system, count=4096):
+        return write_batch(system, [("XM_mask_irq", (1,))] * count)
+
+    def run_payload_campaign_frame(self, system_builder_args):
+        """Boot a system whose FDIR payload fires the big batch."""
+        from conftest import BootedSystem
+
+        calls = {}
+
+        def payload(ctx, xm):
+            if "range" not in calls:
+                base = partition_area_base(0) + TEST_BUFFER_OFFSET
+                entry = struct.pack(
+                    ">II I", hypercall_by_name("XM_mask_irq").number, 1, 1
+                )
+                data = entry * 4096
+                xm.write_bytes(base, data)
+                calls["range"] = (base, base + len(data))
+            start, end = calls["range"]
+            calls["rc"] = xm.call("XM_multicall", start, end)
+
+        system = BootedSystem(fdir_payload=payload)
+        system.run_frames(1)
+        return system, calls
+
+    def test_big_batch_raises_temporal_violation(self):
+        # The 1-frame run executes the FDIR slot at t=0 and the one at
+        # the t=250ms boundary: one violation per invocation.
+        system, calls = self.run_payload_campaign_frame(())
+        assert calls["rc"] == 4096
+        violations = system.kernel.hm.events_of(HmEvent.TEMPORAL_VIOLATION)
+        assert len(violations) == 2
+        assert all(v.partition_id == 0 for v in violations)
+
+    def test_overrun_amount_recorded(self):
+        system, _ = self.run_payload_campaign_frame(())
+        overruns = system.kernel.sched.overruns
+        assert len(overruns) == 2
+        _, partition_id, overrun = overruns[0]
+        assert partition_id == 0
+        # 4097 calls x 20us plus app overhead, minus the 50ms slot.
+        assert overrun > 30_000
+
+
+class TestRevisedMulticall:
+    def test_service_removed(self, fixed_system):
+        assert system_removed_rc(fixed_system, 0, 0) == rc.XM_NO_SERVICE
+
+    def test_removed_even_with_valid_batch(self, fixed_system):
+        start, end = write_batch(fixed_system, [("XM_mask_irq", (1,))])
+        assert fixed_system.call("XM_multicall", start, end) == rc.XM_NO_SERVICE
+        assert fixed_system.fdir.state.runnable()
+
+    def test_removed_with_bad_pointers_no_fault(self, fixed_system):
+        assert (
+            fixed_system.call("XM_multicall", 0x50000000, 0x50000100)
+            == rc.XM_NO_SERVICE
+        )
+        assert fixed_system.fdir.state.runnable()
+
+
+def system_removed_rc(system, start, end):
+    return system.call("XM_multicall", start, end)

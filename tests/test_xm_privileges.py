@@ -1,0 +1,98 @@
+"""Privilege matrix: system-only services against a normal partition."""
+
+import pytest
+
+from repro.xm import rc
+from repro.xm.api import HYPERCALL_TABLE, hypercall_by_name
+
+from conftest import BootedSystem
+
+SYSTEM_ONLY = [h.name for h in HYPERCALL_TABLE if h.system_only]
+NORMAL_OK = [h.name for h in HYPERCALL_TABLE if not h.system_only and h.has_params]
+
+
+def zero_args(name: str) -> tuple[int, ...]:
+    return tuple(0 for _ in hypercall_by_name(name).params)
+
+
+class TestSystemOnlyEnforcement:
+    @pytest.mark.parametrize("name", SYSTEM_ONLY)
+    def test_normal_partition_rejected(self, system, name):
+        """Every privileged service refuses a normal partition, before
+        any argument validation (so even all-zero args see PERM_ERROR)."""
+        code = system.call(name, *zero_args(name), caller=system.aocs)
+        assert code == rc.XM_PERM_ERROR, name
+
+    def test_expected_privileged_set(self):
+        assert set(SYSTEM_ONLY) == {
+            "XM_get_system_status",
+            "XM_reset_system",
+            "XM_halt_system",
+            "XM_get_partition_status",
+            "XM_halt_partition",
+            "XM_reset_partition",
+            "XM_resume_partition",
+            "XM_suspend_partition",
+            "XM_shutdown_partition",
+            "XM_switch_sched_plan",
+            "XM_memory_copy",
+            "XM_hm_status",
+            "XM_hm_read",
+            "XM_hm_seek",
+            "XM_hm_reset_events",
+            "XM_hm_raise_event",
+        }
+
+    def test_fdir_is_valid_test_partition_host(self):
+        """The paper's rationale for using FDIR: its privileges make
+        every hypercall category reachable.  Calls that legitimately do
+        not return (self-halt, resets) count as reachable; each call
+        gets a fresh system because several are destructive."""
+        from repro.xm.errors import NoReturnFromHypercall
+
+        for name in SYSTEM_ONLY:
+            fresh = BootedSystem()
+            assert fresh.fdir.is_system
+            try:
+                code = fresh.call(name, *zero_args(name))
+            except NoReturnFromHypercall:
+                continue
+            assert code != rc.XM_PERM_ERROR, name
+
+
+class TestNormalPartitionSurface:
+    # Stream 0 belongs to FDIR: resource-level permission, not the
+    # privilege check; vCPU 0 self-ops legitimately do not return.
+    FOREIGN_STREAM = {"XM_trace_open", "XM_trace_read", "XM_trace_seek", "XM_trace_status"}
+    SELF_OPS = {"XM_halt_vcpu", "XM_suspend_vcpu"}
+
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in NORMAL_OK if n != "XM_multicall"],
+    )
+    def test_unprivileged_services_reachable(self, system, name):
+        """Non-privileged services never answer PERM_ERROR on the
+        privilege check itself (they may on resource grounds, e.g. a
+        foreign trace stream)."""
+        from repro.xm.errors import NoReturnFromHypercall
+
+        try:
+            code = system.call(name, *zero_args(name), caller=system.aocs)
+        except NoReturnFromHypercall:
+            assert name in self.SELF_OPS
+            return
+        if name in self.FOREIGN_STREAM:
+            assert code == rc.XM_PERM_ERROR
+        else:
+            assert code != rc.XM_PERM_ERROR, name
+
+    def test_multicall_reachable_but_lethal(self, system):
+        """Normal partitions may call XM_multicall too — and the 3.4.0
+        defect bites them identically (fault contained to the caller)."""
+        from repro.xm.errors import NoReturnFromHypercall
+        from repro.xm.partition import PartitionState
+
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_multicall", 0, 0, caller=system.aocs)
+        assert system.kernel.partitions[1].state is PartitionState.HALTED
+        assert system.fdir.state.runnable()

@@ -1,0 +1,120 @@
+"""Unit tests for the cyclic scheduler and temporal isolation."""
+
+import pytest
+
+from repro.xm.hm import HmEvent
+from repro.xm.partition import PartitionState
+
+from conftest import BootedSystem
+
+
+class TestCyclicExecution:
+    def test_each_partition_steps_once_per_frame(self):
+        system = BootedSystem()
+        system.run_frames(3)
+        # run_until includes the boundary slot of the next frame for FDIR.
+        steps = {p.ident: p.app.steps for p in system.kernel.partitions.values()}
+        assert steps[1] == steps[2] == steps[3] == steps[4] == 3
+        assert steps[0] == 4
+
+    def test_major_frame_counter(self):
+        system = BootedSystem()
+        system.run_frames(5)
+        assert system.kernel.sched.major_frame_count == 6  # boundary frame starts
+
+    def test_exec_clock_accumulates(self):
+        system = BootedSystem()
+        system.run_frames(2)
+        aocs = system.kernel.partitions[1]
+        # AOCS consumes 800us app time plus hypercall costs per slot.
+        assert aocs.exec_clock_us >= 2 * 800
+
+    def test_halted_partition_not_scheduled(self):
+        system = BootedSystem()
+        system.call("XM_halt_partition", 3)
+        system.run_frames(2)
+        assert system.kernel.partitions[3].app.steps == 0
+
+    def test_suspended_partition_resumes(self):
+        system = BootedSystem()
+        system.call("XM_suspend_partition", 1)
+        system.run_frames(1)
+        assert system.kernel.partitions[1].app.steps == 0
+        system.call("XM_resume_partition", 1)
+        system.run_frames(1)
+        assert system.kernel.partitions[1].app.steps >= 1
+
+    def test_boot_state_becomes_normal_after_first_slot(self):
+        system = BootedSystem()
+        assert system.kernel.partitions[1].state is PartitionState.BOOT
+        system.run_frames(1)
+        assert system.kernel.partitions[1].state is PartitionState.NORMAL
+
+
+class TestPlanSwitch:
+    def test_maintenance_plan_parks_payload(self):
+        system = BootedSystem()
+        system.call("XM_switch_sched_plan", 1)
+        system.run_frames(1)  # finish current frame, switch at boundary
+        payload_steps = system.kernel.partitions[3].app.steps
+        system.run_frames(3)
+        assert system.kernel.sched.current_plan_id == 1
+        # The payload has no slot in plan 1.
+        assert system.kernel.partitions[3].app.steps == payload_steps
+
+    def test_switch_back(self):
+        system = BootedSystem()
+        system.call("XM_switch_sched_plan", 1)
+        system.run_frames(2)
+        system.call("XM_switch_sched_plan", 0)
+        system.run_frames(2)
+        assert system.kernel.sched.current_plan_id == 0
+
+
+class TestTemporalAccounting:
+    def test_consume_negative_rejected(self):
+        system = BootedSystem()
+        with pytest.raises(ValueError):
+            system.kernel.sched.consume(-1)
+
+    def test_app_overrun_detected(self):
+        def hog(ctx, xm):
+            ctx.consume(60_000)  # slot is 50 ms
+
+        system = BootedSystem(fdir_payload=hog)
+        system.run_frames(1)
+        violations = system.kernel.hm.events_of(HmEvent.TEMPORAL_VIOLATION)
+        assert violations
+        assert violations[0].partition_id == 0
+        assert violations[0].payload >= 10_000
+
+    def test_nominal_apps_do_not_overrun(self):
+        system = BootedSystem()
+        system.run_frames(4)
+        assert system.kernel.sched.overruns == []
+
+    def test_app_memory_fault_contained(self):
+        def wild(ctx, xm):
+            # Touch another partition's memory directly.
+            ctx.partition.address_space.read(0x40140000, 4)
+
+        system = BootedSystem(fdir_payload=wild)
+        system.run_frames(1)
+        events = system.kernel.hm.events_of(HmEvent.MEM_PROTECTION)
+        assert events
+        # Default action for MEM_PROTECTION halts the offender.
+        assert system.kernel.partitions[0].state is PartitionState.HALTED
+        # The rest of the system keeps flying.
+        assert system.kernel.partitions[1].state.runnable()
+
+    def test_determinism_across_runs(self):
+        def snapshot():
+            system = BootedSystem()
+            system.run_frames(3)
+            return (
+                system.kernel.hypercall_count,
+                system.sim.dispatched_events,
+                tuple(p.exec_clock_us for p in system.kernel.partitions.values()),
+            )
+
+        assert snapshot() == snapshot()

@@ -1,0 +1,368 @@
+"""Unit tests for HM, trace, IRQ, memory, misc and SPARC services."""
+
+import struct
+
+import pytest
+
+from repro.testbed.eagleeye import partition_area_base
+from repro.tsim.machine import UART_BASE
+from repro.xm import rc
+from repro.xm.hm import HmEvent
+from repro.xm.status import XmHmLogEntry, XmHmStatus, XmTraceStatus
+
+
+def fdir_addr(offset=0):
+    return partition_area_base(0) + 0x10000 + offset
+
+
+class TestHmServices:
+    def test_hm_status_counts_events(self, system):
+        system.kernel.hm.raise_event(HmEvent.PARTITION_ERROR, 1, 0)
+        addr = system.scratch()
+        assert system.call("XM_hm_status", addr) == rc.XM_OK
+        status = XmHmStatus.unpack(system.fdir.address_space.read(addr, XmHmStatus.SIZE))
+        assert status.total_events == 1
+        assert status.unread_events == 1
+
+    def test_hm_read_consumes(self, system):
+        system.kernel.hm.raise_event(HmEvent.PARTITION_ERROR, 1, 5, payload=42)
+        addr = system.scratch()
+        count = system.call("XM_hm_read", addr, 8)
+        assert count == 1
+        entry = XmHmLogEntry.unpack(
+            system.fdir.address_space.read(addr, XmHmLogEntry.SIZE)
+        )
+        assert entry.event_code == HmEvent.PARTITION_ERROR.value
+        assert entry.payload == 42
+        assert system.call("XM_hm_read", addr, 8) == 0
+
+    def test_hm_read_zero_count_invalid(self, system):
+        assert system.call("XM_hm_read", system.scratch(), 0) == rc.XM_INVALID_PARAM
+
+    def test_hm_read_huge_count_invalid(self, system):
+        assert (
+            system.call("XM_hm_read", system.scratch(), 4294967295)
+            == rc.XM_INVALID_PARAM
+        )
+
+    def test_hm_read_bad_pointer(self, system):
+        system.kernel.hm.raise_event(HmEvent.PARTITION_ERROR, 1, 0)
+        assert system.call("XM_hm_read", 0, 4) == rc.XM_INVALID_PARAM
+
+    def test_hm_seek_whence_modes(self, system):
+        for _ in range(3):
+            system.kernel.hm.raise_event(HmEvent.PARTITION_ERROR, 1, 0)
+        assert system.call("XM_hm_seek", 0, 0) == rc.XM_OK  # absolute rewind
+        assert system.call("XM_hm_seek", 2, 1) == rc.XM_OK  # relative
+        assert system.call("XM_hm_seek", 0, 2) == rc.XM_OK  # from end
+
+    def test_hm_seek_invalid(self, system):
+        assert system.call("XM_hm_seek", 99, 0) == rc.XM_INVALID_PARAM
+        assert system.call("XM_hm_seek", 0, 3) == rc.XM_INVALID_PARAM
+
+    def test_hm_reset_events(self, system):
+        system.kernel.hm.raise_event(HmEvent.PARTITION_ERROR, 1, 0)
+        assert system.call("XM_hm_reset_events") == rc.XM_OK
+        assert system.kernel.hm.records == []
+
+    def test_hm_raise_event_roundtrip(self, system):
+        entry = XmHmLogEntry(
+            event_code=HmEvent.PARTITION_ERROR.value, partition_id=0,
+            timestamp_us=0, payload=9,
+        )
+        addr = system.scratch()
+        system.fdir.address_space.write(addr, entry.pack())
+        assert system.call("XM_hm_raise_event", addr) == rc.XM_OK
+        assert system.kernel.hm.events_of(HmEvent.PARTITION_ERROR)
+
+    def test_hm_raise_event_bad_code(self, system):
+        entry = XmHmLogEntry(event_code=0xFF, partition_id=0, timestamp_us=0)
+        addr = system.scratch()
+        system.fdir.address_space.write(addr, entry.pack())
+        assert system.call("XM_hm_raise_event", addr) == rc.XM_INVALID_PARAM
+
+    def test_hm_services_are_system_only(self, system):
+        assert (
+            system.call("XM_hm_status", system.scratch(1), caller=system.aocs)
+            == rc.XM_PERM_ERROR
+        )
+
+    def test_hm_ring_overflow_counts_lost(self, system):
+        hm = system.kernel.hm
+        for _ in range(hm.capacity + 10):
+            hm.raise_event(HmEvent.PARTITION_ERROR, 1, 0)
+        assert hm.lost_events == 10
+        assert len(hm.records) == hm.capacity
+
+
+class TestTraceServices:
+    def test_trace_open_own_stream(self, system):
+        assert system.call("XM_trace_open", 0) == 0
+
+    def test_trace_open_unknown_stream(self, system):
+        assert system.call("XM_trace_open", 16) == rc.XM_INVALID_PARAM
+
+    def test_trace_permissions_normal_partition(self, system):
+        # AOCS (normal) may open its own stream, not others.
+        assert system.call("XM_trace_open", 1, caller=system.aocs) == 1
+        assert system.call("XM_trace_open", 0, caller=system.aocs) == rc.XM_PERM_ERROR
+
+    def test_trace_read_roundtrip(self, system):
+        system.kernel.tracemgr.record(0, opcode=0xAB, partition_id=0, word=3)
+        addr = system.scratch()
+        count = system.call("XM_trace_read", 0, addr, 4)
+        assert count == 1
+        from repro.xm.status import XmTraceEvent
+
+        event = XmTraceEvent.unpack(
+            system.fdir.address_space.read(addr, XmTraceEvent.SIZE)
+        )
+        assert event.opcode == 0xAB and event.word == 3
+
+    def test_trace_read_bad_counts(self, system):
+        assert system.call("XM_trace_read", 0, system.scratch(), 0) == rc.XM_INVALID_PARAM
+        assert (
+            system.call("XM_trace_read", 0, system.scratch(), 4294967295)
+            == rc.XM_INVALID_PARAM
+        )
+
+    def test_trace_seek_and_status(self, system):
+        for i in range(4):
+            system.kernel.tracemgr.record(0, opcode=i, partition_id=0)
+        assert system.call("XM_trace_seek", 0, 2, 0) == rc.XM_OK
+        addr = system.scratch()
+        assert system.call("XM_trace_status", 0, addr) == rc.XM_OK
+        status = XmTraceStatus.unpack(
+            system.fdir.address_space.read(addr, XmTraceStatus.SIZE)
+        )
+        assert status.total_events == 4
+        assert status.unread_events == 2
+
+    def test_trace_seek_invalid(self, system):
+        assert system.call("XM_trace_seek", 0, 99, 0) == rc.XM_INVALID_PARAM
+
+    def test_trace_flush(self, system):
+        system.kernel.tracemgr.record(0, opcode=1, partition_id=0)
+        assert system.call("XM_trace_flush") == rc.XM_OK
+        assert system.kernel.tracemgr.streams[0].events == []
+
+
+class TestIrqServices:
+    def test_mask_unmask(self, system):
+        assert system.call("XM_unmask_irq", 4) == rc.XM_OK
+        assert system.fdir.virq_mask & (1 << 4)
+        assert system.call("XM_mask_irq", 4) == rc.XM_OK
+        assert not (system.fdir.virq_mask & (1 << 4))
+
+    @pytest.mark.parametrize("line", [32, 4294967295])
+    def test_line_out_of_range(self, system, line):
+        assert system.call("XM_mask_irq", line) == rc.XM_INVALID_PARAM
+        assert system.call("XM_set_irqpend", line) == rc.XM_INVALID_PARAM
+
+    def test_set_irqpend(self, system):
+        assert system.call("XM_set_irqpend", 7) == rc.XM_OK
+        assert system.fdir.virq_pending & (1 << 7)
+
+    def test_route_irq_valid(self, system):
+        assert system.call("XM_route_irq", 0, 8, 0x18) == rc.XM_OK
+        assert system.kernel.irqmgr.routes[(0, 0, 8)] == 0x18
+
+    @pytest.mark.parametrize(
+        "args",
+        [(0, 0, 1), (0, 16, 1), (1, 32, 1), (2, 1, 1), (0, 8, 256), (0, 8, 4294967295)],
+    )
+    def test_route_irq_invalid(self, system, args):
+        assert system.call("XM_route_irq", *args) == rc.XM_INVALID_PARAM
+
+    def test_enable_irqs(self, system):
+        assert system.call("XM_enable_irqs") == rc.XM_OK
+        assert system.fdir.virq_mask == 0xFFFFFFFF
+
+
+class TestMemoryServices:
+    def test_memory_copy_between_partitions(self, system):
+        src = partition_area_base(1) + 0x100
+        dst = partition_area_base(2) + 0x100
+        system.kernel.machine.memory.write(src, b"DATA")
+        assert system.call("XM_memory_copy", 2, dst, 1, src, 4) == rc.XM_OK
+        assert system.kernel.machine.memory.read(dst, 4) == b"DATA"
+
+    def test_memory_copy_self_alias(self, system):
+        src = fdir_addr(0)
+        dst = fdir_addr(0x100)
+        system.kernel.machine.memory.write(src, b"SELF")
+        assert system.call("XM_memory_copy", -1, dst, -1, src, 4) == rc.XM_OK
+
+    @pytest.mark.parametrize("bad", [5, 16, -16, 2147483647])
+    def test_memory_copy_bad_partition(self, system, bad):
+        assert (
+            system.call("XM_memory_copy", bad, fdir_addr(), 0, fdir_addr(), 4)
+            == rc.XM_INVALID_PARAM
+        )
+
+    def test_memory_copy_zero_size(self, system):
+        assert (
+            system.call("XM_memory_copy", 0, fdir_addr(), 0, fdir_addr(), 0)
+            == rc.XM_INVALID_PARAM
+        )
+
+    def test_memory_copy_outside_owner_area(self, system):
+        # dstAddr belongs to partition 2 but dstId names partition 1.
+        dst = partition_area_base(2)
+        assert (
+            system.call("XM_memory_copy", 1, dst, 0, fdir_addr(), 4)
+            == rc.XM_INVALID_ADDRESS
+        )
+
+    def test_memory_copy_range_overflow(self, system):
+        assert (
+            system.call("XM_memory_copy", 0, fdir_addr(), 0, fdir_addr(), 4294967295)
+            == rc.XM_INVALID_PARAM
+        )
+
+    def test_update_page32(self, system):
+        addr = fdir_addr(0x200)
+        assert system.call("XM_update_page32", addr, 0xCAFEBABE) == rc.XM_OK
+        assert system.kernel.machine.memory.read(addr, 4) == b"\xca\xfe\xba\xbe"
+
+    def test_update_page32_unaligned(self, system):
+        assert system.call("XM_update_page32", fdir_addr(1), 0) == rc.XM_INVALID_PARAM
+
+    def test_update_page32_foreign_area(self, system):
+        assert (
+            system.call("XM_update_page32", partition_area_base(1), 0)
+            == rc.XM_INVALID_ADDRESS
+        )
+
+
+class TestMiscServices:
+    def test_write_console(self, system):
+        addr = system.scratch()
+        system.fdir.address_space.write(addr, b"hello from FDIR\n")
+        assert system.call("XM_write_console", addr, 16) == 16
+        assert "hello from FDIR" in system.sim.machine.uart.lines("FDIR")
+
+    def test_write_console_zero_length(self, system):
+        assert system.call("XM_write_console", system.scratch(), 0) == 0
+
+    def test_write_console_bad_pointer(self, system):
+        assert system.call("XM_write_console", 0, 8) == rc.XM_INVALID_PARAM
+
+    def test_write_console_huge_length(self, system):
+        assert (
+            system.call("XM_write_console", system.scratch(), 4294967295)
+            == rc.XM_INVALID_PARAM
+        )
+
+    def test_get_gid_by_name_partition(self, system):
+        addr = system.scratch()
+        system.fdir.address_space.write(addr, b"PAYLOAD\0")
+        assert system.call("XM_get_gid_by_name", addr, 0) == 3
+
+    def test_get_gid_by_name_channel(self, system):
+        addr = system.scratch()
+        system.fdir.address_space.write(addr, b"CH_CMD\0")
+        assert system.call("XM_get_gid_by_name", addr, 1) == 1
+
+    def test_get_gid_unknown_name(self, system):
+        addr = system.scratch()
+        system.fdir.address_space.write(addr, b"GHOST\0")
+        assert system.call("XM_get_gid_by_name", addr, 0) == rc.XM_INVALID_CONFIG
+
+    def test_get_gid_bad_entity(self, system):
+        addr = system.scratch()
+        system.fdir.address_space.write(addr, b"FDIR\0")
+        assert system.call("XM_get_gid_by_name", addr, 2) == rc.XM_INVALID_PARAM
+
+    def test_get_hpv_info(self, system):
+        addr = system.scratch()
+        assert system.call("XM_get_hpv_info", addr) == rc.XM_OK
+        major, minor, patch, nparts = struct.unpack(
+            ">IIII", system.fdir.address_space.read(addr, 16)
+        )
+        assert (major, minor, patch) == (3, 4, 0)
+        assert nparts == 5
+
+    def test_params_get_pct(self, system):
+        addr = system.scratch()
+        assert system.call("XM_params_get_pct", addr) == rc.XM_OK
+        (pct,) = struct.unpack(">I", system.fdir.address_space.read(addr, 4))
+        assert pct == partition_area_base(0)
+
+
+class TestSparcServices:
+    def test_inport_with_grant(self, system):
+        # FDIR holds the apbuart0 grant; status register reads TX-ready.
+        assert system.call("XM_sparc_inport", UART_BASE + 4) == 0x6
+
+    def test_inport_without_grant(self, system):
+        assert (
+            system.call("XM_sparc_inport", UART_BASE + 4, caller=system.aocs)
+            == rc.XM_PERM_ERROR
+        )
+
+    def test_inport_unmapped(self, system):
+        assert system.call("XM_sparc_inport", 0x40000000) == rc.XM_INVALID_PARAM
+        assert system.call("XM_sparc_inport", 0xFFFFFFFF) == rc.XM_INVALID_PARAM
+
+    def test_outport_writes_uart_data(self, system):
+        assert system.call("XM_sparc_outport", UART_BASE, ord("A")) == rc.XM_OK
+        system.sim.machine.uart.flush()
+        assert "A" in system.sim.machine.uart.transcript()
+
+    def test_outport_forbidden_device(self, system):
+        from repro.tsim.machine import GPTIMER_BASE
+
+        assert system.call("XM_sparc_outport", GPTIMER_BASE, 1) == rc.XM_PERM_ERROR
+
+    def test_atomic_add(self, system):
+        addr = fdir_addr(0x300)
+        system.kernel.machine.memory.write(addr, (5).to_bytes(4, "big"))
+        assert system.call("XM_sparc_atomic_add", addr, 10) == rc.XM_OK
+        assert system.kernel.machine.memory.read(addr, 4) == (15).to_bytes(4, "big")
+
+    def test_atomic_add_wraps(self, system):
+        addr = fdir_addr(0x304)
+        system.kernel.machine.memory.write(addr, b"\xff\xff\xff\xff")
+        assert system.call("XM_sparc_atomic_add", addr, 1) == rc.XM_OK
+        assert system.kernel.machine.memory.read(addr, 4) == bytes(4)
+
+    def test_atomic_and_or(self, system):
+        addr = fdir_addr(0x308)
+        system.kernel.machine.memory.write(addr, b"\x00\x00\x00\xf0")
+        system.call("XM_sparc_atomic_or", addr, 0x0F)
+        assert system.kernel.machine.memory.read(addr, 4)[-1] == 0xFF
+        system.call("XM_sparc_atomic_and", addr, 0xF0)
+        assert system.kernel.machine.memory.read(addr, 4)[-1] == 0xF0
+
+    def test_atomic_unaligned(self, system):
+        assert system.call("XM_sparc_atomic_add", fdir_addr(2), 1) == rc.XM_INVALID_PARAM
+
+    def test_atomic_foreign_memory(self, system):
+        assert (
+            system.call("XM_sparc_atomic_add", partition_area_base(1), 1)
+            == rc.XM_INVALID_ADDRESS
+        )
+
+    def test_parameterless_helpers(self, system):
+        assert system.call("XM_sparc_flush_regwin") == rc.XM_OK
+        assert system.call("XM_sparc_flush_cache") == rc.XM_OK
+        assert system.call("XM_sparc_enable_traps") == rc.XM_OK
+        psr = system.call("XM_sparc_get_psr")
+        assert psr & 0x20  # ET set
+        system.call("XM_sparc_disable_traps")
+        assert not system.call("XM_sparc_get_psr") & 0x20
+
+    def test_install_trap_handler(self, system):
+        handler = partition_area_base(0) + 0x1000
+        assert system.call("XM_sparc_install_trap_handler", 0x09, handler) == rc.XM_OK
+        assert system.call("XM_sparc_install_trap_handler", 256, handler) == rc.XM_INVALID_PARAM
+        assert (
+            system.call("XM_sparc_install_trap_handler", 9, 0x50000000)
+            == rc.XM_INVALID_ADDRESS
+        )
+
+    def test_set_tbr(self, system):
+        assert system.call("XM_sparc_set_tbr", partition_area_base(0)) == rc.XM_OK
+        assert system.call("XM_sparc_set_tbr", partition_area_base(0) + 4) == rc.XM_INVALID_PARAM
+        assert system.call("XM_sparc_set_tbr", 0x50000000) == rc.XM_INVALID_ADDRESS

@@ -1,0 +1,190 @@
+"""Unit tests for system/partition/time/plan service managers."""
+
+import pytest
+
+from repro.xm import rc
+from repro.xm.errors import NoReturnFromHypercall
+from repro.xm.partition import PartitionState
+from repro.xm.status import XmPartitionStatus, XmPlanStatus, XmSystemStatus
+
+
+class TestSystemServices:
+    def test_get_system_status_writes_struct(self, system):
+        addr = system.scratch()
+        assert system.call("XM_get_system_status", addr) == rc.XM_OK
+        raw = system.fdir.address_space.read(addr, XmSystemStatus.SIZE)
+        status = XmSystemStatus.unpack(raw)
+        assert status.reset_counter == 0
+        assert status.current_plan == 0
+
+    def test_get_system_status_null_pointer(self, system):
+        assert system.call("XM_get_system_status", 0) == rc.XM_INVALID_PARAM
+
+    def test_get_system_status_unmapped_pointer(self, system):
+        assert system.call("XM_get_system_status", 0x50000000) == rc.XM_INVALID_PARAM
+
+    def test_get_system_status_kernel_pointer_rejected(self, system):
+        # Kernel memory is mapped but not granted to the partition.
+        assert system.call("XM_get_system_status", 0x40000000) == rc.XM_INVALID_PARAM
+
+    def test_halt_system_does_not_return(self, system):
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_halt_system")
+        assert system.kernel.is_halted()
+
+
+class TestResetSystemDefect:
+    """The XM-RS-1/2/3 behaviour on the vulnerable kernel."""
+
+    @pytest.mark.parametrize("mode,kind", [(0, "cold"), (1, "warm")])
+    def test_valid_modes(self, system, mode, kind):
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_reset_system", mode)
+        assert system.kernel.reset_log[-1].kind == kind
+
+    @pytest.mark.parametrize("mode", [2, 16])
+    def test_invalid_even_modes_cold_reset(self, system, mode):
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_reset_system", mode)
+        assert system.kernel.reset_log[-1].kind == "cold"
+
+    def test_invalid_umax_warm_resets(self, system):
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_reset_system", 4294967295)
+        assert system.kernel.reset_log[-1].kind == "warm"
+
+
+class TestPartitionServices:
+    def test_get_partition_status(self, system):
+        addr = system.scratch()
+        assert system.call("XM_get_partition_status", 1, addr) == rc.XM_OK
+        status = XmPartitionStatus.unpack(
+            system.fdir.address_space.read(addr, XmPartitionStatus.SIZE)
+        )
+        assert status.ident == 1
+
+    def test_get_partition_status_self_alias(self, system):
+        addr = system.scratch()
+        assert system.call("XM_get_partition_status", -1, addr) == rc.XM_OK
+        status = XmPartitionStatus.unpack(
+            system.fdir.address_space.read(addr, XmPartitionStatus.SIZE)
+        )
+        assert status.ident == 0
+
+    @pytest.mark.parametrize("bad_id", [-16, 5, 16, 2147483647, -2147483648])
+    def test_invalid_partition_ids(self, system, bad_id):
+        assert (
+            system.call("XM_get_partition_status", bad_id, system.scratch())
+            == rc.XM_INVALID_PARAM
+        )
+
+    def test_halt_other_partition(self, system):
+        assert system.call("XM_halt_partition", 1) == rc.XM_OK
+        assert system.kernel.partitions[1].state is PartitionState.HALTED
+
+    def test_halt_self_never_returns(self, system):
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_halt_partition", 0)
+        assert system.fdir.state is PartitionState.HALTED
+
+    def test_reset_partition_valid(self, system):
+        assert system.call("XM_reset_partition", 1, rc.XM_WARM_RESET, 7) == rc.XM_OK
+        target = system.kernel.partitions[1]
+        assert target.reset_counter == 1
+        assert target.reset_status == 7
+
+    @pytest.mark.parametrize("mode", [2, 16, 4294967295])
+    def test_reset_partition_invalid_mode_is_robust(self, system, mode):
+        """Unlike XM_reset_system, partition reset validates its mode."""
+        assert system.call("XM_reset_partition", 1, mode, 0) == rc.XM_INVALID_PARAM
+        assert system.kernel.partitions[1].reset_counter == 0
+
+    def test_suspend_and_resume(self, system):
+        assert system.call("XM_suspend_partition", 1) == rc.XM_OK
+        assert system.kernel.partitions[1].state is PartitionState.SUSPENDED
+        assert system.call("XM_resume_partition", 1) == rc.XM_OK
+        assert system.kernel.partitions[1].state is PartitionState.NORMAL
+
+    def test_resume_non_suspended_is_no_action(self, system):
+        assert system.call("XM_resume_partition", 1) == rc.XM_NO_ACTION
+
+    def test_suspend_halted_is_no_action(self, system):
+        system.call("XM_halt_partition", 1)
+        assert system.call("XM_suspend_partition", 1) == rc.XM_NO_ACTION
+
+    def test_shutdown_partition(self, system):
+        assert system.call("XM_shutdown_partition", 2) == rc.XM_OK
+        assert system.kernel.partitions[2].state is PartitionState.SHUTDOWN
+
+    def test_idle_self_consumes_rest_of_slot(self, system):
+        # Outside a slot it is a harmless no-op returning XM_OK.
+        assert system.call("XM_idle_self") == rc.XM_OK
+
+    def test_vcpu_services_single_core(self, system):
+        assert system.call("XM_suspend_vcpu", 1) == rc.XM_INVALID_PARAM
+        assert system.call("XM_resume_vcpu", 4294967295) == rc.XM_INVALID_PARAM
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_suspend_vcpu", 0)
+        assert system.fdir.state is PartitionState.SUSPENDED
+
+
+class TestTimeServices:
+    def test_get_time_hw_clock(self, system):
+        addr = system.scratch()
+        assert system.call("XM_get_time", rc.XM_HW_CLOCK, addr) == rc.XM_OK
+        value = int.from_bytes(system.fdir.address_space.read(addr, 8), "big", signed=True)
+        assert value == system.sim.now_us
+
+    def test_get_time_exec_clock(self, system):
+        system.fdir.exec_clock_us = 4242
+        addr = system.scratch()
+        assert system.call("XM_get_time", rc.XM_EXEC_CLOCK, addr) == rc.XM_OK
+        value = int.from_bytes(system.fdir.address_space.read(addr, 8), "big", signed=True)
+        assert value == 4242
+
+    @pytest.mark.parametrize("clock", [2, 16, 4294967295])
+    def test_get_time_invalid_clock(self, system, clock):
+        assert system.call("XM_get_time", clock, system.scratch()) == rc.XM_INVALID_PARAM
+
+    def test_get_time_null_pointer(self, system):
+        assert system.call("XM_get_time", 0, 0) == rc.XM_INVALID_PARAM
+
+    def test_set_timer_valid_periodic(self, system):
+        assert system.call("XM_set_timer", 0, 1_000_000, 1_000_000) == rc.XM_OK
+        assert system.fdir.timer(0).armed
+
+    def test_set_timer_invalid_clock(self, system):
+        assert system.call("XM_set_timer", 7, 1, 1_000_000) == rc.XM_INVALID_PARAM
+
+    def test_set_timer_disarm_contract(self, system):
+        system.call("XM_set_timer", 0, 1_000_000, 1_000_000)
+        assert system.call("XM_set_timer", 0, 0, 0) == rc.XM_OK
+        assert not system.fdir.timer(0).armed
+
+    def test_set_timer_negative_abstime_disarms(self, system):
+        assert system.call("XM_set_timer", 0, -(2**63), 1_000_000) == rc.XM_OK
+        assert not system.fdir.timer(0).armed
+
+
+class TestPlanServices:
+    def test_switch_to_existing_plan(self, system):
+        assert system.call("XM_switch_sched_plan", 1) == rc.XM_OK
+        assert system.kernel.sched.requested_plan_id == 1
+
+    def test_switch_applies_at_frame_boundary(self, system):
+        system.call("XM_switch_sched_plan", 1)
+        assert system.kernel.sched.current_plan_id == 0
+        system.run_frames(2)
+        assert system.kernel.sched.current_plan_id == 1
+
+    @pytest.mark.parametrize("plan", [2, 16, 4294967295])
+    def test_switch_to_missing_plan(self, system, plan):
+        assert system.call("XM_switch_sched_plan", plan) == rc.XM_INVALID_PARAM
+
+    def test_plan_status(self, system):
+        addr = system.scratch()
+        assert system.call("XM_get_plan_status", addr) == rc.XM_OK
+        status = XmPlanStatus.unpack(
+            system.fdir.address_space.read(addr, XmPlanStatus.SIZE)
+        )
+        assert status.current_plan == 0

@@ -1,0 +1,303 @@
+"""Unit tests for the IPC services (via Libxm in slot context)."""
+
+import pytest
+
+from repro.xm import rc
+from repro.xm.svc_ipc import QueuingChannel, SamplingChannel
+
+from conftest import BootedSystem
+
+
+class IpcHarness:
+    """Runs IPC flows through scheduled slots using FDIR payloads."""
+
+    @staticmethod
+    def run_with_payload(payload, frames=1, **kw):
+        system = BootedSystem(fdir_payload=payload, **kw)
+        system.run_frames(frames)
+        return system
+
+
+class TestSamplingFlow:
+    def test_aocs_to_fdir_telemetry(self):
+        seen = {}
+
+        def payload(ctx, xm):
+            port = xm.create_sampling_port("TM_MON", 64, rc.XM_DESTINATION_PORT, 300_000)
+            seen.setdefault("port", port)
+            code, data, valid = xm.read_sampling_message(port, 64)
+            seen.setdefault("reads", []).append((code, len(data), valid))
+
+        system = IpcHarness.run_with_payload(payload, frames=2)
+        del system
+        assert seen["port"] >= 0
+        first, later = seen["reads"][0], seen["reads"][-1]
+        # At t=0 AOCS has not run yet; after one frame telemetry flows.
+        assert first[0] == rc.XM_NO_ACTION
+        assert later[0] == 64 and later[2] == 1
+
+    def test_create_is_idempotent(self):
+        descs = []
+
+        def payload(ctx, xm):
+            descs.append(
+                xm.create_sampling_port("TM_MON", 64, rc.XM_DESTINATION_PORT, 300_000)
+            )
+            descs.append(
+                xm.create_sampling_port("TM_MON", 64, rc.XM_DESTINATION_PORT, 300_000)
+            )
+
+        IpcHarness.run_with_payload(payload)
+        assert descs[0] == descs[1] >= 0
+
+
+class TestSamplingValidation:
+    def run_one(self, fn):
+        out = {}
+
+        def payload(ctx, xm):
+            if "rc" not in out:
+                out["rc"] = fn(ctx, xm)
+
+        IpcHarness.run_with_payload(payload)
+        return out["rc"]
+
+    def test_null_name_pointer(self):
+        assert (
+            self.run_one(
+                lambda ctx, xm: xm.call(
+                    "XM_create_sampling_port", 0, 64, rc.XM_DESTINATION_PORT, 0
+                )
+            )
+            == rc.XM_INVALID_PARAM
+        )
+
+    def test_unknown_port_name(self):
+        assert (
+            self.run_one(
+                lambda ctx, xm: xm.create_sampling_port(
+                    "NOT_A_PORT", 64, rc.XM_DESTINATION_PORT
+                )
+            )
+            == rc.XM_INVALID_CONFIG
+        )
+
+    def test_wrong_direction_rejected(self):
+        assert (
+            self.run_one(
+                lambda ctx, xm: xm.create_sampling_port("TM_MON", 64, rc.XM_SOURCE_PORT)
+            )
+            == rc.XM_INVALID_CONFIG
+        )
+
+    def test_invalid_direction_value(self):
+        assert (
+            self.run_one(lambda ctx, xm: xm.create_sampling_port("TM_MON", 64, 2))
+            == rc.XM_INVALID_PARAM
+        )
+
+    def test_size_mismatch_rejected(self):
+        assert (
+            self.run_one(
+                lambda ctx, xm: xm.create_sampling_port(
+                    "TM_MON", 16, rc.XM_DESTINATION_PORT
+                )
+            )
+            == rc.XM_INVALID_CONFIG
+        )
+
+    def test_negative_refresh_rejected(self):
+        assert (
+            self.run_one(
+                lambda ctx, xm: xm.create_sampling_port(
+                    "TM_MON", 64, rc.XM_DESTINATION_PORT, -5
+                )
+            )
+            == rc.XM_INVALID_PARAM
+        )
+
+    def test_queuing_create_on_sampling_channel_rejected(self):
+        assert (
+            self.run_one(
+                lambda ctx, xm: xm.create_queuing_port(
+                    "TM_MON", 8, 64, rc.XM_DESTINATION_PORT
+                )
+            )
+            == rc.XM_INVALID_CONFIG
+        )
+
+    def test_write_on_destination_port_is_mode_error(self):
+        def fn(ctx, xm):
+            port = xm.create_sampling_port("TM_MON", 64, rc.XM_DESTINATION_PORT, 0)
+            return xm.write_sampling_message(port, b"x" * 8)
+
+        assert self.run_one(fn) == rc.XM_INVALID_MODE
+
+    @pytest.mark.parametrize("desc", [-1, 2, 16])
+    def test_bad_descriptor(self, desc):
+        assert (
+            self.run_one(
+                lambda ctx, xm: xm.call(
+                    "XM_read_sampling_message",
+                    desc,
+                    xm.scratch.alloc(64),
+                    64,
+                    xm.scratch.alloc(4),
+                )
+            )
+            == rc.XM_INVALID_PARAM
+        )
+
+
+class TestQueuingFlow:
+    def test_fdir_event_to_io(self):
+        sent = {}
+
+        def payload(ctx, xm):
+            port = xm.create_queuing_port("FDIR_EVT", 8, 48, rc.XM_SOURCE_PORT)
+            sent.setdefault("codes", []).append(
+                xm.send_queuing_message(port, b"EVENT" + bytes(43))
+            )
+
+        system = IpcHarness.run_with_payload(payload, frames=2)
+        assert sent["codes"][0] == rc.XM_OK
+        # The IO app printed the downlink of the FDIR event.
+        io_lines = system.sim.machine.uart.lines("IO")
+        assert any("FDIR event" in line for line in io_lines)
+
+    def test_queue_overflow_returns_no_space(self):
+        out = {}
+
+        def payload(ctx, xm):
+            if out:
+                return
+            port = xm.create_queuing_port("FDIR_EVT", 8, 48, rc.XM_SOURCE_PORT)
+            codes = [xm.send_queuing_message(port, bytes(48)) for _ in range(10)]
+            out["codes"] = codes
+
+        IpcHarness.run_with_payload(payload)
+        assert out["codes"][:8] == [rc.XM_OK] * 8
+        assert out["codes"][8:] == [rc.XM_NO_SPACE] * 2
+
+    def test_fifo_ordering(self):
+        out = {}
+
+        def payload(ctx, xm):
+            if out:
+                return
+            src = xm.create_queuing_port("FDIR_EVT", 8, 48, rc.XM_SOURCE_PORT)
+            for i in range(3):
+                xm.send_queuing_message(src, bytes([i]) * 4)
+            chan = ctx.kernel.ipc.channels["CH_FDIR_EVT"]
+            out["order"] = [msg[0][0] for msg in chan.queue]
+
+        IpcHarness.run_with_payload(payload)
+        assert out["order"] == [0, 1, 2]
+
+    def test_oversized_message_rejected(self):
+        out = {}
+
+        def payload(ctx, xm):
+            if out:
+                return
+            port = xm.create_queuing_port("FDIR_EVT", 8, 48, rc.XM_SOURCE_PORT)
+            out["rc"] = xm.send_queuing_message(port, bytes(49))
+
+        IpcHarness.run_with_payload(payload)
+        assert out["rc"] == rc.XM_INVALID_PARAM
+
+    def test_zero_size_rejected(self):
+        out = {}
+
+        def payload(ctx, xm):
+            if out:
+                return
+            port = xm.create_queuing_port("FDIR_EVT", 8, 48, rc.XM_SOURCE_PORT)
+            out["rc"] = xm.call(
+                "XM_send_queuing_message", port, xm.scratch.alloc(8), 0
+            )
+
+        IpcHarness.run_with_payload(payload)
+        assert out["rc"] == rc.XM_INVALID_PARAM
+
+
+class TestPortStatusAndFlush:
+    def test_port_status(self):
+        out = {}
+
+        def payload(ctx, xm):
+            if out:
+                return
+            port = xm.create_queuing_port("FDIR_EVT", 8, 48, rc.XM_SOURCE_PORT)
+            xm.send_queuing_message(port, bytes(10))
+            code, status = xm.get_port_status(port)
+            out["code"], out["status"] = code, status
+
+        IpcHarness.run_with_payload(payload)
+        assert out["code"] == rc.XM_OK
+        assert out["status"].pending_messages == 1
+        assert out["status"].last_message_size == 10
+
+    def test_flush_clears_queue(self):
+        out = {}
+
+        def payload(ctx, xm):
+            if out:
+                return
+            port = xm.create_queuing_port("FDIR_EVT", 8, 48, rc.XM_SOURCE_PORT)
+            xm.send_queuing_message(port, bytes(10))
+            xm.call("XM_flush_port", port)
+            _, status = xm.get_port_status(port)
+            out["pending"] = status.pending_messages
+
+        IpcHarness.run_with_payload(payload)
+        assert out["pending"] == 0
+
+    def test_flush_bad_descriptor(self):
+        out = {}
+
+        def payload(ctx, xm):
+            out.setdefault("rc", xm.call("XM_flush_port", 16))
+
+        IpcHarness.run_with_payload(payload)
+        assert out["rc"] == rc.XM_INVALID_PARAM
+
+    def test_port_info_services(self):
+        out = {}
+
+        def payload(ctx, xm):
+            if out:
+                return
+            name = xm.place_cstring("FDIR_EVT")
+            info = xm.scratch.alloc(12)
+            out["q"] = xm.call("XM_get_queuing_port_info", name, info)
+            name2 = xm.place_cstring("TM_MON")
+            out["s"] = xm.call("XM_get_sampling_port_info", name2, info)
+            out["wrong"] = xm.call("XM_get_sampling_port_info", name, info)
+
+        IpcHarness.run_with_payload(payload)
+        assert out["q"] == rc.XM_OK
+        assert out["s"] == rc.XM_OK
+        assert out["wrong"] == rc.XM_INVALID_CONFIG
+
+
+class TestChannelPrimitives:
+    def test_sampling_validity_window(self):
+        from repro.xm.config import ChannelConfig
+
+        chan = SamplingChannel(ChannelConfig("c", "sampling", 8, refresh_us=100))
+        assert not chan.is_valid(0)
+        chan.store(b"x", 50)
+        assert chan.is_valid(100)
+        assert chan.is_valid(150)
+        assert not chan.is_valid(151)
+
+    def test_queuing_depth(self):
+        from repro.xm.config import ChannelConfig
+
+        chan = QueuingChannel(ChannelConfig("c", "queuing", 8, depth=2))
+        assert chan.push(b"a", 0)
+        assert chan.push(b"b", 1)
+        assert not chan.push(b"c", 2)
+        assert chan.dropped == 1
+        assert chan.pop()[0] == b"a"

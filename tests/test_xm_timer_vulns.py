@@ -1,0 +1,155 @@
+"""The three XM_set_timer findings (XM-ST-1/2/3) end to end."""
+
+import pytest
+
+from repro.tsim.simulator import SimulatorCrash
+from repro.xm import rc
+from repro.xm.hm import HmEvent
+
+from conftest import BootedSystem
+
+LLONG_MIN = -(2**63)
+
+
+class TestStackOverflowHalt:
+    """XM-ST-1: HW clock + 1us interval -> recursive handler -> XM halt."""
+
+    def test_set_timer_0_1_1_halts_kernel(self, system):
+        assert system.call("XM_set_timer", 0, 1, 1) == rc.XM_OK
+        system.run_frames(1)
+        assert system.kernel.is_halted()
+        assert "stack overflow" in (system.kernel.halt_reason or "")
+
+    def test_halt_reported_through_hm_fatal(self, system):
+        system.call("XM_set_timer", 0, 1, 1)
+        system.run_frames(1)
+        fatal = system.kernel.hm.events_of(HmEvent.FATAL_ERROR)
+        assert len(fatal) == 1
+        assert "timer handler" in fatal[0].detail
+
+    def test_overflow_counter_increments(self, system):
+        system.call("XM_set_timer", 0, 1, 1)
+        system.run_frames(1)
+        assert system.kernel.timemgr.stack_overflows == 1
+
+    def test_simulator_survives_kernel_halt(self, system):
+        """The board dies but TSIM lives: logs remain collectable."""
+        system.call("XM_set_timer", 0, 1, 1)
+        system.run_frames(2)
+        assert "XM HALT" in system.sim.machine.uart.transcript()
+
+
+class TestSimulatorCrash:
+    """XM-ST-2: exec clock + 1us interval -> double trap -> TSIM dies."""
+
+    def test_set_timer_1_1_1_crashes_simulator(self, system):
+        assert system.call("XM_set_timer", 1, 1, 1) == rc.XM_OK
+        with pytest.raises(SimulatorCrash):
+            system.run_frames(1)
+
+    def test_crash_reports_error_mode(self, system):
+        system.call("XM_set_timer", 1, 1, 1)
+        with pytest.raises(SimulatorCrash) as exc:
+            system.run_frames(1)
+        assert "error mode" in str(exc.value)
+
+    def test_simulator_state_marked_crashed(self, system):
+        from repro.tsim.simulator import SimState
+
+        system.call("XM_set_timer", 1, 1, 1)
+        with pytest.raises(SimulatorCrash):
+            system.run_frames(1)
+        assert system.sim.state is SimState.CRASHED
+
+
+class TestNegativeIntervalSilent:
+    """XM-ST-3: negative interval accepted, success returned."""
+
+    @pytest.mark.parametrize("clock", [0, 1])
+    def test_llong_min_interval_returns_ok(self, system, clock):
+        assert system.call("XM_set_timer", clock, 1, LLONG_MIN) == rc.XM_OK
+
+    def test_negative_interval_behaves_one_shot(self, system):
+        system.call("XM_set_timer", 0, 1, LLONG_MIN)
+        system.run_frames(1)
+        # Exactly one expiry, then disarmed: no crash, no halt.
+        assert not system.kernel.is_halted()
+        assert system.fdir.timer(0).expirations == 1
+        assert not system.fdir.timer(0).armed
+
+
+class TestNominalTimerBehaviour:
+    def test_periodic_timer_fires_each_period(self, system):
+        assert system.call("XM_set_timer", 0, 100_000, 100_000) == rc.XM_OK
+        system.run_frames(2)  # 500 ms
+        # Expiries at 100,200,300,400,500 ms.
+        assert system.fdir.timer(0).expirations == 5
+        assert not system.kernel.is_halted()
+
+    def test_one_shot_timer(self, system):
+        assert system.call("XM_set_timer", 0, 100_000, 0) == rc.XM_OK
+        system.run_frames(2)
+        assert system.fdir.timer(0).expirations == 1
+
+    def test_timer_sets_virtual_irq(self, system):
+        from repro.xm.svc_time import TIMER_VIRQ
+
+        system.call("XM_set_timer", 0, 100_000, 0)
+        system.run_frames(1)
+        assert system.fdir.virq_pending & (1 << TIMER_VIRQ)
+
+    def test_far_future_timer_does_not_fire(self, system):
+        assert system.call("XM_set_timer", 0, 2**62, 1) == rc.XM_OK
+        system.run_frames(2)
+        assert system.fdir.timer(0).expirations == 0
+
+    def test_expiry_goes_through_irqmp_and_cpu(self, system):
+        """Each expiry is a real IRQ-8 trap on the modelled hardware."""
+        from repro.sparc.traps import TrapType
+
+        system.call("XM_set_timer", 0, 100_000, 100_000)
+        system.run_frames(2)
+        expirations = system.fdir.timer(0).expirations
+        assert expirations == 5
+        assert system.kernel.machine.cpu.taken(TrapType.for_interrupt(8)) == expirations
+        # Acknowledged: nothing left pending on the controller.
+        assert not system.kernel.machine.irq.is_pending(8)
+
+    def test_exec_clock_timer_nominal(self, system):
+        # A generous exec-clock target fires once enough CPU accumulates.
+        assert system.call("XM_set_timer", 1, 1000, 1_000_000) == rc.XM_OK
+        system.run_frames(2)
+        assert not system.kernel.is_halted()
+
+
+class TestRevisedTimer:
+    def test_small_interval_rejected(self, fixed_system):
+        for clock in (0, 1):
+            assert (
+                fixed_system.call("XM_set_timer", clock, 1, 1) == rc.XM_INVALID_PARAM
+            )
+        fixed_system.run_frames(1)
+        assert not fixed_system.kernel.is_halted()
+
+    def test_minimum_interval_boundary(self, fixed_system):
+        assert fixed_system.call("XM_set_timer", 0, 1, 49) == rc.XM_INVALID_PARAM
+        assert fixed_system.call("XM_set_timer", 0, 1, 50) == rc.XM_OK
+
+    def test_negative_interval_rejected(self, fixed_system):
+        assert (
+            fixed_system.call("XM_set_timer", 0, 1, LLONG_MIN) == rc.XM_INVALID_PARAM
+        )
+        assert fixed_system.call("XM_set_timer", 0, 1, -1) == rc.XM_INVALID_PARAM
+
+
+class TestTimerAcrossReset:
+    def test_timer_cancelled_by_system_reset(self):
+        system = BootedSystem()
+        system.call("XM_set_timer", 0, 200_000, 0)
+        from repro.xm.errors import NoReturnFromHypercall
+
+        with pytest.raises(NoReturnFromHypercall):
+            system.call("XM_reset_system", 0)
+        system.run_frames(2)
+        # The rebuilt partition has no armed timer and saw no expiry.
+        assert system.kernel.partitions[0].vtimers == {}

@@ -1,0 +1,146 @@
+"""Unit tests for the fixed-width integer emulation."""
+
+import pytest
+
+from repro.xtypes import (
+    XM_S8,
+    XM_S16,
+    XM_S32,
+    XM_S64,
+    XM_U8,
+    XM_U16,
+    XM_U32,
+    XM_U64,
+    IntTypeDescriptor,
+    XmInt,
+)
+
+
+class TestDescriptorRanges:
+    def test_u8_range(self):
+        assert XM_U8.min == 0
+        assert XM_U8.max == 255
+
+    def test_s8_range(self):
+        assert XM_S8.min == -128
+        assert XM_S8.max == 127
+
+    def test_u16_range(self):
+        assert XM_U16.max == 65535
+
+    def test_s16_range(self):
+        assert XM_S16.min == -32768
+
+    def test_u32_range(self):
+        assert XM_U32.max == 4294967295
+
+    def test_s32_range(self):
+        assert XM_S32.min == -2147483648
+        assert XM_S32.max == 2147483647
+
+    def test_u64_range(self):
+        assert XM_U64.max == 2**64 - 1
+
+    def test_s64_range(self):
+        assert XM_S64.min == -(2**63)
+        assert XM_S64.max == 2**63 - 1
+
+    def test_size_bytes(self):
+        assert XM_U8.size_bytes == 1
+        assert XM_U32.size_bytes == 4
+        assert XM_S64.size_bytes == 8
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntTypeDescriptor("bad", 12, False, "nope")
+
+
+class TestConversion:
+    def test_unsigned_wraps_modulo(self):
+        assert XM_U8.convert(256) == 0
+        assert XM_U8.convert(257) == 1
+        assert XM_U8.convert(-1) == 255
+
+    def test_signed_wraps_twos_complement(self):
+        assert XM_S8.convert(128) == -128
+        assert XM_S8.convert(255) == -1
+        assert XM_S8.convert(-129) == 127
+
+    def test_identity_inside_range(self):
+        for v in (-2147483648, -1, 0, 1, 2147483647):
+            assert XM_S32.convert(v) == v
+
+    def test_u32_all_ones(self):
+        assert XM_U32.convert(-1) == 4294967295
+
+    def test_contains(self):
+        assert XM_S32.contains(2147483647)
+        assert not XM_S32.contains(2147483648)
+        assert not XM_U32.contains(-1)
+
+    def test_to_unsigned_bit_pattern(self):
+        assert XM_S8.to_unsigned(-1) == 0xFF
+        assert XM_S32.to_unsigned(-2147483648) == 0x80000000
+
+    def test_boundary_values_signed(self):
+        assert XM_S16.boundary_values() == (-32768, -1, 0, 1, 32767)
+
+    def test_boundary_values_unsigned(self):
+        assert XM_U16.boundary_values() == (0, 1, 65535)
+
+    def test_range_probes_include_off_by_one(self):
+        probes = list(XM_U8.iter_range_probes())
+        assert -1 in probes and 256 in probes
+
+
+class TestXmInt:
+    def test_construction_converts(self):
+        assert XmInt(XM_U8, 300).value == 44
+
+    def test_immutable(self):
+        x = XmInt(XM_U8, 1)
+        with pytest.raises(AttributeError):
+            x.value = 2  # type: ignore[misc]
+
+    def test_add_wraps(self):
+        assert (XmInt(XM_U8, 255) + 1).value == 0
+
+    def test_sub_wraps(self):
+        assert (XmInt(XM_U8, 0) - 1).value == 255
+
+    def test_mul_wraps(self):
+        assert (XmInt(XM_U16, 400) * 400).value == (400 * 400) % 65536
+
+    def test_neg_min_signed_is_itself(self):
+        # -INT_MIN overflows back to INT_MIN in two's complement.
+        assert (-XmInt(XM_S32, -2147483648)).value == -2147483648
+
+    def test_bitwise_ops_on_raw(self):
+        assert (XmInt(XM_S8, -1) & 0x0F).value == 0x0F
+        assert (XmInt(XM_U8, 0xF0) | 0x0F).value == 0xFF
+        assert (XmInt(XM_U8, 0xFF) ^ 0xFF).value == 0
+
+    def test_shift_left_wraps(self):
+        assert (XmInt(XM_U8, 0x81) << 1).value == 0x02
+
+    def test_arithmetic_shift_right_signed(self):
+        assert (XmInt(XM_S8, -2) >> 1).value == -1
+
+    def test_equality_with_int_and_xmint(self):
+        assert XmInt(XM_U8, 5) == 5
+        assert XmInt(XM_U8, 5) == XmInt(XM_U8, 5)
+        assert XmInt(XM_U8, 5) != XmInt(XM_S8, 5)
+
+    def test_ordering(self):
+        assert XmInt(XM_S8, -1) < 0
+        assert XmInt(XM_U8, 200) >= 200
+
+    def test_hash_consistent(self):
+        assert hash(XmInt(XM_U8, 7)) == hash(XmInt(XM_U8, 263))
+
+    def test_int_and_index(self):
+        assert int(XmInt(XM_S8, -5)) == -5
+        assert [10, 20, 30][XmInt(XM_U8, 1)] == 20
+
+    def test_raw_of_negative(self):
+        assert XmInt(XM_S16, -1).raw == 0xFFFF

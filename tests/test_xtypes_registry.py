@@ -1,0 +1,102 @@
+"""Unit tests for the Table I type registry."""
+
+import pytest
+
+from repro.xtypes import IntTypeDescriptor, TypeRegistry, default_registry
+
+
+class TestRegistryContents:
+    def test_all_basic_types_present(self):
+        reg = default_registry()
+        for name in (
+            "xm_u8_t",
+            "xm_s8_t",
+            "xm_u16_t",
+            "xm_s16_t",
+            "xm_u32_t",
+            "xm_s32_t",
+            "xm_u64_t",
+            "xm_s64_t",
+        ):
+            assert name in reg
+
+    def test_all_extended_types_present(self):
+        reg = default_registry()
+        for name in (
+            "xmWord_t",
+            "xmAddress_t",
+            "xmIoAddress_t",
+            "xmSize_t",
+            "xmId_t",
+            "xmSSize_t",
+            "xmTime_t",
+        ):
+            assert name in reg
+
+    def test_total_count_matches_table1(self):
+        # 8 basic + 7 extended entries.
+        assert len(default_registry()) == 15
+
+    def test_extended_alias_size_matches_basic(self):
+        reg = default_registry()
+        assert reg.lookup("xmTime_t").size_bits == 64
+        assert reg.lookup("xmAddress_t").size_bits == 32
+
+    def test_c_decl_column(self):
+        reg = default_registry()
+        assert reg.lookup("xm_u32_t").c_decl == "unsigned int"
+        assert reg.lookup("xmTime_t").c_decl == "signed long long"
+
+    def test_group_by_basic_matches_paper_layout(self):
+        groups = default_registry().group_by_basic()
+        u32_aliases = {e.name for e in groups["xm_u32_t"] if e.is_extended}
+        assert u32_aliases == {
+            "xmWord_t",
+            "xmAddress_t",
+            "xmIoAddress_t",
+            "xmSize_t",
+            "xmId_t",
+        }
+        s32_aliases = {e.name for e in groups["xm_s32_t"] if e.is_extended}
+        assert s32_aliases == {"xmSSize_t"}
+        s64_aliases = {e.name for e in groups["xm_s64_t"] if e.is_extended}
+        assert s64_aliases == {"xmTime_t"}
+
+    def test_table1_rows_cover_all_groups(self):
+        rows = default_registry().table1_rows()
+        assert len(rows) == 8
+        sizes = {row["basic"]: row["size_bits"] for row in rows}
+        assert sizes["xm_u8_t"] == 8
+        assert sizes["xm_u64_t"] == 64
+
+
+class TestRegistryBehaviour:
+    def test_unknown_type_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown XM type"):
+            default_registry().lookup("xm_void_t")
+
+    def test_duplicate_registration_rejected(self):
+        reg = TypeRegistry()
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register(IntTypeDescriptor("xm_u8_t", 8, False, "unsigned char"))
+
+    def test_alias_to_unknown_basic_rejected(self):
+        reg = TypeRegistry(populate=False)
+        desc = IntTypeDescriptor("my_t", 32, False, "unsigned int")
+        with pytest.raises(ValueError, match="unknown basic type"):
+            reg.register(desc, basic_name="xm_u32_t")
+
+    def test_custom_type_registration(self):
+        reg = TypeRegistry()
+        desc = IntTypeDescriptor("pok_u32_t", 32, False, "unsigned int")
+        entry = reg.register(desc, basic_name="xm_u32_t")
+        assert entry.is_extended
+        assert reg.descriptor("pok_u32_t").bits == 32
+
+    def test_default_registry_is_shared(self):
+        assert default_registry() is default_registry()
+
+    def test_basic_and_extended_partition(self):
+        reg = default_registry()
+        assert len(reg.basic_types()) == 8
+        assert len(reg.extended_types()) == 7
