@@ -1,0 +1,153 @@
+"""Performance — warm-boot snapshot execution (boot once, restore per test).
+
+The dominant fixed cost of a robustness test is system bring-up: pack the
+TSP image, boot the kernel and run the settle frame.  The warm-boot
+executor pays it once per ``(testbed, kernel_version, layout)`` key,
+snapshots the settled system, and turns per-test bring-up into a
+snapshot restore.  This bench pins down three claims:
+
+1. restoring is >= 3x faster than the cold bring-up it replaces;
+2. end-to-end serial campaign throughput improves (the shared test
+   window — frames of simulated partition activity — is unaffected by
+   the execution mode and caps the overall ratio);
+3. warm boot changes *nothing* observable: across the full paper
+   campaign every record matches cold boot field for field, the nine
+   issues reproduce on 3.4.0 and none on 3.4.1, and Table III is
+   unchanged.
+
+Timing uses medians over several trials (CI hosts are noisy); the
+throughput numbers land in ``BENCH_campaign.json`` at the repo root.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from conftest import record_bench
+from repro.fault import report
+from repro.fault.campaign import Campaign
+from repro.fault.executor import TestExecutor
+from repro.fault.mutant import ArgSpec, TestCallSpec
+from repro.testbed import build_system
+from repro.tsim.simulator import SnapshotCache
+from repro.xm.vulns import FIXED_VERSION, KNOWN_VULNERABILITIES
+
+#: Same mid-sized scope as bench_executor_parallel (232 tests).
+SCOPE = ("XM_reset_partition", "XM_get_partition_status", "XM_halt_partition")
+TRIALS = 5
+
+
+def median_seconds(fn, trials=TRIALS, inner=1):
+    samples = []
+    for _ in range(trials):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        samples.append((time.perf_counter() - start) / inner)
+    return statistics.median(samples)
+
+
+def record_key(record):
+    data = record.to_dict()
+    data.pop("wall_time_s")  # the only nondeterministic field
+    return data
+
+
+class TestBringupAmortisation:
+    """Restore must beat the pack+boot+settle sequence it replaces 3x."""
+
+    def test_restore_replaces_bringup_at_least_3x_faster(self):
+        executor = TestExecutor(snapshot_cache=SnapshotCache())
+        executor.prepare()
+        assert executor.warm_boot, "EagleEye must be snapshottable"
+        snapshot = executor.snapshot_cache.get_or_build(
+            executor._snapshot_key(), executor._build_snapshot
+        )
+
+        def cold_bringup():
+            sim = build_system(
+                fdir_payload=executor._make_payload(),
+                kernel_version=executor.kernel_version,
+            )
+            kernel = sim.boot()
+            sim.run_until(kernel.major_frame_us - 1)
+
+        def warm_bringup():
+            sim = snapshot.restore()
+            snapshot.recycle(sim)
+
+        cold = median_seconds(cold_bringup, inner=20)
+        warm = median_seconds(warm_bringup, inner=20)
+        speedup = cold / warm
+        record_bench(
+            "warm_boot",
+            bringup_cold_ms=round(cold * 1e3, 3),
+            bringup_warm_ms=round(warm * 1e3, 3),
+            bringup_speedup=round(speedup, 2),
+            snapshot_blob_bytes=len(snapshot.blob),
+            snapshot_constants=len(snapshot.constants),
+        )
+        assert speedup >= 3.0, f"bring-up only {speedup:.2f}x faster"
+
+
+class TestSerialThroughput:
+    """End-to-end: the same campaign, warm vs cold, serial."""
+
+    def test_warm_serial_beats_cold_serial(self):
+        def run(warm):
+            campaign = Campaign(functions=SCOPE, warm_boot=warm)
+            result = campaign.run()
+            assert result.total_tests == 232
+            assert result.issue_count() == 0
+
+        warm = median_seconds(lambda: run(True), trials=3)
+        cold = median_seconds(lambda: run(False), trials=3)
+        record_bench(
+            "campaign_throughput",
+            scope_functions=list(SCOPE),
+            scope_tests=232,
+            serial_cold_tests_per_s=round(232 / cold, 1),
+            serial_warm_tests_per_s=round(232 / warm, 1),
+            warm_over_cold_serial=round(cold / warm, 2),
+        )
+        assert warm < cold, f"warm {warm:.2f}s not faster than cold {cold:.2f}s"
+
+    def test_single_warm_test_benchmark(self, benchmark):
+        """Restore + test window + record for one nominal test."""
+        executor = TestExecutor(snapshot_cache=SnapshotCache())
+        executor.prepare()
+        spec = TestCallSpec(
+            "bench#warm",
+            "XM_mask_irq",
+            "Interrupt Management",
+            (ArgSpec("irqLine", "1", value=1),),
+        )
+        record = benchmark(executor.run, spec)
+        assert record.first_rc == 0
+
+
+class TestFullCampaignEquivalence:
+    """Warm boot is an optimisation, not a behaviour change (Table III)."""
+
+    @pytest.fixture(scope="class")
+    def cold_full(self):
+        return Campaign.paper_campaign(warm_boot=False).run()
+
+    def test_full_campaign_records_identical(self, full_result, cold_full):
+        # conftest's full_result runs warm (the default).
+        warm_records = [record_key(r) for r in full_result.log]
+        cold_records = [record_key(r) for r in cold_full.log]
+        assert warm_records == cold_records
+
+    def test_all_nine_issues_reproduce_warm(self, full_result):
+        assert full_result.issue_count() == 9
+        found = {issue.matched_vulnerability for issue in full_result.issues}
+        assert found == {v.ident for v in KNOWN_VULNERABILITIES}
+
+    def test_table3_unchanged(self, full_result, cold_full):
+        assert report.table3(full_result) == report.table3(cold_full)
+
+    def test_fixed_kernel_clean_warm(self):
+        result = Campaign.paper_campaign(kernel_version=FIXED_VERSION).run()
+        assert result.issue_count() == 0

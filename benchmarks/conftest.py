@@ -7,12 +7,33 @@ that regenerate tables/figures reuse its result and benchmark the
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.fault.campaign import Campaign, CampaignResult
 
 #: The three hypercalls carrying the paper's findings.
 VULNERABLE_FUNCTIONS = ("XM_reset_system", "XM_set_timer", "XM_multicall")
+
+#: Machine-readable campaign-throughput numbers, checked in at the repo
+#: root and refreshed by bench_warm_boot.py / bench_executor_parallel.py.
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+
+def record_bench(section: str, **values: object) -> None:
+    """Merge one section of measurements into BENCH_campaign.json."""
+    data: dict = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            data = {}
+    data.setdefault(section, {}).update(values)
+    BENCH_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 @pytest.fixture(scope="session")

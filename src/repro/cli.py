@@ -61,6 +61,19 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--processes", type=int, default=None, help="parallel workers")
     run.add_argument("--frames", type=int, default=2, help="major frames per test")
     run.add_argument(
+        "--warm-boot",
+        dest="warm_boot",
+        action="store_true",
+        default=True,
+        help="boot once per configuration, snapshot, restore per test (default)",
+    )
+    run.add_argument(
+        "--cold-boot",
+        dest="warm_boot",
+        action="store_false",
+        help="pack and boot a fresh system for every test",
+    )
+    run.add_argument(
         "--strategy",
         default="cartesian",
         choices=sorted(_STRATEGIES),
@@ -115,6 +128,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         functions=functions,
         kernel_version=args.version,
         frames=args.frames,
+        warm_boot=args.warm_boot,
         strategy=_STRATEGIES[args.strategy](),
     )
     total = campaign.total_tests()

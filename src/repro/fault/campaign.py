@@ -21,7 +21,8 @@ from repro.fault.dictionaries import DictionarySet
 from repro.fault.executor import (
     DEFAULT_FRAMES,
     TestExecutor,
-    run_spec_dict,
+    _init_worker,
+    run_spec_payload,
     spec_to_dict,
 )
 from repro.fault.issues import Issue, cluster_issues
@@ -99,6 +100,14 @@ class Campaign:
     #: process-parallel path always uses the default testbed (factories
     #: do not cross process boundaries).
     system_factory: object | None = None
+    #: Execute via warm-boot snapshots (see :mod:`repro.fault.executor`);
+    #: forced off when ``system_factory`` is custom.
+    warm_boot: bool = True
+    #: Suites are deterministic for a fixed configuration, so they are
+    #: generated once and reused by run()/analyse()/total_tests().
+    _suites: list[HypercallSuite] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def paper_campaign(cls, **overrides: object) -> "Campaign":
@@ -116,16 +125,23 @@ class Campaign:
         return [fn for fn in tested if fn.name in wanted]
 
     def suites(self) -> list[HypercallSuite]:
-        """Generate every suite (Fig. 4 steps 1-3)."""
-        out: list[HypercallSuite] = []
-        for function in self.scope():
-            matrix = build_matrix(function, self.dictionaries)
-            specs = [
-                dataset_to_spec(function, dataset, index)
-                for index, dataset in enumerate(self.strategy.generate(matrix))
-            ]
-            out.append(HypercallSuite(function=function, specs=specs))
-        return out
+        """Generate every suite (Fig. 4 steps 1-3), cached.
+
+        Generation is pure in the campaign configuration, so the suites
+        are built once; run() and analyse() no longer each pay a full
+        matrix expansion over the same scope.
+        """
+        if self._suites is None:
+            out: list[HypercallSuite] = []
+            for function in self.scope():
+                matrix = build_matrix(function, self.dictionaries)
+                specs = [
+                    dataset_to_spec(function, dataset, index)
+                    for index, dataset in enumerate(self.strategy.generate(matrix))
+                ]
+                out.append(HypercallSuite(function=function, specs=specs))
+            self._suites = out
+        return self._suites
 
     def iter_specs(self) -> Iterator[TestCallSpec]:
         """All test cases across suites."""
@@ -176,6 +192,7 @@ class Campaign:
             kernel_version=self.kernel_version,
             frames=self.frames,
             system_factory=self.system_factory,
+            warm_boot=self.warm_boot,
         )
         records: list[TestRecord] = []
         for index, spec in enumerate(specs):
@@ -193,19 +210,32 @@ class Campaign:
     ) -> list[TestRecord]:
         import multiprocessing as mp
 
-        payloads = [
-            (spec_to_dict(spec), self.kernel_version, self.frames) for spec in specs
-        ]
+        payloads = [spec_to_dict(spec) for spec in specs]
         records: list[TestRecord] = []
         context = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
-        with context.Pool(processes) as pool:
+        # Workers are persistent: each builds its warm-boot snapshot once
+        # (in the initializer) and then only restores per test.  Unordered
+        # delivery + adaptive chunking keeps the fast tests from queueing
+        # behind reset-heavy ones.
+        # max(1, processes) keeps the arithmetic sane for processes < 1;
+        # Pool() below still rejects those with its own ValueError.
+        chunksize = max(1, min(32, len(payloads) // (max(1, processes) * 4) or 1))
+        with context.Pool(
+            processes,
+            initializer=_init_worker,
+            initargs=(self.kernel_version, self.frames, self.warm_boot),
+        ) as pool:
             for index, data in enumerate(
-                pool.imap(run_spec_dict, payloads, chunksize=16)
+                pool.imap_unordered(run_spec_payload, payloads, chunksize=chunksize)
             ):
                 record = TestRecord.from_dict(data)
                 records.append(record)
                 if progress is not None:
                     progress(index + 1, len(payloads), record)
+        # Unordered delivery must not leak into analysis: issue clustering
+        # and log files are stable in spec order.
+        order = {spec.test_id: index for index, spec in enumerate(specs)}
+        records.sort(key=lambda record: order[record.test_id])
         return records
 
     # -- analysis -----------------------------------------------------------

@@ -1,31 +1,54 @@
 """Test execution: pack, boot, run, observe (paper steps 3-5).
 
-For each test case a *fresh* TSP system is packed: the FDIR test
-partition carries the fault placeholder, which stages the layout
-buffers, invokes the hypercall with the resolved dataset once per major
-frame, and records whether/what it returned.  The executor then runs
-the simulator for a fixed number of major frames, catching the two
-simulator-level failures, and distils everything the paper logs into a
+For each test case the FDIR test partition carries the fault
+placeholder, which stages the layout buffers, invokes the hypercall with
+the resolved dataset once per major frame, and records whether/what it
+returned.  The executor runs the simulator for a fixed number of major
+frames, catching the two simulator-level failures, and distils
+everything the paper logs into a
 :class:`~repro.fault.testlog.TestRecord`.
 
-Two isolation modes exist:
+Every test observes the same timeline: the system boots, runs one full
+*settle* major frame with the placeholder staged but not yet invoking,
+then invokes once per major frame for ``frames`` frames.  That shared
+settle frame is what makes the two execution modes byte-identical:
 
-- in-process (default): fast, exact; a simulator crash is an exception,
-  not a process death, so no isolation is required for correctness;
-- subprocess: one OS process per test, faithful to the paper's
-  one-TSIM-per-test shell scripts and used by the parallel campaign
-  runner.
+- **cold boot** — pack a fresh TSP system, boot it, run the settle
+  frame, arm the payload, run the test window;
+- **warm boot** (default) — boot *once* per
+  ``(testbed, kernel_version, layout)``, capture a deep
+  :class:`~repro.tsim.simulator.SimSnapshot` right after the settle
+  frame, then run each test by restoring the snapshot, arming the
+  restored payload with the spec, and running the same test window.
+
+Warm boot skips the pack/boot/settle work per test (the dominant cost)
+and is disabled automatically — with a cold fallback — when a custom
+``system_factory`` is installed or the packed software turns out not to
+be snapshottable.
+
+Process isolation (one OS process per test, faithful to the paper's
+one-TSIM-per-test shell scripts) is provided by the module-level worker
+entry points used by the parallel campaign runner; each worker process
+builds its snapshot once and reuses it for every test it is handed.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.fault.mutant import TestCallSpec, TestPartitionLayout, default_layout
+from repro.fault.mutant import ArgSpec, TestCallSpec, TestPartitionLayout, default_layout
+from repro.fault.stateful_oracle import capture_state
 from repro.fault.testlog import Invocation, TestRecord
 from repro.testbed import build_system
-from repro.tsim.simulator import SimulatorCrash, SimulatorHang
+from repro.testbed.builder import FDIR_SLOT_HOOK
+from repro.tsim.simulator import (
+    SimSnapshot,
+    SimulatorCrash,
+    SimulatorHang,
+    SnapshotCache,
+    SnapshotError,
+)
 from repro.xm.errors import NoReturnFromHypercall
 from repro.xm.vulns import VULNERABLE_VERSION
 
@@ -44,8 +67,77 @@ class ExecutionResult:
     kernel_version: str
 
 
+@dataclass
+class CampaignPayload:
+    """The fault placeholder packed into the FDIR partition.
+
+    A plain (picklable) object rather than a closure, so it can travel
+    inside warm-boot snapshots.  Unarmed, it only stages the layout
+    buffers; :meth:`arm` gives it a spec, after which every FDIR slot
+    resolves the dataset (once), captures the kernel state vector and
+    invokes the hypercall.
+
+    The first slot of the system's life is the *settle* slot: the
+    payload stages and returns without invoking, so the test window
+    always starts one major frame after boot — the anchor that keeps
+    warm-boot and cold-boot runs on the same timeline.  After a system
+    reset there is no settling: the payload re-stages and invokes in the
+    same slot, exactly like the packed placeholder on the real testbed.
+    """
+
+    layout: TestPartitionLayout
+    spec: TestCallSpec | None = None
+    invocations: list[Invocation] = field(default_factory=list)
+    resolved: tuple[int, ...] | None = None
+    staged_epoch: int = -1
+    applied_epoch: int = -1
+    settled: bool = False
+
+    def arm(self, spec: TestCallSpec) -> None:
+        """Point the placeholder at a test spec, clearing old results."""
+        self.spec = spec
+        self.invocations = []
+        self.resolved = None
+        self.applied_epoch = -1
+
+    def apply_state(self, ctx, xm) -> None:  # noqa: ANN001 - slot signature
+        """Pre-invocation hook, once per boot epoch (stress overrides)."""
+
+    def __call__(self, ctx, xm) -> None:  # noqa: ANN001 - FdirPayload signature
+        """One FDIR slot: stage (first slot per epoch), then invoke."""
+        epoch = ctx.kernel.boot_epoch
+        if self.staged_epoch != epoch:
+            for address, data in self.layout.staging_writes():
+                xm.write_bytes(address, data)
+            self.staged_epoch = epoch
+            if not self.settled:
+                self.settled = True
+                return
+        if self.spec is None:
+            return
+        if self.applied_epoch != epoch:
+            self.apply_state(ctx, xm)
+            self.applied_epoch = epoch
+        if self.resolved is None:
+            self.resolved = self.spec.resolve_args(self.layout)
+        state = capture_state(ctx.kernel)
+        try:
+            code = xm.call(self.spec.function, *self.resolved)
+        except NoReturnFromHypercall as exc:
+            self.invocations.append(
+                Invocation(returned=False, note=str(exc), state=state)
+            )
+            raise
+        self.invocations.append(Invocation(returned=True, rc=code, state=state))
+
+
+#: Process-wide snapshot cache: one boot per (testbed, version, layout)
+#: key no matter how many executors run in this process.
+_SNAPSHOT_CACHE = SnapshotCache()
+
+
 class TestExecutor:
-    """Runs test-call specs on fresh EagleEye systems."""
+    """Runs test-call specs on EagleEye systems (warm-boot by default)."""
 
     __test__ = False  # keep pytest from collecting this library class
 
@@ -55,59 +147,131 @@ class TestExecutor:
         frames: int = DEFAULT_FRAMES,
         layout: TestPartitionLayout | None = None,
         system_factory=None,
+        warm_boot: bool = True,
+        snapshot_cache: SnapshotCache | None = None,
     ) -> None:
         self.kernel_version = kernel_version
         self.frames = frames
         self.layout = layout if layout is not None else default_layout()
         #: Builds (payload, version) -> Simulator; defaults to EagleEye.
         #: Swapping it retargets the whole campaign to another testbed
-        #: (e.g. repro.testbed.dummy.build_dummy_system).
+        #: (e.g. repro.testbed.dummy.build_dummy_system) — and forces
+        #: cold boots, since the snapshot key only describes EagleEye.
         self.system_factory = system_factory if system_factory is not None else build_system
+        self.warm_boot = warm_boot and system_factory is None
+        self.snapshot_cache = snapshot_cache if snapshot_cache is not None else _SNAPSHOT_CACHE
+
+    # -- warm boot ---------------------------------------------------------
+
+    def _snapshot_key(self) -> tuple:
+        """Build parameters the boot-time state depends on."""
+        return ("EagleEye", self.kernel_version, self.layout)
+
+    def _make_payload(self) -> CampaignPayload:
+        """Fresh unarmed placeholder (stress executors override)."""
+        return CampaignPayload(layout=self.layout)
+
+    def _build_snapshot(self) -> SimSnapshot:
+        """Boot once and capture the post-settle system image."""
+        sim = self.system_factory(
+            fdir_payload=self._make_payload(), kernel_version=self.kernel_version
+        )
+        try:
+            kernel = sim.boot()
+            sim.run_until(kernel.major_frame_us - 1)
+        except (SimulatorCrash, SimulatorHang) as exc:
+            # A system that cannot settle nominally is a cold-path
+            # problem; fall back so the failure is recorded per test.
+            raise SnapshotError(f"system failed to settle: {exc}") from exc
+        return sim.snapshot()
+
+    def prepare(self) -> None:
+        """Eagerly build (or fetch) the warm-boot snapshot.
+
+        Worker processes call this from the pool initializer so the
+        one-off boot cost is paid before the first test arrives.  Falls
+        back to cold boots when the system is not snapshottable.
+        """
+        if not self.warm_boot:
+            return
+        try:
+            self.snapshot_cache.get_or_build(self._snapshot_key(), self._build_snapshot)
+        except SnapshotError:
+            self.warm_boot = False
+
+    # -- execution ---------------------------------------------------------
 
     def run(self, spec: TestCallSpec) -> TestRecord:
         """Execute one test case and log the outcome."""
         started = time.perf_counter()
-        layout = self.layout
-        invocations: list[Invocation] = []
-        staged_epoch = {"epoch": -1}
-
-        def payload(ctx, xm) -> None:  # noqa: ANN001 - FdirPayload signature
-            from repro.fault.stateful_oracle import capture_state
-
-            if staged_epoch["epoch"] != ctx.kernel.boot_epoch:
-                for address, data in layout.staging_writes():
-                    xm.write_bytes(address, data)
-                staged_epoch["epoch"] = ctx.kernel.boot_epoch
-            args = spec.resolve_args(layout)
-            state = capture_state(ctx.kernel)
+        if self.warm_boot:
             try:
-                code = xm.call(spec.function, *args)
-            except NoReturnFromHypercall as exc:
-                invocations.append(
-                    Invocation(returned=False, note=str(exc), state=state)
-                )
-                raise
-            invocations.append(Invocation(returned=True, rc=code, state=state))
+                return self._run_warm(spec, started)
+            except SnapshotError:
+                self.warm_boot = False
+        return self._run_cold(spec, started)
 
+    def _run_warm(self, spec: TestCallSpec, started: float) -> TestRecord:
+        snapshot = self.snapshot_cache.get_or_build(
+            self._snapshot_key(), self._build_snapshot
+        )
+        sim = snapshot.restore()
+        kernel = sim.kernel
+        slot = sim.image.runtime_hooks.get(FDIR_SLOT_HOOK)
+        if slot is None or not isinstance(slot.payload, CampaignPayload):
+            raise SnapshotError("restored image carries no campaign payload slot")
+        payload = slot.payload
+        payload.arm(spec)
+        crashed = hung = False
+        try:
+            sim.run_until((self.frames + 1) * kernel.major_frame_us)
+        except SimulatorCrash:
+            crashed = True
+        except SimulatorHang:
+            hung = True
+        record = self._build_record(spec, sim, kernel, payload, crashed, hung, started)
+        snapshot.recycle(sim)
+        return record
+
+    def _run_cold(self, spec: TestCallSpec, started: float) -> TestRecord:
+        payload = self._make_payload()
         sim = self.system_factory(
             fdir_payload=payload, kernel_version=self.kernel_version
         )
         kernel = sim.boot()
         crashed = hung = False
         try:
-            sim.run_major_frames(self.frames)
+            sim.run_until(kernel.major_frame_us - 1)  # settle frame
+            payload.arm(spec)
+            sim.run_until((self.frames + 1) * kernel.major_frame_us)
         except SimulatorCrash:
             crashed = True
         except SimulatorHang:
             hung = True
+        return self._build_record(spec, sim, kernel, payload, crashed, hung, started)
 
-        record = TestRecord(
+    def _build_record(
+        self,
+        spec: TestCallSpec,
+        sim,  # noqa: ANN001
+        kernel,  # noqa: ANN001
+        payload: CampaignPayload,
+        crashed: bool,
+        hung: bool,
+        started: float,
+    ) -> TestRecord:
+        resolved = (
+            payload.resolved
+            if payload.resolved is not None
+            else spec.resolve_args(self.layout)
+        )
+        return TestRecord(
             test_id=spec.test_id,
             function=spec.function,
             category=spec.category,
             arg_labels=spec.arg_labels(),
-            resolved_args=spec.resolve_args(layout),
-            invocations=invocations,
+            resolved_args=resolved,
+            invocations=payload.invocations,
             sim_crashed=crashed,
             sim_hung=hung,
             kernel_halted=kernel.is_halted(),
@@ -126,26 +290,48 @@ class TestExecutor:
             frames=self.frames,
             wall_time_s=time.perf_counter() - started,
         )
-        return record
 
 
-def run_spec_dict(payload: tuple[dict, str, int]) -> dict:
-    """Module-level worker for process pools (picklable in/out).
+# -- process-pool entry points ---------------------------------------------
 
-    Takes ``(spec_as_dict, kernel_version, frames)`` and returns the
-    record as a dict.
-    """
-    from repro.fault.mutant import ArgSpec
+#: Per-worker executor installed by :func:`_init_worker`.
+_WORKER: TestExecutor | None = None
 
-    spec_dict, version, frames = payload
-    spec = TestCallSpec(
+
+def _init_worker(kernel_version: str, frames: int, warm_boot: bool) -> None:
+    global _WORKER
+    _WORKER = TestExecutor(
+        kernel_version=kernel_version, frames=frames, warm_boot=warm_boot
+    )
+    _WORKER.prepare()
+
+
+def spec_from_dict(spec_dict: dict) -> TestCallSpec:
+    """Rebuild a spec from its :func:`spec_to_dict` form."""
+    return TestCallSpec(
         test_id=spec_dict["test_id"],
         function=spec_dict["function"],
         category=spec_dict["category"],
         args=tuple(ArgSpec(**arg) for arg in spec_dict["args"]),
     )
+
+
+def run_spec_payload(spec_dict: dict) -> dict:
+    """Pool worker: run one spec on this process's persistent executor."""
+    assert _WORKER is not None, "pool started without _init_worker"
+    return _WORKER.run(spec_from_dict(spec_dict)).to_dict()
+
+
+def run_spec_dict(payload: tuple[dict, str, int]) -> dict:
+    """Self-contained worker for process pools (picklable in/out).
+
+    Takes ``(spec_as_dict, kernel_version, frames)`` and returns the
+    record as a dict.  Unlike :func:`run_spec_payload` this carries its
+    whole context per call, so it works without a pool initializer.
+    """
+    spec_dict, version, frames = payload
     executor = TestExecutor(kernel_version=version, frames=frames)
-    return executor.run(spec).to_dict()
+    return executor.run(spec_from_dict(spec_dict)).to_dict()
 
 
 def spec_to_dict(spec: TestCallSpec) -> dict:

@@ -106,6 +106,10 @@ class ReferenceOracle:
     ) -> None:
         self.features = KernelFeatures.for_version(kernel_version)
         self.context = context if context is not None else OracleContext()
+        #: Expectation cache: the oracle is pure in (function, labels),
+        #: and a campaign asks about the same few datasets thousands of
+        #: times (every suite reuses the shared dictionaries).
+        self._memo: dict[tuple[str, tuple[str, ...]], Expectation] = {}
 
     # -- helpers ---------------------------------------------------------------
 
@@ -136,7 +140,16 @@ class ReferenceOracle:
     # -- entry point -------------------------------------------------------------
 
     def expect(self, spec: TestCallSpec) -> Expectation:
-        """Expectation for one test call."""
+        """Expectation for one test call (memoized).
+
+        The rules depend only on the function and the labelled dataset
+        (labels map one-to-one to test values), so the answer is cached
+        per ``(function, arg_labels)``.
+        """
+        key = (spec.function, spec.arg_labels())
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
         handler = getattr(self, f"_x_{spec.function}", None)
         if handler is None:
             raise KeyError(f"no oracle rule for {spec.function}")
@@ -145,7 +158,9 @@ class ReferenceOracle:
             arg.param: (arg.value if arg.value is not None else None)
             for arg in spec.args
         }
-        return handler(spec, values, literals)
+        expectation = handler(spec, values, literals)
+        self._memo[key] = expectation
+        return expectation
 
     # -- System Management ----------------------------------------------------------
 

@@ -21,7 +21,14 @@ from repro.fault.apimodel import ApiModel, api_model_from_table
 from repro.fault.classify import Classification, FailureKind, Severity
 from repro.fault.testlog import Invocation, TestRecord
 from repro.testbed import build_system
-from repro.tsim.simulator import SimulatorCrash, SimulatorHang
+from repro.testbed.builder import FDIR_SLOT_HOOK
+from repro.tsim.simulator import (
+    SimSnapshot,
+    SimulatorCrash,
+    SimulatorHang,
+    SnapshotCache,
+    SnapshotError,
+)
 from repro.xm import rc
 from repro.xm.errors import NoReturnFromHypercall
 from repro.xm.hm import HmEvent
@@ -81,6 +88,47 @@ _NONNEG = {"XM_sparc_get_psr"}
 _NO_RETURN = {"XM_halt_system"}
 
 
+@dataclass
+class PhantomPayload:
+    """Picklable FDIR placeholder for the phantom campaign.
+
+    Follows the campaign timeline: the first slot of the system's life
+    settles (no call), then each armed slot invokes the parameter-less
+    hypercall, with the phantom state applied once — before the first
+    invocation — exactly like the original dummy module.
+    """
+
+    function: str | None = None
+    state: PhantomState = PhantomState.NOMINAL
+    invocations: list[Invocation] = field(default_factory=list)
+    applied: bool = False
+    settled: bool = False
+
+    def arm(self, case: "PhantomCase") -> None:
+        """Point the placeholder at one (hypercall, state) case."""
+        self.function = case.function
+        self.state = case.state
+        self.invocations = []
+        self.applied = False
+
+    def __call__(self, ctx, xm) -> None:  # noqa: ANN001 - FdirPayload signature
+        """One FDIR slot: settle once, then state + invoke."""
+        if not self.settled:
+            self.settled = True
+            return
+        if self.function is None:
+            return
+        if not self.applied:
+            _apply_state(self.state, ctx, xm)
+            self.applied = True
+        try:
+            code = xm.call(self.function)
+        except NoReturnFromHypercall as exc:
+            self.invocations.append(Invocation(returned=False, note=str(exc)))
+            raise
+        self.invocations.append(Invocation(returned=True, rc=code))
+
+
 @dataclass(frozen=True)
 class PhantomCase:
     """One (hypercall, phantom state) test."""
@@ -119,6 +167,11 @@ class PhantomResult:
         return out
 
 
+#: Process-wide snapshot cache for phantom campaigns (one boot per
+#: kernel version, shared by every campaign instance).
+_SNAPSHOT_CACHE = SnapshotCache()
+
+
 class PhantomCampaign:
     """Parameter-less hypercall coverage via phantom parameters."""
 
@@ -128,11 +181,13 @@ class PhantomCampaign:
         states: tuple[PhantomState, ...] = tuple(PhantomState),
         model: ApiModel | None = None,
         frames: int = 2,
+        warm_boot: bool = True,
     ) -> None:
         self.kernel_version = kernel_version
         self.states = states
         self.model = model if model is not None else api_model_from_table()
         self.frames = frames
+        self.warm_boot = warm_boot
 
     def cases(self) -> list[PhantomCase]:
         """The cross product of parameter-less calls and states."""
@@ -151,34 +206,81 @@ class PhantomCampaign:
             result.classifications.append(self._classify(case, record))
         return result
 
+    def _snapshot_key(self) -> tuple:
+        """Snapshot identity for this campaign's booted testbed."""
+        return ("EagleEye-phantom", self.kernel_version)
+
+    def _build_snapshot(self) -> SimSnapshot:
+        """Boot the testbed once (unarmed) and snapshot after settling."""
+        sim = build_system(
+            fdir_payload=PhantomPayload(), kernel_version=self.kernel_version
+        )
+        try:
+            kernel = sim.boot()
+            sim.run_until(kernel.major_frame_us - 1)
+        except (SimulatorCrash, SimulatorHang) as exc:
+            raise SnapshotError(f"system failed to settle: {exc}") from exc
+        return sim.snapshot()
+
     def _run_case(self, case: PhantomCase) -> TestRecord:
-        invocations: list[Invocation] = []
-
-        def payload(ctx, xm) -> None:  # noqa: ANN001
-            if not invocations:
-                _apply_state(case.state, ctx, xm)
+        if self.warm_boot:
             try:
-                code = xm.call(case.function)
-            except NoReturnFromHypercall as exc:
-                invocations.append(Invocation(returned=False, note=str(exc)))
-                raise
-            invocations.append(Invocation(returned=True, rc=code))
+                return self._run_case_warm(case)
+            except SnapshotError:
+                self.warm_boot = False
+        return self._run_case_cold(case)
 
-        sim = build_system(fdir_payload=payload, kernel_version=self.kernel_version)
-        kernel = sim.boot()
+    def _run_case_warm(self, case: PhantomCase) -> TestRecord:
+        snapshot = _SNAPSHOT_CACHE.get_or_build(
+            self._snapshot_key(), self._build_snapshot
+        )
+        sim = snapshot.restore()
+        kernel = sim.kernel
+        slot = sim.image.runtime_hooks.get(FDIR_SLOT_HOOK)
+        if slot is None or not isinstance(slot.payload, PhantomPayload):
+            raise SnapshotError("restored image carries no phantom payload slot")
+        payload = slot.payload
+        payload.arm(case)
         crashed = hung = False
         try:
-            sim.run_major_frames(self.frames)
+            sim.run_until((self.frames + 1) * kernel.major_frame_us)
         except SimulatorCrash:
             crashed = True
         except SimulatorHang:
             hung = True
+        record = self._record(case, kernel, payload, crashed, hung)
+        snapshot.recycle(sim)
+        return record
+
+    def _run_case_cold(self, case: PhantomCase) -> TestRecord:
+        payload = PhantomPayload()
+        sim = build_system(fdir_payload=payload, kernel_version=self.kernel_version)
+        kernel = sim.boot()
+        crashed = hung = False
+        try:
+            sim.run_until(kernel.major_frame_us - 1)  # settle frame
+            payload.arm(case)
+            sim.run_until((self.frames + 1) * kernel.major_frame_us)
+        except SimulatorCrash:
+            crashed = True
+        except SimulatorHang:
+            hung = True
+        return self._record(case, kernel, payload, crashed, hung)
+
+    def _record(
+        self,
+        case: PhantomCase,
+        kernel,  # noqa: ANN001
+        payload: PhantomPayload,
+        crashed: bool,
+        hung: bool,
+    ) -> TestRecord:
         return TestRecord(
             test_id=case.test_id,
             function=case.function,
             category="(phantom)",
             arg_labels=(case.state.value,),
-            invocations=invocations,
+            invocations=payload.invocations,
             sim_crashed=crashed,
             sim_hung=hung,
             kernel_halted=kernel.is_halted(),

@@ -36,18 +36,20 @@ from repro.xm.vulns import VULNERABLE_VERSION
 def capture_state(kernel) -> dict:  # noqa: ANN001
     """Snapshot the state the contracts of stateful services depend on."""
     tm_chan = kernel.ipc.channels.get("CH_TM_AOCS")
+    hm = kernel.hm
+    hm_len = len(hm.records)
+    trace_lens = {}
+    trace_cursors = {}
+    for stream_id, stream in kernel.tracemgr.streams.items():
+        key = str(stream_id)
+        trace_lens[key] = len(stream.events)
+        trace_cursors[key] = stream.cursor
     return {
-        "hm_len": len(kernel.hm.records),
-        "hm_cursor": kernel.hm.read_cursor,
-        "hm_unread": len(kernel.hm.unread()),
-        "trace_lens": {
-            str(stream_id): len(stream.events)
-            for stream_id, stream in kernel.tracemgr.streams.items()
-        },
-        "trace_cursors": {
-            str(stream_id): stream.cursor
-            for stream_id, stream in kernel.tracemgr.streams.items()
-        },
+        "hm_len": hm_len,
+        "hm_cursor": hm.read_cursor,
+        "hm_unread": hm_len - hm.read_cursor,
+        "trace_lens": trace_lens,
+        "trace_cursors": trace_cursors,
         "tm_message": int(tm_chan is not None and tm_chan.message is not None),
     }
 

@@ -23,81 +23,45 @@ from dataclasses import dataclass, field
 
 from repro.fault.campaign import Campaign, CampaignResult
 from repro.fault.classify import Classification, Severity, classify
-from repro.fault.executor import TestExecutor
-from repro.fault.mutant import TestCallSpec
+from repro.fault.executor import CampaignPayload, TestExecutor
 from repro.fault.phantom import PhantomState, _apply_state
-from repro.fault.testlog import CampaignLog, TestRecord
+from repro.fault.testlog import CampaignLog
+
+
+@dataclass
+class StressPayload(CampaignPayload):
+    """Campaign placeholder that sets a phantom state before the calls.
+
+    The state is applied once per boot epoch, just before the first
+    armed invocation — i.e. inside the test window, after the shared
+    settle frame, so stressed runs stay on the standard timeline.
+    """
+
+    state: PhantomState = PhantomState.NOMINAL
+
+    def apply_state(self, ctx, xm) -> None:  # noqa: ANN001 - slot signature
+        """Drive the kernel into the phantom state."""
+        _apply_state(self.state, ctx, xm)
 
 
 class StressExecutor(TestExecutor):
-    """A test executor that applies a phantom state before the call."""
+    """A test executor that applies a phantom state before the call.
+
+    Everything else — settle protocol, warm-boot snapshots, record
+    building — is inherited; only the packed placeholder differs.
+    """
 
     def __init__(self, state: PhantomState, **kw: object) -> None:
         super().__init__(**kw)  # type: ignore[arg-type]
         self.state = state
 
-    def run(self, spec: TestCallSpec) -> TestRecord:
-        """Execute with the state setter prepended to the placeholder."""
-        from repro.fault.testlog import Invocation
-        from repro.testbed import build_system
-        from repro.tsim.simulator import SimulatorCrash, SimulatorHang
-        from repro.xm.errors import NoReturnFromHypercall
+    def _snapshot_key(self) -> tuple:
+        # The unarmed payload (with its state field) is *inside* the
+        # snapshot, so stressed snapshots must not alias nominal ones.
+        return (*super()._snapshot_key(), "stress", self.state.value)
 
-        layout = self.layout
-        invocations: list[Invocation] = []
-        prepared = {"epoch": -1}
-
-        def payload(ctx, xm) -> None:  # noqa: ANN001
-            from repro.fault.stateful_oracle import capture_state
-
-            if prepared["epoch"] != ctx.kernel.boot_epoch:
-                for address, data in layout.staging_writes():
-                    xm.write_bytes(address, data)
-                _apply_state(self.state, ctx, xm)
-                prepared["epoch"] = ctx.kernel.boot_epoch
-            args = spec.resolve_args(layout)
-            snapshot = capture_state(ctx.kernel)
-            try:
-                code = xm.call(spec.function, *args)
-            except NoReturnFromHypercall as exc:
-                invocations.append(
-                    Invocation(returned=False, note=str(exc), state=snapshot)
-                )
-                raise
-            invocations.append(Invocation(returned=True, rc=code, state=snapshot))
-
-        sim = build_system(fdir_payload=payload, kernel_version=self.kernel_version)
-        kernel = sim.boot()
-        crashed = hung = False
-        try:
-            sim.run_major_frames(self.frames)
-        except SimulatorCrash:
-            crashed = True
-        except SimulatorHang:
-            hung = True
-        return TestRecord(
-            test_id=spec.test_id,
-            function=spec.function,
-            category=spec.category,
-            arg_labels=spec.arg_labels(),
-            resolved_args=spec.resolve_args(layout),
-            invocations=invocations,
-            sim_crashed=crashed,
-            sim_hung=hung,
-            kernel_halted=kernel.is_halted(),
-            halt_reason=kernel.halt_reason or "",
-            resets=[(r.kind, r.source) for r in kernel.reset_log],
-            hm_events=[
-                (rec.event.name, rec.partition_id, rec.detail)
-                for rec in kernel.hm.records
-            ],
-            overruns=len(kernel.sched.overruns),
-            test_partition_state=(
-                kernel.partitions[0].state.value if 0 in kernel.partitions else ""
-            ),
-            kernel_version=self.kernel_version,
-            frames=self.frames,
-        )
+    def _make_payload(self) -> StressPayload:
+        return StressPayload(layout=self.layout, state=self.state)
 
 
 @dataclass(frozen=True)

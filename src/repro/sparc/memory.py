@@ -99,6 +99,10 @@ class PhysicalMemory:
         self._areas: list[MemoryArea] = []
         self._starts: list[int] = []
         self._store: dict[str, bytearray] = {}
+        #: Per-area [lo, hi) byte range written since construction (or
+        #: since the last snapshot restore); lets snapshot recycling zero
+        #: only what a test actually touched.
+        self._dirty: dict[str, list[int]] = {}
         for area in areas:
             self.add_area(area)
 
@@ -142,7 +146,17 @@ class PhysicalMemory:
         area = self.area_at(address, size)
         if area is None:
             raise MemoryFault(address, Access.READ, "unmapped")
-        buf = self._backing(area)
+        return self.read_in(area, address, size)
+
+    def read_in(self, area: MemoryArea, address: int, size: int) -> bytes:
+        """Read from a range already known to lie inside ``area``.
+
+        Fast path for callers (checked address spaces) that just
+        resolved the area — skips the second area lookup.
+        """
+        buf = self._store.get(area.name)
+        if buf is None:
+            buf = self._backing(area)
         off = address - area.start
         return bytes(buf[off : off + size])
 
@@ -151,13 +165,128 @@ class PhysicalMemory:
         area = self.area_at(address, len(data))
         if area is None:
             raise MemoryFault(address, Access.WRITE, "unmapped")
-        buf = self._backing(area)
+        self.write_in(area, address, data)
+
+    def write_in(self, area: MemoryArea, address: int, data: bytes) -> None:
+        """Write a range already known to lie inside ``area``."""
+        buf = self._store.get(area.name)
+        if buf is None:
+            buf = self._backing(area)
         off = address - area.start
-        buf[off : off + len(data)] = data
+        end = off + len(data)
+        buf[off:end] = data
+        span = self._dirty.get(area.name)
+        if span is None:
+            self._dirty[area.name] = [off, end]
+        else:
+            if off < span[0]:
+                span[0] = off
+            if end > span[1]:
+                span[1] = end
 
     def clear(self) -> None:
         """Zero all backing storage (cold reset)."""
         self._store.clear()
+        self._dirty.clear()
+
+    # -- snapshot support --------------------------------------------------
+
+    def export_spans(self) -> dict[str, tuple[int, int, bytes]]:
+        """Non-zero span per allocated backing: ``{name: (size, off, data)}``.
+
+        Backings are zero outside what software wrote, so the span from
+        the first to the last non-zero byte captures the full content.
+        """
+        spans: dict[str, tuple[int, int, bytes]] = {}
+        for name, buf in self._store.items():
+            trimmed = buf.rstrip(b"\x00")
+            lead = len(trimmed) - len(trimmed.lstrip(b"\x00"))
+            spans[name] = (len(buf), lead, bytes(trimmed[lead:]))
+        return spans
+
+    @classmethod
+    def from_spans(
+        cls,
+        areas: Iterable[MemoryArea],
+        spans: dict[str, tuple[int, int, bytes]],
+        pool: dict[str, bytearray] | None = None,
+    ) -> "PhysicalMemory":
+        """Rebuild a memory from :meth:`export_spans` output.
+
+        ``pool`` optionally supplies pre-zeroed buffers (from
+        :meth:`reclaim_buffers`) to avoid re-allocating the large area
+        backings on every snapshot restore.
+        """
+        self = cls.__new__(cls)
+        self._areas = list(areas)
+        self._starts = [a.start for a in self._areas]
+        self._store = {}
+        self._dirty = {}
+        for name, (size, off, data) in spans.items():
+            buf = pool.pop(name, None) if pool is not None else None
+            if buf is None or len(buf) != size:
+                buf = bytearray(size)
+            end = off + len(data)
+            buf[off:end] = data
+            self._store[name] = buf
+            if data:
+                self._dirty[name] = [off, end]
+        return self
+
+    def reclaim_buffers(self) -> dict[str, bytearray]:
+        """Detach the backings, zeroed, for reuse by a later restore.
+
+        Only the dirty range of each buffer is re-zeroed.  The memory
+        must not be used afterwards — this is the tear-down half of the
+        snapshot buffer pool.
+        """
+        out: dict[str, bytearray] = {}
+        for name, buf in self._store.items():
+            span = self._dirty.get(name)
+            if span is not None:
+                lo, hi = span
+                buf[lo:hi] = bytes(hi - lo)
+            out[name] = buf
+        self._store = {}
+        self._dirty = {}
+        return out
+
+    # -- pickling ---------------------------------------------------------
+    #
+    # Area backings are overwhelmingly zero (partition areas are touched
+    # only where software actually wrote), so snapshots store only the
+    # 4 KiB chunks containing non-zero bytes.  This keeps the simulator's
+    # snapshot/restore fast path proportional to *used* memory, not to
+    # the configured area sizes.
+
+    _PICKLE_CHUNK = 4096
+
+    def __getstate__(self) -> dict:
+        """Pickle with sparse (non-zero chunks only) area backings."""
+        chunk = self._PICKLE_CHUNK
+        state = self.__dict__.copy()
+        packed: dict[str, tuple[int, dict[int, bytes]]] = {}
+        for name, buf in self._store.items():
+            size = len(buf)
+            chunks: dict[int, bytes] = {}
+            for off in range(0, size, chunk):
+                end = min(off + chunk, size)
+                if buf.count(0, off, end) != end - off:
+                    chunks[off] = bytes(buf[off:end])
+            packed[name] = (size, chunks)
+        state["_store"] = packed
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Rebuild full-size backings from their sparse chunks."""
+        self.__dict__.update(state)
+        store: dict[str, bytearray] = {}
+        for name, (size, chunks) in state["_store"].items():
+            buf = bytearray(size)
+            for off, data in chunks.items():
+                buf[off : off + len(data)] = data
+            store[name] = buf
+        self._store = store
 
 
 @dataclass
@@ -174,30 +303,46 @@ class AddressSpace:
     physical: PhysicalMemory
     grants: dict[str, Access] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Integer mirror of `grants` (flag arithmetic on raw ints is
+        # several times cheaper than enum.Flag operators on the hot
+        # access-check path) plus a one-entry area cache — partition
+        # software overwhelmingly touches the same area it just touched.
+        self._bits: dict[str, int] = {
+            name: rights.value for name, rights in self.grants.items()
+        }
+        self._last_area: MemoryArea | None = None
+
     def grant(self, area_name: str, rights: Access) -> None:
         """Grant (or widen) rights on a physical area."""
-        self.grants[area_name] = self.grants.get(area_name, Access.NONE) | rights
+        merged = self.grants.get(area_name, Access.NONE) | rights
+        self.grants[area_name] = merged
+        self._bits[area_name] = merged.value
 
     def check(self, address: int, size: int, access: Access) -> MemoryArea:
         """Validate an access; returns the area or raises MemoryFault."""
         address &= ADDRESS_MASK
-        area = self.physical.area_at(address, size)
-        if area is None:
-            raise MemoryFault(address, access, "unmapped")
-        granted = self.grants.get(area.name, Access.NONE)
-        if access & granted != access:
+        area = self._last_area
+        if area is None or not (
+            area.start <= address and address + size <= area.end
+        ):
+            area = self.physical.area_at(address, size)
+            if area is None:
+                raise MemoryFault(address, access, "unmapped")
+            self._last_area = area
+        if access.value & ~self._bits.get(area.name, 0):
             raise MemoryFault(address, access, "protection")
         return area
 
     def read(self, address: int, size: int) -> bytes:
         """Checked read."""
-        self.check(address, size, Access.READ)
-        return self.physical.read(address & ADDRESS_MASK, size)
+        area = self.check(address, size, Access.READ)
+        return self.physical.read_in(area, address & ADDRESS_MASK, size)
 
     def write(self, address: int, data: bytes) -> None:
         """Checked write."""
-        self.check(address, len(data), Access.WRITE)
-        self.physical.write(address & ADDRESS_MASK, data)
+        area = self.check(address, len(data), Access.WRITE)
+        self.physical.write_in(area, address & ADDRESS_MASK, data)
 
     def read_u32(self, address: int) -> int:
         """Checked aligned 32-bit big-endian read (SPARC is big-endian)."""

@@ -6,10 +6,16 @@ simulator"): :func:`build_eagleeye_image` produces a
 :class:`~repro.tsim.image.SystemImage` for the EagleEye testbed, with an
 optional FDIR payload (the fault placeholder), and :func:`build_system`
 pairs it with a fresh LEON3 board.
+
+Everything packed here is built from plain classes and bound methods —
+no closures — so a booted EagleEye system is picklable end to end.  The
+warm-boot executor depends on that: it snapshots one booted system and
+restores it per test (see :mod:`repro.tsim.simulator`).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.testbed.eagleeye import eagleeye_config
@@ -27,6 +33,51 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 FdirPayload = Callable[["SlotContext", "Libxm"], None]
 
+#: :attr:`SystemImage.runtime_hooks` key of the FDIR payload slot.
+FDIR_SLOT_HOOK = "fdir_payload_slot"
+
+
+@dataclass
+class PayloadSlot:
+    """Indirection between the packed FDIR partition and its payload.
+
+    The slot — not the payload itself — is wired into the image: the
+    FDIR app factory is :meth:`make_app`, and the app invokes the slot,
+    which forwards to whatever :attr:`payload` currently holds.  Because
+    the slot travels *inside* the image (and therefore inside simulator
+    snapshots and partition-reset rebuilds), replacing :attr:`payload`
+    on a restored system retargets every FDIR instance at once.
+    """
+
+    payload: FdirPayload | None = None
+
+    def __call__(self, ctx: "SlotContext", xm: "Libxm") -> None:
+        """Forward one fault-placeholder invocation to the payload."""
+        if self.payload is not None:
+            self.payload(ctx, xm)
+
+    def make_app(self) -> FdirApp:
+        """Partition app factory: an FDIR instance driven by this slot."""
+        return FdirApp(payload=self)
+
+
+@dataclass
+class EagleEyeKernelFactory:
+    """Picklable kernel factory bound to one configuration + version."""
+
+    config: XMConfig
+    kernel_version: str
+    image: SystemImage | None = field(default=None, repr=False)
+
+    def __call__(self, machine: TargetMachine, sim: Simulator) -> Kernel:
+        """Instantiate the kernel with the image's partition software."""
+        if self.image is None:
+            raise RuntimeError("kernel factory not bound to an image")
+        apps = {
+            name: part.app_factory for name, part in self.image.partitions.items()
+        }
+        return Kernel(machine, sim, self.config, apps, version=self.kernel_version)
+
 
 def build_eagleeye_image(
     fdir_payload: FdirPayload | None = None,
@@ -37,20 +88,20 @@ def build_eagleeye_image(
 
     The partition application factories live in the image's partition
     table; the kernel factory pulls them from there at boot, so swapping
-    one partition's software means repacking only that entry.
+    one partition's software means repacking only that entry.  When a
+    payload is given it is mounted behind a :class:`PayloadSlot`
+    published as ``runtime_hooks["fdir_payload_slot"]``.
     """
     cfg = config if config is not None else eagleeye_config()
-
-    def kernel_factory(machine: TargetMachine, sim: Simulator) -> Kernel:
-        apps = {
-            name: part.app_factory for name, part in image.partitions.items()
-        }
-        return Kernel(machine, sim, cfg, apps, version=kernel_version)
-
-    image = SystemImage(kernel_factory=kernel_factory)
-    image.add_partition(
-        PartitionImage("FDIR", app_factory=lambda: FdirApp(payload=fdir_payload))
-    )
+    factory = EagleEyeKernelFactory(config=cfg, kernel_version=kernel_version)
+    image = SystemImage(kernel_factory=factory)
+    factory.image = image
+    if fdir_payload is None:
+        image.add_partition(PartitionImage("FDIR", app_factory=FdirApp))
+    else:
+        slot = PayloadSlot(payload=fdir_payload)
+        image.add_partition(PartitionImage("FDIR", app_factory=slot.make_app))
+        image.runtime_hooks[FDIR_SLOT_HOOK] = slot
     image.add_partition(PartitionImage("AOCS", app_factory=AocsApp))
     image.add_partition(PartitionImage("PLATFORM", app_factory=PlatformApp))
     image.add_partition(PartitionImage("PAYLOAD", app_factory=PayloadApp))

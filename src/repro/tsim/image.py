@@ -50,6 +50,12 @@ class SystemImage:
     kernel_factory: Callable[["TargetMachine", "Simulator"], KernelProtocol]
     partitions: dict[str, PartitionImage] = field(default_factory=dict)
     metadata: dict[str, Any] = field(default_factory=dict)
+    #: Live injection points into the packed software (e.g. the FDIR
+    #: payload slot).  Unlike :attr:`metadata` these are *objects shared
+    #: with the running system*: after a snapshot restore they address
+    #: the restored copies, which is how the warm-boot executor swaps the
+    #: fault placeholder without re-packing the image.
+    runtime_hooks: dict[str, Any] = field(default_factory=dict)
 
     def add_partition(self, image: PartitionImage) -> None:
         """Pack one partition; duplicate names are an error."""

@@ -30,6 +30,22 @@ IRQMP_BASE = APB_BASE + 0x200
 GPTIMER_BASE = APB_BASE + 0x300
 
 
+# Register handlers for stateless device windows live at module level so
+# an attached board stays picklable (snapshot/restore fast path).
+def _uart_read_reg(offset: int) -> int:
+    """APBUART read model: the status register reports TX ready."""
+    return 0x6 if offset == 4 else 0
+
+
+def _gptimer_read_reg(offset: int) -> int:
+    """GPTIMER APB window reads as zero (the unit is modelled apart)."""
+    return 0
+
+
+def _gptimer_write_reg(offset: int, value: int) -> None:
+    """GPTIMER APB window writes are accepted and ignored."""
+
+
 @dataclass
 class TargetMachine:
     """One simulated LEON3 board."""
@@ -70,7 +86,7 @@ class TargetMachine:
                 name="apbuart0",
                 base=UART_BASE,
                 size=0x100,
-                read_reg=lambda off: 0x6 if off == 4 else 0,  # TX ready bits
+                read_reg=_uart_read_reg,
                 write_reg=self._uart_write_reg,
             )
         )
@@ -88,8 +104,8 @@ class TargetMachine:
                 name="gptimer0",
                 base=GPTIMER_BASE,
                 size=0x100,
-                read_reg=lambda off: 0,
-                write_reg=lambda off, val: None,
+                read_reg=_gptimer_read_reg,
+                write_reg=_gptimer_write_reg,
             )
         )
 

@@ -15,9 +15,13 @@ deadline.  Two abnormal terminations mirror the real campaign:
 from __future__ import annotations
 
 import enum
+import io
+import pickle
+import pickletools
 from typing import Callable
 
 from repro.sparc.cpu import ProcessorErrorMode
+from repro.sparc.memory import MemoryArea, PhysicalMemory
 from repro.tsim.events import Event, EventQueue
 from repro.tsim.image import KernelProtocol, SystemImage
 from repro.tsim.machine import TargetMachine
@@ -39,6 +43,148 @@ class SimulatorHang(Exception):
         super().__init__(f"simulator hang detected at t={at_us}us after {events} events")
         self.at_us = at_us
         self.events = events
+
+
+class SnapshotError(RuntimeError):
+    """The simulator state cannot be snapshotted (or restored).
+
+    Typical cause: software in the image holds an unpicklable object
+    (a closure, an open file).  Callers fall back to cold boots.
+    """
+
+
+class _SnapshotPickler(pickle.Pickler):
+    """Pickler that externalises the board memory and shared constants.
+
+    Two kinds of objects never enter the pickle stream:
+
+    - the board's :class:`PhysicalMemory` — its large area backings are
+      captured out-of-band as non-zero spans (`persistent id "mem"`);
+    - read-only *constants* nominated by the kernel (static
+      configuration, type registry) — restored snapshots reference the
+      very same objects (`persistent id ("c", index)`).
+    """
+
+    def __init__(self, file: io.BytesIO, constants: tuple, memory: PhysicalMemory) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._constants = constants
+        self._index = {id(obj): i for i, obj in enumerate(constants)}
+        self._memory = memory
+
+    def persistent_id(self, obj: object):  # noqa: ANN201 - pickle protocol
+        """Replace memory/constants with out-of-band references."""
+        if obj is self._memory:
+            return "mem"
+        i = self._index.get(id(obj))
+        # The `is` check guards against id() reuse by temporaries
+        # created during pickling (and never matches None/True/small
+        # ints, whose ids are not in the table).
+        if i is not None and self._constants[i] is obj:
+            return ("c", i)
+        return None
+
+
+class _SnapshotUnpickler(pickle.Unpickler):
+    """Inverse of :class:`_SnapshotPickler` for one restore."""
+
+    def __init__(self, file: io.BytesIO, snapshot: "SimSnapshot") -> None:
+        super().__init__(file)
+        self._snapshot = snapshot
+        self._memory: PhysicalMemory | None = None
+
+    def persistent_load(self, pid: object) -> object:
+        """Resolve out-of-band references."""
+        if pid == "mem":
+            if self._memory is None:
+                self._memory = self._snapshot._rebuild_memory()
+            return self._memory
+        kind, index = pid  # type: ignore[misc]
+        if kind != "c":  # pragma: no cover - defensive
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+        return self._snapshot.constants[index]
+
+
+class SimSnapshot:
+    """A restorable deep image of a booted simulator.
+
+    ``restore()`` rebuilds an independent, runnable simulator in time
+    proportional to the *live* state (not the configured memory sizes):
+    the object graph is rebuilt by the C pickle machinery, area backings
+    are reconstructed from their non-zero spans, and immutable build
+    artefacts (static configuration, type registry) are shared by
+    reference with the original.  Restored simulators must therefore
+    never mutate those constants — true for configuration-driven kernels
+    by design.
+
+    ``recycle(sim)`` returns a finished simulator's memory buffers to an
+    internal pool, so a restore → run → recycle loop (the warm-boot test
+    executor) allocates no large buffers in steady state.
+    """
+
+    def __init__(
+        self,
+        blob: bytes,
+        constants: tuple,
+        areas: tuple[MemoryArea, ...],
+        spans: dict[str, tuple[int, int, bytes]],
+    ) -> None:
+        self.blob = blob
+        self.constants = constants
+        self.areas = areas
+        self.spans = spans
+        self._pool: dict[str, bytearray] = {}
+
+    def _rebuild_memory(self) -> PhysicalMemory:
+        return PhysicalMemory.from_spans(self.areas, self.spans, pool=self._pool)
+
+    def restore(self) -> "Simulator":
+        """Materialise an independent simulator from the snapshot."""
+        try:
+            return _SnapshotUnpickler(io.BytesIO(self.blob), self).load()
+        except (pickle.UnpicklingError, TypeError, AttributeError) as exc:
+            raise SnapshotError(f"snapshot restore failed: {exc}") from exc
+
+    def recycle(self, sim: "Simulator") -> None:
+        """Reclaim a restored simulator's memory buffers for reuse.
+
+        The simulator must be finished with: its board memory is torn
+        down (zeroed where written) and handed to the next restore.
+        """
+        self._pool.update(sim.machine.memory.reclaim_buffers())
+
+
+class SnapshotCache:
+    """Warm-boot snapshots keyed by build parameters.
+
+    One snapshot per ``(testbed, kernel_version, layout, ...)`` key; the
+    builder callable runs exactly once per key.  Cache hits/misses are
+    counted for benchmark introspection.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: dict[object, SimSnapshot] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(
+        self, key: object, builder: Callable[[], SimSnapshot]
+    ) -> SimSnapshot:
+        """Return the cached snapshot for ``key``, building it once."""
+        snap = self._snapshots.get(key)
+        if snap is not None:
+            self.hits += 1
+            return snap
+        self.misses += 1
+        snap = builder()
+        self._snapshots[key] = snap
+        return snap
+
+    def clear(self) -> None:
+        """Drop all cached snapshots (e.g. between benchmark phases)."""
+        self._snapshots.clear()
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
 
 
 class SimState(enum.Enum):
@@ -138,6 +284,37 @@ class Simulator:
             except ProcessorErrorMode as exc:
                 self.state = SimState.CRASHED
                 raise SimulatorCrash(exc, self._now_us) from exc
+
+    def snapshot(self) -> SimSnapshot:
+        """Capture a restorable deep image of the running system.
+
+        The simulator must be booted and still ``RUNNING``.  Objects the
+        kernel nominates via ``snapshot_constants()`` (static
+        configuration, type registries) are shared by reference between
+        the original and every restore; the board memory is captured as
+        per-area non-zero spans.  Raises :class:`SnapshotError` when the
+        state is not snapshottable — e.g. software in the image holds a
+        closure or another unpicklable object.
+        """
+        if self.kernel is None:
+            raise SnapshotError("cannot snapshot: image not booted")
+        if self.state is not SimState.RUNNING:
+            raise SnapshotError(f"cannot snapshot: simulator is {self.state.value}")
+        constants = tuple(getattr(self.kernel, "snapshot_constants", lambda: ())())
+        memory = self.machine.memory
+        buffer = io.BytesIO()
+        try:
+            _SnapshotPickler(buffer, constants, memory).dump(self)
+        except (pickle.PicklingError, TypeError, AttributeError, ValueError) as exc:
+            raise SnapshotError(f"state is not snapshottable: {exc}") from exc
+        # The stream is dumped once but loaded once per test: optimize()
+        # strips unused memo PUTs, shrinking the blob and each restore.
+        return SimSnapshot(
+            blob=pickletools.optimize(buffer.getvalue()),
+            constants=constants,
+            areas=tuple(memory.areas()),
+            spans=memory.export_spans(),
+        )
 
     def run_major_frames(self, count: int) -> None:
         """Run a whole number of the kernel's major frames."""

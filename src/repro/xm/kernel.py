@@ -113,12 +113,21 @@ class Kernel:
 
         self._halted = False
         self._halt_reason: str | None = None
+        # Dispatch cache: (hdef, bound service, per-param converters) by
+        # hypercall name.  Rebuilt lazily, never snapshotted.
+        self._svc_cache: dict[str, tuple[HypercallDef, Callable, tuple]] = {}
         self.boot_epoch = 0
         self.reset_counter = 0
         self.warm_reset_counter = 0
         self.reset_log: list[ResetRecord] = []
         self.hypercall_count = 0
         self._memory_mapped = False
+
+    def __getstate__(self) -> dict:
+        """Pickle without the dispatch cache (rebuilt on demand)."""
+        state = self.__dict__.copy()
+        state["_svc_cache"] = {}
+        return state
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -142,6 +151,27 @@ class Kernel:
     def is_halted(self) -> bool:
         """Whether the kernel has fatally halted."""
         return self._halted
+
+    def snapshot_constants(self) -> list[object]:
+        """Objects a simulator snapshot shares by reference (never copies).
+
+        Everything here is immutable after boot: the static configuration
+        graph (frozen dataclasses), the type registry, and the feature
+        set.  Mutable kernel state (HM log, partitions, schedulers) is
+        deliberately absent — it must be deep-copied per restore.
+        """
+        cfg = self.config
+        constants: list[object] = [cfg, self.types, self.features]
+        constants.extend(cfg.kernel_areas)
+        constants.extend(cfg.channels)
+        for plan in cfg.plans:
+            constants.append(plan)
+            constants.extend(plan.slots)
+        for part in cfg.partitions:
+            constants.append(part)
+            constants.extend(part.memory_areas)
+            constants.extend(part.ports)
+        return constants
 
     @property
     def halt_reason(self) -> str | None:
@@ -214,7 +244,7 @@ class Kernel:
         self.sim.events.clear()
         self.sched.reset()
         self._build_partitions()
-        self.sim.schedule_after(self.RESET_LATENCY_US, lambda _t: self.sched.start(),
+        self.sim.schedule_after(self.RESET_LATENCY_US, self.sched.restart,
                                 name="reset.reboot")
         raise NoReturnFromHypercall(f"system {'warm' if warm else 'cold'} reset")
 
@@ -276,16 +306,29 @@ class Kernel:
         """
         self.sched.consume(self.HYPERCALL_COST_US)
         self.hypercall_count += 1
-        try:
-            hdef = hypercall_by_name(name)
-        except KeyError:
-            return rc.XM_UNKNOWN_HYPERCALL
+        entry = self._svc_cache.get(name)
+        if entry is None:
+            try:
+                hdef = hypercall_by_name(name)
+            except KeyError:
+                return rc.XM_UNKNOWN_HYPERCALL
+            converters = tuple(
+                None
+                if param.is_pointer or param.type_name not in self.types
+                else self.types.descriptor(param.type_name).convert
+                for param in hdef.params
+            )
+            entry = (hdef, self._resolve_service(hdef), converters)
+            self._svc_cache[name] = entry
+        hdef, service, converters = entry
         if len(args) != hdef.arity:
             return rc.XM_INVALID_PARAM
         if hdef.system_only and not caller.is_system:
             return rc.XM_PERM_ERROR
-        converted = self._convert_args(hdef, args)
-        service = self._resolve_service(hdef)
+        converted = [
+            int(value) & 0xFFFFFFFF if convert is None else convert(int(value))
+            for convert, value in zip(converters, args)
+        ]
         try:
             result = service(caller, *converted)
         except NoReturnFromHypercall:

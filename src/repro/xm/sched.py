@@ -14,6 +14,7 @@ next major-frame boundary, as in the real kernel.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING
 
 from repro.sparc.memory import MemoryFault
@@ -70,6 +71,18 @@ class CyclicScheduler:
     current_slot: SlotConfig | None = None
     slot_consumed_us: int = 0
     overruns: list[tuple[int, int, int]] = field(default_factory=list)
+    #: Per-plan prebuilt (offset, callback, name) slot events — the slot
+    #: callbacks and event names are constant per plan, so they are built
+    #: once instead of per major frame.  Never snapshotted.
+    _frame_cache: dict[int, list] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __getstate__(self) -> dict:
+        """Pickle without the frame cache (rebuilt on demand)."""
+        state = self.__dict__.copy()
+        state["_frame_cache"] = {}
+        return state
 
     @property
     def plan(self) -> PlanConfig:
@@ -105,21 +118,31 @@ class CyclicScheduler:
             self.requested_plan_id = None
         self.major_frame_count += 1
         plan = self.plan
-        for slot in plan.slots:
-            self.kernel.sim.schedule_at(
-                now + slot.start_us,
-                self._make_slot_callback(slot),
-                name=f"slot{slot.slot_id}.p{slot.partition_id}",
-            )
-        self.kernel.sim.schedule_at(
-            now + plan.major_frame_us, self._on_frame_start, name="frame"
-        )
+        events = self._frame_cache.get(self.current_plan_id)
+        if events is None:
+            # A partial over a bound method (not a closure) keeps the
+            # scheduled callbacks picklable and deep-copy-safe, which
+            # the simulator's snapshot/restore fast path relies on.
+            events = [
+                (
+                    slot.start_us,
+                    partial(self._slot_event, slot),
+                    f"slot{slot.slot_id}.p{slot.partition_id}",
+                )
+                for slot in plan.slots
+            ]
+            self._frame_cache[self.current_plan_id] = events
+        schedule_at = self.kernel.sim.schedule_at
+        for offset, callback, name in events:
+            schedule_at(now + offset, callback, name=name)
+        schedule_at(now + plan.major_frame_us, self._on_frame_start, name="frame")
 
-    def _make_slot_callback(self, slot: SlotConfig):  # noqa: ANN202
-        def callback(now: int) -> None:
-            self._on_slot_start(now, slot)
+    def _slot_event(self, slot: SlotConfig, now: int) -> None:
+        self._on_slot_start(now, slot)
 
-        return callback
+    def restart(self, _now: int) -> None:
+        """Event-queue entry point for the post-reset schedule restart."""
+        self.start()
 
     def _on_slot_start(self, now: int, slot: SlotConfig) -> None:
         kernel = self.kernel

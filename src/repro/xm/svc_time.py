@@ -18,6 +18,7 @@ negative intervals.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING
 
 from repro.sparc.traps import Trap, TrapType
@@ -108,14 +109,16 @@ class TimeManager:
 
     def _schedule_expiry(self, caller: Partition, timer: VTimer) -> None:
         deadline = self._deadline_for(caller, timer)
-        epoch = self.kernel.boot_epoch
         ident = caller.ident
-        clock_id = timer.clock_id
+        # A partial over a bound method (not a closure) keeps the queued
+        # expiry picklable for the simulator's snapshot/restore fast path.
+        callback = partial(self._expiry_event, ident, timer.clock_id,
+                           self.kernel.boot_epoch)
+        self.kernel.sim.schedule_at(deadline, callback,
+                                    name=f"vtimer.p{ident}.c{timer.clock_id}")
 
-        def on_expiry(now: int) -> None:
-            self._on_expiry(now, ident, clock_id, epoch)
-
-        self.kernel.sim.schedule_at(deadline, on_expiry, name=f"vtimer.p{ident}.c{clock_id}")
+    def _expiry_event(self, partition_id: int, clock_id: int, epoch: int, now: int) -> None:
+        self._on_expiry(now, partition_id, clock_id, epoch)
 
     def _on_expiry(self, now: int, partition_id: int, clock_id: int, epoch: int) -> None:
         kernel = self.kernel

@@ -1,0 +1,214 @@
+"""Warm-boot snapshot execution: snapshot/restore, identity, fallbacks."""
+
+import pytest
+
+from repro.fault.campaign import Campaign
+from repro.fault.executor import CampaignPayload, TestExecutor
+from repro.fault.mutant import ArgSpec, TestCallSpec, default_layout
+from repro.testbed import build_system
+from repro.testbed.dummy import build_dummy_system
+from repro.tsim.simulator import SnapshotCache, SnapshotError
+
+
+def record_key(record):
+    """Field-for-field identity, wall time excluded (the only nondeterminism)."""
+    data = record.to_dict()
+    data.pop("wall_time_s")
+    return data
+
+
+def nominal_spec(test_id="warm#0"):
+    return TestCallSpec(
+        test_id,
+        "XM_mask_irq",
+        "Interrupt Management",
+        (ArgSpec("irqLine", "1", value=1),),
+    )
+
+
+class TestSimulatorSnapshot:
+    def test_snapshot_requires_a_running_system(self):
+        sim = build_system()
+        with pytest.raises(SnapshotError):
+            sim.snapshot()
+
+    def test_restore_resumes_at_capture_time(self):
+        sim = build_system(fdir_payload=CampaignPayload(layout=default_layout()))
+        kernel = sim.boot()
+        sim.run_until(kernel.major_frame_us - 1)
+        snapshot = sim.snapshot()
+        restored = snapshot.restore()
+        assert restored is not sim
+        assert restored.now_us == sim.now_us
+        restored.run_until(3 * kernel.major_frame_us)
+        assert not restored.kernel.is_halted()
+        # Frames start at 0, F, 2F and 3F: the restored schedule kept going.
+        assert restored.kernel.sched.major_frame_count == 4
+
+    def test_restored_systems_are_independent(self):
+        sim = build_system(fdir_payload=CampaignPayload(layout=default_layout()))
+        kernel = sim.boot()
+        sim.run_until(kernel.major_frame_us - 1)
+        snapshot = sim.snapshot()
+        first = snapshot.restore()
+        first.run_until(2 * kernel.major_frame_us)
+        first.kernel.machine.memory.write(0x40001000, b"\xde\xad")
+        second = snapshot.restore()
+        # The first restore's progress and writes must not leak into the second.
+        assert second.now_us == kernel.major_frame_us - 1
+        assert second.kernel.machine.memory.read(0x40001000, 2) != b"\xde\xad"
+
+    def test_recycle_then_restore_is_clean(self):
+        sim = build_system(fdir_payload=CampaignPayload(layout=default_layout()))
+        kernel = sim.boot()
+        sim.run_until(kernel.major_frame_us - 1)
+        snapshot = sim.snapshot()
+        first = snapshot.restore()
+        first.kernel.machine.memory.write(0x40001000, b"\xde\xad\xbe\xef")
+        snapshot.recycle(first)
+        second = snapshot.restore()
+        assert second.kernel.machine.memory.read(0x40001000, 4) != b"\xde\xad\xbe\xef"
+        second.run_until(3 * kernel.major_frame_us)
+        assert not second.kernel.is_halted()
+
+    def test_closure_payloads_are_not_snapshottable(self):
+        sim = build_system(fdir_payload=lambda ctx, xm: None)
+        kernel = sim.boot()
+        sim.run_until(kernel.major_frame_us - 1)
+        with pytest.raises(SnapshotError):
+            sim.snapshot()
+
+
+class TestSnapshotCache:
+    def test_builds_once_per_key(self):
+        cache = SnapshotCache()
+        built = []
+
+        def builder():
+            built.append(1)
+            return object()
+
+        a = cache.get_or_build("k", builder)
+        b = cache.get_or_build("k", builder)
+        assert a is b
+        assert built == [1]
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestExecutorModes:
+    def test_custom_system_factory_forces_cold(self):
+        executor = TestExecutor(system_factory=build_dummy_system)
+        assert not executor.warm_boot
+
+    def test_warm_executor_falls_back_on_unsnapshottable_system(self):
+        # warm_boot was requested, but prepare() discovers the snapshot
+        # cannot be built and drops to cold without failing the campaign.
+        executor = TestExecutor(snapshot_cache=SnapshotCache())
+        executor._build_snapshot = lambda: (_ for _ in ()).throw(SnapshotError("x"))
+        executor.prepare()
+        assert not executor.warm_boot
+        record = executor.run(nominal_spec())
+        assert record.first_rc == 0
+
+    def test_warm_and_cold_single_test_identical(self):
+        spec = nominal_spec()
+        warm = TestExecutor(snapshot_cache=SnapshotCache()).run(spec)
+        cold = TestExecutor(warm_boot=False).run(spec)
+        assert record_key(warm) == record_key(cold)
+
+    def test_warm_reuses_one_boot_across_tests(self):
+        cache = SnapshotCache()
+        executor = TestExecutor(snapshot_cache=cache)
+        for index in range(3):
+            executor.run(nominal_spec(f"warm#{index}"))
+        assert cache.misses == 1
+        assert cache.hits == 2
+
+
+class TestWarmColdCampaignIdentity:
+    """Warm boot must be an optimisation, never a behaviour change."""
+
+    # XM_set_timer carries crash/halt/silent findings; the status call
+    # covers the plain expected-error mass.
+    SCOPE = ("XM_set_timer", "XM_get_partition_status")
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        warm = Campaign(functions=self.SCOPE, warm_boot=True).run()
+        cold = Campaign(functions=self.SCOPE, warm_boot=False).run()
+        return warm, cold
+
+    def test_records_field_for_field_identical(self, pair):
+        warm, cold = pair
+        assert [record_key(r) for r in warm.log] == [record_key(r) for r in cold.log]
+
+    def test_classifications_identical(self, pair):
+        warm, cold = pair
+
+        def signature(result):
+            return [
+                (record.test_id, cls.severity, cls.kind, expect.allowed)
+                for record, expect, cls in result.classified
+            ]
+
+        assert signature(warm) == signature(cold)
+
+    def test_issue_clusters_identical(self, pair):
+        warm, cold = pair
+
+        def clusters(result):
+            return [
+                (i.hypercall, i.kind, i.detail_key, i.case_count,
+                 i.matched_vulnerability)
+                for i in result.issues
+            ]
+
+        assert clusters(warm) == clusters(cold)
+
+
+class TestSerialParallelResumeIdentity:
+    """Satellite: serial, parallel and interrupted+resumed runs agree."""
+
+    SCOPE = ("XM_reset_system",)
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return Campaign(functions=self.SCOPE).run()
+
+    def test_parallel_matches_serial(self, serial):
+        parallel = Campaign(functions=self.SCOPE).run(processes=2)
+        assert [record_key(r) for r in parallel.log] == [
+            record_key(r) for r in serial.log
+        ]
+
+    def test_interrupted_then_resumed_matches_serial(self, serial):
+        from repro.fault.testlog import CampaignLog
+
+        partial = CampaignLog(serial.log.records[:2])  # the "interrupt"
+        resumed = Campaign(functions=self.SCOPE).run(resume_from=partial)
+        assert sorted(map(repr, map(record_key, resumed.log))) == sorted(
+            map(repr, map(record_key, serial.log))
+        )
+
+    def test_all_three_agree_on_analysis(self, serial):
+        from repro.fault.testlog import CampaignLog
+
+        parallel = Campaign(functions=self.SCOPE).run(processes=2)
+        partial = CampaignLog(serial.log.records[:2])
+        resumed = Campaign(functions=self.SCOPE).run(resume_from=partial)
+
+        def analysis(result):
+            issues = [
+                (i.hypercall, i.kind, i.detail_key, i.case_count,
+                 i.matched_vulnerability)
+                for i in result.issues
+            ]
+            severities = sorted(
+                (r.test_id, c.severity.value) for r, _e, c in result.classified
+            )
+            return issues, severities
+
+        assert analysis(serial) == analysis(parallel) == analysis(resumed)
