@@ -8,7 +8,7 @@ Subcommands::
 
     repro-campaign run [--version V] [--functions F1,F2] [--processes N]
                        [--frames N] [--strategy cartesian|pairwise|random]
-                       [--log out.jsonl]
+                       [--log out.jsonl] [--resume] [--timeout-s T]
     repro-campaign report --log out.jsonl
     repro-campaign tables            # Table I, Table II, Fig. 8, XML excerpts
     repro-campaign phantom           # parameter-less coverage extension
@@ -79,7 +79,23 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(_STRATEGIES),
         help="dataset generation strategy",
     )
-    run.add_argument("--log", default=None, help="write the campaign log (JSONL)")
+    run.add_argument(
+        "--log",
+        default=None,
+        help="campaign log (JSONL), streamed per record during execution",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the records already in --log (lossless restart)",
+    )
+    run.add_argument(
+        "--timeout-s",
+        dest="timeout_s",
+        type=float,
+        default=None,
+        help="per-test wall-clock watchdog in seconds (default: none)",
+    )
     run.add_argument("--dossier", default=None, help="write a Markdown dossier")
     run.add_argument("--quiet", action="store_true", help="suppress progress")
 
@@ -134,12 +150,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     total = campaign.total_tests()
     print(f"# campaign: {total} tests on XtratuM {args.version}", file=sys.stderr)
 
+    resume_log = None
+    if args.resume:
+        if not args.log:
+            print("error: --resume requires --log", file=sys.stderr)
+            return 2
+        from pathlib import Path
+
+        if Path(args.log).exists():
+            resume_log = CampaignLog.load(args.log)
+            print(
+                f"# resuming: {len(resume_log)} records already in {args.log}",
+                file=sys.stderr,
+            )
+
     def progress(done: int, out_of: int, record) -> None:  # noqa: ANN001
         if not args.quiet and done % 200 == 0:
             print(f"#   {done}/{out_of} ...", file=sys.stderr)
 
-    result = campaign.run(processes=args.processes, progress=progress)
+    result = campaign.run(
+        processes=args.processes,
+        progress=progress,
+        resume_from=resume_log,
+        log_path=args.log,
+        timeout_s=args.timeout_s,
+    )
     if args.log:
+        # The stream already checkpointed every record; the final save
+        # rewrites the file atomically in canonical spec order.
         result.log.save(args.log)
         print(f"# log written to {args.log}", file=sys.stderr)
     if args.dossier:

@@ -7,11 +7,21 @@ default; pass ``processes`` to fan the independent test runs across a
 process pool (each test boots its own simulator, so the work is
 embarrassingly parallel — the paper ran its campaign from shell scripts
 for the same reason).
+
+Execution is also *durable*: ``log_path`` checkpoints every record to a
+JSONL stream the moment it arrives, the parallel runner supervises its
+workers (a test that kills its worker is logged as a ``worker_killed``
+record and the pool is respawned — robustness tests kill their own
+harness, as the paper's ``XM_set_timer(1,1,1)`` did to TSIM), and
+``timeout_s`` arms a per-test wall-clock watchdog.  An interrupted
+campaign resumes losslessly from its own partial stream via
+``resume_from``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterator
 
 from repro.fault.apimodel import ApiFunction, ApiModel, api_model_from_table
@@ -24,6 +34,7 @@ from repro.fault.executor import (
     _init_worker,
     run_spec_payload,
     spec_to_dict,
+    worker_killed_record,
 )
 from repro.fault.issues import Issue, cluster_issues
 from repro.fault.matrix import build_matrix
@@ -83,6 +94,8 @@ class CampaignResult:
 
 
 ProgressHook = Callable[[int, int, TestRecord], None]
+#: Per-record checkpoint callback (the streaming log's append).
+RecordSink = Callable[[TestRecord], None]
 
 
 @dataclass
@@ -159,45 +172,103 @@ class Campaign:
         processes: int | None = None,
         progress: ProgressHook | None = None,
         resume_from: CampaignLog | None = None,
+        log_path: str | Path | None = None,
+        timeout_s: float | None = None,
     ) -> CampaignResult:
         """Execute the campaign and analyse the logs.
 
         ``processes=None`` runs serially in-process; an integer fans out
-        across a multiprocessing pool with per-test process isolation.
+        across a supervised worker pool with per-test process isolation.
         ``resume_from`` skips tests already present in an earlier log
         (an interrupted campaign picks up where it stopped, like the
         paper's restartable shell scripts); the analysed result covers
-        the union.
+        the union and is ordered — and therefore classified and
+        clustered — exactly as an uninterrupted run would be.  Resumed
+        records are validated against this campaign's configuration:
+        a log recorded on another kernel version or frame count raises
+        ``ValueError`` rather than being classified against the wrong
+        oracle.
+
+        ``log_path`` streams every record to a JSONL checkpoint file
+        the moment it arrives (append mode, flushed per record), so a
+        crash or Ctrl-C never loses completed work; pointing it at a
+        partial log appends only the missing records.  ``timeout_s``
+        arms a per-test wall-clock watchdog.
         """
         specs = list(self.iter_specs())
+        remaining = specs
         done: list[TestRecord] = []
         if resume_from is not None:
+            self._validate_resume(resume_from)
             have = {record.test_id: record for record in resume_from}
             done = [have[s.test_id] for s in specs if s.test_id in have]
-            specs = [s for s in specs if s.test_id not in have]
+            remaining = [s for s in specs if s.test_id not in have]
         if processes is not None and self.system_factory is not None:
             raise ValueError(
                 "process-parallel execution supports only the default testbed"
             )
-        if processes is None:
-            records = self._run_serial(specs, progress)
-        else:
-            records = self._run_parallel(specs, processes, progress)
-        return self.analyse(CampaignLog([*done, *records]))
+        stream = CampaignLog.stream(log_path) if log_path is not None else None
+        try:
+            if stream is not None:
+                # Checkpoint resumed records too (no-ops when resuming
+                # into the same file), so the stream alone is always a
+                # complete restart point.
+                for record in done:
+                    stream.append(record)
+            sink = stream.append if stream is not None else None
+            if processes is None:
+                records = self._run_serial(remaining, progress, sink, timeout_s)
+            else:
+                records = self._run_parallel(
+                    remaining, processes, progress, sink, timeout_s
+                )
+        finally:
+            if stream is not None:
+                stream.close()
+        # Merge in global spec order: resumed, parallel and interrupted
+        # campaigns must classify and cluster exactly like a serial
+        # uninterrupted run.
+        order = {spec.test_id: index for index, spec in enumerate(specs)}
+        combined = [*done, *records]
+        combined.sort(key=lambda record: order[record.test_id])
+        return self.analyse(CampaignLog(combined))
+
+    def _validate_resume(self, resume_from: CampaignLog) -> None:
+        """Reject logs recorded under a different configuration."""
+        for record in resume_from:
+            if record.kernel_version and record.kernel_version != self.kernel_version:
+                raise ValueError(
+                    f"cannot resume: record {record.test_id} was executed on "
+                    f"kernel {record.kernel_version}, this campaign targets "
+                    f"{self.kernel_version}"
+                )
+            if record.frames and record.frames != self.frames:
+                raise ValueError(
+                    f"cannot resume: record {record.test_id} ran over "
+                    f"{record.frames} major frames, this campaign runs "
+                    f"{self.frames}"
+                )
 
     def _run_serial(
-        self, specs: list[TestCallSpec], progress: ProgressHook | None
+        self,
+        specs: list[TestCallSpec],
+        progress: ProgressHook | None,
+        sink: RecordSink | None = None,
+        timeout_s: float | None = None,
     ) -> list[TestRecord]:
         executor = TestExecutor(
             kernel_version=self.kernel_version,
             frames=self.frames,
             system_factory=self.system_factory,
             warm_boot=self.warm_boot,
+            timeout_s=timeout_s,
         )
         records: list[TestRecord] = []
         for index, spec in enumerate(specs):
             record = executor.run(spec)
             records.append(record)
+            if sink is not None:
+                sink(record)
             if progress is not None:
                 progress(index + 1, len(specs), record)
         return records
@@ -207,36 +278,122 @@ class Campaign:
         specs: list[TestCallSpec],
         processes: int,
         progress: ProgressHook | None,
+        sink: RecordSink | None = None,
+        timeout_s: float | None = None,
     ) -> list[TestRecord]:
-        import multiprocessing as mp
+        """Supervised parallel execution that survives worker deaths.
 
-        payloads = [spec_to_dict(spec) for spec in specs]
+        Specs run on a pool of persistent workers (each builds its
+        warm-boot snapshot once, in the initializer).  Every record is
+        delivered — and checkpointed via ``sink`` — the moment its
+        future completes.  When a test kills its worker the pool breaks;
+        instead of forfeiting the run, the supervisor attributes the
+        death using the workers' start/done beacon, re-runs each suspect
+        alone on a single-worker pool (innocent in-flight specs simply
+        complete there; the one that dies again is the killer and
+        becomes a ``worker_killed`` record), respawns the pool, and
+        continues with the remaining specs.
+        """
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        total = len(specs)
         records: list[TestRecord] = []
-        context = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
-        # Workers are persistent: each builds its warm-boot snapshot once
-        # (in the initializer) and then only restores per test.  Unordered
-        # delivery + adaptive chunking keeps the fast tests from queueing
-        # behind reset-heavy ones.
-        # max(1, processes) keeps the arithmetic sane for processes < 1;
-        # Pool() below still rejects those with its own ValueError.
-        chunksize = max(1, min(32, len(payloads) // (max(1, processes) * 4) or 1))
-        with context.Pool(
-            processes,
-            initializer=_init_worker,
-            initargs=(self.kernel_version, self.frames, self.warm_boot),
-        ) as pool:
-            for index, data in enumerate(
-                pool.imap_unordered(run_spec_payload, payloads, chunksize=chunksize)
-            ):
-                record = TestRecord.from_dict(data)
-                records.append(record)
-                if progress is not None:
-                    progress(index + 1, len(payloads), record)
+
+        def emit(record: TestRecord) -> None:
+            records.append(record)
+            if sink is not None:
+                sink(record)
+            if progress is not None:
+                progress(len(records), total, record)
+
+        remaining = list(specs)
+        while remaining:
+            completed, suspects, broke = self._pool_round(
+                remaining, processes, timeout_s, emit
+            )
+            if not broke:
+                break
+            if not suspects and not completed:
+                raise RuntimeError(
+                    "worker pool died before any test started "
+                    "(initializer failure?)"
+                )
+            resolved = set(completed)
+            for spec in [s for s in remaining if s.test_id in suspects]:
+                sub_done, _, sub_broke = self._pool_round(
+                    [spec], 1, timeout_s, emit
+                )
+                if sub_broke or not sub_done:
+                    emit(
+                        worker_killed_record(spec, self.kernel_version, self.frames)
+                    )
+                resolved.add(spec.test_id)
+            remaining = [s for s in remaining if s.test_id not in resolved]
         # Unordered delivery must not leak into analysis: issue clustering
         # and log files are stable in spec order.
         order = {spec.test_id: index for index, spec in enumerate(specs)}
         records.sort(key=lambda record: order[record.test_id])
         return records
+
+    def _pool_round(
+        self,
+        specs: list[TestCallSpec],
+        processes: int,
+        timeout_s: float | None,
+        emit: RecordSink,
+    ) -> tuple[set[str], set[str], bool]:
+        """One pool pass over ``specs``: (completed ids, suspects, broke).
+
+        The suspects are the test ids that workers announced as started
+        but never finished when a worker died — the candidate killers
+        (plus any innocents that were in flight on sibling workers).
+        """
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures.process import BrokenProcessPool
+
+        context = (
+            mp.get_context("fork")
+            if "fork" in mp.get_all_start_methods()
+            else mp.get_context()
+        )
+        beacon = context.SimpleQueue()
+        completed: set[str] = set()
+        broke = False
+        executor = ProcessPoolExecutor(
+            max_workers=processes,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(
+                self.kernel_version,
+                self.frames,
+                self.warm_boot,
+                timeout_s,
+                beacon,
+            ),
+        )
+        try:
+            futures = [
+                executor.submit(run_spec_payload, spec_to_dict(spec))
+                for spec in specs
+            ]
+            for future in as_completed(futures):
+                try:
+                    record = TestRecord.from_dict(future.result())
+                except BrokenProcessPool:
+                    broke = True
+                    break
+                completed.add(record.test_id)
+                emit(record)
+        finally:
+            executor.shutdown(wait=not broke, cancel_futures=True)
+        started: set[str] = set()
+        finished: set[str] = set()
+        while not beacon.empty():
+            kind, test_id = beacon.get()
+            (started if kind == "start" else finished).add(test_id)
+        beacon.close()
+        return completed, started - finished - completed, broke
 
     # -- analysis -----------------------------------------------------------
 

@@ -47,6 +47,7 @@ class Severity(enum.Enum):
 class FailureKind(enum.Enum):
     """Mechanism behind a failure (drives issue clustering)."""
 
+    WORKER_KILLED = "worker process killed"
     SIM_CRASH = "simulator crash"
     SIM_HANG = "simulator hang"
     KERNEL_HALT = "kernel halt"
@@ -81,6 +82,14 @@ def _expected_resets(record: TestRecord, expectation: Expectation) -> bool:
 
 def classify(record: TestRecord, expectation: Expectation) -> Classification:
     """Classify one executed test against its expectation."""
+    # 0. The whole worker process died: the process-level analogue of
+    #    the paper's simulator-killing tests, recorded by the campaign
+    #    supervisor rather than the (dead) executor.
+    if record.worker_killed:
+        return Classification(
+            Severity.CATASTROPHIC, FailureKind.WORKER_KILLED,
+            "the test killed the worker process running it",
+        )
     # 1. The simulator itself died: nothing is more severe.
     if record.sim_crashed:
         return Classification(
@@ -88,10 +97,12 @@ def classify(record: TestRecord, expectation: Expectation) -> Classification:
             "the target simulator crashed during the test run",
         )
     if record.sim_hung:
-        return Classification(
-            Severity.RESTART, FailureKind.SIM_HANG,
-            "the test run hung and had to be killed",
+        detail = (
+            "the test run exceeded the campaign watchdog and was aborted"
+            if record.watchdog_expired
+            else "the test run hung and had to be killed"
         )
+        return Classification(Severity.RESTART, FailureKind.SIM_HANG, detail)
     # 2. Kernel-state corruption.
     if record.kernel_halted and record.function != "XM_halt_system":
         return Classification(

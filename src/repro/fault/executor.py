@@ -30,12 +30,21 @@ Process isolation (one OS process per test, faithful to the paper's
 one-TSIM-per-test shell scripts) is provided by the module-level worker
 entry points used by the parallel campaign runner; each worker process
 builds its snapshot once and reuses it for every test it is handed.
+Workers announce each test on a supervision beacon so the campaign can
+attribute a worker death to the spec that caused it, and an optional
+wall-clock watchdog (``timeout_s``) turns a runaway run into a
+``sim_hung``-style record instead of a stalled campaign.
 """
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.fault.mutant import ArgSpec, TestCallSpec, TestPartitionLayout, default_layout
 from repro.fault.stateful_oracle import capture_state
@@ -56,6 +65,60 @@ from repro.xm.vulns import VULNERABLE_VERSION
 DEFAULT_FRAMES = 2
 #: Console lines kept in the record.
 CONSOLE_TAIL = 8
+
+#: Fault-injection hooks for the campaign supervisor's own tests: a
+#: worker that is handed the named test id dies (or spins until the
+#: watchdog fires) on purpose, reproducing at process level the paper's
+#: tests that killed their own harness (`XM_set_timer(1,1,1)` took TSIM
+#: down with it).  Ignored unless the environment variable is set.
+KILL_SPEC_ENV = "REPRO_KILL_SPEC"
+HANG_SPEC_ENV = "REPRO_HANG_SPEC"
+
+
+class WatchdogExpired(Exception):
+    """A test run exceeded the executor's wall-clock budget."""
+
+    def __init__(self, timeout_s: float) -> None:
+        super().__init__(f"test run exceeded the {timeout_s}s watchdog")
+        self.timeout_s = timeout_s
+
+
+@contextmanager
+def _watchdog(timeout_s: float | None) -> Iterator[None]:
+    """Raise :class:`WatchdogExpired` in-thread after ``timeout_s``.
+
+    SIGALRM-based, so it only arms on the main thread of a process and
+    on platforms that have the signal; pool workers run tests on their
+    own main threads, so the watchdog holds in parallel campaigns too.
+    A runaway test (a livelock the event budget cannot see, e.g. one
+    spinning outside the simulator) is interrupted instead of hanging
+    the campaign.
+    """
+    if (
+        not timeout_s
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _fire(signum, frame):  # noqa: ANN001 - signal handler signature
+        raise WatchdogExpired(timeout_s)
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _maybe_injected_hang(test_id: str) -> None:
+    """Spin forever when the hang-injection hook names this test."""
+    if os.environ.get(HANG_SPEC_ENV) == test_id:
+        while True:  # interrupted by the watchdog's SIGALRM
+            time.sleep(0.01)
 
 
 @dataclass(frozen=True)
@@ -149,9 +212,12 @@ class TestExecutor:
         system_factory=None,
         warm_boot: bool = True,
         snapshot_cache: SnapshotCache | None = None,
+        timeout_s: float | None = None,
     ) -> None:
         self.kernel_version = kernel_version
         self.frames = frames
+        #: Per-test wall-clock watchdog; None disables it.
+        self.timeout_s = timeout_s
         self.layout = layout if layout is not None else default_layout()
         #: Builds (payload, version) -> Simulator; defaults to EagleEye.
         #: Swapping it retargets the whole campaign to another testbed
@@ -202,8 +268,21 @@ class TestExecutor:
     # -- execution ---------------------------------------------------------
 
     def run(self, spec: TestCallSpec) -> TestRecord:
-        """Execute one test case and log the outcome."""
+        """Execute one test case and log the outcome.
+
+        With ``timeout_s`` set, a runaway run is interrupted by the
+        wall-clock watchdog and logged as a hung (``sim_hung``) record
+        instead of stalling the campaign.
+        """
         started = time.perf_counter()
+        try:
+            with _watchdog(self.timeout_s):
+                _maybe_injected_hang(spec.test_id)
+                return self._execute(spec, started)
+        except WatchdogExpired:
+            return self._watchdog_record(spec, started)
+
+    def _execute(self, spec: TestCallSpec, started: float) -> TestRecord:
         if self.warm_boot:
             try:
                 return self._run_warm(spec, started)
@@ -216,22 +295,28 @@ class TestExecutor:
             self._snapshot_key(), self._build_snapshot
         )
         sim = snapshot.restore()
-        kernel = sim.kernel
-        slot = sim.image.runtime_hooks.get(FDIR_SLOT_HOOK)
-        if slot is None or not isinstance(slot.payload, CampaignPayload):
-            raise SnapshotError("restored image carries no campaign payload slot")
-        payload = slot.payload
-        payload.arm(spec)
-        crashed = hung = False
         try:
-            sim.run_until((self.frames + 1) * kernel.major_frame_us)
-        except SimulatorCrash:
-            crashed = True
-        except SimulatorHang:
-            hung = True
-        record = self._build_record(spec, sim, kernel, payload, crashed, hung, started)
-        snapshot.recycle(sim)
-        return record
+            kernel = sim.kernel
+            slot = sim.image.runtime_hooks.get(FDIR_SLOT_HOOK)
+            if slot is None or not isinstance(slot.payload, CampaignPayload):
+                raise SnapshotError("restored image carries no campaign payload slot")
+            payload = slot.payload
+            payload.arm(spec)
+            crashed = hung = False
+            try:
+                sim.run_until((self.frames + 1) * kernel.major_frame_us)
+            except SimulatorCrash:
+                crashed = True
+            except SimulatorHang:
+                hung = True
+            return self._build_record(
+                spec, sim, kernel, payload, crashed, hung, started
+            )
+        finally:
+            # Pooled buffers must come back on every exit path — a
+            # raising _build_record (or the watchdog) must not leak the
+            # restored simulator's memory.
+            snapshot.recycle(sim)
 
     def _run_cold(self, spec: TestCallSpec, started: float) -> TestRecord:
         payload = self._make_payload()
@@ -249,6 +334,20 @@ class TestExecutor:
         except SimulatorHang:
             hung = True
         return self._build_record(spec, sim, kernel, payload, crashed, hung, started)
+
+    def _watchdog_record(self, spec: TestCallSpec, started: float) -> TestRecord:
+        """A sim-hung-style record for a run the watchdog had to kill."""
+        return TestRecord(
+            test_id=spec.test_id,
+            function=spec.function,
+            category=spec.category,
+            arg_labels=spec.arg_labels(),
+            sim_hung=True,
+            watchdog_expired=True,
+            kernel_version=self.kernel_version,
+            frames=self.frames,
+            wall_time_s=time.perf_counter() - started,
+        )
 
     def _build_record(
         self,
@@ -292,17 +391,53 @@ class TestExecutor:
         )
 
 
+def worker_killed_record(
+    spec: TestCallSpec, kernel_version: str, frames: int
+) -> TestRecord:
+    """Parent-side record for a spec whose run killed its worker.
+
+    The worker is dead, so nothing was observed beyond the kill itself;
+    the supervisor logs the spec as a first-class ``worker_killed``
+    outcome (the process-level analogue of the paper's simulator-crash
+    failure mode) and the campaign carries on.
+    """
+    return TestRecord(
+        test_id=spec.test_id,
+        function=spec.function,
+        category=spec.category,
+        arg_labels=spec.arg_labels(),
+        worker_killed=True,
+        kernel_version=kernel_version,
+        frames=frames,
+    )
+
+
 # -- process-pool entry points ---------------------------------------------
 
 #: Per-worker executor installed by :func:`_init_worker`.
 _WORKER: TestExecutor | None = None
+#: Supervision beacon (a queue): workers announce ("start", test_id) /
+#: ("done", test_id) so the parent can attribute a worker death to the
+#: spec that was in flight.  SimpleQueue puts are synchronous (no feeder
+#: thread), so a "start" announcement survives even an immediate kill.
+_BEACON = None
 
 
-def _init_worker(kernel_version: str, frames: int, warm_boot: bool) -> None:
-    global _WORKER
+def _init_worker(
+    kernel_version: str,
+    frames: int,
+    warm_boot: bool,
+    timeout_s: float | None = None,
+    beacon=None,  # noqa: ANN001 - mp.SimpleQueue proxy
+) -> None:
+    global _WORKER, _BEACON
     _WORKER = TestExecutor(
-        kernel_version=kernel_version, frames=frames, warm_boot=warm_boot
+        kernel_version=kernel_version,
+        frames=frames,
+        warm_boot=warm_boot,
+        timeout_s=timeout_s,
     )
+    _BEACON = beacon
     _WORKER.prepare()
 
 
@@ -319,7 +454,15 @@ def spec_from_dict(spec_dict: dict) -> TestCallSpec:
 def run_spec_payload(spec_dict: dict) -> dict:
     """Pool worker: run one spec on this process's persistent executor."""
     assert _WORKER is not None, "pool started without _init_worker"
-    return _WORKER.run(spec_from_dict(spec_dict)).to_dict()
+    test_id = spec_dict["test_id"]
+    if _BEACON is not None:
+        _BEACON.put(("start", test_id))
+    if os.environ.get(KILL_SPEC_ENV) == test_id:
+        os._exit(17)  # fault injection: die like a harness-killing test
+    data = _WORKER.run(spec_from_dict(spec_dict)).to_dict()
+    if _BEACON is not None:
+        _BEACON.put(("done", test_id))
+    return data
 
 
 def run_spec_dict(payload: tuple[dict, str, int]) -> dict:

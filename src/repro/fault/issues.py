@@ -19,6 +19,9 @@ silent / hindering  the blamed parameter (paper: the negative interval,
 unhandled trap      the first invalid pointer parameter (paper: the
                     startAddr and endAddr cases, counted separately)
 temporal violation  none
+worker killed       none — one defect per hypercall (the process-level
+                    analogue of a simulator crash, recorded by the
+                    campaign supervisor)
 ================== =====================================================
 
 Applied to the campaign this yields exactly the paper's 3 + 3 + 3.

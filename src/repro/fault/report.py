@@ -311,13 +311,19 @@ def campaign_summary(result: CampaignResult) -> str:
     """One-screen campaign summary."""
     totals = table3_totals(result)
     failures = len(result.failures())
-    return "\n".join(
-        [
-            f"Kernel under test : XtratuM {result.kernel_version}",
-            f"Strategy          : {result.strategy_name}",
-            f"Hypercalls tested : {totals.hypercalls_tested} of {totals.total_hypercalls}",
-            f"Tests executed    : {totals.tests}",
-            f"Failing tests     : {failures}",
-            f"Issues raised     : {totals.raised_issues}",
-        ]
-    )
+    lines = [
+        f"Kernel under test : XtratuM {result.kernel_version}",
+        f"Strategy          : {result.strategy_name}",
+        f"Hypercalls tested : {totals.hypercalls_tested} of {totals.total_hypercalls}",
+        f"Tests executed    : {totals.tests}",
+        f"Failing tests     : {failures}",
+        f"Issues raised     : {totals.raised_issues}",
+    ]
+    # Process-level incidents the supervisor absorbed, when any.
+    killed = sum(1 for record in result.log if record.worker_killed)
+    timed_out = sum(1 for record in result.log if record.watchdog_expired)
+    if killed:
+        lines.append(f"Worker kills      : {killed}")
+    if timed_out:
+        lines.append(f"Watchdog timeouts : {timed_out}")
+    return "\n".join(lines)

@@ -30,6 +30,9 @@ class LogColumns:
     crashed: np.ndarray
     halted: np.ndarray
     resets: np.ndarray
+    hung: np.ndarray
+    worker_killed: np.ndarray
+    watchdog: np.ndarray
 
     @classmethod
     def from_log(cls, log: CampaignLog) -> "LogColumns":
@@ -43,6 +46,9 @@ class LogColumns:
         crashed = np.zeros(n, dtype=bool)
         halted = np.zeros(n, dtype=bool)
         resets = np.zeros(n, dtype=np.int64)
+        hung = np.zeros(n, dtype=bool)
+        worker_killed = np.zeros(n, dtype=bool)
+        watchdog = np.zeros(n, dtype=bool)
         for i, record in enumerate(log):
             categories[i] = record.category
             functions[i] = record.function
@@ -54,7 +60,13 @@ class LogColumns:
             crashed[i] = record.sim_crashed
             halted[i] = record.kernel_halted
             resets[i] = len(record.resets)
-        return cls(categories, functions, returned, first_rc, wall, crashed, halted, resets)
+            hung[i] = record.sim_hung
+            worker_killed[i] = record.worker_killed
+            watchdog[i] = record.watchdog_expired
+        return cls(
+            categories, functions, returned, first_rc, wall, crashed, halted,
+            resets, hung, worker_killed, watchdog,
+        )
 
 
 def tests_per_category(log: CampaignLog) -> dict[str, int]:
@@ -84,6 +96,23 @@ def wall_time_stats(log: CampaignLog) -> dict[str, float]:
         "p95": float(np.percentile(wall, 95)),
         "max": float(wall.max()),
         "total": float(wall.sum()),
+    }
+
+
+def durability_summary(log: CampaignLog) -> dict[str, int]:
+    """Counts of the process-level outcomes the campaign supervisor sees.
+
+    ``worker_killed`` are tests that took their worker process down;
+    ``watchdog_expired`` are runaway runs aborted by the wall-clock
+    watchdog (a subset of ``sim_hung``).
+    """
+    cols = LogColumns.from_log(log)
+    return {
+        "records": len(log),
+        "worker_killed": int(cols.worker_killed.sum()),
+        "watchdog_expired": int(cols.watchdog.sum()),
+        "sim_hung": int(cols.hung.sum()),
+        "sim_crashed": int(cols.crashed.sum()),
     }
 
 

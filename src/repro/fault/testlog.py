@@ -10,7 +10,10 @@ actions.  A :class:`TestRecord` is the machine-readable unit; a
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+import os
+import tempfile
+import warnings
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -53,6 +56,12 @@ class TestRecord:
     kernel_version: str = ""
     frames: int = 0
     wall_time_s: float = 0.0
+    #: The test took its worker process down with it (the process-level
+    #: analogue of the paper's simulator-crash failure mode); built by
+    #: the campaign supervisor, not by an executor.
+    worker_killed: bool = False
+    #: The run exceeded the per-test wall-clock watchdog and was aborted.
+    watchdog_expired: bool = False
 
     @property
     def invoked(self) -> bool:
@@ -86,12 +95,27 @@ class TestRecord:
 
     @classmethod
     def from_dict(cls, data: dict) -> "TestRecord":
-        """Inverse of :meth:`to_dict`."""
-        data = dict(data)
+        """Inverse of :meth:`to_dict`.
+
+        Keys this version does not know (a log written by newer code)
+        are dropped with a warning rather than crashing the load, so
+        old analysers keep working on forward-compatible logs.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            warnings.warn(
+                f"TestRecord.from_dict: dropping unrecognised fields {unknown}"
+                " (log written by newer code?)",
+                stacklevel=2,
+            )
+        data = {key: value for key, value in data.items() if key in known}
         data["arg_labels"] = tuple(data.get("arg_labels", ()))
         data["resolved_args"] = tuple(data.get("resolved_args", ()))
+        inv_known = {f.name for f in fields(Invocation)}
         data["invocations"] = [
-            Invocation(**inv) for inv in data.get("invocations", [])
+            Invocation(**{k: v for k, v in inv.items() if k in inv_known})
+            for inv in data.get("invocations", [])
         ]
         data["resets"] = [tuple(r) for r in data.get("resets", [])]
         data["hm_events"] = [tuple(e) for e in data.get("hm_events", [])]
@@ -123,10 +147,27 @@ class CampaignLog:
         return [r for r in self.records if r.category == category]
 
     def save(self, path: str | Path) -> None:
-        """Write JSONL."""
-        with Path(path).open("w", encoding="utf-8") as fh:
-            for record in self.records:
-                fh.write(json.dumps(record.to_dict()) + "\n")
+        """Write JSONL atomically.
+
+        The records go to a temporary file in the same directory which
+        is then renamed over the target, so a crash mid-write can never
+        truncate or corrupt an existing log.
+        """
+        path = Path(path)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                for record in self.records:
+                    fh.write(json.dumps(record.to_dict()) + "\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str | Path) -> "CampaignLog":
@@ -138,3 +179,53 @@ class CampaignLog:
                 if line:
                     log.append(TestRecord.from_dict(json.loads(line)))
         return log
+
+    @classmethod
+    def stream(cls, path: str | Path) -> "LogStream":
+        """Open a crash-durable append stream (see :class:`LogStream`)."""
+        return LogStream(path)
+
+
+class LogStream:
+    """Streaming checkpoint writer: every record hits disk as it arrives.
+
+    Opened in append mode, so pointing it at a partial log continues
+    that log; records whose test id is already on disk are skipped,
+    which makes resuming into the same file idempotent.  Each append is
+    written and flushed immediately — an interrupted campaign loses at
+    most the record being written, never a completed one.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        #: Test ids already present on disk when the stream was opened
+        #: (plus everything appended since); appends of these are no-ops.
+        self.existing: set[str] = set()
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        self.existing.add(json.loads(line).get("test_id"))
+        self._fh = self.path.open("a", encoding="utf-8")
+        self.written = 0
+
+    def append(self, record: TestRecord) -> None:
+        """Checkpoint one record (write + flush, deduplicated by id)."""
+        if record.test_id in self.existing:
+            return
+        self._fh.write(json.dumps(record.to_dict()) + "\n")
+        self._fh.flush()
+        self.existing.add(record.test_id)
+        self.written += 1
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "LogStream":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,329 @@
+"""Durable campaigns: streaming logs, worker supervision, watchdog, atomic IO."""
+
+import json
+
+import pytest
+
+from repro.fault.campaign import Campaign
+from repro.fault.classify import FailureKind, Severity, classify
+from repro.fault.executor import (
+    HANG_SPEC_ENV,
+    KILL_SPEC_ENV,
+    TestExecutor,
+    worker_killed_record,
+)
+from repro.fault.mutant import ArgSpec, TestCallSpec
+from repro.fault.oracle import Expectation
+from repro.fault.stats import durability_summary
+from repro.fault.testlog import CampaignLog, TestRecord
+from repro.tsim.simulator import SimSnapshot
+from repro.xm.vulns import FIXED_VERSION
+
+#: The three hypercalls carrying the paper's findings: 62 tests, 9 issues.
+TRIO = ("XM_reset_system", "XM_set_timer", "XM_multicall")
+
+
+def make_record(test_id, **overrides):
+    base = dict(
+        test_id=test_id,
+        function="XM_mask_irq",
+        category="Interrupt Management",
+        kernel_version="3.4.0",
+        frames=2,
+    )
+    base.update(overrides)
+    return TestRecord(**base)
+
+
+def strip_wall_time(record):
+    data = record.to_dict()
+    data.pop("wall_time_s")
+    return data
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_temp_residue(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        CampaignLog([make_record("a"), make_record("b")]).save(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["log.jsonl"]
+        assert len(CampaignLog.load(path)) == 2
+
+    def test_failed_save_preserves_existing_log(self, tmp_path, monkeypatch):
+        path = tmp_path / "log.jsonl"
+        CampaignLog([make_record("a")]).save(path)
+        before = path.read_text(encoding="utf-8")
+
+        def boom(self):
+            raise RuntimeError("serialiser died mid-write")
+
+        monkeypatch.setattr(TestRecord, "to_dict", boom)
+        with pytest.raises(RuntimeError):
+            CampaignLog([make_record("b")]).save(path)
+        assert path.read_text(encoding="utf-8") == before
+        assert [p.name for p in tmp_path.iterdir()] == ["log.jsonl"]
+
+
+class TestForwardCompatibleLoad:
+    def test_unknown_fields_dropped_with_warning(self):
+        data = make_record("a").to_dict()
+        data["from_the_future"] = 42
+        with pytest.warns(UserWarning, match="from_the_future"):
+            record = TestRecord.from_dict(data)
+        assert record.test_id == "a"
+
+    def test_unknown_invocation_fields_dropped(self):
+        data = make_record("a").to_dict()
+        data["invocations"] = [
+            {"returned": True, "rc": 0, "note": "", "state": None, "gpu_ns": 1}
+        ]
+        record = TestRecord.from_dict(data)
+        assert record.first_rc == 0
+
+    def test_load_survives_newer_log_file(self, tmp_path):
+        path = tmp_path / "newer.jsonl"
+        data = make_record("a").to_dict()
+        data["added_in_v99"] = {"nested": True}
+        path.write_text(json.dumps(data) + "\n", encoding="utf-8")
+        with pytest.warns(UserWarning, match="added_in_v99"):
+            log = CampaignLog.load(path)
+        assert log.records[0].test_id == "a"
+
+
+class TestLogStream:
+    def test_records_hit_disk_immediately(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        with CampaignLog.stream(path) as stream:
+            stream.append(make_record("a"))
+            # Visible to a reader before close: flushed per record.
+            assert len(CampaignLog.load(path)) == 1
+            stream.append(make_record("b"))
+            assert len(CampaignLog.load(path)) == 2
+        assert stream.written == 2
+
+    def test_reopening_deduplicates_by_test_id(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        with CampaignLog.stream(path) as stream:
+            stream.append(make_record("a"))
+        with CampaignLog.stream(path) as stream:
+            stream.append(make_record("a"))  # already on disk: no-op
+            stream.append(make_record("b"))
+        log = CampaignLog.load(path)
+        assert [r.test_id for r in log] == ["a", "b"]
+
+    def test_campaign_streams_complete_log(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        result = Campaign(functions=("XM_reset_system",)).run(log_path=path)
+        assert len(CampaignLog.load(path)) == result.total_tests == 5
+
+
+class TestResumeValidation:
+    def test_version_mismatch_rejected(self):
+        fixed = Campaign(functions=("XM_reset_system",), kernel_version=FIXED_VERSION)
+        log = fixed.run().log
+        vulnerable = Campaign(functions=("XM_reset_system",))
+        with pytest.raises(ValueError, match="kernel"):
+            vulnerable.run(resume_from=log)
+
+    def test_frames_mismatch_rejected(self):
+        short = Campaign(functions=("XM_switch_sched_plan",), frames=1)
+        log = short.run().log
+        standard = Campaign(functions=("XM_switch_sched_plan",))
+        with pytest.raises(ValueError, match="frames"):
+            standard.run(resume_from=log)
+
+    def test_matching_configuration_resumes(self):
+        campaign = Campaign(functions=("XM_reset_system",))
+        full = campaign.run()
+        resumed = campaign.run(resume_from=CampaignLog(full.log.records[:2]))
+        assert resumed.total_tests == full.total_tests
+
+
+class TestWarmPathLeak:
+    def test_recycle_runs_when_build_record_raises(self, monkeypatch):
+        executor = TestExecutor()
+        spec = TestCallSpec(
+            "leak#0",
+            "XM_mask_irq",
+            "Interrupt Management",
+            (ArgSpec("irqLine", "1", value=1),),
+        )
+        executor.run(spec)  # warm snapshot built, warm path active
+        assert executor.warm_boot
+        recycled = []
+        original = SimSnapshot.recycle
+        monkeypatch.setattr(
+            SimSnapshot,
+            "recycle",
+            lambda self, sim: (recycled.append(sim), original(self, sim))[1],
+        )
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("record builder died")
+
+        monkeypatch.setattr(executor, "_build_record", boom)
+        with pytest.raises(RuntimeError, match="record builder"):
+            executor.run(spec)
+        assert recycled, "restored simulator leaked on the raising path"
+
+
+class TestWatchdog:
+    def test_runaway_test_becomes_hung_record(self, monkeypatch):
+        spec = TestCallSpec(
+            "hang#0",
+            "XM_mask_irq",
+            "Interrupt Management",
+            (ArgSpec("irqLine", "1", value=1),),
+        )
+        monkeypatch.setenv(HANG_SPEC_ENV, spec.test_id)
+        record = TestExecutor(timeout_s=0.2).run(spec)
+        assert record.sim_hung and record.watchdog_expired
+        assert not record.invoked
+        classification = classify(record, Expectation())
+        assert classification.severity is Severity.RESTART
+        assert classification.kind is FailureKind.SIM_HANG
+        assert "watchdog" in classification.detail
+
+    def test_serial_campaign_survives_runaway_test(self, monkeypatch):
+        campaign = Campaign(functions=("XM_reset_system",))
+        victim = list(campaign.iter_specs())[1].test_id
+        monkeypatch.setenv(HANG_SPEC_ENV, victim)
+        result = campaign.run(timeout_s=0.2)
+        assert result.total_tests == 5
+        hung = [r for r in result.log if r.watchdog_expired]
+        assert [r.test_id for r in hung] == [victim]
+
+    def test_parallel_campaign_survives_runaway_test(self, monkeypatch):
+        campaign = Campaign(functions=("XM_reset_system",))
+        victim = list(campaign.iter_specs())[1].test_id
+        monkeypatch.setenv(HANG_SPEC_ENV, victim)
+        result = campaign.run(processes=2, timeout_s=0.5)
+        assert result.total_tests == 5
+        hung = [r for r in result.log if r.watchdog_expired]
+        assert [r.test_id for r in hung] == [victim]
+
+    def test_no_watchdog_by_default(self):
+        executor = TestExecutor()
+        assert executor.timeout_s is None
+
+
+class TestWorkerSupervision:
+    def test_killed_worker_does_not_forfeit_the_campaign(self, monkeypatch):
+        campaign = Campaign(functions=("XM_reset_system", "XM_switch_sched_plan"))
+        baseline = campaign.run()
+        specs = list(campaign.iter_specs())
+        # A nominally-passing spec so the kill adds exactly one issue.
+        victim = [s for s in specs if s.function == "XM_switch_sched_plan"][0]
+        monkeypatch.setenv(KILL_SPEC_ENV, victim.test_id)
+        result = campaign.run(processes=2)
+        # Zero completed records lost, the killer logged first-class.
+        assert result.total_tests == baseline.total_tests
+        killed = [r for r in result.log if r.worker_killed]
+        assert [r.test_id for r in killed] == [victim.test_id]
+        assert result.issue_count() == baseline.issue_count() + 1
+        extra = [i for i in result.issues if i.kind is FailureKind.WORKER_KILLED]
+        assert len(extra) == 1
+        assert extra[0].severity is Severity.CATASTROPHIC
+        assert extra[0].hypercall == "XM_switch_sched_plan"
+        # Every other record matches the serial baseline field-for-field.
+        survivors = {
+            r.test_id: strip_wall_time(r)
+            for r in result.log
+            if not r.worker_killed
+        }
+        expected = {
+            r.test_id: strip_wall_time(r)
+            for r in baseline.log
+            if r.test_id != victim.test_id
+        }
+        assert survivors == expected
+
+    def test_worker_killed_record_roundtrips_and_counts(self, tmp_path):
+        spec = TestCallSpec(
+            "kill#0",
+            "XM_mask_irq",
+            "Interrupt Management",
+            (ArgSpec("irqLine", "1", value=1),),
+        )
+        record = worker_killed_record(spec, "3.4.0", 2)
+        path = tmp_path / "log.jsonl"
+        CampaignLog([record]).save(path)
+        loaded = CampaignLog.load(path).records[0]
+        assert loaded.worker_killed
+        summary = durability_summary(CampaignLog([record]))
+        assert summary["worker_killed"] == 1
+        assert summary["watchdog_expired"] == 0
+
+
+class TestKillResumeRerun:
+    """The acceptance cycle: kill, interrupt, resume — nothing lost."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return Campaign(functions=TRIO)
+
+    def test_interrupted_resumed_equals_uninterrupted(
+        self, campaign, tmp_path, monkeypatch
+    ):
+        specs = list(campaign.iter_specs())
+        killer = [s for s in specs if s.function == "XM_set_timer"][5].test_id
+        monkeypatch.setenv(KILL_SPEC_ENV, killer)
+        baseline = campaign.run(processes=2)
+        assert any(r.worker_killed for r in baseline.log)
+
+        path = tmp_path / "trio.jsonl"
+
+        def interrupt(done, total, record):
+            if done == 15:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            campaign.run(processes=2, progress=interrupt, log_path=path)
+        partial = CampaignLog.load(path)
+        assert 1 <= len(partial) < baseline.total_tests
+
+        resumed = campaign.run(
+            processes=2, resume_from=partial, log_path=path
+        )
+        assert resumed.total_tests == baseline.total_tests == 62
+        assert [strip_wall_time(r) for r in resumed.log] == [
+            strip_wall_time(r) for r in baseline.log
+        ]
+        assert [i.key for i in resumed.issues] == [i.key for i in baseline.issues]
+        assert resumed.severity_counts() == baseline.severity_counts()
+        # The streamed file alone is the complete campaign.
+        assert len(CampaignLog.load(path)) == baseline.total_tests
+
+    def test_serial_interrupt_resume_keeps_paper_counts(self, campaign, tmp_path):
+        from repro.fault.report import table3_totals
+
+        path = tmp_path / "serial.jsonl"
+
+        def interrupt(done, total, record):
+            if done == 20:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            campaign.run(progress=interrupt, log_path=path)
+        assert len(CampaignLog.load(path)) == 20
+
+        resumed = campaign.run(
+            resume_from=CampaignLog.load(path), log_path=path
+        )
+        assert resumed.issue_count() == 9  # Table III on 3.4.0
+        assert table3_totals(resumed).tests == 62
+
+    def test_resume_on_fixed_kernel_stays_clean(self, tmp_path):
+        campaign = Campaign(functions=TRIO, kernel_version=FIXED_VERSION)
+        path = tmp_path / "fixed.jsonl"
+
+        def interrupt(done, total, record):
+            if done == 10:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            campaign.run(progress=interrupt, log_path=path)
+        resumed = campaign.run(
+            resume_from=CampaignLog.load(path), log_path=path
+        )
+        assert resumed.total_tests == 62
+        assert resumed.issue_count() == 0  # Table III on 3.4.1
