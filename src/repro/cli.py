@@ -163,6 +163,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"# resuming: {len(resume_log)} records already in {args.log}",
                 file=sys.stderr,
             )
+    elif args.log:
+        from pathlib import Path
+
+        # A fresh run must not stream into a previous run's file: the
+        # stream dedups by test id, so stale records would silently
+        # shadow this run's results.  Move the old log aside.
+        log_path = Path(args.log)
+        if log_path.exists():
+            import os
+
+            stale = log_path.with_name(log_path.name + ".prev")
+            os.replace(log_path, stale)
+            print(
+                f"# existing {args.log} moved to {stale} "
+                "(use --resume to continue it instead)",
+                file=sys.stderr,
+            )
 
     def progress(done: int, out_of: int, record) -> None:  # noqa: ANN001
         if not args.quiet and done % 200 == 0:

@@ -349,6 +349,7 @@ class Campaign:
         (plus any innocents that were in flight on sibling workers).
         """
         import multiprocessing as mp
+        import threading
         from concurrent.futures import ProcessPoolExecutor, as_completed
         from concurrent.futures.process import BrokenProcessPool
 
@@ -360,6 +361,26 @@ class Campaign:
         beacon = context.SimpleQueue()
         completed: set[str] = set()
         broke = False
+        # The beacon must be drained *while* the round runs: SimpleQueue
+        # puts are synchronous, so once the pipe buffer fills (~64KB,
+        # roughly 580 tests' worth of announcements) every worker would
+        # block in put() and the round would deadlock.  A parent-side
+        # reader consumes announcements continuously; the sets are only
+        # read after join(), so no locking is needed.
+        started: set[str] = set()
+        finished: set[str] = set()
+
+        def drain_beacon() -> None:
+            while True:
+                kind, test_id = beacon.get()
+                if kind == "stop":
+                    return
+                (started if kind == "start" else finished).add(test_id)
+
+        reader = threading.Thread(
+            target=drain_beacon, name="beacon-drain", daemon=True
+        )
+        reader.start()
         executor = ProcessPoolExecutor(
             max_workers=processes,
             mp_context=context,
@@ -387,12 +408,12 @@ class Campaign:
                 emit(record)
         finally:
             executor.shutdown(wait=not broke, cancel_futures=True)
-        started: set[str] = set()
-        finished: set[str] = set()
-        while not beacon.empty():
-            kind, test_id = beacon.get()
-            (started if kind == "start" else finished).add(test_id)
-        beacon.close()
+            # All worker announcements are queued before their processes
+            # exit, so the FIFO guarantees the sentinel lands last and
+            # the reader has seen every message by the time it returns.
+            beacon.put(("stop", ""))
+            reader.join()
+            beacon.close()
         return completed, started - finished - completed, broke
 
     # -- analysis -----------------------------------------------------------

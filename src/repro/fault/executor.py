@@ -114,6 +114,21 @@ def _watchdog(timeout_s: float | None) -> Iterator[None]:
         signal.signal(signal.SIGALRM, previous)
 
 
+def _disarm_watchdog() -> None:
+    """Stop a pending SIGALRM before the run's grace period expires.
+
+    Called as soon as the run phase is over: a test that completed just
+    under the deadline must not have its finished record discarded — or
+    its snapshot recycling aborted midway — by the timer firing during
+    record building.  Idempotent with the context manager's own disarm.
+    """
+    if (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+
+
 def _maybe_injected_hang(test_id: str) -> None:
     """Spin forever when the hang-injection hook names this test."""
     if os.environ.get(HANG_SPEC_ENV) == test_id:
@@ -309,6 +324,10 @@ class TestExecutor:
                 crashed = True
             except SimulatorHang:
                 hung = True
+            # The run phase is over; the completed test's record and the
+            # snapshot recycle must not race a late watchdog SIGALRM.
+            if self.timeout_s:
+                _disarm_watchdog()
             return self._build_record(
                 spec, sim, kernel, payload, crashed, hung, started
             )
@@ -333,6 +352,8 @@ class TestExecutor:
             crashed = True
         except SimulatorHang:
             hung = True
+        if self.timeout_s:
+            _disarm_watchdog()
         return self._build_record(spec, sim, kernel, payload, crashed, hung, started)
 
     def _watchdog_record(self, spec: TestCallSpec, started: float) -> TestRecord:

@@ -122,6 +122,33 @@ class TestRecord:
         return cls(**data)
 
 
+def _read_jsonl(path: Path) -> list[dict]:
+    """Parse a JSONL file, tolerating a truncated final line.
+
+    A crash mid-append can leave a half-written last record; readers
+    drop it (with a warning) instead of refusing to load — resume must
+    work in exactly the crash scenario the streaming log exists for,
+    and the stream's dedup-by-id append rewrites the lost record.
+    Corruption anywhere *before* the last line is still an error.
+    """
+    with path.open("r", encoding="utf-8") as fh:
+        lines = [line for line in (raw.strip() for raw in fh) if line]
+    out: list[dict] = []
+    for index, line in enumerate(lines):
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                warnings.warn(
+                    f"{path}: dropping truncated final record "
+                    "(interrupted mid-append?)",
+                    stacklevel=3,
+                )
+                break
+            raise
+    return out
+
+
 class CampaignLog:
     """An append-only collection of test records with JSONL persistence."""
 
@@ -171,13 +198,10 @@ class CampaignLog:
 
     @classmethod
     def load(cls, path: str | Path) -> "CampaignLog":
-        """Read JSONL."""
+        """Read JSONL (a truncated final line is dropped, see _read_jsonl)."""
         log = cls()
-        with Path(path).open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    log.append(TestRecord.from_dict(json.loads(line)))
+        for data in _read_jsonl(Path(path)):
+            log.append(TestRecord.from_dict(data))
         return log
 
     @classmethod
@@ -201,13 +225,38 @@ class LogStream:
         #: Test ids already present on disk when the stream was opened
         #: (plus everything appended since); appends of these are no-ops.
         self.existing: set[str] = set()
+        repair_newline = False
         if self.path.exists():
-            with self.path.open("r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if line:
-                        self.existing.add(json.loads(line).get("test_id"))
+            # Scan byte-wise so a half-written tail (a crash mid-append)
+            # can be truncated away — left in place, the next append
+            # would concatenate onto it and corrupt a mid-file line.
+            raw = self.path.read_bytes()
+            raw_lines = raw.splitlines(keepends=True)
+            offset = 0
+            for index, raw_line in enumerate(raw_lines):
+                stripped = raw_line.strip()
+                if stripped:
+                    try:
+                        data = json.loads(stripped)
+                    except json.JSONDecodeError:
+                        if index == len(raw_lines) - 1:
+                            warnings.warn(
+                                f"{self.path}: dropping truncated final "
+                                "record (interrupted mid-append?)",
+                                stacklevel=3,
+                            )
+                            break
+                        raise
+                    self.existing.add(data.get("test_id"))
+                offset += len(raw_line)
+            if offset < len(raw):
+                os.truncate(self.path, offset)
+            elif raw and not raw.endswith(b"\n"):
+                repair_newline = True
         self._fh = self.path.open("a", encoding="utf-8")
+        if repair_newline:
+            self._fh.write("\n")
+            self._fh.flush()
         self.written = 0
 
     def append(self, record: TestRecord) -> None:

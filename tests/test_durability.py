@@ -1,6 +1,9 @@
 """Durable campaigns: streaming logs, worker supervision, watchdog, atomic IO."""
 
 import json
+import multiprocessing
+import signal
+import time
 
 import pytest
 
@@ -116,6 +119,56 @@ class TestLogStream:
         assert len(CampaignLog.load(path)) == result.total_tests == 5
 
 
+class TestTruncatedTail:
+    """A crash mid-append leaves a half-written last line; resume must cope."""
+
+    @staticmethod
+    def _write_with_truncated_tail(path):
+        with path.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps(make_record("a").to_dict()) + "\n")
+            fh.write(json.dumps(make_record("b").to_dict()) + "\n")
+            fh.write('{"test_id": "c", "fun')  # interrupted mid-append
+
+    def test_load_drops_truncated_final_line(self, tmp_path):
+        path = tmp_path / "crashed.jsonl"
+        self._write_with_truncated_tail(path)
+        with pytest.warns(UserWarning, match="truncated"):
+            log = CampaignLog.load(path)
+        assert [r.test_id for r in log] == ["a", "b"]
+
+    def test_stream_truncates_tail_and_rewrites_lost_record(self, tmp_path):
+        path = tmp_path / "crashed.jsonl"
+        self._write_with_truncated_tail(path)
+        with pytest.warns(UserWarning, match="truncated"):
+            stream = CampaignLog.stream(path)
+        with stream:
+            # The half-written record is gone from the dedup set, so the
+            # resumed campaign checkpoints it again.
+            stream.append(make_record("c"))
+            stream.append(make_record("d"))
+        log = CampaignLog.load(path)  # no junk left mid-file
+        assert [r.test_id for r in log] == ["a", "b", "c", "d"]
+
+    def test_corruption_before_the_last_line_still_raises(self, tmp_path):
+        path = tmp_path / "mangled.jsonl"
+        with path.open("w", encoding="utf-8") as fh:
+            fh.write('{"test_id": "a", "fun\n')
+            fh.write(json.dumps(make_record("b").to_dict()) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            CampaignLog.load(path)
+        with pytest.raises(json.JSONDecodeError):
+            CampaignLog.stream(path)
+
+    def test_stream_repairs_missing_final_newline(self, tmp_path):
+        path = tmp_path / "cut.jsonl"
+        path.write_text(
+            json.dumps(make_record("a").to_dict()), encoding="utf-8"
+        )  # complete record, lost its newline
+        with CampaignLog.stream(path) as stream:
+            stream.append(make_record("b"))
+        assert [r.test_id for r in CampaignLog.load(path)] == ["a", "b"]
+
+
 class TestResumeValidation:
     def test_version_mismatch_rejected(self):
         fixed = Campaign(functions=("XM_reset_system",), kernel_version=FIXED_VERSION)
@@ -205,6 +258,31 @@ class TestWatchdog:
         executor = TestExecutor()
         assert executor.timeout_s is None
 
+    def test_finished_record_survives_slow_record_build(self, monkeypatch):
+        """The timer is disarmed the moment the run phase ends.
+
+        A test that completes just under the deadline must not have its
+        finished record discarded because SIGALRM fires during
+        _build_record or snapshot recycling.
+        """
+        spec = TestCallSpec(
+            "slowbuild#0",
+            "XM_mask_irq",
+            "Interrupt Management",
+            (ArgSpec("irqLine", "1", value=1),),
+        )
+        original = TestExecutor._build_record
+
+        def slow_build(self, *args, **kwargs):
+            time.sleep(0.5)  # well past the watchdog deadline
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(TestExecutor, "_build_record", slow_build)
+        record = TestExecutor(timeout_s=0.2).run(spec)
+        assert not record.watchdog_expired
+        assert not record.sim_hung
+        assert record.invoked
+
 
 class TestWorkerSupervision:
     def test_killed_worker_does_not_forfeit_the_campaign(self, monkeypatch):
@@ -252,6 +330,95 @@ class TestWorkerSupervision:
         summary = durability_summary(CampaignLog([record]))
         assert summary["worker_killed"] == 1
         assert summary["watchdog_expired"] == 0
+
+
+class TestCliStaleLog:
+    def test_fresh_run_moves_stale_log_aside(self, tmp_path, capsys):
+        """--log on an existing file without --resume must not let the
+        stream dedup fresh results against a previous run's records."""
+        from repro.cli import main
+
+        path = tmp_path / "out.jsonl"
+        campaign = Campaign(functions=("XM_reset_system",))
+        victim = list(campaign.iter_specs())[0].test_id
+        stale = make_record(victim, halt_reason="stale-previous-run")
+        CampaignLog([stale]).save(path)
+        code = main(
+            ["run", "--functions", "XM_reset_system", "--quiet", "--log", str(path)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        fresh = CampaignLog.load(path)
+        assert len(fresh) == 5
+        assert all(r.halt_reason != "stale-previous-run" for r in fresh)
+        prev = tmp_path / "out.jsonl.prev"
+        assert prev.exists()
+        assert CampaignLog.load(prev).records[0].halt_reason == "stale-previous-run"
+
+
+def _stub_run_spec_payload(spec_dict):
+    """Worker stub: announce on the beacon, return a minimal record.
+
+    Skips the simulator entirely, so a round big enough to overflow the
+    beacon pipe stays cheap.  Installed over the real entry point via
+    monkeypatch + the fork start method (workers inherit the patch).
+    """
+    from repro.fault import executor as executor_mod
+
+    test_id = spec_dict["test_id"]
+    executor_mod._BEACON.put(("start", test_id))
+    record = TestRecord(
+        test_id=test_id,
+        function=spec_dict["function"],
+        category=spec_dict["category"],
+        kernel_version="3.4.0",
+        frames=2,
+    ).to_dict()
+    executor_mod._BEACON.put(("done", test_id))
+    return record
+
+
+class TestBeaconDrain:
+    """Supervision announcements must be consumed while the round runs."""
+
+    def test_large_round_does_not_fill_the_beacon_pipe(self, monkeypatch):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs the fork start method to stub the worker")
+        import repro.fault.campaign as campaign_mod
+        import repro.fault.executor as executor_mod
+
+        monkeypatch.setattr(
+            executor_mod, "run_spec_payload", _stub_run_spec_payload
+        )
+        monkeypatch.setattr(
+            campaign_mod, "run_spec_payload", _stub_run_spec_payload
+        )
+        campaign = Campaign(warm_boot=False)
+        specs = [
+            TestCallSpec(
+                f"XM_mask_irq.irqLine-beacon#{i}",
+                "XM_mask_irq",
+                "Interrupt Management",
+                (),
+            )
+            for i in range(3000)
+        ]
+
+        # 6000 beacon messages at realistic id lengths — several times
+        # the ~64KB pipe, so every worker blocks in put() if the parent
+        # only drains at round end (the default campaign is 2864 tests).
+        # Fail loudly instead of hanging the suite if that regresses.
+        def overdue(signum, frame):  # noqa: ANN001 - signal handler
+            raise AssertionError("parallel round deadlocked on the beacon")
+
+        previous = signal.signal(signal.SIGALRM, overdue)
+        signal.alarm(120)
+        try:
+            records = campaign._run_parallel(specs, 2, None, None, None)
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+        assert [r.test_id for r in records] == [s.test_id for s in specs]
 
 
 class TestKillResumeRerun:
