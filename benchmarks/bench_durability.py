@@ -1,8 +1,8 @@
 """Durability overhead: streaming checkpoints and worker supervision.
 
 The streaming log flushes every record as it arrives and the supervised
-parallel runner adds a beacon announcement per test; both must stay in
-the noise next to test execution itself.  Measures a scoped campaign
+parallel runner relays every record back the moment it exists; both
+must stay in the noise next to test execution itself.  Measures a scoped campaign
 with and without a streamed log, and a supervised parallel run that
 absorbs one injected worker kill, recording the costs into
 ``BENCH_campaign.json``.
@@ -23,17 +23,21 @@ SCOPE = ("XM_reset_partition", "XM_get_partition_status", "XM_halt_partition")
 def test_streaming_log_overhead(tmp_path):
     campaign = Campaign(functions=SCOPE)
     campaign.run()  # warm-up: snapshot build stays out of both timings
-    start = time.perf_counter()
-    plain = campaign.run()
-    plain_s = time.perf_counter() - start
+    plain_s = streamed_s = None
+    for round_no in range(2):  # best of 2: single runs are noisy
+        start = time.perf_counter()
+        plain = campaign.run()
+        elapsed = time.perf_counter() - start
+        plain_s = elapsed if plain_s is None else min(plain_s, elapsed)
 
-    path = tmp_path / "stream.jsonl"
-    start = time.perf_counter()
-    streamed = campaign.run(log_path=path)
-    streamed_s = time.perf_counter() - start
+        path = tmp_path / f"stream{round_no}.jsonl"
+        start = time.perf_counter()
+        streamed = campaign.run(log_path=path)
+        elapsed = time.perf_counter() - start
+        streamed_s = elapsed if streamed_s is None else min(streamed_s, elapsed)
 
-    assert streamed.total_tests == plain.total_tests == 232
-    assert len(CampaignLog.load(path)) == 232
+        assert streamed.total_tests == plain.total_tests == 232
+        assert len(CampaignLog.load(path)) == 232
     record_bench(
         "durability",
         serial_tests=plain.total_tests,
@@ -47,21 +51,28 @@ def test_supervised_kill_recovery_cost(tmp_path, monkeypatch):
     """A pool that loses a worker mid-campaign still finishes; the
     respawn + probe cost of absorbing one kill is the measured delta."""
     campaign = Campaign(functions=("XM_reset_system", "XM_switch_sched_plan"))
-
-    start = time.perf_counter()
-    clean = campaign.run(processes=2)
-    clean_s = time.perf_counter() - start
-
     victim = [
         s for s in campaign.iter_specs() if s.function == "XM_switch_sched_plan"
     ][0]
-    monkeypatch.setenv(KILL_SPEC_ENV, victim.test_id)
-    start = time.perf_counter()
-    survived = campaign.run(processes=2, log_path=tmp_path / "killed.jsonl")
-    survived_s = time.perf_counter() - start
 
-    assert survived.total_tests == clean.total_tests
-    assert sum(1 for r in survived.log if r.worker_killed) == 1
+    clean_s = survived_s = None
+    for round_no in range(2):  # best of 2: single runs are noisy
+        monkeypatch.delenv(KILL_SPEC_ENV, raising=False)
+        start = time.perf_counter()
+        clean = campaign.run(processes=2)
+        elapsed = time.perf_counter() - start
+        clean_s = elapsed if clean_s is None else min(clean_s, elapsed)
+
+        monkeypatch.setenv(KILL_SPEC_ENV, victim.test_id)
+        start = time.perf_counter()
+        survived = campaign.run(
+            processes=2, log_path=tmp_path / f"killed{round_no}.jsonl"
+        )
+        elapsed = time.perf_counter() - start
+        survived_s = elapsed if survived_s is None else min(survived_s, elapsed)
+
+        assert survived.total_tests == clean.total_tests
+        assert sum(1 for r in survived.log if r.worker_killed) == 1
     record_bench(
         "durability",
         parallel_clean_s=round(clean_s, 2),

@@ -58,21 +58,24 @@ def test_parallel_campaign_benchmark(benchmark):
 
 
 def test_parallel_throughput_recorded():
-    """One timed 4-worker warm run, recorded into BENCH_campaign.json.
+    """Timed 4-worker warm runs (best of 2) into BENCH_campaign.json.
 
     Runs regardless of host core count: on a single-CPU box the pool
     only adds process overhead (the recorded figure shows it), while the
     outcome assertions still hold.
     """
     campaign = Campaign(functions=SCOPE)
-    start = time.perf_counter()
-    result = campaign.run(processes=4)
-    elapsed = time.perf_counter() - start
-    assert result.total_tests == 232
+    best = None
+    for _ in range(2):
+        start = time.perf_counter()
+        result = campaign.run(processes=4)
+        elapsed = time.perf_counter() - start
+        assert result.total_tests == 232
+        best = elapsed if best is None else min(best, elapsed)
     record_bench(
         "campaign_throughput",
         parallel_workers=4,
-        parallel_warm_tests_per_s=round(232 / elapsed, 1),
+        parallel_warm_tests_per_s=round(232 / best, 1),
     )
 
 

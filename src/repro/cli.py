@@ -7,7 +7,8 @@ intervention from the test administrator.
 Subcommands::
 
     repro-campaign run [--version V] [--functions F1,F2] [--processes N]
-                       [--frames N] [--strategy cartesian|pairwise|random]
+                       [--shard-size K] [--frames N]
+                       [--strategy cartesian|pairwise|random]
                        [--log out.jsonl] [--resume] [--timeout-s T]
     repro-campaign report --log out.jsonl
     repro-campaign tables            # Table I, Table II, Fig. 8, XML excerpts
@@ -59,6 +60,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated hypercall subset (default: all tested)",
     )
     run.add_argument("--processes", type=int, default=None, help="parallel workers")
+    run.add_argument(
+        "--shard-size",
+        dest="shard_size",
+        type=int,
+        default=None,
+        help="specs per parallel pool task (default: auto-sized batches; "
+        "1 = per-spec dispatch)",
+    )
     run.add_argument("--frames", type=int, default=2, help="major frames per test")
     run.add_argument(
         "--warm-boot",
@@ -191,6 +200,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         resume_from=resume_log,
         log_path=args.log,
         timeout_s=args.timeout_s,
+        shard_size=args.shard_size,
     )
     if args.log:
         # The stream already checkpointed every record; the final save

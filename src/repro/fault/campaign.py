@@ -4,9 +4,12 @@ A :class:`Campaign` binds the preparation-phase artefacts (API model,
 dictionaries, strategy, oracle) and runs the generation + execution +
 analysis pipeline over the in-scope hypercalls.  Execution is serial by
 default; pass ``processes`` to fan the independent test runs across a
-process pool (each test boots its own simulator, so the work is
-embarrassingly parallel — the paper ran its campaign from shell scripts
-for the same reason).
+process pool (the work is embarrassingly parallel — the paper ran its
+campaign from shell scripts for the same reason).  The pool dispatches
+in *shards*: specs travel as compact indices into the suites both sides
+generate deterministically (see :mod:`repro.fault.wire`), one future
+covers a whole batch, and workers stream records back per test on a
+results relay — so the per-test cost is the test, not the bookkeeping.
 
 Execution is also *durable*: ``log_path`` checkpoints every record to a
 JSONL stream the moment it arrives, the parallel runner supervises its
@@ -24,6 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator
 
+from repro.fault import wire
 from repro.fault.apimodel import ApiFunction, ApiModel, api_model_from_table
 from repro.fault.classify import Classification, Severity, classify
 from repro.fault.combinator import CartesianStrategy, GenerationStrategy
@@ -32,13 +36,11 @@ from repro.fault.executor import (
     DEFAULT_FRAMES,
     TestExecutor,
     _init_worker,
-    run_spec_payload,
-    spec_to_dict,
+    run_shard_payload,
     worker_killed_record,
 )
 from repro.fault.issues import Issue, cluster_issues
-from repro.fault.matrix import build_matrix
-from repro.fault.mutant import TestCallSpec, dataset_to_spec
+from repro.fault.mutant import TestCallSpec
 from repro.fault.oracle import Expectation, OracleContext, ReferenceOracle
 from repro.fault.testlog import CampaignLog, TestRecord
 from repro.xm.vulns import VULNERABLE_VERSION
@@ -98,6 +100,21 @@ ProgressHook = Callable[[int, int, TestRecord], None]
 RecordSink = Callable[[TestRecord], None]
 
 
+def _auto_shard_size(total: int, processes: int) -> int:
+    """Default shard size for ``total`` specs across ``processes`` workers.
+
+    Big enough to amortise per-task dispatch (at least 16 specs, ~8
+    shards per worker on large campaigns so stragglers balance), but
+    never so big that a worker sits idle while another holds more than
+    its share of a small campaign.
+    """
+    if total <= 0:
+        return 1
+    amortised = max(16, total // (processes * 8))
+    per_worker = -(-total // processes)  # ceil
+    return max(1, min(amortised, per_worker))
+
+
 @dataclass
 class Campaign:
     """One configured robustness-testing campaign."""
@@ -131,29 +148,25 @@ class Campaign:
 
     def scope(self) -> list[ApiFunction]:
         """The in-scope (tested) hypercalls."""
-        tested = self.model.tested_functions()
-        if self.functions is None:
-            return tested
-        wanted = set(self.functions)
-        return [fn for fn in tested if fn.name in wanted]
+        return wire.scoped_functions(self.model, self.functions)
 
     def suites(self) -> list[HypercallSuite]:
         """Generate every suite (Fig. 4 steps 1-3), cached.
 
         Generation is pure in the campaign configuration, so the suites
         are built once; run() and analyse() no longer each pay a full
-        matrix expansion over the same scope.
+        matrix expansion over the same scope.  The expansion itself
+        lives in :func:`repro.fault.wire.generate_suites` — the same
+        helper pool workers use to regenerate their spec tables, so
+        wire indices always address the specs this side generated.
         """
         if self._suites is None:
-            out: list[HypercallSuite] = []
-            for function in self.scope():
-                matrix = build_matrix(function, self.dictionaries)
-                specs = [
-                    dataset_to_spec(function, dataset, index)
-                    for index, dataset in enumerate(self.strategy.generate(matrix))
-                ]
-                out.append(HypercallSuite(function=function, specs=specs))
-            self._suites = out
+            self._suites = [
+                HypercallSuite(function=function, specs=specs)
+                for function, specs in wire.generate_suites(
+                    self.model, self.dictionaries, self.strategy, self.functions
+                )
+            ]
         return self._suites
 
     def iter_specs(self) -> Iterator[TestCallSpec]:
@@ -174,11 +187,17 @@ class Campaign:
         resume_from: CampaignLog | None = None,
         log_path: str | Path | None = None,
         timeout_s: float | None = None,
+        shard_size: int | None = None,
     ) -> CampaignResult:
         """Execute the campaign and analyse the logs.
 
         ``processes=None`` runs serially in-process; an integer fans out
-        across a supervised worker pool with per-test process isolation.
+        across a supervised worker pool with process isolation.  The
+        pool dispatches *shards* — batches of specs encoded as indices
+        into the campaign's own suites — rather than one task per spec,
+        so per-test bookkeeping is amortised; ``shard_size`` overrides
+        the auto-sized batches (``shard_size=1`` degenerates to per-spec
+        dispatch and produces field-for-field identical records).
         ``resume_from`` skips tests already present in an earlier log
         (an interrupted campaign picks up where it stopped, like the
         paper's restartable shell scripts); the analysed result covers
@@ -220,7 +239,7 @@ class Campaign:
                 records = self._run_serial(remaining, progress, sink, timeout_s)
             else:
                 records = self._run_parallel(
-                    remaining, processes, progress, sink, timeout_s
+                    remaining, processes, progress, sink, timeout_s, shard_size
                 )
         finally:
             if stream is not None:
@@ -273,6 +292,16 @@ class Campaign:
                 progress(index + 1, len(specs), record)
         return records
 
+    def _wire_recipe(self) -> wire.SuiteRecipe:
+        """The recipe pool workers regenerate their spec tables from."""
+        return wire.SuiteRecipe(
+            model=self.model,
+            dictionaries=self.dictionaries,
+            strategy=self.strategy,
+            functions=self.functions,
+            total=self.total_tests(),
+        )
+
     def _run_parallel(
         self,
         specs: list[TestCallSpec],
@@ -280,22 +309,31 @@ class Campaign:
         progress: ProgressHook | None,
         sink: RecordSink | None = None,
         timeout_s: float | None = None,
+        shard_size: int | None = None,
     ) -> list[TestRecord]:
-        """Supervised parallel execution that survives worker deaths.
+        """Supervised sharded execution that survives worker deaths.
 
-        Specs run on a pool of persistent workers (each builds its
-        warm-boot snapshot once, in the initializer).  Every record is
-        delivered — and checkpointed via ``sink`` — the moment its
-        future completes.  When a test kills its worker the pool breaks;
-        instead of forfeiting the run, the supervisor attributes the
-        death using the workers' start/done beacon, re-runs each suspect
-        alone on a single-worker pool (innocent in-flight specs simply
-        complete there; the one that dies again is the killer and
-        becomes a ``worker_killed`` record), respawns the pool, and
-        continues with the remaining specs.
+        Specs are partitioned into shards and each shard is one pool
+        task: a persistent worker (warm-boot snapshot built once, in
+        the initializer) runs the whole shard and streams every record
+        back on the results relay the moment it exists — so records are
+        still delivered, checkpointed via ``sink`` and reported via
+        ``progress`` at test granularity, only the submission
+        bookkeeping is amortised.  When a test kills its worker the
+        pool breaks; instead of forfeiting the run, the supervisor
+        takes the unfinished remainders of every announced shard as
+        suspects and re-runs them on one persistent single-worker probe
+        pool: innocents simply complete there, and when the probe pool
+        breaks the killer is — workers run their shards in order, and
+        every finished record was already relayed — exactly the first
+        suspect without a record, which becomes a ``worker_killed``
+        record.  The main pool is then respawned for whatever never
+        started, so completed records are never re-run or lost.
         """
         if processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
+        if shard_size is not None and shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
         total = len(specs)
         records: list[TestRecord] = []
 
@@ -308,26 +346,38 @@ class Campaign:
 
         remaining = list(specs)
         while remaining:
-            completed, suspects, broke = self._pool_round(
-                remaining, processes, timeout_s, emit
+            size = shard_size or _auto_shard_size(len(remaining), processes)
+            completed, suspect_shards, broke = self._pool_round(
+                remaining, processes, size, timeout_s, emit
             )
             if not broke:
                 break
-            if not suspects and not completed:
+            if not completed and not suspect_shards:
                 raise RuntimeError(
                     "worker pool died before any test started "
                     "(initializer failure?)"
                 )
             resolved = set(completed)
-            for spec in [s for s in remaining if s.test_id in suspects]:
-                sub_done, _, sub_broke = self._pool_round(
-                    [spec], 1, timeout_s, emit
+            # One probe pool per kill, reused across the whole suspect
+            # list — not one pool (and one warm boot) per suspect.
+            suspects = [spec for shard in suspect_shards for spec in shard]
+            while suspects:
+                probe_done, _probe_suspects, probe_broke = self._pool_round(
+                    suspects, 1, size, timeout_s, emit
                 )
-                if sub_broke or not sub_done:
-                    emit(
-                        worker_killed_record(spec, self.kernel_version, self.frames)
-                    )
-                resolved.add(spec.test_id)
+                resolved |= probe_done
+                if not probe_broke:
+                    break
+                killer = next(
+                    (s for s in suspects if s.test_id not in resolved), None
+                )
+                if killer is None:
+                    break
+                emit(
+                    worker_killed_record(killer, self.kernel_version, self.frames)
+                )
+                resolved.add(killer.test_id)
+                suspects = [s for s in suspects if s.test_id not in resolved]
             remaining = [s for s in remaining if s.test_id not in resolved]
         # Unordered delivery must not leak into analysis: issue clustering
         # and log files are stable in spec order.
@@ -339,18 +389,25 @@ class Campaign:
         self,
         specs: list[TestCallSpec],
         processes: int,
+        shard_size: int,
         timeout_s: float | None,
         emit: RecordSink,
-    ) -> tuple[set[str], set[str], bool]:
-        """One pool pass over ``specs``: (completed ids, suspects, broke).
+    ) -> tuple[set[str], list[list[TestCallSpec]], bool]:
+        """One sharded pool pass: (completed ids, suspect shards, broke).
 
-        The suspects are the test ids that workers announced as started
-        but never finished when a worker died — the candidate killers
-        (plus any innocents that were in flight on sibling workers).
+        Submits one future per shard; the future only signals shard
+        completion — records travel on the results relay, one message
+        per finished test, and are emitted (checkpointed, progressed)
+        here as they arrive.  The suspect shards are the in-order
+        unfinished remainders of the shards workers had announced when
+        the pool broke: each contains at most one killer (the first
+        spec without a record, for the shard whose worker died) plus
+        innocents that were merely in flight or queued behind it.
         """
         import multiprocessing as mp
+        import queue as thread_queue
         import threading
-        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures import CancelledError, ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
 
         context = (
@@ -358,31 +415,35 @@ class Campaign:
             if "fork" in mp.get_all_start_methods()
             else mp.get_context()
         )
-        beacon = context.SimpleQueue()
+        relay = context.SimpleQueue()
+        shards = [
+            specs[start : start + shard_size]
+            for start in range(0, len(specs), shard_size)
+        ]
+        index_of = {
+            spec.test_id: index for index, spec in enumerate(self.iter_specs())
+        }
         completed: set[str] = set()
+        announced: list[int] = []
+        finished: list[int] = []
+        errors: list[BaseException] = []
         broke = False
-        # The beacon must be drained *while* the round runs: SimpleQueue
-        # puts are synchronous, so once the pipe buffer fills (~64KB,
-        # roughly 580 tests' worth of announcements) every worker would
-        # block in put() and the round would deadlock.  A parent-side
-        # reader consumes announcements continuously; the sets are only
-        # read after join(), so no locking is needed.
-        started: set[str] = set()
-        finished: set[str] = set()
+        #: Thread-safe staging between the relay pump and this (main)
+        #: thread, which must be the one calling ``emit`` so a progress
+        #: hook that raises interrupts the campaign, not a helper thread.
+        inbox: thread_queue.Queue = thread_queue.Queue()
+        pool_done = threading.Event()
 
-        def drain_beacon() -> None:
-            while True:
-                kind, test_id = beacon.get()
-                if kind == "stop":
-                    return
-                (started if kind == "start" else finished).add(test_id)
+        def handle(message: tuple) -> None:
+            if message[0] == "shard":
+                announced.append(message[1])
+            elif message[0] == "record":
+                record = wire.decode_record(message[1])
+                completed.add(record.test_id)
+                emit(record)
 
-        reader = threading.Thread(
-            target=drain_beacon, name="beacon-drain", daemon=True
-        )
-        reader.start()
         executor = ProcessPoolExecutor(
-            max_workers=processes,
+            max_workers=min(processes, len(shards)),
             mp_context=context,
             initializer=_init_worker,
             initargs=(
@@ -390,31 +451,113 @@ class Campaign:
                 self.frames,
                 self.warm_boot,
                 timeout_s,
-                beacon,
+                relay,
+                self._wire_recipe(),
             ),
         )
+        pump: threading.Thread | None = None
+        watcher: threading.Thread | None = None
         try:
-            futures = [
-                executor.submit(run_spec_payload, spec_to_dict(spec))
-                for spec in specs
-            ]
-            for future in as_completed(futures):
+            futures = {
+                executor.submit(
+                    run_shard_payload,
+                    (number, [index_of[s.test_id] for s in shard]),
+                ): number
+                for number, shard in enumerate(shards)
+            }
+
+            def drain() -> None:
+                # Move relay messages onto the thread-safe inbox as they
+                # arrive.  The parent must never *write* to the relay: a
+                # worker the broken pool SIGTERMs mid-put dies holding
+                # the queue's writer lock, and a parent-side put would
+                # then deadlock forever.  Continuous reading also keeps
+                # the pipe from filling, so no worker can wedge in put()
+                # while the pool shuts down.  The blocked read wakes
+                # with EOF once the workers are gone and relay.close()
+                # drops the parent's write end; a frame half-written by
+                # a dying worker surfaces here as an unpickling error —
+                # either way everything already staged is safe.
                 try:
-                    record = TestRecord.from_dict(future.result())
-                except BrokenProcessPool:
-                    broke = True
-                    break
-                completed.add(record.test_id)
-                emit(record)
+                    while True:
+                        inbox.put(relay.get())
+                except Exception:
+                    pass
+
+            def watch() -> None:
+                # Futures only signal shard completion (records travel
+                # on the relay); collect which shards finished cleanly
+                # so the main thread knows exactly which records it is
+                # still owed after the pool winds down.  Submission
+                # order via result() rather than as_completed(): pool
+                # shutdown with cancel_futures leaves cancelled futures
+                # CANCELLED but never notified (cpython process.py skips
+                # set_running_or_notify_cancel on them), so completion
+                # waiters — and with them as_completed — hang forever,
+                # while result() wakes on the condition cancel() does
+                # signal.
+                nonlocal broke
+                for future, number in futures.items():
+                    try:
+                        future.result()
+                    except BrokenProcessPool:
+                        broke = True
+                    except CancelledError:
+                        pass
+                    except BaseException as exc:  # worker bug: surface it
+                        errors.append(exc)
+                    else:
+                        finished.append(number)
+                pool_done.set()
+
+            pump = threading.Thread(target=drain, name="relay-pump", daemon=True)
+            watcher = threading.Thread(target=watch, name="relay-watch", daemon=True)
+            pump.start()
+            watcher.start()
+            while not pool_done.is_set():
+                try:
+                    handle(inbox.get(timeout=0.05))
+                except thread_queue.Empty:
+                    pass
+            # Every record of a cleanly finished shard was put on the
+            # relay before its future resolved (FIFO, synchronous puts),
+            # so drain until all of them are in — the pump may lag the
+            # futures by a few messages.
+            owed = {
+                spec.test_id
+                for number in finished
+                for spec in shards[number]
+            }
+            while not owed <= completed:
+                handle(inbox.get(timeout=10.0))  # Empty here = lost records
+            if broke:
+                # A sibling worker terminated mid-round may still have
+                # completed messages in flight; give the pump a short
+                # grace window to salvage them.  Anything it misses is
+                # merely re-probed, so the window stays small — it is
+                # pure added latency on every worker-kill recovery.
+                while True:
+                    try:
+                        handle(inbox.get(timeout=0.05))
+                    except thread_queue.Empty:
+                        break
+            if errors:
+                raise errors[0]
         finally:
-            executor.shutdown(wait=not broke, cancel_futures=True)
-            # All worker announcements are queued before their processes
-            # exit, so the FIFO guarantees the sentinel lands last and
-            # the reader has seen every message by the time it returns.
-            beacon.put(("stop", ""))
-            reader.join()
-            beacon.close()
-        return completed, started - finished - completed, broke
+            # Safe to wait even on a broken pool: the pump keeps the
+            # relay drained, so in-flight workers can always finish
+            # their current put and exit.
+            executor.shutdown(wait=True, cancel_futures=True)
+            if watcher is not None:
+                watcher.join()
+            relay.close()
+            if pump is not None:
+                pump.join(timeout=5.0)
+        suspect_shards = [
+            [s for s in shards[number] if s.test_id not in completed]
+            for number in sorted(announced)
+        ]
+        return completed, [shard for shard in suspect_shards if shard], broke
 
     # -- analysis -----------------------------------------------------------
 

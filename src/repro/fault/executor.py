@@ -26,14 +26,17 @@ and is disabled automatically — with a cold fallback — when a custom
 ``system_factory`` is installed or the packed software turns out not to
 be snapshottable.
 
-Process isolation (one OS process per test, faithful to the paper's
-one-TSIM-per-test shell scripts) is provided by the module-level worker
-entry points used by the parallel campaign runner; each worker process
-builds its snapshot once and reuses it for every test it is handed.
-Workers announce each test on a supervision beacon so the campaign can
-attribute a worker death to the spec that caused it, and an optional
-wall-clock watchdog (``timeout_s``) turns a runaway run into a
-``sim_hung``-style record instead of a stalled campaign.
+Process isolation (worker processes separate from the campaign,
+faithful to the paper's one-TSIM-per-test shell scripts) is provided by
+the module-level worker entry points used by the parallel campaign
+runner; each worker process builds its snapshot once (in the pool
+initializer) and reuses it for every *shard* — a batch of spec-table
+indices — it is handed.  Workers announce each shard and stream every
+finished record back on the results relay, so the campaign can both
+checkpoint per record and attribute a worker death to the exact spec
+that caused it; an optional wall-clock watchdog (``timeout_s``) turns a
+runaway run into a ``sim_hung``-style record instead of a stalled
+campaign.
 """
 
 from __future__ import annotations
@@ -46,7 +49,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.fault.mutant import ArgSpec, TestCallSpec, TestPartitionLayout, default_layout
+from repro.fault.mutant import TestCallSpec, TestPartitionLayout, default_layout
 from repro.fault.stateful_oracle import capture_state
 from repro.fault.testlog import Invocation, TestRecord
 from repro.testbed import build_system
@@ -437,11 +440,17 @@ def worker_killed_record(
 
 #: Per-worker executor installed by :func:`_init_worker`.
 _WORKER: TestExecutor | None = None
-#: Supervision beacon (a queue): workers announce ("start", test_id) /
-#: ("done", test_id) so the parent can attribute a worker death to the
-#: spec that was in flight.  SimpleQueue puts are synchronous (no feeder
-#: thread), so a "start" announcement survives even an immediate kill.
-_BEACON = None
+#: Results relay (a SimpleQueue): workers announce each shard on
+#: arrival and stream every finished record back the moment it exists,
+#: so the parent can checkpoint per record and, when a worker dies,
+#: identify the killer as the first spec of the announced shard without
+#: a record.  SimpleQueue puts are synchronous (no feeder thread), so
+#: every message put before a kill survives it.
+_RELAY = None
+#: Spec table regenerated from the campaign's SuiteRecipe — the wire
+#: format for a shard is a list of indices into this table, not pickled
+#: spec dicts (see :mod:`repro.fault.wire`).
+_SPEC_TABLE: list[TestCallSpec] | None = None
 
 
 def _init_worker(
@@ -449,68 +458,47 @@ def _init_worker(
     frames: int,
     warm_boot: bool,
     timeout_s: float | None = None,
-    beacon=None,  # noqa: ANN001 - mp.SimpleQueue proxy
+    relay=None,  # noqa: ANN001 - mp.SimpleQueue proxy
+    recipe=None,  # noqa: ANN001 - wire.SuiteRecipe
 ) -> None:
-    global _WORKER, _BEACON
+    global _WORKER, _RELAY, _SPEC_TABLE
     _WORKER = TestExecutor(
         kernel_version=kernel_version,
         frames=frames,
         warm_boot=warm_boot,
         timeout_s=timeout_s,
     )
-    _BEACON = beacon
+    _RELAY = relay
+    if recipe is not None:
+        from repro.fault.wire import build_spec_table
+
+        _SPEC_TABLE = build_spec_table(recipe)
     _WORKER.prepare()
 
 
-def spec_from_dict(spec_dict: dict) -> TestCallSpec:
-    """Rebuild a spec from its :func:`spec_to_dict` form."""
-    return TestCallSpec(
-        test_id=spec_dict["test_id"],
-        function=spec_dict["function"],
-        category=spec_dict["category"],
-        args=tuple(ArgSpec(**arg) for arg in spec_dict["args"]),
-    )
+def run_shard_payload(shard: tuple[int, list[int]]) -> int:
+    """Pool worker: run one shard on this process's persistent executor.
 
-
-def run_spec_payload(spec_dict: dict) -> dict:
-    """Pool worker: run one spec on this process's persistent executor."""
-    assert _WORKER is not None, "pool started without _init_worker"
-    test_id = spec_dict["test_id"]
-    if _BEACON is not None:
-        _BEACON.put(("start", test_id))
-    if os.environ.get(KILL_SPEC_ENV) == test_id:
-        os._exit(17)  # fault injection: die like a harness-killing test
-    data = _WORKER.run(spec_from_dict(spec_dict)).to_dict()
-    if _BEACON is not None:
-        _BEACON.put(("done", test_id))
-    return data
-
-
-def run_spec_dict(payload: tuple[dict, str, int]) -> dict:
-    """Self-contained worker for process pools (picklable in/out).
-
-    Takes ``(spec_as_dict, kernel_version, frames)`` and returns the
-    record as a dict.  Unlike :func:`run_spec_payload` this carries its
-    whole context per call, so it works without a pool initializer.
+    ``shard`` is ``(shard_no, indices)`` — indices into the spec table
+    both sides derived from the campaign's recipe.  The worker announces
+    the shard on the relay, then runs each spec in order and streams its
+    record back immediately (compact :func:`~repro.fault.wire.encode_record`
+    form), so a worker death loses nothing that finished and pins the
+    killer to the first index lacking a record.  Returns the number of
+    specs run (records travel on the relay, not the future).
     """
-    spec_dict, version, frames = payload
-    executor = TestExecutor(kernel_version=version, frames=frames)
-    return executor.run(spec_from_dict(spec_dict)).to_dict()
+    assert _WORKER is not None, "pool started without _init_worker"
+    assert _SPEC_TABLE is not None, "pool started without a suite recipe"
+    from repro.fault.wire import encode_record
 
-
-def spec_to_dict(spec: TestCallSpec) -> dict:
-    """Picklable plain-dict form of a spec."""
-    return {
-        "test_id": spec.test_id,
-        "function": spec.function,
-        "category": spec.category,
-        "args": [
-            {
-                "param": a.param,
-                "label": a.label,
-                "value": a.value,
-                "symbol": a.symbol,
-            }
-            for a in spec.args
-        ],
-    }
+    shard_no, indices = shard
+    specs = [_SPEC_TABLE[index] for index in indices]
+    if _RELAY is not None:
+        _RELAY.put(("shard", shard_no))
+    for spec in specs:
+        if os.environ.get(KILL_SPEC_ENV) == spec.test_id:
+            os._exit(17)  # fault injection: die like a harness-killing test
+        record = _WORKER.run(spec)
+        if _RELAY is not None:
+            _RELAY.put(("record", encode_record(record)))
+    return len(specs)

@@ -1,0 +1,253 @@
+"""Wire formats for the campaign's process-pool and log paths.
+
+Everything that crosses a process or file boundary goes through this
+module, so the pool path and the JSONL log path cannot drift apart:
+
+- **Spec codec** — :func:`spec_to_dict` / :func:`spec_from_dict`, the
+  plain-dict form of a :class:`~repro.fault.mutant.TestCallSpec` (grew
+  ad-hoc in the executor during PR 1; consolidated here).
+- **Record codec** — :func:`record_to_dict` / :func:`record_from_dict`,
+  the JSON-serialisable form of a
+  :class:`~repro.fault.testlog.TestRecord`.  ``record_from_dict`` is
+  forward-compatible: unknown keys (a log written by newer code) are
+  dropped with a warning, missing keys take the dataclass defaults.
+- **Relay codec** — :func:`encode_record` / :func:`decode_record`, the
+  compact form streamed back from pool workers: fields still at their
+  defaults are omitted, which roughly halves the pickled size of a
+  nominal record without changing what a decode reconstructs.  Logs on
+  disk always use the full record codec.
+- **Spec table** — :class:`SuiteRecipe` and :func:`build_spec_table`.
+  Suite generation is pure in the campaign configuration, so instead of
+  pickling every spec across the pool, the parent ships the *recipe*
+  once per worker (in the pool initializer) and each side derives the
+  identical, identically-ordered spec table; a shard on the wire is
+  then just a list of integer indices into that table
+  (see :func:`~repro.fault.executor.run_shard_payload`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+
+from repro.fault.apimodel import ApiFunction, ApiModel
+from repro.fault.combinator import GenerationStrategy
+from repro.fault.dictionaries import DictionarySet
+from repro.fault.matrix import build_matrix
+from repro.fault.mutant import ArgSpec, TestCallSpec, dataset_to_spec
+from repro.fault.testlog import Invocation, TestRecord
+
+# -- spec codec --------------------------------------------------------------
+
+
+def spec_to_dict(spec: TestCallSpec) -> dict:
+    """Picklable plain-dict form of a spec."""
+    return {
+        "test_id": spec.test_id,
+        "function": spec.function,
+        "category": spec.category,
+        "args": [
+            {
+                "param": a.param,
+                "label": a.label,
+                "value": a.value,
+                "symbol": a.symbol,
+            }
+            for a in spec.args
+        ],
+    }
+
+
+def spec_from_dict(spec_dict: dict) -> TestCallSpec:
+    """Rebuild a spec from its :func:`spec_to_dict` form."""
+    return TestCallSpec(
+        test_id=spec_dict["test_id"],
+        function=spec_dict["function"],
+        category=spec_dict["category"],
+        args=tuple(ArgSpec(**arg) for arg in spec_dict["args"]),
+    )
+
+
+# -- record codec ------------------------------------------------------------
+
+
+def record_to_dict(record: TestRecord) -> dict:
+    """JSON-serialisable form of a record (the log path's format).
+
+    Built by hand rather than ``dataclasses.asdict``: asdict deep-copies
+    recursively and costs ~150us per record, which at campaign rates is
+    a measurable slice of the whole execution; this is the hot half of
+    both the streamed log and the relay encoder.
+    """
+    return {
+        "test_id": record.test_id,
+        "function": record.function,
+        "category": record.category,
+        "arg_labels": list(record.arg_labels),
+        "resolved_args": list(record.resolved_args),
+        "invocations": [
+            {
+                "returned": inv.returned,
+                "rc": inv.rc,
+                "note": inv.note,
+                "state": inv.state,
+            }
+            for inv in record.invocations
+        ],
+        "sim_crashed": record.sim_crashed,
+        "sim_hung": record.sim_hung,
+        "kernel_halted": record.kernel_halted,
+        "halt_reason": record.halt_reason,
+        "resets": list(record.resets),
+        "hm_events": list(record.hm_events),
+        "overruns": record.overruns,
+        "test_partition_state": record.test_partition_state,
+        "console_tail": list(record.console_tail),
+        "kernel_version": record.kernel_version,
+        "frames": record.frames,
+        "wall_time_s": record.wall_time_s,
+        "worker_killed": record.worker_killed,
+        "watchdog_expired": record.watchdog_expired,
+    }
+
+
+def record_from_dict(data: dict) -> TestRecord:
+    """Inverse of :func:`record_to_dict`.
+
+    Keys this version does not know (a log written by newer code) are
+    dropped with a warning rather than crashing the load, so old
+    analysers keep working on forward-compatible logs; missing keys
+    (the compact relay form) take the dataclass defaults.
+    """
+    known = {f.name for f in fields(TestRecord)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        warnings.warn(
+            f"TestRecord.from_dict: dropping unrecognised fields {unknown}"
+            " (log written by newer code?)",
+            stacklevel=2,
+        )
+    data = {key: value for key, value in data.items() if key in known}
+    data["arg_labels"] = tuple(data.get("arg_labels", ()))
+    data["resolved_args"] = tuple(data.get("resolved_args", ()))
+    inv_known = {f.name for f in fields(Invocation)}
+    data["invocations"] = [
+        Invocation(**{k: v for k, v in inv.items() if k in inv_known})
+        for inv in data.get("invocations", [])
+    ]
+    data["resets"] = [tuple(r) for r in data.get("resets", [])]
+    data["hm_events"] = [tuple(e) for e in data.get("hm_events", [])]
+    return TestRecord(**data)
+
+
+#: Default field values of a record's dict form, used to sparsify the
+#: relay encoding (computed once, lazily — TestRecord requires the three
+#: identity fields, which never match a real record's values).
+_RECORD_DEFAULTS: dict | None = None
+
+
+def _record_defaults() -> dict:
+    """Dict form of an all-defaults record."""
+    global _RECORD_DEFAULTS
+    if _RECORD_DEFAULTS is None:
+        _RECORD_DEFAULTS = record_to_dict(
+            TestRecord(test_id="", function="", category="")
+        )
+    return _RECORD_DEFAULTS
+
+
+def encode_record(record: TestRecord) -> dict:
+    """Compact relay form: fields still at their defaults are omitted.
+
+    A nominal record is mostly defaults (no crash, no resets, no HM
+    events), so dropping them roughly halves what a pool worker pickles
+    back per test.  :func:`decode_record` restores the defaults, making
+    the round trip lossless; the on-disk log format is unaffected.
+    """
+    defaults = _record_defaults()
+    data = record_to_dict(record)
+    return {
+        key: value
+        for key, value in data.items()
+        if key in ("test_id", "function", "category") or value != defaults[key]
+    }
+
+
+def decode_record(data: dict) -> TestRecord:
+    """Rebuild a record from its :func:`encode_record` relay form."""
+    return record_from_dict(data)
+
+
+# -- deterministic spec table ------------------------------------------------
+
+
+def scoped_functions(
+    model: ApiModel, functions: tuple[str, ...] | None
+) -> list[ApiFunction]:
+    """The in-scope (tested) hypercalls, optionally filtered by name."""
+    tested = model.tested_functions()
+    if functions is None:
+        return tested
+    wanted = set(functions)
+    return [fn for fn in tested if fn.name in wanted]
+
+
+def generate_suites(
+    model: ApiModel,
+    dictionaries: DictionarySet,
+    strategy: GenerationStrategy,
+    functions: tuple[str, ...] | None,
+) -> list[tuple[ApiFunction, list[TestCallSpec]]]:
+    """Expand every in-scope hypercall into its specs (Fig. 4 steps 1-3).
+
+    This is the single source of truth for suite *ordering*: the
+    campaign and every pool worker derive their spec tables from it, so
+    an index on the wire means the same spec on both sides.
+    """
+    out: list[tuple[ApiFunction, list[TestCallSpec]]] = []
+    for function in scoped_functions(model, functions):
+        matrix = build_matrix(function, dictionaries)
+        specs = [
+            dataset_to_spec(function, dataset, index)
+            for index, dataset in enumerate(strategy.generate(matrix))
+        ]
+        out.append((function, specs))
+    return out
+
+
+@dataclass(frozen=True)
+class SuiteRecipe:
+    """Everything a pool worker needs to rebuild the campaign's specs.
+
+    Shipped once per worker in the pool initializer; ``total`` lets the
+    worker verify its locally generated table against the parent's
+    before any index is trusted.
+    """
+
+    model: ApiModel
+    dictionaries: DictionarySet
+    strategy: GenerationStrategy
+    functions: tuple[str, ...] | None
+    total: int
+
+
+def build_spec_table(recipe: SuiteRecipe) -> list[TestCallSpec]:
+    """Regenerate the flat, suite-ordered spec table from a recipe.
+
+    Raises ``RuntimeError`` when the regenerated table's size disagrees
+    with the parent's — a drifted recipe must fail loudly rather than
+    let wire indices silently address the wrong specs.
+    """
+    table = [
+        spec
+        for _function, specs in generate_suites(
+            recipe.model, recipe.dictionaries, recipe.strategy, recipe.functions
+        )
+        for spec in specs
+    ]
+    if len(table) != recipe.total:
+        raise RuntimeError(
+            f"spec table mismatch: worker regenerated {len(table)} specs, "
+            f"parent campaign has {recipe.total}"
+        )
+    return table

@@ -356,60 +356,57 @@ class TestCliStaleLog:
         assert CampaignLog.load(prev).records[0].halt_reason == "stale-previous-run"
 
 
-def _stub_run_spec_payload(spec_dict):
-    """Worker stub: announce on the beacon, return a minimal record.
+def _stub_run_shard_payload(shard):
+    """Worker stub: relay a minimal record per spec, skip the simulator.
 
-    Skips the simulator entirely, so a round big enough to overflow the
-    beacon pipe stays cheap.  Installed over the real entry point via
-    monkeypatch + the fork start method (workers inherit the patch).
+    Exercises the real shard wire format (indices into the regenerated
+    spec table, sparse records on the relay) while keeping a round big
+    enough to overflow the relay pipe cheap.  Installed over the real
+    entry point via monkeypatch + the fork start method (workers
+    inherit the patch).
     """
     from repro.fault import executor as executor_mod
+    from repro.fault import wire
 
-    test_id = spec_dict["test_id"]
-    executor_mod._BEACON.put(("start", test_id))
-    record = TestRecord(
-        test_id=test_id,
-        function=spec_dict["function"],
-        category=spec_dict["category"],
-        kernel_version="3.4.0",
-        frames=2,
-    ).to_dict()
-    executor_mod._BEACON.put(("done", test_id))
-    return record
+    shard_no, indices = shard
+    executor_mod._RELAY.put(("shard", shard_no))
+    for index in indices:
+        spec = executor_mod._SPEC_TABLE[index]
+        record = TestRecord(
+            test_id=spec.test_id,
+            function=spec.function,
+            category=spec.category,
+            kernel_version="3.4.0",
+            frames=2,
+        )
+        executor_mod._RELAY.put(("record", wire.encode_record(record)))
+    return len(indices)
 
 
-class TestBeaconDrain:
-    """Supervision announcements must be consumed while the round runs."""
+class TestRelayDrain:
+    """Relayed records must be consumed while the round runs."""
 
-    def test_large_round_does_not_fill_the_beacon_pipe(self, monkeypatch):
+    def test_large_round_does_not_fill_the_relay_pipe(self, monkeypatch):
         if "fork" not in multiprocessing.get_all_start_methods():
             pytest.skip("needs the fork start method to stub the worker")
         import repro.fault.campaign as campaign_mod
         import repro.fault.executor as executor_mod
 
         monkeypatch.setattr(
-            executor_mod, "run_spec_payload", _stub_run_spec_payload
+            executor_mod, "run_shard_payload", _stub_run_shard_payload
         )
         monkeypatch.setattr(
-            campaign_mod, "run_spec_payload", _stub_run_spec_payload
+            campaign_mod, "run_shard_payload", _stub_run_shard_payload
         )
         campaign = Campaign(warm_boot=False)
-        specs = [
-            TestCallSpec(
-                f"XM_mask_irq.irqLine-beacon#{i}",
-                "XM_mask_irq",
-                "Interrupt Management",
-                (),
-            )
-            for i in range(3000)
-        ]
+        specs = list(campaign.iter_specs())
 
-        # 6000 beacon messages at realistic id lengths — several times
-        # the ~64KB pipe, so every worker blocks in put() if the parent
-        # only drains at round end (the default campaign is 2864 tests).
-        # Fail loudly instead of hanging the suite if that regresses.
+        # The full default campaign streams a few hundred KB of records
+        # over the ~64KB relay pipe, so every worker blocks in put() if
+        # the parent only drains at round end.  Fail loudly instead of
+        # hanging the suite if that regresses.
         def overdue(signum, frame):  # noqa: ANN001 - signal handler
-            raise AssertionError("parallel round deadlocked on the beacon")
+            raise AssertionError("parallel round deadlocked on the relay")
 
         previous = signal.signal(signal.SIGALRM, overdue)
         signal.alarm(120)
