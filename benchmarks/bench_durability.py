@@ -47,6 +47,35 @@ def test_streaming_log_overhead(tmp_path):
     )
 
 
+def test_fsync_checkpoint_overhead(tmp_path):
+    """``--log-fsync`` extends durability from process crashes to host
+    power loss at the price of one disk sync per checkpoint; the delta
+    against the flush-only stream is what that claim costs."""
+    campaign = Campaign(functions=SCOPE)
+    campaign.run()  # warm-up: snapshot build stays out of both timings
+    flushed_s = synced_s = None
+    for round_no in range(2):  # best of 2: single runs are noisy
+        start = time.perf_counter()
+        flushed = campaign.run(log_path=tmp_path / f"flush{round_no}.jsonl")
+        elapsed = time.perf_counter() - start
+        flushed_s = elapsed if flushed_s is None else min(flushed_s, elapsed)
+
+        path = tmp_path / f"fsync{round_no}.jsonl"
+        start = time.perf_counter()
+        synced = campaign.run(log_path=path, log_fsync=True)
+        elapsed = time.perf_counter() - start
+        synced_s = elapsed if synced_s is None else min(synced_s, elapsed)
+
+        assert synced.total_tests == flushed.total_tests == 232
+        assert len(CampaignLog.load(path)) == 232
+    record_bench(
+        "durability",
+        streamed_flush_s=round(flushed_s, 2),
+        streamed_fsync_s=round(synced_s, 2),
+        fsync_overhead_pct=round(100 * (synced_s - flushed_s) / flushed_s, 1),
+    )
+
+
 def test_supervised_kill_recovery_cost(tmp_path, monkeypatch):
     """A pool that loses a worker mid-campaign still finishes; the
     respawn + probe cost of absorbing one kill is the measured delta."""

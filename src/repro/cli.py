@@ -10,9 +10,17 @@ Subcommands::
                        [--shard-size K] [--frames N]
                        [--strategy cartesian|pairwise|random]
                        [--log out.jsonl] [--resume] [--timeout-s T]
+                       [--log-fsync] [--chaos SEED] [--quarantine Q.json]
+                       [--max-attempts N] [--quorum N]
     repro-campaign report --log out.jsonl
+    repro-campaign quarantine --file Q.json [--remove ID | --clear]
     repro-campaign tables            # Table I, Table II, Fig. 8, XML excerpts
     repro-campaign phantom           # parameter-less coverage extension
+
+``--chaos SEED`` arms the failpoint layer (seeded faults injected into
+the campaign runner itself; see :mod:`repro.fault.failpoints`): an
+interrupted run exits with status 3 and resumes losslessly with
+``--resume``.
 """
 
 from __future__ import annotations
@@ -105,6 +113,52 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-test wall-clock watchdog in seconds (default: none)",
     )
+    run.add_argument(
+        "--log-fsync",
+        dest="log_fsync",
+        action="store_true",
+        help="fsync the streaming log on every checkpoint "
+        "(durable against host power loss, not just process crashes)",
+    )
+    run.add_argument(
+        "--chaos",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="arm every failpoint probabilistically from this seed "
+        "(injects faults into the campaign runner itself; an "
+        "interrupted run exits 3 and resumes with --resume)",
+    )
+    run.add_argument(
+        "--chaos-rate",
+        dest="chaos_rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="per-hit fire probability for --chaos (default 0.05)",
+    )
+    run.add_argument(
+        "--quarantine",
+        default=None,
+        metavar="FILE",
+        help="persistent quarantine list (JSON): confirmed killer specs "
+        "are added to it and skipped-with-record on later runs",
+    )
+    run.add_argument(
+        "--max-attempts",
+        dest="max_attempts",
+        type=int,
+        default=None,
+        help="runs a suspect worker_killed/watchdog_expired verdict may "
+        "consume (default 3; 1 = first observation is terminal)",
+    )
+    run.add_argument(
+        "--quorum",
+        type=int,
+        default=None,
+        help="agreeing lethal observations that decide a verdict "
+        "(default 2; must be <= --max-attempts)",
+    )
     run.add_argument("--dossier", default=None, help="write a Markdown dossier")
     run.add_argument("--quiet", action="store_true", help="suppress progress")
 
@@ -115,6 +169,22 @@ def _build_parser() -> argparse.ArgumentParser:
         default=VULNERABLE_VERSION,
         choices=[VULNERABLE_VERSION, FIXED_VERSION],
         help="kernel version the log was recorded against",
+    )
+
+    quarantine = sub.add_parser(
+        "quarantine", help="review or edit a killer-quarantine file"
+    )
+    quarantine.add_argument(
+        "--file", required=True, help="quarantine list (JSON)"
+    )
+    quarantine.add_argument(
+        "--remove",
+        default=None,
+        metavar="TEST_ID",
+        help="release one spec from quarantine",
+    )
+    quarantine.add_argument(
+        "--clear", action="store_true", help="release every quarantined spec"
     )
 
     sub.add_parser("tables", help="print Table I, Table II, Fig. 8 and XML excerpts")
@@ -194,14 +264,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if not args.quiet and done % 200 == 0:
             print(f"#   {done}/{out_of} ...", file=sys.stderr)
 
-    result = campaign.run(
-        processes=args.processes,
-        progress=progress,
-        resume_from=resume_log,
-        log_path=args.log,
-        timeout_s=args.timeout_s,
-        shard_size=args.shard_size,
-    )
+    retry_policy = None
+    if args.max_attempts is not None or args.quorum is not None:
+        from repro.fault.resilience import RetryPolicy
+
+        max_attempts = args.max_attempts if args.max_attempts is not None else 3
+        quorum = (
+            args.quorum if args.quorum is not None else min(2, max_attempts)
+        )
+        retry_policy = RetryPolicy(max_attempts=max_attempts, quorum=quorum)
+
+    import os
+
+    from repro.fault import failpoints
+
+    chaos_env_before = os.environ.get(failpoints.ENV_VAR)
+    if args.chaos is not None:
+        # Armed through the environment so forked pool workers inherit
+        # the same seeded fault schedule as the parent.
+        rate = (
+            args.chaos_rate
+            if args.chaos_rate is not None
+            else failpoints.DEFAULT_CHAOS_RATE
+        )
+        os.environ[failpoints.ENV_VAR] = f"chaos:{args.chaos}:{rate}"
+        print(
+            f"# chaos: failpoints armed (seed {args.chaos}, rate {rate})",
+            file=sys.stderr,
+        )
+    try:
+        result = campaign.run(
+            processes=args.processes,
+            progress=progress,
+            resume_from=resume_log,
+            log_path=args.log,
+            timeout_s=args.timeout_s,
+            shard_size=args.shard_size,
+            retry_policy=retry_policy,
+            quarantine_path=args.quarantine,
+            log_fsync=args.log_fsync,
+        )
+    except failpoints.ChaosError as exc:
+        print(f"# chaos: campaign interrupted by injected fault: {exc}", file=sys.stderr)
+        if args.log:
+            print(
+                f"# completed records are checkpointed in {args.log}; "
+                "rerun with --resume (without --chaos) to finish",
+                file=sys.stderr,
+            )
+        return 3
+    finally:
+        if args.chaos is not None:
+            if chaos_env_before is None:
+                os.environ.pop(failpoints.ENV_VAR, None)
+            else:
+                os.environ[failpoints.ENV_VAR] = chaos_env_before
     if args.log:
         # The stream already checkpointed every record; the final save
         # rewrites the file atomically in canonical spec order.
@@ -217,6 +334,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(report.table3(result))
     print()
     print(report.issues_report(result))
+    return 0
+
+
+def _cmd_quarantine(args: argparse.Namespace) -> int:
+    from repro.fault.resilience import Quarantine
+
+    quarantine = Quarantine.load(args.file)
+    if args.clear:
+        count = len(quarantine)
+        quarantine.clear()
+        quarantine.save()
+        print(f"released {count} spec(s); quarantine is empty")
+        return 0
+    if args.remove is not None:
+        if quarantine.remove(args.remove):
+            quarantine.save()
+            print(f"released {args.remove}")
+            return 0
+        print(f"error: {args.remove} is not quarantined", file=sys.stderr)
+        return 2
+    if not quarantine.entries:
+        print("quarantine is empty")
+        return 0
+    print(f"{len(quarantine)} quarantined spec(s):")
+    for test_id, entry in sorted(quarantine.entries.items()):
+        observations = ",".join(entry.get("observations", ())) or "?"
+        print(
+            f"  {test_id}  {entry.get('function', '?')}  "
+            f"[{observations}]  added {entry.get('added_at', '?')}"
+        )
     return 0
 
 
@@ -303,6 +450,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "report": _cmd_report,
+        "quarantine": _cmd_quarantine,
         "tables": _cmd_tables,
         "phantom": _cmd_phantom,
         "truthbase": _cmd_truthbase,

@@ -23,11 +23,12 @@ campaign resumes losslessly from its own partial stream via
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator
 
-from repro.fault import wire
+from repro.fault import failpoints, wire
 from repro.fault.apimodel import ApiFunction, ApiModel, api_model_from_table
 from repro.fault.classify import Classification, Severity, classify
 from repro.fault.combinator import CartesianStrategy, GenerationStrategy
@@ -42,6 +43,13 @@ from repro.fault.executor import (
 from repro.fault.issues import Issue, cluster_issues
 from repro.fault.mutant import TestCallSpec
 from repro.fault.oracle import Expectation, OracleContext, ReferenceOracle
+from repro.fault.resilience import (
+    Quarantine,
+    RespawnBreaker,
+    RetryPolicy,
+    VerdictArbiter,
+    quarantined_record,
+)
 from repro.fault.testlog import CampaignLog, TestRecord
 from repro.xm.vulns import VULNERABLE_VERSION
 
@@ -69,6 +77,10 @@ class CampaignResult:
     kernel_version: str
     model: ApiModel
     strategy_name: str
+    #: Supervision counters from the run that produced this result
+    #: (pool/probe respawns, arbitration retries, quarantine skips,
+    #: serial degradation); None when the log was analysed offline.
+    execution_stats: dict | None = None
 
     @property
     def total_tests(self) -> int:
@@ -188,6 +200,9 @@ class Campaign:
         log_path: str | Path | None = None,
         timeout_s: float | None = None,
         shard_size: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        quarantine_path: str | Path | None = None,
+        log_fsync: bool = False,
     ) -> CampaignResult:
         """Execute the campaign and analyse the logs.
 
@@ -211,8 +226,20 @@ class Campaign:
         ``log_path`` streams every record to a JSONL checkpoint file
         the moment it arrives (append mode, flushed per record), so a
         crash or Ctrl-C never loses completed work; pointing it at a
-        partial log appends only the missing records.  ``timeout_s``
-        arms a per-test wall-clock watchdog.
+        partial log appends only the missing records.  ``log_fsync``
+        follows every checkpoint flush with ``os.fsync``, extending
+        durability from process crashes to host power loss.
+        ``timeout_s`` arms a per-test wall-clock watchdog.
+
+        ``retry_policy`` controls verdict arbitration (see
+        :class:`~repro.fault.resilience.RetryPolicy`): by default a
+        suspect ``worker_killed`` / ``watchdog_expired`` outcome is
+        re-run once and the verdict needs two agreeing observations;
+        ``RetryPolicy(max_attempts=1)`` restores first-sight verdicts.
+        ``quarantine_path`` names a persistent quarantine file: specs
+        with a confirmed killer verdict are added to it, and specs
+        already in it are skipped with a ``quarantined`` record rather
+        than re-fed to a fresh pool.
         """
         specs = list(self.iter_specs())
         remaining = specs
@@ -226,7 +253,41 @@ class Campaign:
             raise ValueError(
                 "process-parallel execution supports only the default testbed"
             )
-        stream = CampaignLog.stream(log_path) if log_path is not None else None
+        policy = retry_policy if retry_policy is not None else RetryPolicy()
+        stats = {
+            "pool_respawns": 0,
+            "probe_respawns": 0,
+            "retries": 0,
+            "degraded_serial": False,
+            "quarantined_skips": 0,
+        }
+        quarantine: Quarantine | None = None
+        if quarantine_path is not None:
+            quarantine = Quarantine.load(quarantine_path)
+            skipped = [s for s in remaining if s.test_id in quarantine]
+            if skipped:
+                # Known killers are skipped-with-record: the verdict
+                # stays visible in the analysis without feeding the
+                # spec to (and losing) another worker.
+                remaining = [s for s in remaining if s.test_id not in quarantine]
+                done = [
+                    *done,
+                    *(
+                        quarantined_record(
+                            spec,
+                            self.kernel_version,
+                            self.frames,
+                            quarantine.entries.get(spec.test_id),
+                        )
+                        for spec in skipped
+                    ),
+                ]
+                stats["quarantined_skips"] = len(skipped)
+        stream = (
+            CampaignLog.stream(log_path, fsync=log_fsync)
+            if log_path is not None
+            else None
+        )
         try:
             if stream is not None:
                 # Checkpoint resumed records too (no-ops when resuming
@@ -236,21 +297,37 @@ class Campaign:
                     stream.append(record)
             sink = stream.append if stream is not None else None
             if processes is None:
-                records = self._run_serial(remaining, progress, sink, timeout_s)
+                records = self._run_serial(
+                    remaining, progress, sink, timeout_s, policy
+                )
             else:
                 records = self._run_parallel(
-                    remaining, processes, progress, sink, timeout_s, shard_size
+                    remaining,
+                    processes,
+                    progress,
+                    sink,
+                    timeout_s,
+                    shard_size,
+                    policy,
+                    quarantine,
+                    stats,
                 )
         finally:
             if stream is not None:
                 stream.close()
+            # Quarantine additions survive even an aborted campaign —
+            # a confirmed killer must not be forgotten by the next run.
+            if quarantine is not None and quarantine.dirty:
+                quarantine.save()
         # Merge in global spec order: resumed, parallel and interrupted
         # campaigns must classify and cluster exactly like a serial
         # uninterrupted run.
         order = {spec.test_id: index for index, spec in enumerate(specs)}
         combined = [*done, *records]
         combined.sort(key=lambda record: order[record.test_id])
-        return self.analyse(CampaignLog(combined))
+        result = self.analyse(CampaignLog(combined))
+        result.execution_stats = stats
+        return result
 
     def _validate_resume(self, resume_from: CampaignLog) -> None:
         """Reject logs recorded under a different configuration."""
@@ -274,6 +351,7 @@ class Campaign:
         progress: ProgressHook | None,
         sink: RecordSink | None = None,
         timeout_s: float | None = None,
+        policy: RetryPolicy | None = None,
     ) -> list[TestRecord]:
         executor = TestExecutor(
             kernel_version=self.kernel_version,
@@ -282,15 +360,46 @@ class Campaign:
             warm_boot=self.warm_boot,
             timeout_s=timeout_s,
         )
+        arbiter = VerdictArbiter(policy) if policy is not None else None
         records: list[TestRecord] = []
         for index, spec in enumerate(specs):
-            record = executor.run(spec)
+            record = self._arbitrated_serial_run(executor, spec, policy, arbiter)
             records.append(record)
             if sink is not None:
                 sink(record)
             if progress is not None:
                 progress(index + 1, len(specs), record)
         return records
+
+    def _arbitrated_serial_run(
+        self,
+        executor: TestExecutor,
+        spec: TestCallSpec,
+        policy: RetryPolicy | None,
+        arbiter: VerdictArbiter | None,
+    ) -> TestRecord:
+        """One serial run, re-trying watchdog verdicts up to the quorum.
+
+        The only process-level verdict the in-process runner can see is
+        ``watchdog_expired`` (nothing kills a worker — there is none);
+        a suspect expiry is re-run until the quorum agrees, the attempt
+        budget runs out, or a re-run completes and wins outright.
+        """
+        record = executor.run(spec)
+        if arbiter is not None and policy is not None and not policy.single_shot:
+            while record.watchdog_expired and not arbiter.observe(
+                spec.test_id, "watchdog_expired"
+            ):
+                policy.backoff(len(arbiter.observations(spec.test_id)))
+                record = executor.run(spec)
+            arbiter.annotate(record)
+        if record.watchdog_expired:
+            record.host_context = {
+                "processes": 1,
+                "shard_size": 1,
+                "attempt": record.attempts,
+            }
+        return record
 
     def _wire_recipe(self) -> wire.SuiteRecipe:
         """The recipe pool workers regenerate their spec tables from."""
@@ -310,6 +419,9 @@ class Campaign:
         sink: RecordSink | None = None,
         timeout_s: float | None = None,
         shard_size: int | None = None,
+        policy: RetryPolicy | None = None,
+        quarantine: Quarantine | None = None,
+        stats: dict | None = None,
     ) -> list[TestRecord]:
         """Supervised sharded execution that survives worker deaths.
 
@@ -322,63 +434,191 @@ class Campaign:
         bookkeeping is amortised.  When a test kills its worker the
         pool breaks; instead of forfeiting the run, the supervisor
         takes the unfinished remainders of every announced shard as
-        suspects and re-runs them on one persistent single-worker probe
-        pool: innocents simply complete there, and when the probe pool
-        breaks the killer is — workers run their shards in order, and
-        every finished record was already relayed — exactly the first
-        suspect without a record, which becomes a ``worker_killed``
-        record.  The main pool is then respawned for whatever never
-        started, so completed records are never re-run or lost.
+        suspects and re-runs them on a single-worker probe pool:
+        innocents simply complete there, and when the probe pool breaks
+        the killer is — workers run their shards in order, and every
+        finished record was already relayed — exactly the first suspect
+        without a record.
+
+        Process-level verdicts are *arbitrated* under ``policy``: a
+        suspect kill or watchdog expiry is re-run and the verdict needs
+        a quorum of observations (a re-run that completes normally wins
+        immediately), with the consumed attempts recorded on the
+        record.  Confirmed killers are added to ``quarantine``; a
+        :class:`~repro.fault.resilience.RespawnBreaker` watches the
+        pool respawns and degrades the rest of the campaign to the
+        serial in-process runner when respawned pools keep dying
+        without progress.  User ``progress``/``sink`` callbacks are
+        sandboxed — one warning per hook, a raising callback never
+        aborts the round (keyboard interrupts still do).
         """
         if processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         if shard_size is not None and shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if policy is None:
+            policy = RetryPolicy(max_attempts=1, quorum=1)
+        if stats is None:
+            stats = {}
+        stats.setdefault("pool_respawns", 0)
+        stats.setdefault("probe_respawns", 0)
+        stats.setdefault("retries", 0)
+        stats.setdefault("degraded_serial", False)
+        arbiter = VerdictArbiter(policy)
+        breaker = RespawnBreaker()
         total = len(specs)
         records: list[TestRecord] = []
+        warned: set[str] = set()
+        round_ctx = {"shard_size": 0}
+
+        def guarded(kind: str, hook, *args) -> None:  # noqa: ANN001
+            # A user callback must not take the campaign down with it:
+            # a raising progress bar (or sink) mid-round would strand
+            # the pump/watcher threads and forfeit the run.  Catch,
+            # warn once per hook, keep going.  BaseException (e.g.
+            # KeyboardInterrupt) still aborts — interrupting from a
+            # progress hook is the documented way to stop a campaign —
+            # and injected ChaosError stays fatal by design.
+            try:
+                hook(*args)
+            except failpoints.ChaosError:
+                raise
+            except Exception as exc:
+                if kind not in warned:
+                    warned.add(kind)
+                    warnings.warn(
+                        f"campaign {kind} callback raised {exc!r}; "
+                        "suppressing further errors from this hook",
+                        stacklevel=2,
+                    )
 
         def emit(record: TestRecord) -> None:
             records.append(record)
             if sink is not None:
-                sink(record)
+                guarded("sink", sink, record)
             if progress is not None:
-                progress(len(records), total, record)
+                guarded("progress", progress, len(records), total, record)
+
+        def host_context(attempt: int) -> dict:
+            return {
+                "processes": processes,
+                "shard_size": round_ctx["shard_size"],
+                "attempt": attempt,
+            }
+
+        def deliver(record: TestRecord) -> bool:
+            # Relayed records pass through verdict arbitration before
+            # they become campaign output: a suspect watchdog expiry is
+            # withheld (False) and its spec re-run until the quorum
+            # decides; everything else is emitted immediately.
+            if record.watchdog_expired and not policy.single_shot:
+                if not arbiter.observe(record.test_id, "watchdog_expired"):
+                    stats["retries"] += 1
+                    return False
+            arbiter.annotate(record)
+            if record.watchdog_expired:
+                record.host_context = host_context(record.attempts)
+            emit(record)
+            return True
 
         remaining = list(specs)
+        respawned = False
         while remaining:
+            if respawned:
+                if breaker.tripped:
+                    # Respawned pools keep dying without progress:
+                    # stop thrashing and finish in-process, where a
+                    # worker kill cannot happen at all.
+                    stats["degraded_serial"] = True
+                    warnings.warn(
+                        f"pool respawn budget exhausted after "
+                        f"{stats['pool_respawns']} respawns; degrading to "
+                        f"serial execution for {len(remaining)} remaining "
+                        "specs",
+                        stacklevel=2,
+                    )
+                    self._run_serial(remaining, None, emit, timeout_s, policy)
+                    remaining = []
+                    break
+                failpoints.fire("campaign.respawn")
+                stats["pool_respawns"] += 1
+                breaker.note_spawn()
+            marker = (len(records), arbiter.total_observations)
             size = shard_size or _auto_shard_size(len(remaining), processes)
-            completed, suspect_shards, broke = self._pool_round(
-                remaining, processes, size, timeout_s, emit
+            round_ctx["shard_size"] = size
+            arrived, retry_ids, suspect_shards, broke = self._pool_round(
+                remaining, processes, size, timeout_s, deliver
             )
-            if not broke:
-                break
-            if not completed and not suspect_shards:
-                raise RuntimeError(
-                    "worker pool died before any test started "
-                    "(initializer failure?)"
-                )
-            resolved = set(completed)
-            # One probe pool per kill, reused across the whole suspect
-            # list — not one pool (and one warm boot) per suspect.
-            suspects = [spec for shard in suspect_shards for spec in shard]
-            while suspects:
-                probe_done, _probe_suspects, probe_broke = self._pool_round(
-                    suspects, 1, size, timeout_s, emit
-                )
-                resolved |= probe_done
-                if not probe_broke:
-                    break
-                killer = next(
-                    (s for s in suspects if s.test_id not in resolved), None
-                )
-                if killer is None:
-                    break
-                emit(
-                    worker_killed_record(killer, self.kernel_version, self.frames)
-                )
-                resolved.add(killer.test_id)
-                suspects = [s for s in suspects if s.test_id not in resolved]
+            resolved = arrived - retry_ids
+            if broke:
+                if not respawned and not arrived and not suspect_shards:
+                    raise RuntimeError(
+                        "worker pool died before any test started "
+                        "(initializer failure?)"
+                    )
+                # One probe pool per kill, reused across the whole
+                # suspect list — not one pool (and one warm boot) per
+                # suspect.  Records that arrived but were withheld for
+                # retry still clear their spec of killer suspicion.
+                suspects = [spec for shard in suspect_shards for spec in shard]
+                ever_arrived = set(arrived)
+                while suspects:
+                    failpoints.fire("campaign.probe_loop")
+                    stats["probe_respawns"] += 1
+                    probe_arrived, probe_retry, _shards, probe_broke = (
+                        self._pool_round(suspects, 1, size, timeout_s, deliver)
+                    )
+                    ever_arrived |= probe_arrived
+                    resolved |= probe_arrived - probe_retry
+                    suspects = [
+                        s for s in suspects if s.test_id not in resolved
+                    ]
+                    if not probe_broke:
+                        if not probe_retry:
+                            break
+                        continue
+                    killer = next(
+                        (s for s in suspects if s.test_id not in ever_arrived),
+                        None,
+                    )
+                    if killer is None:
+                        break
+                    terminal = policy.single_shot or arbiter.observe(
+                        killer.test_id, "worker_killed"
+                    )
+                    observations = arbiter.observations(killer.test_id) or [
+                        "worker_killed"
+                    ]
+                    if not terminal:
+                        stats["retries"] += 1
+                        policy.backoff(len(observations))
+                        continue  # killer stays first in suspects: re-probe
+                    emit(
+                        worker_killed_record(
+                            killer,
+                            self.kernel_version,
+                            self.frames,
+                            attempts=len(observations),
+                            arbitrated=len(observations) > 1,
+                            host_context=host_context(len(observations)),
+                        )
+                    )
+                    if quarantine is not None:
+                        quarantine.add(
+                            killer.test_id, killer.function, observations
+                        )
+                    resolved.add(killer.test_id)
+                    suspects = [
+                        s for s in suspects if s.test_id not in resolved
+                    ]
             remaining = [s for s in remaining if s.test_id not in resolved]
+            if respawned:
+                breaker.note_round(
+                    (len(records), arbiter.total_observations) != marker
+                )
+            if not broke and not retry_ids:
+                break
+            respawned = True
         # Unordered delivery must not leak into analysis: issue clustering
         # and log files are stable in spec order.
         order = {spec.test_id: index for index, spec in enumerate(specs)}
@@ -391,18 +631,23 @@ class Campaign:
         processes: int,
         shard_size: int,
         timeout_s: float | None,
-        emit: RecordSink,
-    ) -> tuple[set[str], list[list[TestCallSpec]], bool]:
-        """One sharded pool pass: (completed ids, suspect shards, broke).
+        deliver: Callable[[TestRecord], bool | None],
+    ) -> tuple[set[str], set[str], list[list[TestCallSpec]], bool]:
+        """One sharded pool pass: (arrived ids, retry ids, suspects, broke).
 
         Submits one future per shard; the future only signals shard
         completion — records travel on the results relay, one message
-        per finished test, and are emitted (checkpointed, progressed)
-        here as they arrive.  The suspect shards are the in-order
-        unfinished remainders of the shards workers had announced when
-        the pool broke: each contains at most one killer (the first
-        spec without a record, for the shard whose worker died) plus
-        innocents that were merely in flight or queued behind it.
+        per finished test, and are handed to ``deliver`` (checkpoint,
+        progress, verdict arbitration) here as they arrive.  A deliver
+        that returns False *withholds* the record: its id still counts
+        as arrived (the spec produced a record, so it is no killer and
+        the relay owes nothing), but it lands in the retry set so the
+        caller re-runs the spec instead of treating it as resolved.
+        The suspect shards are the in-order unfinished remainders of
+        the shards workers had announced when the pool broke: each
+        contains at most one killer (the first spec without a record,
+        for the shard whose worker died) plus innocents that were
+        merely in flight or queued behind it.
         """
         import multiprocessing as mp
         import queue as thread_queue
@@ -410,6 +655,7 @@ class Campaign:
         from concurrent.futures import CancelledError, ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
 
+        failpoints.fire("campaign.pool_round")
         context = (
             mp.get_context("fork")
             if "fork" in mp.get_all_start_methods()
@@ -424,13 +670,14 @@ class Campaign:
             spec.test_id: index for index, spec in enumerate(self.iter_specs())
         }
         completed: set[str] = set()
+        retry_ids: set[str] = set()
         announced: list[int] = []
         finished: list[int] = []
         errors: list[BaseException] = []
         broke = False
         #: Thread-safe staging between the relay pump and this (main)
-        #: thread, which must be the one calling ``emit`` so a progress
-        #: hook that raises interrupts the campaign, not a helper thread.
+        #: thread, which must be the one calling ``deliver`` so a hook
+        #: that raises interrupts the campaign, not a helper thread.
         inbox: thread_queue.Queue = thread_queue.Queue()
         pool_done = threading.Event()
 
@@ -440,7 +687,8 @@ class Campaign:
             elif message[0] == "record":
                 record = wire.decode_record(message[1])
                 completed.add(record.test_id)
-                emit(record)
+                if deliver(record) is False:
+                    retry_ids.add(record.test_id)
 
         executor = ProcessPoolExecutor(
             max_workers=min(processes, len(shards)),
@@ -557,7 +805,12 @@ class Campaign:
             [s for s in shards[number] if s.test_id not in completed]
             for number in sorted(announced)
         ]
-        return completed, [shard for shard in suspect_shards if shard], broke
+        return (
+            completed,
+            retry_ids,
+            [shard for shard in suspect_shards if shard],
+            broke,
+        )
 
     # -- analysis -----------------------------------------------------------
 

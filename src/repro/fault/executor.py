@@ -49,6 +49,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.fault import failpoints
 from repro.fault.mutant import TestCallSpec, TestPartitionLayout, default_layout
 from repro.fault.stateful_oracle import capture_state
 from repro.fault.testlog import Invocation, TestRecord
@@ -70,12 +71,54 @@ DEFAULT_FRAMES = 2
 CONSOLE_TAIL = 8
 
 #: Fault-injection hooks for the campaign supervisor's own tests: a
-#: worker that is handed the named test id dies (or spins until the
+#: worker that is handed a named test id dies (or spins until the
 #: watchdog fires) on purpose, reproducing at process level the paper's
 #: tests that killed their own harness (`XM_set_timer(1,1,1)` took TSIM
-#: down with it).  Ignored unless the environment variable is set.
+#: down with it).  Each variable takes a comma-separated list of test
+#: ids, or ``*`` for every spec.  Ignored unless set.
 KILL_SPEC_ENV = "REPRO_KILL_SPEC"
 HANG_SPEC_ENV = "REPRO_HANG_SPEC"
+#: Directory of one-shot markers: when set, each injected kill/hang
+#: fires only the *first* time a given test id is handed to a worker
+#: (a marker file is claimed with O_CREAT|O_EXCL, so the exactly-once
+#: guarantee holds across pool respawns and processes).  Transient
+#: faults are what verdict arbitration exists to absorb — this is how
+#: its tests make a spec lethal once and innocent ever after.
+FAULT_ONCE_DIR_ENV = "REPRO_FAULT_ONCE_DIR"
+
+
+def _fault_once(test_id: str, kind: str) -> bool:
+    """Whether an injected fault should fire under the once-marker dir.
+
+    Always True when ``FAULT_ONCE_DIR_ENV`` is unset (faults repeat on
+    every run); with it set, the first caller to claim the marker file
+    fires and every later attempt stays innocent.
+    """
+    marker_dir = os.environ.get(FAULT_ONCE_DIR_ENV)
+    if not marker_dir:
+        return True
+    marker = os.path.join(marker_dir, f"{kind}-{test_id}")
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def _fault_targets(value: str | None) -> set[str]:
+    """Parse a fault-hook env value into its set of targeted test ids."""
+    if not value:
+        return set()
+    return {target.strip() for target in value.split(",") if target.strip()}
+
+
+def _kill_injected(test_id: str) -> bool:
+    """Whether the kill-injection hook says this worker run must die."""
+    targets = _fault_targets(os.environ.get(KILL_SPEC_ENV))
+    if "*" not in targets and test_id not in targets:
+        return False
+    return _fault_once(test_id, "kill")
 
 
 class WatchdogExpired(Exception):
@@ -134,7 +177,8 @@ def _disarm_watchdog() -> None:
 
 def _maybe_injected_hang(test_id: str) -> None:
     """Spin forever when the hang-injection hook names this test."""
-    if os.environ.get(HANG_SPEC_ENV) == test_id:
+    targets = _fault_targets(os.environ.get(HANG_SPEC_ENV))
+    if ("*" in targets or test_id in targets) and _fault_once(test_id, "hang"):
         while True:  # interrupted by the watchdog's SIGALRM
             time.sleep(0.01)
 
@@ -292,6 +336,7 @@ class TestExecutor:
         wall-clock watchdog and logged as a hung (``sim_hung``) record
         instead of stalling the campaign.
         """
+        failpoints.fire("executor.run")
         started = time.perf_counter()
         try:
             with _watchdog(self.timeout_s):
@@ -336,9 +381,13 @@ class TestExecutor:
             )
         finally:
             # Pooled buffers must come back on every exit path — a
-            # raising _build_record (or the watchdog) must not leak the
-            # restored simulator's memory.
-            snapshot.recycle(sim)
+            # raising _build_record (or the watchdog, or an injected
+            # recycle fault) must not leak the restored simulator's
+            # memory.
+            try:
+                failpoints.fire("executor.recycle")
+            finally:
+                snapshot.recycle(sim)
 
     def _run_cold(self, spec: TestCallSpec, started: float) -> TestRecord:
         payload = self._make_payload()
@@ -416,14 +465,22 @@ class TestExecutor:
 
 
 def worker_killed_record(
-    spec: TestCallSpec, kernel_version: str, frames: int
+    spec: TestCallSpec,
+    kernel_version: str,
+    frames: int,
+    attempts: int = 1,
+    arbitrated: bool = False,
+    host_context: dict | None = None,
 ) -> TestRecord:
     """Parent-side record for a spec whose run killed its worker.
 
     The worker is dead, so nothing was observed beyond the kill itself;
     the supervisor logs the spec as a first-class ``worker_killed``
     outcome (the process-level analogue of the paper's simulator-crash
-    failure mode) and the campaign carries on.
+    failure mode) and the campaign carries on.  ``attempts`` /
+    ``arbitrated`` carry the verdict-arbitration provenance and
+    ``host_context`` the pool shape the kills were observed under, so
+    triage can separate kernel-caused deaths from host-load artefacts.
     """
     return TestRecord(
         test_id=spec.test_id,
@@ -433,6 +490,9 @@ def worker_killed_record(
         worker_killed=True,
         kernel_version=kernel_version,
         frames=frames,
+        attempts=attempts,
+        arbitrated=arbitrated,
+        host_context=host_context,
     )
 
 
@@ -462,6 +522,7 @@ def _init_worker(
     recipe=None,  # noqa: ANN001 - wire.SuiteRecipe
 ) -> None:
     global _WORKER, _RELAY, _SPEC_TABLE
+    failpoints.mark_worker_process()
     _WORKER = TestExecutor(
         kernel_version=kernel_version,
         frames=frames,
@@ -496,7 +557,7 @@ def run_shard_payload(shard: tuple[int, list[int]]) -> int:
     if _RELAY is not None:
         _RELAY.put(("shard", shard_no))
     for spec in specs:
-        if os.environ.get(KILL_SPEC_ENV) == spec.test_id:
+        if _kill_injected(spec.test_id):
             os._exit(17)  # fault injection: die like a harness-killing test
         record = _WORKER.run(spec)
         if _RELAY is not None:

@@ -322,8 +322,23 @@ def campaign_summary(result: CampaignResult) -> str:
     # Process-level incidents the supervisor absorbed, when any.
     killed = sum(1 for record in result.log if record.worker_killed)
     timed_out = sum(1 for record in result.log if record.watchdog_expired)
+    arbitrated = sum(1 for record in result.log if record.arbitrated)
+    quarantined = sum(1 for record in result.log if record.quarantined)
     if killed:
         lines.append(f"Worker kills      : {killed}")
     if timed_out:
         lines.append(f"Watchdog timeouts : {timed_out}")
+    if arbitrated:
+        lines.append(f"Arbitrated verdicts : {arbitrated}")
+    if quarantined:
+        lines.append(f"Quarantined (skipped) : {quarantined}")
+    stats = result.execution_stats or {}
+    if stats.get("pool_respawns") or stats.get("probe_respawns"):
+        lines.append(
+            "Pool respawns     : "
+            f"{stats.get('pool_respawns', 0)} main, "
+            f"{stats.get('probe_respawns', 0)} probe"
+        )
+    if stats.get("degraded_serial"):
+        lines.append("Execution degraded to serial (respawn budget exhausted)")
     return "\n".join(lines)

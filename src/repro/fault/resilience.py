@@ -1,0 +1,261 @@
+"""Resilient verdicts: retry-with-quorum, killer quarantine, respawn breaker.
+
+PR 2 made campaign *execution* durable (streaming log, supervised pool,
+watchdog); this module makes the *verdicts* durable.  Terminal
+process-level outcomes — ``worker_killed`` and ``watchdog_expired`` —
+were previously issued from a single observation, so one host-load
+artefact (an OOM kill, a scheduler stall past the watchdog) was
+indistinguishable from a genuinely harness-killing test.  Three pieces
+fix that:
+
+- :class:`RetryPolicy` + :class:`VerdictArbiter` — a suspect spec is
+  re-run and a *quorum* of lethal observations decides the verdict; a
+  re-run that completes normally wins immediately.  The consumed
+  ``attempts`` and the ``arbitrated`` provenance land on the record.
+- :class:`Quarantine` — specs with a confirmed killer verdict persist
+  in a JSON quarantine file; later campaigns skip them with a
+  ``quarantined`` record instead of feeding them to a fresh pool, and
+  the CLI ``quarantine`` subcommand reviews/edits the list.
+- :class:`RespawnBreaker` — a circuit breaker over pool respawns: when
+  respawned pools keep dying *without* making progress, execution
+  degrades to the serial in-process runner instead of thrashing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.fault.testlog import TestRecord
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How terminal process-level verdicts are arbitrated.
+
+    A suspect spec may consume up to ``max_attempts`` runs; a verdict
+    of ``worker_killed`` / ``watchdog_expired`` is only issued once
+    ``quorum`` lethal observations agree (a run that completes normally
+    ends arbitration at once — the host could run it, so the earlier
+    observation was an artefact).  ``backoff_s`` sleeps between repeat
+    attempts of the same spec, scaled by the observation count.
+
+    The defaults re-run a suspect once: two agreeing observations make
+    the verdict.  ``max_attempts=1`` (or ``quorum=1``) restores the
+    PR-2 behaviour where the first observation is terminal.
+    """
+
+    max_attempts: int = 3
+    quorum: int = 2
+    backoff_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        """Validate the attempt/quorum shape."""
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 1 <= self.quorum <= self.max_attempts:
+            raise ValueError(
+                f"quorum must be in 1..max_attempts, got {self.quorum} "
+                f"with max_attempts={self.max_attempts}"
+            )
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+
+    @property
+    def single_shot(self) -> bool:
+        """Whether the first lethal observation is already terminal."""
+        return self.max_attempts == 1 or self.quorum == 1
+
+    def backoff(self, observations: int) -> None:
+        """Sleep before the next attempt of a spec observed lethal N times."""
+        if self.backoff_s:
+            time.sleep(self.backoff_s * max(1, observations))
+
+
+class VerdictArbiter:
+    """Per-spec lethal observations and the verdicts they add up to."""
+
+    def __init__(self, policy: RetryPolicy) -> None:
+        self.policy = policy
+        self._lethal: dict[str, list[str]] = {}
+
+    @property
+    def total_observations(self) -> int:
+        """All lethal observations recorded so far (progress metric)."""
+        return sum(len(obs) for obs in self._lethal.values())
+
+    def observe(self, test_id: str, kind: str) -> bool:
+        """Record one lethal observation; True when the verdict is terminal.
+
+        Terminal means the quorum agreed — or the attempt budget is
+        spent, in which case the verdict is issued on what was seen.
+        """
+        observations = self._lethal.setdefault(test_id, [])
+        observations.append(kind)
+        count = len(observations)
+        return count >= self.policy.quorum or count >= self.policy.max_attempts
+
+    def observations(self, test_id: str) -> list[str]:
+        """The lethal observations recorded for one spec."""
+        return list(self._lethal.get(test_id, ()))
+
+    def annotate(self, record: TestRecord) -> None:
+        """Stamp attempts/arbitrated provenance onto a delivered record.
+
+        A lethal record consumed exactly its observations; a genuine
+        record that survived arbitration consumed one run more.  A
+        record with no lethal history is left untouched.
+        """
+        observations = self._lethal.get(record.test_id)
+        if not observations:
+            return
+        lethal = record.worker_killed or record.watchdog_expired
+        record.attempts = len(observations) + (0 if lethal else 1)
+        record.arbitrated = record.attempts > 1
+
+
+class Quarantine:
+    """A persistent list of specs with confirmed killer verdicts.
+
+    Stored as JSON (``{"version": 1, "entries": {test_id: {...}}}``).
+    A missing file is an empty quarantine; :meth:`save` writes
+    atomically (temp + replace), like the campaign log.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        entries: dict[str, dict] | None = None,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.entries: dict[str, dict] = dict(entries or {})
+        self.dirty = False
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Quarantine":
+        """Read a quarantine file; a missing file is an empty list."""
+        path = Path(path)
+        if not path.exists():
+            return cls(path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return cls(path, data.get("entries", {}))
+
+    def add(self, test_id: str, function: str, observations: list[str]) -> None:
+        """Quarantine one spec (idempotent by test id)."""
+        if test_id in self.entries:
+            return
+        self.entries[test_id] = {
+            "function": function,
+            "observations": list(observations),
+            "added_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        }
+        self.dirty = True
+
+    def remove(self, test_id: str) -> bool:
+        """Drop one spec from quarantine; True if it was present."""
+        if test_id not in self.entries:
+            return False
+        del self.entries[test_id]
+        self.dirty = True
+        return True
+
+    def clear(self) -> None:
+        """Empty the quarantine."""
+        if self.entries:
+            self.dirty = True
+        self.entries.clear()
+
+    def __contains__(self, test_id: str) -> bool:
+        return test_id in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def save(self) -> None:
+        """Atomically write the quarantine file (temp + replace)."""
+        if self.path is None:
+            raise ValueError("this quarantine has no backing path")
+        payload = json.dumps(
+            {"version": 1, "entries": self.entries}, indent=2, sort_keys=True
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.dirty = False
+
+
+@dataclass
+class RespawnBreaker:
+    """Circuit breaker over pool respawns.
+
+    Every pool created beyond the campaign's first counts as a respawn;
+    after a respawned pool's round the caller reports whether it was
+    *productive* (delivered a record, or advanced an arbitration with a
+    new lethal observation).  ``limit`` consecutive unproductive
+    respawns trip the breaker — the campaign stops feeding a dying pool
+    and degrades to the serial in-process runner for whatever remains.
+    """
+
+    limit: int = 3
+    respawns: int = 0
+    streak: int = 0
+
+    def note_spawn(self) -> None:
+        """Count one pool respawn."""
+        self.respawns += 1
+
+    def note_round(self, productive: bool) -> None:
+        """Report whether the latest respawned pool's round progressed."""
+        self.streak = 0 if productive else self.streak + 1
+
+    @property
+    def tripped(self) -> bool:
+        """Whether respawning should stop (degrade to serial)."""
+        return self.streak >= self.limit
+
+
+def quarantined_record(
+    spec,  # noqa: ANN001 - TestCallSpec (import cycle with mutant avoided)
+    kernel_version: str,
+    frames: int,
+    entry: dict | None = None,
+) -> TestRecord:
+    """A skipped-without-execution record for a quarantined spec.
+
+    The spec is a *known* killer, so the record keeps the
+    ``worker_killed`` verdict (the issue must not vanish from the
+    analysis just because the spec was not re-fed to a pool) and marks
+    ``quarantined`` so triage can tell a fresh kill from a skip.
+    """
+    record = TestRecord(
+        test_id=spec.test_id,
+        function=spec.function,
+        category=spec.category,
+        arg_labels=spec.arg_labels(),
+        worker_killed=True,
+        quarantined=True,
+        kernel_version=kernel_version,
+        frames=frames,
+    )
+    record.host_context = {
+        "quarantined": True,
+        "observations": list((entry or {}).get("observations", ())),
+    }
+    return record

@@ -33,6 +33,9 @@ class LogColumns:
     hung: np.ndarray
     worker_killed: np.ndarray
     watchdog: np.ndarray
+    attempts: np.ndarray
+    arbitrated: np.ndarray
+    quarantined: np.ndarray
 
     @classmethod
     def from_log(cls, log: CampaignLog) -> "LogColumns":
@@ -49,6 +52,9 @@ class LogColumns:
         hung = np.zeros(n, dtype=bool)
         worker_killed = np.zeros(n, dtype=bool)
         watchdog = np.zeros(n, dtype=bool)
+        attempts = np.ones(n, dtype=np.int64)
+        arbitrated = np.zeros(n, dtype=bool)
+        quarantined = np.zeros(n, dtype=bool)
         for i, record in enumerate(log):
             categories[i] = record.category
             functions[i] = record.function
@@ -63,9 +69,13 @@ class LogColumns:
             hung[i] = record.sim_hung
             worker_killed[i] = record.worker_killed
             watchdog[i] = record.watchdog_expired
+            attempts[i] = record.attempts
+            arbitrated[i] = record.arbitrated
+            quarantined[i] = record.quarantined
         return cls(
             categories, functions, returned, first_rc, wall, crashed, halted,
-            resets, hung, worker_killed, watchdog,
+            resets, hung, worker_killed, watchdog, attempts, arbitrated,
+            quarantined,
         )
 
 
@@ -104,7 +114,11 @@ def durability_summary(log: CampaignLog) -> dict[str, int]:
 
     ``worker_killed`` are tests that took their worker process down;
     ``watchdog_expired`` are runaway runs aborted by the wall-clock
-    watchdog (a subset of ``sim_hung``).
+    watchdog (a subset of ``sim_hung``).  ``arbitrated`` counts
+    verdicts that went through retry-with-quorum arbitration (more than
+    one run consumed), ``retried_runs`` the extra runs arbitration
+    spent beyond one per record, and ``quarantined`` the known killers
+    skipped without execution.
     """
     cols = LogColumns.from_log(log)
     return {
@@ -113,6 +127,9 @@ def durability_summary(log: CampaignLog) -> dict[str, int]:
         "watchdog_expired": int(cols.watchdog.sum()),
         "sim_hung": int(cols.hung.sum()),
         "sim_crashed": int(cols.crashed.sum()),
+        "arbitrated": int(cols.arbitrated.sum()),
+        "retried_runs": int((cols.attempts - 1).sum()),
+        "quarantined": int(cols.quarantined.sum()),
     }
 
 

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.fault import failpoints
+
 
 @dataclass(frozen=True)
 class Invocation:
@@ -64,6 +66,20 @@ class TestRecord:
     worker_killed: bool = False
     #: The run exceeded the per-test wall-clock watchdog and was aborted.
     watchdog_expired: bool = False
+    #: Runs this verdict consumed (see resilience.VerdictArbiter); 1
+    #: means the first observation was accepted without arbitration.
+    attempts: int = 1
+    #: The verdict went through retry-with-quorum arbitration (the
+    #: record consumed more than one run before being issued).
+    arbitrated: bool = False
+    #: The spec was skipped as a known killer (resilience.Quarantine);
+    #: the worker_killed verdict is inherited, not freshly observed.
+    quarantined: bool = False
+    #: Host-side execution context for post-hoc triage of process-level
+    #: verdicts (process count, shard size, attempt number) — separates
+    #: kernel-caused deaths from host-load artefacts.  None on records
+    #: whose verdict never involved the pool supervisor.
+    host_context: dict | None = None
 
     @property
     def invoked(self) -> bool:
@@ -174,6 +190,7 @@ class CampaignLog:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 for record in self.records:
                     fh.write(json.dumps(record.to_dict()) + "\n")
+            failpoints.fire("testlog.replace")
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -191,9 +208,11 @@ class CampaignLog:
         return log
 
     @classmethod
-    def stream(cls, path: str | Path, flush_every: int = 1) -> "LogStream":
+    def stream(
+        cls, path: str | Path, flush_every: int = 1, fsync: bool = False
+    ) -> "LogStream":
         """Open a crash-durable append stream (see :class:`LogStream`)."""
-        return LogStream(path, flush_every=flush_every)
+        return LogStream(path, flush_every=flush_every, fsync=fsync)
 
 
 class LogStream:
@@ -208,12 +227,23 @@ class LogStream:
     appends (plus one on close) for hosts where the per-record
     ``flush()`` shows up next to very fast tests; the durability window
     then widens to at most N records.
+
+    ``flush()`` hands the bytes to the OS but not to the platter: a
+    *host* power loss (as opposed to a process crash) can still lose
+    flushed records sitting in kernel buffers.  ``fsync=True`` follows
+    every flush with ``os.fsync``, extending the durability claim to
+    power loss at the cost of a disk round-trip per checkpoint (the
+    price is measured in ``benchmarks/bench_durability.py``).
     """
 
-    def __init__(self, path: str | Path, flush_every: int = 1) -> None:
+    def __init__(
+        self, path: str | Path, flush_every: int = 1, fsync: bool = False
+    ) -> None:
         self.path = Path(path)
         #: Appends between flushes; 1 = checkpoint every record.
         self.flush_every = max(1, int(flush_every))
+        #: Follow each flush with os.fsync (durable against power loss).
+        self.fsync = bool(fsync)
         self._unflushed = 0
         #: Test ids already present on disk when the stream was opened
         #: (plus everything appended since); appends of these are no-ops.
@@ -256,17 +286,35 @@ class LogStream:
         """Checkpoint one record (write + flush, deduplicated by id)."""
         if record.test_id in self.existing:
             return
-        self._fh.write(json.dumps(record.to_dict()) + "\n")
+        line = json.dumps(record.to_dict()) + "\n"
+        if failpoints.fire("testlog.append") == "short-write":
+            # Cooperative power-loss model: persist only a prefix of
+            # the line, then fail as if the host died mid-append — the
+            # truncated tail exercises the repair path in __init__.
+            self._fh.write(line[: max(1, len(line) // 2)])
+            self._fh.flush()
+            raise failpoints.ChaosError(
+                "failpoint 'testlog.append' fired (injected short write)"
+            )
+        self._fh.write(line)
         self._unflushed += 1
         if self._unflushed >= self.flush_every:
-            self._fh.flush()
+            self._flush()
             self._unflushed = 0
         self.existing.add(record.test_id)
         self.written += 1
 
+    def _flush(self) -> None:
+        """Flush — and, with ``fsync=True``, sync — the stream to disk."""
+        failpoints.fire("testlog.flush")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""
         if not self._fh.closed:
+            self._flush()
             self._fh.close()
 
     def __enter__(self) -> "LogStream":

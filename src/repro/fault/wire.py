@@ -108,6 +108,10 @@ def record_to_dict(record: TestRecord) -> dict:
         "wall_time_s": record.wall_time_s,
         "worker_killed": record.worker_killed,
         "watchdog_expired": record.watchdog_expired,
+        "attempts": record.attempts,
+        "arbitrated": record.arbitrated,
+        "quarantined": record.quarantined,
+        "host_context": record.host_context,
     }
 
 
@@ -164,6 +168,9 @@ def encode_record(record: TestRecord) -> dict:
     back per test.  :func:`decode_record` restores the defaults, making
     the round trip lossless; the on-disk log format is unaffected.
     """
+    from repro.fault import failpoints
+
+    failpoints.fire("wire.encode")
     defaults = _record_defaults()
     data = record_to_dict(record)
     return {
@@ -175,6 +182,9 @@ def encode_record(record: TestRecord) -> dict:
 
 def decode_record(data: dict) -> TestRecord:
     """Rebuild a record from its :func:`encode_record` relay form."""
+    from repro.fault import failpoints
+
+    failpoints.fire("wire.decode")
     return record_from_dict(data)
 
 

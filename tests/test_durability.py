@@ -41,6 +41,9 @@ def make_record(test_id, **overrides):
 def strip_wall_time(record):
     data = record.to_dict()
     data.pop("wall_time_s")
+    # Host-side provenance legitimately differs between runs (the pool
+    # shape depends on how many specs were left); the verdict must not.
+    data.pop("host_context")
     return data
 
 
