@@ -19,6 +19,7 @@ Timing uses medians over several trials (CI hosts are noisy); the
 throughput numbers land in ``BENCH_campaign.json`` at the repo root.
 """
 
+import os
 import statistics
 import time
 
@@ -36,6 +37,9 @@ from repro.xm.vulns import FIXED_VERSION, KNOWN_VULNERABILITIES
 #: Same mid-sized scope as bench_executor_parallel (232 tests).
 SCOPE = ("XM_reset_partition", "XM_get_partition_status", "XM_halt_partition")
 TRIALS = 5
+
+#: Quick mode (CI perf smoke): fewer trials, campaign halves single-run.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 
 def median_seconds(fn, trials=TRIALS, inner=1):
@@ -125,6 +129,82 @@ class TestSerialThroughput:
         )
         record = benchmark(executor.run, spec)
         assert record.first_rc == 0
+
+
+class TestDeltaReset:
+    """Delta reset must beat the snapshot restore it replaces.
+
+    Per-test bring-up under delta reset is one in-place journal revert;
+    under plain warm boot it is an unpickle plus buffer recycling.  The
+    micro comparison times both on the same snapshot (the delta side is
+    dirtied with a test-sized window before every reset so it reverts
+    real work, not a no-op), and the macro comparison runs the same
+    232-test campaign both ways.  The micro assertion is the CI perf
+    gate: it is overhead-only, so it holds on any host.
+    """
+
+    def test_delta_reset_beats_restore(self):
+        executor = TestExecutor(snapshot_cache=SnapshotCache())
+        executor.prepare()
+        assert executor.warm_boot, "EagleEye must be snapshottable"
+        snapshot = executor.snapshot_cache.get_or_build(
+            executor._snapshot_key(), executor._build_snapshot
+        )
+
+        inner = 5 if QUICK else 20
+        sim = snapshot.restore()
+        sim.arm_delta()
+        window_us = sim.kernel.major_frame_us * 2
+        journal_entries = len(sim._journal._entries)
+        reset_samples = []
+        for _ in range(TRIALS):
+            elapsed = 0.0
+            for _ in range(inner):
+                sim.run_until(sim.now_us + window_us)  # dirty real state
+                start = time.perf_counter()
+                sim.reset()
+                elapsed += time.perf_counter() - start
+            reset_samples.append(elapsed / inner)
+        delta = statistics.median(reset_samples)
+        sim.disarm_delta()
+        snapshot.recycle(sim)
+
+        def warm_bringup():
+            restored = snapshot.restore()
+            snapshot.recycle(restored)
+
+        restore = median_seconds(warm_bringup, inner=inner)
+        record_bench(
+            "delta_reset",
+            bringup_delta_ms=round(delta * 1e3, 3),
+            bringup_restore_ms=round(restore * 1e3, 3),
+            delta_over_restore=round(restore / delta, 2),
+            journal_entries=journal_entries,
+        )
+        assert delta <= restore, (
+            f"delta reset {delta * 1e3:.3f}ms slower than "
+            f"full restore {restore * 1e3:.3f}ms"
+        )
+
+    def test_delta_serial_campaign_throughput(self):
+        def run(delta):
+            campaign = Campaign(
+                functions=SCOPE, warm_boot=True, delta_reset=delta
+            )
+            result = campaign.run()
+            assert result.total_tests == 232
+            assert result.issue_count() == 0
+
+        trials = 1 if QUICK else 3
+        with_delta = median_seconds(lambda: run(True), trials=trials)
+        without = median_seconds(lambda: run(False), trials=trials)
+        record_bench(
+            "delta_reset",
+            scope_tests=232,
+            serial_delta_tests_per_s=round(232 / with_delta, 1),
+            serial_restore_tests_per_s=round(232 / without, 1),
+            delta_over_restore_serial=round(without / with_delta, 2),
+        )
 
 
 class TestFullCampaignEquivalence:

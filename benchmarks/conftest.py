@@ -8,6 +8,7 @@ that regenerate tables/figures reuse its result and benchmark the
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -23,14 +24,28 @@ BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
 
 
 def record_bench(section: str, **values: object) -> None:
-    """Merge one section of measurements into BENCH_campaign.json."""
+    """Merge one section of measurements into BENCH_campaign.json.
+
+    Every section gets ``host_cpus`` stamped automatically: throughput
+    and scaling numbers are meaningless without knowing how many cores
+    the recording host actually had (a workers>cpus configuration on a
+    small host measures oversubscription, not speed-up).  A value of
+    ``None`` deletes the key, so a re-run that *skips* a configuration
+    can scrub the stale figure a previous host recorded for it.
+    """
     data: dict = {}
     if BENCH_JSON.exists():
         try:
             data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
         except json.JSONDecodeError:
             data = {}
-    data.setdefault(section, {}).update(values)
+    values.setdefault("host_cpus", os.cpu_count())
+    section_data = data.setdefault(section, {})
+    for key, value in values.items():
+        if value is None:
+            section_data.pop(key, None)
+        else:
+            section_data[key] = value
     BENCH_JSON.write_text(
         json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

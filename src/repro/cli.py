@@ -91,6 +91,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pack and boot a fresh system for every test",
     )
     run.add_argument(
+        "--delta-reset",
+        dest="delta_reset",
+        action="store_true",
+        default=True,
+        help="revert warm-boot state in place between tests via the "
+        "dirty-tracking journal, falling back to snapshot restores "
+        "when a run cannot be trusted (default)",
+    )
+    run.add_argument(
+        "--no-delta-reset",
+        dest="delta_reset",
+        action="store_false",
+        help="always restore from the pickled snapshot between tests",
+    )
+    run.add_argument(
+        "--journal-budget",
+        dest="journal_budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="dirty-memory bytes a delta reset may revert before "
+        "falling back to a full restore (default 1 MiB)",
+    )
+    run.add_argument(
+        "--verify-reset",
+        dest="verify_reset",
+        action="store_true",
+        help="run every test a second time on a fresh snapshot restore "
+        "and fail on any record divergence (delta-reset audit mode)",
+    )
+    run.add_argument(
         "--strategy",
         default="cartesian",
         choices=sorted(_STRATEGIES),
@@ -219,12 +250,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     functions = tuple(args.functions.split(",")) if args.functions else None
+    campaign_kwargs = {}
+    if args.journal_budget is not None:
+        campaign_kwargs["journal_budget"] = args.journal_budget
     campaign = Campaign(
         functions=functions,
         kernel_version=args.version,
         frames=args.frames,
         warm_boot=args.warm_boot,
+        delta_reset=args.delta_reset,
+        verify_reset=args.verify_reset,
         strategy=_STRATEGIES[args.strategy](),
+        **campaign_kwargs,
     )
     total = campaign.total_tests()
     print(f"# campaign: {total} tests on XtratuM {args.version}", file=sys.stderr)
@@ -319,6 +356,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 os.environ.pop(failpoints.ENV_VAR, None)
             else:
                 os.environ[failpoints.ENV_VAR] = chaos_env_before
+    reset_modes = result.execution_stats.get("reset_modes") or {}
+    if reset_modes:
+        breakdown = ", ".join(
+            f"{name}={reset_modes[name]}"
+            for name in ("delta", "restore", "cold", "delta_fallbacks", "verified")
+            if name in reset_modes
+        )
+        print(f"# reset modes: {breakdown}", file=sys.stderr)
     if args.log:
         # The stream already checkpointed every record; the final save
         # rewrites the file atomically in canonical spec order.

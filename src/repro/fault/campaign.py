@@ -35,6 +35,7 @@ from repro.fault.combinator import CartesianStrategy, GenerationStrategy
 from repro.fault.dictionaries import DictionarySet
 from repro.fault.executor import (
     DEFAULT_FRAMES,
+    DEFAULT_JOURNAL_BUDGET,
     TestExecutor,
     _init_worker,
     run_shard_payload,
@@ -127,6 +128,14 @@ def _auto_shard_size(total: int, processes: int) -> int:
     return max(1, min(amortised, per_worker))
 
 
+def _merge_reset_modes(stats: dict, counts: dict) -> None:
+    """Accumulate executor reset-ladder counters into ``execution_stats``."""
+    modes = stats.setdefault("reset_modes", {})
+    for name, count in counts.items():
+        if count:
+            modes[name] = modes.get(name, 0) + count
+
+
 @dataclass
 class Campaign:
     """One configured robustness-testing campaign."""
@@ -145,6 +154,16 @@ class Campaign:
     #: Execute via warm-boot snapshots (see :mod:`repro.fault.executor`);
     #: forced off when ``system_factory`` is custom.
     warm_boot: bool = True
+    #: Top rung of the executor's reset ladder: keep a live simulator
+    #: per worker and revert it in place between tests (falls back to
+    #: full snapshot restores on journal overflow, crash/hang, or an
+    #: unjournalable object graph).  Only meaningful under ``warm_boot``.
+    delta_reset: bool = True
+    #: Board-memory bytes one delta reset may revert; None = unlimited.
+    journal_budget: int | None = DEFAULT_JOURNAL_BUDGET
+    #: Run every spec both ways (delta reset and full restore) and
+    #: require field-for-field record identity; raises on divergence.
+    verify_reset: bool = False
     #: Suites are deterministic for a fixed configuration, so they are
     #: generated once and reused by run()/analyse()/total_tests().
     _suites: list[HypercallSuite] | None = field(
@@ -260,6 +279,9 @@ class Campaign:
             "retries": 0,
             "degraded_serial": False,
             "quarantined_skips": 0,
+            # Per-test bring-up modes across all executors/workers (the
+            # reset ladder: delta reset > snapshot restore > cold boot).
+            "reset_modes": {},
         }
         quarantine: Quarantine | None = None
         if quarantine_path is not None:
@@ -298,7 +320,7 @@ class Campaign:
             sink = stream.append if stream is not None else None
             if processes is None:
                 records = self._run_serial(
-                    remaining, progress, sink, timeout_s, policy
+                    remaining, progress, sink, timeout_s, policy, stats
                 )
             else:
                 records = self._run_parallel(
@@ -352,6 +374,7 @@ class Campaign:
         sink: RecordSink | None = None,
         timeout_s: float | None = None,
         policy: RetryPolicy | None = None,
+        stats: dict | None = None,
     ) -> list[TestRecord]:
         executor = TestExecutor(
             kernel_version=self.kernel_version,
@@ -359,16 +382,23 @@ class Campaign:
             system_factory=self.system_factory,
             warm_boot=self.warm_boot,
             timeout_s=timeout_s,
+            delta_reset=self.delta_reset,
+            journal_budget=self.journal_budget,
+            verify_reset=self.verify_reset,
         )
         arbiter = VerdictArbiter(policy) if policy is not None else None
         records: list[TestRecord] = []
-        for index, spec in enumerate(specs):
-            record = self._arbitrated_serial_run(executor, spec, policy, arbiter)
-            records.append(record)
-            if sink is not None:
-                sink(record)
-            if progress is not None:
-                progress(index + 1, len(specs), record)
+        try:
+            for index, spec in enumerate(specs):
+                record = self._arbitrated_serial_run(executor, spec, policy, arbiter)
+                records.append(record)
+                if sink is not None:
+                    sink(record)
+                if progress is not None:
+                    progress(index + 1, len(specs), record)
+        finally:
+            if stats is not None:
+                _merge_reset_modes(stats, executor.reset_stats)
         return records
 
     def _arbitrated_serial_run(
@@ -537,7 +567,9 @@ class Campaign:
                         "specs",
                         stacklevel=2,
                     )
-                    self._run_serial(remaining, None, emit, timeout_s, policy)
+                    self._run_serial(
+                        remaining, None, emit, timeout_s, policy, stats
+                    )
                     remaining = []
                     break
                 failpoints.fire("campaign.respawn")
@@ -547,7 +579,7 @@ class Campaign:
             size = shard_size or _auto_shard_size(len(remaining), processes)
             round_ctx["shard_size"] = size
             arrived, retry_ids, suspect_shards, broke = self._pool_round(
-                remaining, processes, size, timeout_s, deliver
+                remaining, processes, size, timeout_s, deliver, stats
             )
             resolved = arrived - retry_ids
             if broke:
@@ -566,7 +598,9 @@ class Campaign:
                     failpoints.fire("campaign.probe_loop")
                     stats["probe_respawns"] += 1
                     probe_arrived, probe_retry, _shards, probe_broke = (
-                        self._pool_round(suspects, 1, size, timeout_s, deliver)
+                        self._pool_round(
+                            suspects, 1, size, timeout_s, deliver, stats
+                        )
                     )
                     ever_arrived |= probe_arrived
                     resolved |= probe_arrived - probe_retry
@@ -632,6 +666,7 @@ class Campaign:
         shard_size: int,
         timeout_s: float | None,
         deliver: Callable[[TestRecord], bool | None],
+        stats: dict | None = None,
     ) -> tuple[set[str], set[str], list[list[TestCallSpec]], bool]:
         """One sharded pool pass: (arrived ids, retry ids, suspects, broke).
 
@@ -689,6 +724,9 @@ class Campaign:
                 completed.add(record.test_id)
                 if deliver(record) is False:
                     retry_ids.add(record.test_id)
+            elif message[0] == "stats":
+                if stats is not None:
+                    _merge_reset_modes(stats, message[1])
 
         executor = ProcessPoolExecutor(
             max_workers=min(processes, len(shards)),
@@ -701,6 +739,9 @@ class Campaign:
                 timeout_s,
                 relay,
                 self._wire_recipe(),
+                self.delta_reset,
+                self.journal_budget,
+                self.verify_reset,
             ),
         )
         pump: threading.Thread | None = None

@@ -55,6 +55,7 @@ from repro.fault.stateful_oracle import capture_state
 from repro.fault.testlog import Invocation, TestRecord
 from repro.testbed import build_system
 from repro.testbed.builder import FDIR_SLOT_HOOK
+from repro.tsim.delta import DeltaResetError, Unjournalable
 from repro.tsim.simulator import (
     SimSnapshot,
     SimulatorCrash,
@@ -69,6 +70,9 @@ from repro.xm.vulns import VULNERABLE_VERSION
 DEFAULT_FRAMES = 2
 #: Console lines kept in the record.
 CONSOLE_TAIL = 8
+#: Default cap on board-memory bytes a single delta reset may revert; a
+#: test that dirties more falls back to a full snapshot restore.
+DEFAULT_JOURNAL_BUDGET = 1 << 20
 
 #: Fault-injection hooks for the campaign supervisor's own tests: a
 #: worker that is handed a named test id dies (or spins until the
@@ -119,6 +123,18 @@ def _kill_injected(test_id: str) -> bool:
     if "*" not in targets and test_id not in targets:
         return False
     return _fault_once(test_id, "kill")
+
+
+class ResetVerifyError(RuntimeError):
+    """``--verify-reset``: a delta-path record diverged from full restore."""
+
+    def __init__(self, test_id: str, field_name: str) -> None:
+        super().__init__(
+            f"verify-reset mismatch on {test_id}: field {field_name!r} differs "
+            "between the delta-reset and full-restore runs"
+        )
+        self.test_id = test_id
+        self.field_name = field_name
 
 
 class WatchdogExpired(Exception):
@@ -275,6 +291,9 @@ class TestExecutor:
         warm_boot: bool = True,
         snapshot_cache: SnapshotCache | None = None,
         timeout_s: float | None = None,
+        delta_reset: bool = True,
+        journal_budget: int | None = DEFAULT_JOURNAL_BUDGET,
+        verify_reset: bool = False,
     ) -> None:
         self.kernel_version = kernel_version
         self.frames = frames
@@ -288,6 +307,28 @@ class TestExecutor:
         self.system_factory = system_factory if system_factory is not None else build_system
         self.warm_boot = warm_boot and system_factory is None
         self.snapshot_cache = snapshot_cache if snapshot_cache is not None else _SNAPSHOT_CACHE
+        #: Top rung of the reset ladder: keep one live simulator per
+        #: snapshot key and revert it in place between tests.  Demoted
+        #: automatically (see _run_on_snapshot) when the graph proves
+        #: unjournalable; individual tests fall back when the run
+        #: crashed/hung or the journal overflows its budget.
+        self.delta_reset = delta_reset and self.warm_boot
+        self.journal_budget = journal_budget
+        #: Run every spec both ways (delta-maintained sim and a fresh
+        #: snapshot restore) and require field-for-field record identity.
+        self.verify_reset = verify_reset
+        #: The delta-maintained live simulator (and the snapshot key it
+        #: was restored from), or None between fallbacks.
+        self._live = None
+        self._live_key: tuple | None = None
+        #: Per-test bring-up modes plus fallback/verification counters.
+        self.reset_stats = {
+            "delta": 0,
+            "restore": 0,
+            "cold": 0,
+            "delta_fallbacks": 0,
+            "verified": 0,
+        }
 
     # -- warm boot ---------------------------------------------------------
 
@@ -354,10 +395,47 @@ class TestExecutor:
         return self._run_cold(spec, started)
 
     def _run_warm(self, spec: TestCallSpec, started: float) -> TestRecord:
-        snapshot = self.snapshot_cache.get_or_build(
-            self._snapshot_key(), self._build_snapshot
-        )
-        sim = snapshot.restore()
+        key = self._snapshot_key()
+        snapshot = self.snapshot_cache.get_or_build(key, self._build_snapshot)
+        record = self._run_on_snapshot(spec, started, snapshot, key, primary=True)
+        if self.verify_reset:
+            self._verify_against_fresh(spec, record, snapshot, key)
+        return record
+
+    def _run_on_snapshot(
+        self,
+        spec: TestCallSpec,
+        started: float,
+        snapshot: SimSnapshot,
+        key: tuple,
+        primary: bool,
+    ) -> TestRecord:
+        """One warm run: reuse the delta-maintained sim or restore fresh.
+
+        ``primary=False`` is the verify-reset reference path: always a
+        fresh restore, never kept, never counted in the bring-up stats.
+        """
+        reuse = primary and self.delta_reset
+        sim = None
+        delta_used = False
+        if reuse and self._live is not None and self._live_key == key:
+            sim, self._live = self._live, None
+            delta_used = True
+        if sim is None:
+            sim = snapshot.restore()
+            if reuse:
+                try:
+                    sim.arm_delta(self.journal_budget)
+                except Unjournalable:
+                    # The graph holds an object the journal cannot
+                    # revert; delta reset is off for good on this
+                    # executor (full restores still work).
+                    self.delta_reset = False
+                    self.reset_stats["delta_fallbacks"] += 1
+                    reuse = False
+        if primary:
+            self.reset_stats["delta" if delta_used else "restore"] += 1
+        keep = False
         try:
             kernel = sim.kernel
             slot = sim.image.runtime_hooks.get(FDIR_SLOT_HOOK)
@@ -376,20 +454,67 @@ class TestExecutor:
             # snapshot recycle must not race a late watchdog SIGALRM.
             if self.timeout_s:
                 _disarm_watchdog()
-            return self._build_record(
+            record = self._build_record(
                 spec, sim, kernel, payload, crashed, hung, started
             )
+            # Crashed/hung simulators are never trusted for in-place
+            # reuse: the next test pays a full restore.
+            if reuse and not crashed and not hung:
+                keep = self._try_delta_reset(sim)
+            return record
         finally:
             # Pooled buffers must come back on every exit path — a
             # raising _build_record (or the watchdog, or an injected
             # recycle fault) must not leak the restored simulator's
-            # memory.
+            # memory.  A kept simulator owns its buffers until the next
+            # test takes it over.
             try:
                 failpoints.fire("executor.recycle")
             finally:
-                snapshot.recycle(sim)
+                if keep:
+                    self._live = sim
+                    self._live_key = key
+                else:
+                    sim.disarm_delta()
+                    snapshot.recycle(sim)
+
+    def _try_delta_reset(self, sim) -> bool:  # noqa: ANN001
+        """Bottom of a clean run: revert in place for the next test."""
+        try:
+            sim.reset()
+            return True
+        except DeltaResetError:
+            # Journal overflow or a baseline destroyed mid-run (in-test
+            # cold reset): drop this simulator; the next test restores.
+            self.reset_stats["delta_fallbacks"] += 1
+            return False
+
+    def _verify_against_fresh(
+        self,
+        spec: TestCallSpec,
+        record: TestRecord,
+        snapshot: SimSnapshot,
+        key: tuple,
+    ) -> None:
+        """Re-run ``spec`` from a fresh restore and require identity."""
+        reference = self._run_on_snapshot(
+            spec, time.perf_counter(), snapshot, key, primary=False
+        )
+        primary_dict = record.to_dict()
+        reference_dict = reference.to_dict()
+        for fields in (primary_dict, reference_dict):
+            fields.pop("wall_time_s", None)  # the only nondeterministic field
+        if primary_dict != reference_dict:
+            diverging = next(
+                name
+                for name in primary_dict
+                if primary_dict[name] != reference_dict.get(name)
+            )
+            raise ResetVerifyError(spec.test_id, diverging)
+        self.reset_stats["verified"] += 1
 
     def _run_cold(self, spec: TestCallSpec, started: float) -> TestRecord:
+        self.reset_stats["cold"] += 1
         payload = self._make_payload()
         sim = self.system_factory(
             fdir_payload=payload, kernel_version=self.kernel_version
@@ -511,6 +636,9 @@ _RELAY = None
 #: format for a shard is a list of indices into this table, not pickled
 #: spec dicts (see :mod:`repro.fault.wire`).
 _SPEC_TABLE: list[TestCallSpec] | None = None
+#: Reset-stats counts already relayed to the parent (per-shard deltas
+#: are sent, so pool respawns and multi-shard workers both sum cleanly).
+_STATS_SENT: dict[str, int] = {}
 
 
 def _init_worker(
@@ -520,16 +648,23 @@ def _init_worker(
     timeout_s: float | None = None,
     relay=None,  # noqa: ANN001 - mp.SimpleQueue proxy
     recipe=None,  # noqa: ANN001 - wire.SuiteRecipe
+    delta_reset: bool = True,
+    journal_budget: int | None = DEFAULT_JOURNAL_BUDGET,
+    verify_reset: bool = False,
 ) -> None:
-    global _WORKER, _RELAY, _SPEC_TABLE
+    global _WORKER, _RELAY, _SPEC_TABLE, _STATS_SENT
     failpoints.mark_worker_process()
     _WORKER = TestExecutor(
         kernel_version=kernel_version,
         frames=frames,
         warm_boot=warm_boot,
         timeout_s=timeout_s,
+        delta_reset=delta_reset,
+        journal_budget=journal_budget,
+        verify_reset=verify_reset,
     )
     _RELAY = relay
+    _STATS_SENT = {}
     if recipe is not None:
         from repro.fault.wire import build_spec_table
 
@@ -562,4 +697,13 @@ def run_shard_payload(shard: tuple[int, list[int]]) -> int:
         record = _WORKER.run(spec)
         if _RELAY is not None:
             _RELAY.put(("record", encode_record(record)))
+    if _RELAY is not None:
+        delta = {
+            name: count - _STATS_SENT.get(name, 0)
+            for name, count in _WORKER.reset_stats.items()
+            if count != _STATS_SENT.get(name, 0)
+        }
+        if delta:
+            _STATS_SENT.update(_WORKER.reset_stats)
+            _RELAY.put(("stats", delta))
     return len(specs)

@@ -103,8 +103,18 @@ class PhysicalMemory:
         #: since the last snapshot restore); lets snapshot recycling zero
         #: only what a test actually touched.
         self._dirty: dict[str, list[int]] = {}
+        self._init_delta_fields()
         for area in areas:
             self.add_area(area)
+
+    def _init_delta_fields(self) -> None:
+        #: Armed delta baseline: non-zero span per backing at arm time
+        #: (None = not armed) plus the dirty accounting as of arming.
+        self._base_spans: dict[str, tuple[int, int, bytes]] | None = None
+        self._base_dirty: dict[str, list[int]] = {}
+        #: A cold reset while armed empties the store; the baseline is
+        #: gone and any delta reset must be refused.
+        self._delta_broken = False
 
     def add_area(self, area: MemoryArea) -> None:
         """Map a new area; overlap with an existing area is an error."""
@@ -188,6 +198,74 @@ class PhysicalMemory:
         """Zero all backing storage (cold reset)."""
         self._store.clear()
         self._dirty.clear()
+        if self._base_spans is not None:
+            self._delta_broken = True
+
+    # -- delta reset -------------------------------------------------------
+    #
+    # ``write_in`` already maintains a per-area [lo, hi) dirty span.
+    # Arming re-bases that tracking: the current content becomes the
+    # baseline (captured as non-zero spans) and the dirty map restarts
+    # empty, so after a test it describes exactly the bytes the test
+    # wrote.  A delta reset zeroes those bytes and re-applies the
+    # overlapping slice of the baseline span — cost proportional to what
+    # the test touched, never to the configured area sizes.
+
+    def snapshot_delta(self) -> None:
+        """Arm the write journal: current content becomes the baseline."""
+        self._base_spans = self.export_spans()
+        self._base_dirty = {name: list(span) for name, span in self._dirty.items()}
+        self._dirty = {}
+        self._delta_broken = False
+
+    def reset_from_delta(self, baseline: None) -> None:
+        """Revert every byte written since arming (in place)."""
+        if self._delta_broken or self._base_spans is None:
+            raise RuntimeError("memory delta baseline lost (cold reset or never armed)")
+        base_spans = self._base_spans
+        for name, (lo, hi) in self._dirty.items():
+            buf = self._store[name]
+            buf[lo:hi] = bytes(hi - lo)
+            base = base_spans.get(name)
+            if base is not None:
+                _, off, data = base
+                start = max(lo, off)
+                end = min(hi, off + len(data))
+                if start < end:
+                    buf[start:end] = data[start - off : end - off]
+        # Post-reset content equals the baseline, so the dirty
+        # accounting (what a recycle must zero) is the baseline's.
+        self._dirty = {name: list(span) for name, span in self._base_dirty.items()}
+
+    @property
+    def delta_broken(self) -> bool:
+        """Whether an armed baseline was destroyed by a cold reset."""
+        return self._delta_broken
+
+    def delta_pending_bytes(self) -> int:
+        """Bytes written since arming (the cost of the next delta reset)."""
+        return sum(hi - lo for lo, hi in self._dirty.values())
+
+    def delta_disarm(self) -> None:
+        """Drop the baseline, restoring construction-time dirty accounting.
+
+        Merges the baseline's dirty spans back into the live map so a
+        later :meth:`reclaim_buffers` zeroes everything ever written —
+        required before recycling an armed simulator's buffers into the
+        snapshot pool.  Idempotent; a no-op when not armed.
+        """
+        if self._base_spans is None:
+            return
+        for name, span in self._base_dirty.items():
+            current = self._dirty.get(name)
+            if current is None:
+                self._dirty[name] = list(span)
+            else:
+                current[0] = min(current[0], span[0])
+                current[1] = max(current[1], span[1])
+        self._base_spans = None
+        self._base_dirty = {}
+        self._delta_broken = False
 
     # -- snapshot support --------------------------------------------------
 
@@ -222,6 +300,7 @@ class PhysicalMemory:
         self._starts = [a.start for a in self._areas]
         self._store = {}
         self._dirty = {}
+        self._init_delta_fields()
         for name, (size, off, data) in spans.items():
             buf = pool.pop(name, None) if pool is not None else None
             if buf is None or len(buf) != size:
@@ -265,6 +344,10 @@ class PhysicalMemory:
         """Pickle with sparse (non-zero chunks only) area backings."""
         chunk = self._PICKLE_CHUNK
         state = self.__dict__.copy()
+        # A pickled memory never carries an armed delta baseline.
+        state["_base_spans"] = None
+        state["_base_dirty"] = {}
+        state["_delta_broken"] = False
         packed: dict[str, tuple[int, dict[int, bytes]]] = {}
         for name, buf in self._store.items():
             size = len(buf)

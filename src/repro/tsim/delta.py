@@ -1,0 +1,273 @@
+"""In-place delta reset: revert a live object graph to a captured baseline.
+
+A fault-injection test mutates a tiny fraction of a booted system, so
+rebuilding everything per test (unpickling the warm-boot snapshot blob)
+is almost pure waste.  A :class:`DeltaJournal` walks the live object
+graph once — right after the settle frame, at the same instant the
+snapshot is taken — records a baseline per mutable object *by
+reference*, and reverts the graph in place:
+
+- containers (``list``/``dict``/``set``/``deque``/``bytearray``) get
+  their *contents* rolled back while the container object survives, so
+  every alias in the graph stays wired;
+- plain objects get their ``__dict__`` rolled back, minus any fields the
+  class nominates in ``__delta_skip__`` (caches that stay valid across
+  in-place resets, e.g. the kernel's hypercall dispatch cache);
+- objects implementing the cooperative reset protocol —
+  ``snapshot_delta()`` / ``reset_from_delta(baseline)`` — capture and
+  revert themselves (the board memory's dirty-span journal, the event
+  queue's live-event list).
+
+Baselines store child objects by reference only: a captured list holds
+the same element objects the live list held, and each of those elements
+is reverted by its *own* journal entry.  That is what makes the reset a
+delta — cost is proportional to the number of live mutable objects and
+the bytes actually written, never to configured memory sizes.
+
+Two honesty rules shape the walker:
+
+- an object it cannot see inside (no ``__dict__``, not a known
+  container, not immutable) raises :class:`Unjournalable` instead of
+  being silently skipped — the executor falls back to full snapshot
+  restores rather than risk state bleeding between tests;
+- a reset must be observationally identical to a fresh
+  ``SimSnapshot.restore()``; the test suite (and the executor's
+  ``--verify-reset`` mode) asserts record-for-record equality between
+  the two paths.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+import types
+from dataclasses import fields as dataclass_fields, is_dataclass
+from collections import deque
+from typing import Iterable
+
+
+class DeltaResetError(RuntimeError):
+    """An in-place delta reset cannot be (or was not) performed."""
+
+
+class Unjournalable(DeltaResetError):
+    """The graph holds an object the journal cannot revert in place."""
+
+    def __init__(self, path: str, value: object) -> None:
+        super().__init__(
+            f"cannot journal {type(value).__name__} at {path}: no __dict__, "
+            "not a supported container, and no snapshot_delta/reset_from_delta"
+        )
+        self.path = path
+
+
+class JournalOverflow(DeltaResetError):
+    """A test dirtied more board memory than the journal budget allows."""
+
+    def __init__(self, pending_bytes: int, budget_bytes: int) -> None:
+        super().__init__(
+            f"memory journal holds {pending_bytes} dirty bytes, "
+            f"budget is {budget_bytes}"
+        )
+        self.pending_bytes = pending_bytes
+        self.budget_bytes = budget_bytes
+
+
+class Fields:
+    """Shallow ``__dict__`` baseline produced by :func:`capture_fields`.
+
+    Classes that opt into the reset protocol but have no bespoke state
+    representation return one of these from ``snapshot_delta()``; the
+    journal then knows to keep walking the captured values, so the
+    object's children are journaled individually as usual.
+    """
+
+    __slots__ = ("baseline", "skip")
+
+    def __init__(self, baseline: dict, skip: tuple) -> None:
+        self.baseline = baseline
+        self.skip = skip
+
+
+def capture_fields(obj: object, skip: Iterable[str] = ()) -> Fields:
+    """Capture ``obj.__dict__`` (minus ``skip`` fields) by reference."""
+    skip = tuple(skip)
+    return Fields(
+        {k: v for k, v in obj.__dict__.items() if k not in skip}, skip
+    )
+
+
+def restore_fields(obj: object, captured: Fields) -> None:
+    """Revert ``obj.__dict__`` to a :func:`capture_fields` baseline.
+
+    Skip fields keep their *current* value (they are caches, valid
+    across in-place resets because every referenced object survives);
+    fields created after the capture disappear.
+    """
+    d = obj.__dict__
+    preserved = {k: d[k] for k in captured.skip if k in d}
+    d.clear()
+    d.update(captured.baseline)
+    d.update(preserved)
+
+
+#: Values stored by reference with no entry and no recursion.
+_ATOMIC = (
+    type(None), bool, int, float, complex, str, bytes, frozenset, range, slice,
+)
+#: Callables that are themselves immutable bindings.  Their referents can
+#: still be mutable (a bound method's ``__self__``, a partial's args), so
+#: the walker recurses into those without journaling the callable.
+_CALLABLE = (
+    types.FunctionType,
+    types.BuiltinFunctionType,
+    types.MethodType,
+    types.MethodWrapperType,
+)
+
+# Journal entry kinds (revert actions).
+_OBJ, _HOOK, _LIST, _DICT, _SET, _DEQUE, _BUF = range(7)
+
+
+def _is_frozen_dataclass(value: object) -> bool:
+    return (
+        is_dataclass(value)
+        and not isinstance(value, type)
+        and type(value).__dataclass_params__.frozen
+    )
+
+
+class DeltaJournal:
+    """One armed baseline of a live object graph, revertable in place.
+
+    ``constants`` are objects shared by reference across snapshot
+    restores (the kernel's ``snapshot_constants()``); they are immutable
+    by contract, so the walker neither captures nor enters them.
+    """
+
+    def __init__(self, root: object, constants: Iterable[object] = ()) -> None:
+        self._entries: list[tuple] = []
+        self._seen: set[int] = set()
+        #: Strong refs behind the id() memo (guards against id reuse)
+        #: and behind every baseline (captured objects must outlive the
+        #: journal even if the live graph drops them mid-test).
+        self._refs: list[object] = []
+        self._skip_ids = {id(c) for c in constants}
+        self._constants = tuple(constants)
+        self._walk(root, "root")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- capture -----------------------------------------------------------
+
+    def _walk(self, value: object, path: str) -> None:
+        if isinstance(value, _ATOMIC) or isinstance(value, (enum.Enum, type, types.ModuleType)):
+            return
+        vid = id(value)
+        if vid in self._skip_ids or vid in self._seen:
+            return
+        self._seen.add(vid)
+        self._refs.append(value)
+        if isinstance(value, tuple):
+            for i, item in enumerate(value):
+                self._walk(item, f"{path}[{i}]")
+            return
+        if isinstance(value, _CALLABLE):
+            bound = getattr(value, "__self__", None)
+            if bound is not None:
+                self._walk(bound, f"{path}.__self__")
+            return
+        if isinstance(value, functools.partial):
+            self._walk(value.func, f"{path}.func")
+            for i, item in enumerate(value.args):
+                self._walk(item, f"{path}.args[{i}]")
+            for k, item in value.keywords.items():
+                self._walk(item, f"{path}.keywords[{k}]")
+            return
+        capture = getattr(value, "snapshot_delta", None)
+        restore = getattr(value, "reset_from_delta", None)
+        if capture is not None and restore is not None:
+            baseline = capture()
+            self._entries.append((_HOOK, value, baseline))
+            if isinstance(baseline, Fields):
+                for key, item in baseline.baseline.items():
+                    self._walk(item, f"{path}.{key}")
+            return
+        if isinstance(value, list):
+            baseline = tuple(value)
+            self._entries.append((_LIST, value, baseline))
+            for i, item in enumerate(baseline):
+                self._walk(item, f"{path}[{i}]")
+            return
+        if isinstance(value, dict):
+            baseline = tuple(value.items())
+            self._entries.append((_DICT, value, baseline))
+            for key, item in baseline:
+                self._walk(key, f"{path}<key>")
+                self._walk(item, f"{path}[{key!r}]")
+            return
+        if isinstance(value, set):
+            baseline = tuple(value)
+            self._entries.append((_SET, value, baseline))
+            for item in baseline:
+                self._walk(item, f"{path}<member>")
+            return
+        if isinstance(value, deque):
+            baseline = tuple(value)
+            self._entries.append((_DEQUE, value, baseline))
+            for i, item in enumerate(baseline):
+                self._walk(item, f"{path}[{i}]")
+            return
+        if isinstance(value, bytearray):
+            self._entries.append((_BUF, value, bytes(value)))
+            return
+        if _is_frozen_dataclass(value):
+            # The bindings cannot change; only register referenced
+            # mutables so their contents still get reverted.
+            for f in dataclass_fields(value):
+                self._walk(getattr(value, f.name), f"{path}.{f.name}")
+            return
+        d = getattr(value, "__dict__", None)
+        if d is None:
+            raise Unjournalable(path, value)
+        skip = getattr(type(value), "__delta_skip__", ())
+        baseline = {k: v for k, v in d.items() if k not in skip}
+        self._entries.append((_OBJ, value, baseline, skip))
+        for key, item in baseline.items():
+            self._walk(item, f"{path}.{key}")
+
+    # -- revert ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Revert every journaled object to its captured baseline."""
+        for entry in self._entries:
+            kind = entry[0]
+            if kind == _OBJ:
+                _, obj, baseline, skip = entry
+                d = obj.__dict__
+                preserved = {k: d[k] for k in skip if k in d}
+                d.clear()
+                d.update(baseline)
+                d.update(preserved)
+            elif kind == _HOOK:
+                _, obj, baseline = entry
+                obj.reset_from_delta(baseline)
+            elif kind == _LIST:
+                _, obj, baseline = entry
+                obj[:] = baseline
+            elif kind == _DICT:
+                _, obj, baseline = entry
+                obj.clear()
+                obj.update(baseline)
+            elif kind == _SET:
+                _, obj, baseline = entry
+                obj.clear()
+                obj.update(baseline)
+            elif kind == _DEQUE:
+                _, obj, baseline = entry
+                obj.clear()
+                obj.extend(baseline)
+            else:  # _BUF
+                _, obj, baseline = entry
+                obj[:] = baseline

@@ -3,6 +3,11 @@
 Plain heapq-based priority queue.  Events at the same virtual time fire in
 scheduling order (a monotone sequence number breaks ties), which keeps
 whole-campaign runs deterministic — a property the test suite asserts.
+
+Cancelled events are lazily skipped when they reach the head of the heap;
+a live count triggers compaction when cancelled entries outnumber live
+ones, so a workload that schedules and cancels heavily (vtimer churn)
+cannot grow the heap without bound before virtual time catches up.
 """
 
 from __future__ import annotations
@@ -22,10 +27,16 @@ class Event:
     name: str = field(compare=False)
     callback: Callable[[int], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Owning queue while the event sits in its heap (cleared on pop), so
+    #: cancellation can keep the queue's cancelled-entry count exact.
+    queue: "EventQueue | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.queue is not None:
+                self.queue._note_cancelled()
 
 
 class EventQueue:
@@ -34,12 +45,14 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._seq = itertools.count()
+        #: Cancelled events still sitting in the heap.
+        self._cancelled = 0
 
     def schedule(self, time_us: int, callback: Callable[[int], None], name: str = "") -> Event:
         """Schedule ``callback(time_us)`` at an absolute virtual time."""
         if time_us < 0:
             raise ValueError("cannot schedule before time zero")
-        event = Event(time_us, next(self._seq), name, callback)
+        event = Event(time_us, next(self._seq), name, callback, queue=self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -51,18 +64,93 @@ class EventQueue:
     def pop(self) -> Event | None:
         """Remove and return the next live event, or None."""
         self._drop_cancelled()
-        return heapq.heappop(self._heap) if self._heap else None
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        event.queue = None
+        return event
+
+    def pop_due(self, deadline_us: int) -> Event | None:
+        """Pop the next live event due at or before ``deadline_us``.
+
+        Single scan over any cancelled head entries — the hot dispatch
+        loop calls this once per event instead of the ``peek_time()`` +
+        ``pop()`` pair (two scans).  Returns None when the next live
+        event lies beyond the deadline (or the queue is empty), leaving
+        that event in place.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head.cancelled:
+                heapq.heappop(heap).queue = None
+                self._cancelled -= 1
+                continue
+            if head.time_us > deadline_us:
+                return None
+            event = heapq.heappop(heap)
+            event.queue = None
+            return event
+        return None
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap).queue = None
+            self._cancelled -= 1
+
+    def _note_cancelled(self) -> None:
+        """Account one in-heap cancellation; compact at > 50% dead."""
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors.
+
+        Ordering is untouched: (time, seq) is a total order over events,
+        so the rebuilt heap pops in exactly the same sequence.
+        """
+        live: list[Event] = []
+        for event in self._heap:
+            if event.cancelled:
+                event.queue = None
+            else:
+                live.append(event)
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled = 0
 
     def clear(self) -> None:
         """Drop everything (system reset)."""
+        for event in self._heap:
+            event.queue = None
         self._heap.clear()
+        self._cancelled = 0
+
+    # -- delta reset --------------------------------------------------------
+
+    def snapshot_delta(self) -> tuple:
+        """Baseline for in-place delta resets: the live events, in order.
+
+        Only ``(time, name, callback)`` is captured; a reset re-schedules
+        fresh entries.  The sequence counter deliberately keeps counting
+        across resets: baseline events are re-pushed in their original
+        relative order and any event scheduled later necessarily gets a
+        higher sequence number — exactly as in a fresh snapshot restore —
+        so same-time tie-breaking is unchanged.
+        """
+        live = sorted(e for e in self._heap if not e.cancelled)
+        return tuple((e.time_us, e.name, e.callback) for e in live)
+
+    def reset_from_delta(self, baseline: tuple) -> None:
+        """Rebuild the queue from a :meth:`snapshot_delta` baseline."""
+        self.clear()
+        for time_us, name, callback in baseline:
+            self.schedule(time_us, callback, name)
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._cancelled
 
     def __bool__(self) -> bool:
         self._drop_cancelled()

@@ -22,6 +22,7 @@ from typing import Callable
 
 from repro.sparc.cpu import ProcessorErrorMode
 from repro.sparc.memory import MemoryArea, PhysicalMemory
+from repro.tsim.delta import DeltaJournal, DeltaResetError, JournalOverflow
 from repro.tsim.events import Event, EventQueue
 from repro.tsim.image import KernelProtocol, SystemImage
 from repro.tsim.machine import TargetMachine
@@ -204,6 +205,10 @@ class Simulator:
     #: enough that a livelocked kernel is detected quickly.
     DEFAULT_EVENT_BUDGET = 200_000
 
+    #: The delta journal belongs to this live instance, never to its
+    #: baseline: a reset must not revert (or duplicate) the journal.
+    __delta_skip__ = ("_journal", "_journal_budget")
+
     def __init__(
         self,
         machine: TargetMachine,
@@ -218,6 +223,15 @@ class Simulator:
         self._now_us = 0
         self._dispatched = 0
         self.kernel: KernelProtocol | None = None
+        self._journal: DeltaJournal | None = None
+        self._journal_budget: int | None = None
+
+    def __getstate__(self) -> dict:
+        """Pickle without the (live-instance-only) delta journal."""
+        state = self.__dict__.copy()
+        state["_journal"] = None
+        state["_journal_budget"] = None
+        return state
 
     # -- virtual time ------------------------------------------------------
 
@@ -266,13 +280,11 @@ class Simulator:
             if self.kernel.is_halted():
                 self.state = SimState.STOPPED
                 return
-            next_time = self.events.peek_time()
-            if next_time is None or next_time > deadline_us:
+            event = self.events.pop_due(deadline_us)
+            if event is None:
                 # Never rewind: a deadline already in the past is a no-op.
                 self._now_us = max(self._now_us, deadline_us)
                 return
-            event = self.events.pop()
-            assert event is not None
             self._now_us = event.time_us
             self._dispatched += 1
             budget -= 1
@@ -315,6 +327,74 @@ class Simulator:
             areas=tuple(memory.areas()),
             spans=memory.export_spans(),
         )
+
+    # -- delta reset -------------------------------------------------------
+
+    def arm_delta(self, journal_budget: int | None = None) -> None:
+        """Capture an in-place reset baseline of the *current* state.
+
+        Walks the live object graph (sharing the kernel's nominated
+        constants by reference, exactly like :meth:`snapshot`) and arms
+        the board memory's write journal.  Afterwards :meth:`reset`
+        reverts the simulator to this instant without any unpickling.
+
+        ``journal_budget`` caps the board-memory bytes a single reset
+        may revert; a test that dirties more raises
+        :class:`~repro.tsim.delta.JournalOverflow` from :meth:`reset`
+        (callers fall back to a full snapshot restore).  Raises
+        :class:`~repro.tsim.delta.Unjournalable` when the graph holds an
+        object that cannot be reverted in place.
+        """
+        if self.kernel is None:
+            raise DeltaResetError("cannot arm delta reset: image not booted")
+        if self.state is not SimState.RUNNING:
+            raise DeltaResetError(f"cannot arm delta reset: simulator is {self.state.value}")
+        constants = tuple(getattr(self.kernel, "snapshot_constants", lambda: ())())
+        self._journal = None
+        self._journal_budget = journal_budget
+        try:
+            self._journal = DeltaJournal(self, constants=constants)
+        except Exception:
+            # The walk may have armed the memory journal before failing.
+            self.machine.memory.delta_disarm()
+            raise
+
+    def reset(self) -> None:
+        """Revert in place to the :meth:`arm_delta` baseline.
+
+        The cheap rung of the executor's reset ladder: no allocation, no
+        unpickling — journaled objects roll their contents back and the
+        memory journal rewrites only the bytes the run dirtied.  Raises
+        :class:`~repro.tsim.delta.DeltaResetError` (before touching any
+        state, so the simulator stays consistent for recycling) when the
+        baseline is unusable: journal not armed, budget overflow, or the
+        baseline destroyed by an in-test cold reset.
+        """
+        journal = self._journal
+        if journal is None:
+            raise DeltaResetError("arm_delta() before reset()")
+        memory = self.machine.memory
+        if memory.delta_broken:
+            raise DeltaResetError(
+                "board memory was cold-reset during the run; delta baseline lost"
+            )
+        budget = self._journal_budget
+        if budget is not None:
+            pending = memory.delta_pending_bytes()
+            if pending > budget:
+                raise JournalOverflow(pending, budget)
+        journal.reset()
+
+    def disarm_delta(self) -> None:
+        """Drop the delta baseline (before recycling this simulator).
+
+        Re-merges the memory journal's baseline accounting so a
+        subsequent buffer reclaim zeroes everything ever written.
+        Idempotent.
+        """
+        self._journal = None
+        self._journal_budget = None
+        self.machine.memory.delta_disarm()
 
     def run_major_frames(self, count: int) -> None:
         """Run a whole number of the kernel's major frames."""

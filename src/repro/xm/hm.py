@@ -13,6 +13,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.tsim.delta import Fields, capture_fields, restore_fields
 from repro.xm.status import XmHmLogEntry
 
 
@@ -102,6 +103,14 @@ class HealthMonitor:
     def action_for(self, event: HmEvent) -> HmAction:
         """Configured action for an event (LOG when unconfigured)."""
         return self.actions.get(event, HmAction.LOG)
+
+    def snapshot_delta(self) -> Fields:
+        """Baseline (log, cursor, counters) for in-place delta resets."""
+        return capture_fields(self)
+
+    def reset_from_delta(self, baseline: Fields) -> None:
+        """Revert the event log and counters to an armed baseline."""
+        restore_fields(self, baseline)
 
     def raise_event(
         self,

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.sparc.memory import Access, AddressSpace, MemoryArea, MemoryFault
 from repro.sparc.traps import Trap, TrapType
+from repro.tsim.delta import Fields, capture_fields, restore_fields
 from repro.xm import rc
 from repro.xm.api import HypercallDef, hypercall_by_name
 from repro.xm.config import XMConfig
@@ -72,6 +73,11 @@ class Kernel:
     HYPERCALL_COST_US = 20
     #: Latency of a system reset before the schedule restarts.
     RESET_LATENCY_US = 1_000
+
+    #: The dispatch cache binds hypercall names to manager methods of
+    #: *this* instance; an in-place reset keeps every manager object, so
+    #: the cache stays valid and is preserved across delta resets.
+    __delta_skip__ = ("_svc_cache",)
 
     NoReturn = NoReturnFromHypercall
 
@@ -172,6 +178,21 @@ class Kernel:
             constants.extend(part.memory_areas)
             constants.extend(part.ports)
         return constants
+
+    def snapshot_delta(self) -> Fields:
+        """Mutable-state baseline for in-place delta resets.
+
+        Counterpart of :meth:`snapshot_constants` on the delta-reset
+        path: halt state, epoch/reset counters, the reset log, the
+        hypercall counter and the partition table are captured (by
+        reference — the journal reverts each referenced object itself);
+        the dispatch cache is skipped because it survives resets intact.
+        """
+        return capture_fields(self, skip=self.__delta_skip__)
+
+    def reset_from_delta(self, baseline: Fields) -> None:
+        """Revert the kernel's own fields to an armed baseline."""
+        restore_fields(self, baseline)
 
     @property
     def halt_reason(self) -> str | None:

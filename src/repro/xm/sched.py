@@ -18,6 +18,7 @@ from functools import partial
 from typing import TYPE_CHECKING
 
 from repro.sparc.memory import MemoryFault
+from repro.tsim.delta import Fields, capture_fields, restore_fields
 from repro.xm.config import PlanConfig, SlotConfig
 from repro.xm.hm import HmEvent
 from repro.xm.partition import PartitionState
@@ -78,11 +79,23 @@ class CyclicScheduler:
         default_factory=dict, repr=False, compare=False
     )
 
+    #: Frame-cache entries are partials over *this* scheduler and the
+    #: (frozen) slot configs — still valid after an in-place reset.
+    __delta_skip__ = ("_frame_cache",)
+
     def __getstate__(self) -> dict:
         """Pickle without the frame cache (rebuilt on demand)."""
         state = self.__dict__.copy()
         state["_frame_cache"] = {}
         return state
+
+    def snapshot_delta(self) -> Fields:
+        """Baseline for in-place delta resets (frame cache preserved)."""
+        return capture_fields(self, skip=self.__delta_skip__)
+
+    def reset_from_delta(self, baseline: Fields) -> None:
+        """Revert plan/slot/overrun state to an armed baseline."""
+        restore_fields(self, baseline)
 
     @property
     def plan(self) -> PlanConfig:

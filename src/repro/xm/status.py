@@ -5,6 +5,11 @@ buffers.  Each structure here knows its byte layout (big-endian, as on
 SPARC) so the kernel can serialise it through the partition's address
 space — which is exactly where bad status pointers from the fault
 dictionaries get caught.
+
+Each layout is compiled once into a ``struct.Struct`` at import time:
+status reads sit on the campaign's hot path (one pack per
+``XM_get_*_status`` invocation), and a precompiled struct skips the
+per-call format-string parse.
 """
 
 from __future__ import annotations
@@ -27,13 +32,13 @@ class XmSystemStatus:
     current_time_us: int = 0
     hm_events: int = 0
 
-    LAYOUT = ">IIIqI"
-    SIZE = struct.calcsize(LAYOUT)
+    _STRUCT = struct.Struct(">IIIqI")
+    LAYOUT = _STRUCT.format
+    SIZE = _STRUCT.size
 
     def pack(self) -> bytes:
         """Serialise to the wire layout."""
-        return struct.pack(
-            self.LAYOUT,
+        return self._STRUCT.pack(
             self.reset_counter & 0xFFFFFFFF,
             self.warm_reset_counter & 0xFFFFFFFF,
             self.current_plan & 0xFFFFFFFF,
@@ -44,8 +49,7 @@ class XmSystemStatus:
     @classmethod
     def unpack(cls, data: bytes) -> "XmSystemStatus":
         """Deserialise from the wire layout."""
-        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
-        return cls(*fields)
+        return cls(*cls._STRUCT.unpack_from(data))
 
 
 @dataclass
@@ -58,13 +62,13 @@ class XmPartitionStatus:
     reset_status: int = 0
     exec_clock_us: int = 0
 
-    LAYOUT = ">iIIIq"
-    SIZE = struct.calcsize(LAYOUT)
+    _STRUCT = struct.Struct(">iIIIq")
+    LAYOUT = _STRUCT.format
+    SIZE = _STRUCT.size
 
     def pack(self) -> bytes:
         """Serialise to the wire layout."""
-        return struct.pack(
-            self.LAYOUT,
+        return self._STRUCT.pack(
             self.ident,
             self.state & 0xFFFFFFFF,
             self.reset_counter & 0xFFFFFFFF,
@@ -75,8 +79,7 @@ class XmPartitionStatus:
     @classmethod
     def unpack(cls, data: bytes) -> "XmPartitionStatus":
         """Deserialise from the wire layout."""
-        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
-        return cls(*fields)
+        return cls(*cls._STRUCT.unpack_from(data))
 
 
 @dataclass
@@ -88,13 +91,13 @@ class XmPlanStatus:
     current_slot: int = 0
     major_frame_count: int = 0
 
-    LAYOUT = ">IIII"
-    SIZE = struct.calcsize(LAYOUT)
+    _STRUCT = struct.Struct(">IIII")
+    LAYOUT = _STRUCT.format
+    SIZE = _STRUCT.size
 
     def pack(self) -> bytes:
         """Serialise to the wire layout."""
-        return struct.pack(
-            self.LAYOUT,
+        return self._STRUCT.pack(
             self.current_plan & 0xFFFFFFFF,
             self.requested_plan & 0xFFFFFFFF,
             self.current_slot & 0xFFFFFFFF,
@@ -104,8 +107,7 @@ class XmPlanStatus:
     @classmethod
     def unpack(cls, data: bytes) -> "XmPlanStatus":
         """Deserialise from the wire layout."""
-        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
-        return cls(*fields)
+        return cls(*cls._STRUCT.unpack_from(data))
 
 
 @dataclass
@@ -118,13 +120,13 @@ class XmPortStatus:
     last_message_size: int = 0
     last_timestamp_us: int = 0
 
-    LAYOUT = ">iIIIq"
-    SIZE = struct.calcsize(LAYOUT)
+    _STRUCT = struct.Struct(">iIIIq")
+    LAYOUT = _STRUCT.format
+    SIZE = _STRUCT.size
 
     def pack(self) -> bytes:
         """Serialise to the wire layout."""
-        return struct.pack(
-            self.LAYOUT,
+        return self._STRUCT.pack(
             self.port_id,
             self.direction & 0xFFFFFFFF,
             self.pending_messages & 0xFFFFFFFF,
@@ -135,8 +137,7 @@ class XmPortStatus:
     @classmethod
     def unpack(cls, data: bytes) -> "XmPortStatus":
         """Deserialise from the wire layout."""
-        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
-        return cls(*fields)
+        return cls(*cls._STRUCT.unpack_from(data))
 
 
 @dataclass
@@ -147,13 +148,13 @@ class XmHmStatus:
     unread_events: int = 0
     lost_events: int = 0
 
-    LAYOUT = ">III"
-    SIZE = struct.calcsize(LAYOUT)
+    _STRUCT = struct.Struct(">III")
+    LAYOUT = _STRUCT.format
+    SIZE = _STRUCT.size
 
     def pack(self) -> bytes:
         """Serialise to the wire layout."""
-        return struct.pack(
-            self.LAYOUT,
+        return self._STRUCT.pack(
             self.total_events & 0xFFFFFFFF,
             self.unread_events & 0xFFFFFFFF,
             self.lost_events & 0xFFFFFFFF,
@@ -162,8 +163,7 @@ class XmHmStatus:
     @classmethod
     def unpack(cls, data: bytes) -> "XmHmStatus":
         """Deserialise from the wire layout."""
-        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
-        return cls(*fields)
+        return cls(*cls._STRUCT.unpack_from(data))
 
 
 @dataclass
@@ -175,13 +175,13 @@ class XmHmLogEntry:
     timestamp_us: int = 0
     payload: int = 0
 
-    LAYOUT = ">IiqI"
-    SIZE = struct.calcsize(LAYOUT)
+    _STRUCT = struct.Struct(">IiqI")
+    LAYOUT = _STRUCT.format
+    SIZE = _STRUCT.size
 
     def pack(self) -> bytes:
         """Serialise to the wire layout."""
-        return struct.pack(
-            self.LAYOUT,
+        return self._STRUCT.pack(
             self.event_code & 0xFFFFFFFF,
             self.partition_id,
             self.timestamp_us,
@@ -191,8 +191,7 @@ class XmHmLogEntry:
     @classmethod
     def unpack(cls, data: bytes) -> "XmHmLogEntry":
         """Deserialise from the wire layout."""
-        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
-        return cls(*fields)
+        return cls(*cls._STRUCT.unpack_from(data))
 
 
 @dataclass
@@ -204,13 +203,13 @@ class XmTraceEvent:
     timestamp_us: int = 0
     word: int = 0
 
-    LAYOUT = ">IiqI"
-    SIZE = struct.calcsize(LAYOUT)
+    _STRUCT = struct.Struct(">IiqI")
+    LAYOUT = _STRUCT.format
+    SIZE = _STRUCT.size
 
     def pack(self) -> bytes:
         """Serialise to the wire layout."""
-        return struct.pack(
-            self.LAYOUT,
+        return self._STRUCT.pack(
             self.opcode & 0xFFFFFFFF,
             self.partition_id,
             self.timestamp_us,
@@ -220,8 +219,7 @@ class XmTraceEvent:
     @classmethod
     def unpack(cls, data: bytes) -> "XmTraceEvent":
         """Deserialise from the wire layout."""
-        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
-        return cls(*fields)
+        return cls(*cls._STRUCT.unpack_from(data))
 
 
 @dataclass
@@ -232,13 +230,13 @@ class XmTraceStatus:
     unread_events: int = 0
     lost_events: int = 0
 
-    LAYOUT = ">III"
-    SIZE = struct.calcsize(LAYOUT)
+    _STRUCT = struct.Struct(">III")
+    LAYOUT = _STRUCT.format
+    SIZE = _STRUCT.size
 
     def pack(self) -> bytes:
         """Serialise to the wire layout."""
-        return struct.pack(
-            self.LAYOUT,
+        return self._STRUCT.pack(
             self.total_events & 0xFFFFFFFF,
             self.unread_events & 0xFFFFFFFF,
             self.lost_events & 0xFFFFFFFF,
@@ -247,5 +245,4 @@ class XmTraceStatus:
     @classmethod
     def unpack(cls, data: bytes) -> "XmTraceStatus":
         """Deserialise from the wire layout."""
-        fields = struct.unpack(cls.LAYOUT, data[: cls.SIZE])
-        return cls(*fields)
+        return cls(*cls._STRUCT.unpack_from(data))

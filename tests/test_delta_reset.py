@@ -1,0 +1,272 @@
+"""Unit tests for the delta-reset machinery.
+
+Covers the three layers underneath the executor's reset ladder: the
+generic object-graph journal (:mod:`repro.tsim.delta`), the physical
+memory's dirty-span journal, and the event queue's cancellation
+compaction / single-scan dispatch pop.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.fault.executor import CampaignPayload
+from repro.fault.mutant import default_layout
+from repro.sparc import Access, MemoryArea, PhysicalMemory
+from repro.testbed import build_system
+from repro.tsim.delta import (
+    DeltaJournal,
+    DeltaResetError,
+    JournalOverflow,
+    Unjournalable,
+    capture_fields,
+    restore_fields,
+)
+from repro.tsim.events import EventQueue
+
+
+# -- journal over plain object graphs ---------------------------------------
+
+
+class Node:
+    def __init__(self, **attrs):
+        self.__dict__.update(attrs)
+
+
+class TestDeltaJournal:
+    def test_reverts_fields_and_containers_in_place(self):
+        shared = [1, 2]
+        root = Node(
+            number=1,
+            text="a",
+            items=shared,
+            alias=shared,
+            table={"k": 1},
+            bag={1, 2},
+            ring=deque([1]),
+            buf=bytearray(b"abc"),
+        )
+        journal = DeltaJournal(root)
+        root.number = 99
+        root.text = "changed"
+        root.items.append(3)
+        root.table["k"] = 2
+        root.table["new"] = 3
+        root.bag.add(9)
+        root.ring.append(2)
+        root.buf[0:1] = b"X"
+        journal.reset()
+        assert root.number == 1
+        assert root.text == "a"
+        assert root.items == [1, 2]
+        assert root.alias is root.items  # aliasing survives the revert
+        assert root.table == {"k": 1}
+        assert root.bag == {1, 2}
+        assert list(root.ring) == [1]
+        assert bytes(root.buf) == b"abc"
+
+    def test_delta_skip_fields_keep_their_current_value(self):
+        class Cached(Node):
+            __delta_skip__ = ("cache",)
+
+        root = Cached(value=1, cache={})
+        journal = DeltaJournal(root)
+        root.value = 2
+        root.cache["warm"] = True
+        journal.reset()
+        assert root.value == 1
+        assert root.cache == {"warm": True}  # preserved, not reverted
+
+    def test_opaque_object_raises_unjournalable(self):
+        root = Node(opaque=object())
+        with pytest.raises(Unjournalable) as err:
+            DeltaJournal(root)
+        assert "opaque" in str(err.value)
+
+    def test_cooperative_hooks_are_used(self):
+        class Hooked:
+            def __init__(self):
+                self.value = 0
+                self.resets = 0
+
+            def snapshot_delta(self):
+                return self.value
+
+            def reset_from_delta(self, baseline):
+                self.value = baseline
+                self.resets += 1
+
+        hooked = Hooked()
+        root = Node(child=hooked)
+        journal = DeltaJournal(root)
+        hooked.value = 42
+        journal.reset()
+        assert hooked.value == 0
+        assert hooked.resets == 1
+
+    def test_capture_restore_fields_roundtrip(self):
+        node = Node(a=1, b=2, extra_skip=0)
+        captured = capture_fields(node, skip=("extra_skip",))
+        node.a = 10
+        node.extra_skip = 99
+        node.post_capture = "later"
+        restore_fields(node, captured)
+        assert (node.a, node.b) == (1, 2)
+        assert node.extra_skip == 99  # skip field keeps its live value
+        assert not hasattr(node, "post_capture")  # post-capture fields drop
+
+
+# -- physical memory dirty-span journal -------------------------------------
+
+
+def make_memory():
+    mem = PhysicalMemory()
+    mem.add_area(MemoryArea("ram", 0x40000000, 0x1000, Access.RWX))
+    return mem
+
+
+class TestMemoryDelta:
+    def test_reset_reverts_to_armed_baseline_not_zero(self):
+        mem = make_memory()
+        mem.write(0x40000010, b"base")
+        mem.snapshot_delta()
+        mem.write(0x40000010, b"XXXX")  # overwrite baseline bytes
+        mem.write(0x40000100, b"new")  # dirty fresh bytes
+        mem.reset_from_delta(None)
+        assert mem.read(0x40000010, 4) == b"base"
+        assert mem.read(0x40000100, 3) == b"\x00\x00\x00"
+
+    def test_pending_bytes_track_post_arm_writes(self):
+        mem = make_memory()
+        mem.write(0x40000000, b"seed")
+        mem.snapshot_delta()
+        assert mem.delta_pending_bytes() == 0
+        mem.write(0x40000020, b"ab")
+        assert mem.delta_pending_bytes() == 2
+        mem.reset_from_delta(None)
+        # The reset re-applied the 4 baseline bytes, so they are dirty
+        # again — the next reset (and an eventual recycle) must cover
+        # them, and the budget accounting says so.
+        assert mem.delta_pending_bytes() == 4
+
+    def test_clear_while_armed_breaks_the_delta(self):
+        mem = make_memory()
+        mem.snapshot_delta()
+        assert not mem.delta_broken
+        mem.clear()
+        assert mem.delta_broken
+
+    def test_disarm_restores_full_dirty_accounting(self):
+        mem = make_memory()
+        mem.write(0x40000010, b"base")
+        mem.snapshot_delta()
+        mem.write(0x40000200, b"post")
+        mem.delta_disarm()
+        spans = dict(mem.export_spans())
+        # Both the pre-arm and post-arm writes are dirty again, so a
+        # recycle zeroes everything that was ever touched.
+        size, offset, data = spans["ram"]
+        assert offset <= 0x10
+        assert offset + len(data) >= 0x204
+
+
+# -- event queue cancellation and dispatch ----------------------------------
+
+
+class TestEventQueue:
+    def test_pop_due_returns_only_events_within_deadline(self):
+        queue = EventQueue()
+        queue.schedule(10, lambda now: None, name="early")
+        queue.schedule(50, lambda now: None, name="late")
+        event = queue.pop_due(20)
+        assert event is not None and event.name == "early"
+        assert queue.pop_due(20) is None  # "late" stays queued
+        assert len(queue) == 1
+
+    def test_pop_due_skips_cancelled_heads(self):
+        queue = EventQueue()
+        dead = queue.schedule(5, lambda now: None, name="dead")
+        queue.schedule(6, lambda now: None, name="live")
+        dead.cancel()
+        event = queue.pop_due(10)
+        assert event is not None and event.name == "live"
+        assert queue._cancelled == 0
+
+    def test_heavy_cancellation_compacts_the_heap(self):
+        queue = EventQueue()
+        events = [queue.schedule(i, lambda now: None) for i in range(10)]
+        for event in events[:6]:
+            event.cancel()
+        # More than half the heap was dead: compaction dropped them all.
+        assert queue._cancelled == 0
+        assert len(queue._heap) == 4
+        assert len(queue) == 4
+        popped = [queue.pop().time_us for _ in range(4)]
+        assert popped == [6, 7, 8, 9]  # pop order unchanged by compaction
+
+    def test_cancel_after_pop_does_not_corrupt_the_counter(self):
+        queue = EventQueue()
+        event = queue.schedule(1, lambda now: None)
+        assert queue.pop() is event
+        event.cancel()  # already dispatched: must not touch the counter
+        assert queue._cancelled == 0
+        assert len(queue) == 0
+
+    def test_snapshot_and_reset_rebuild_identical_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5, lambda now: fired.append("a"))
+        queue.schedule(5, lambda now: fired.append("b"))
+        dead = queue.schedule(5, lambda now: fired.append("dead"))
+        dead.cancel()
+        baseline = queue.snapshot_delta()
+        queue.pop()
+        queue.schedule(1, lambda now: fired.append("noise"))
+        queue.reset_from_delta(baseline)
+        while (event := queue.pop()) is not None:
+            event.callback(event.time_us)
+        assert fired == ["a", "b"]  # same-time ties keep scheduling order
+
+
+# -- simulator arming and refusal paths -------------------------------------
+
+
+def booted_sim():
+    sim = build_system(fdir_payload=CampaignPayload(layout=default_layout()))
+    kernel = sim.boot()
+    sim.run_until(kernel.major_frame_us - 1)
+    return sim, kernel
+
+
+class TestSimulatorDelta:
+    def test_reset_without_arm_is_refused(self):
+        sim, _ = booted_sim()
+        with pytest.raises(DeltaResetError):
+            sim.reset()
+
+    def test_arm_requires_a_booted_system(self):
+        sim = build_system(fdir_payload=CampaignPayload(layout=default_layout()))
+        with pytest.raises(DeltaResetError):
+            sim.arm_delta()
+
+    def test_budget_overflow_is_refused_before_any_revert(self):
+        sim, kernel = booted_sim()
+        sim.arm_delta(journal_budget=1)
+        sim.run_until(3 * kernel.major_frame_us)
+        with pytest.raises(JournalOverflow):
+            sim.reset()
+        # The refused reset left the simulator consistent and disarmable.
+        sim.disarm_delta()
+        assert not sim.kernel.is_halted()
+
+    def test_reset_reverts_time_and_state(self):
+        sim, kernel = booted_sim()
+        armed_at = sim.now_us
+        sim.arm_delta()
+        sim.run_until(3 * kernel.major_frame_us)
+        assert sim.now_us > armed_at
+        sim.reset()
+        assert sim.now_us == armed_at
+        assert sim.kernel is kernel  # in place: same objects, reverted
+        sim.run_until(3 * kernel.major_frame_us)
+        assert not kernel.is_halted()

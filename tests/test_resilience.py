@@ -376,7 +376,9 @@ class TestRespawnBudgetDegrade:
         specs = list(campaign.iter_specs())
         calls = {"rounds": 0}
 
-        def dying_pool_round(specs_in, processes, shard_size, timeout_s, deliver):
+        def dying_pool_round(
+            specs_in, processes, shard_size, timeout_s, deliver, stats=None
+        ):
             calls["rounds"] += 1
             if calls["rounds"] == 1:
                 # Announce one suspectless delivery so the first round
@@ -407,7 +409,9 @@ class TestRespawnBudgetDegrade:
     def test_initializer_failure_still_raises(self, monkeypatch):
         campaign = Campaign(functions=SUITE)
 
-        def never_starts(specs_in, processes, shard_size, timeout_s, deliver):
+        def never_starts(
+            specs_in, processes, shard_size, timeout_s, deliver, stats=None
+        ):
             return set(), set(), [], True
 
         monkeypatch.setattr(campaign, "_pool_round", never_starts)

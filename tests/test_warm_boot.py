@@ -3,7 +3,7 @@
 import pytest
 
 from repro.fault.campaign import Campaign
-from repro.fault.executor import CampaignPayload, TestExecutor
+from repro.fault.executor import CampaignPayload, ResetVerifyError, TestExecutor
 from repro.fault.mutant import ArgSpec, TestCallSpec, default_layout
 from repro.testbed import build_system
 from repro.testbed.dummy import build_dummy_system
@@ -167,6 +167,131 @@ class TestWarmColdCampaignIdentity:
             ]
 
         assert clusters(warm) == clusters(cold)
+
+
+class TestDeltaResetCampaignIdentity:
+    """Delta reset, full restore and cold boot must agree record for record."""
+
+    SCOPE = ("XM_reset_partition", "XM_get_partition_status", "XM_halt_partition")
+
+    @pytest.fixture(scope="class")
+    def trio(self):
+        delta = Campaign(functions=self.SCOPE, delta_reset=True).run()
+        restore = Campaign(functions=self.SCOPE, delta_reset=False).run()
+        cold = Campaign(functions=self.SCOPE, warm_boot=False).run()
+        return delta, restore, cold
+
+    def test_records_identical_across_reset_modes(self, trio):
+        delta, restore, cold = trio
+        keys = [[record_key(r) for r in result.log] for result in trio]
+        assert keys[0] == keys[1] == keys[2]
+
+    def test_delta_path_actually_taken(self, trio):
+        delta, restore, cold = trio
+        delta_modes = delta.execution_stats["reset_modes"]
+        # One full restore to seed the live simulator, deltas after that.
+        assert delta_modes["restore"] == 1
+        assert delta_modes["delta"] == delta.total_tests - 1
+        assert restore.execution_stats["reset_modes"] == {
+            "restore": restore.total_tests
+        }
+        assert cold.execution_stats["reset_modes"] == {"cold": cold.total_tests}
+
+    def test_crash_bearing_scope_identical(self):
+        # XM_set_timer carries crash/halt findings: crashed simulators
+        # must never be reused in place, and the records must still
+        # match the always-restore path exactly.
+        delta = Campaign(functions=("XM_set_timer",), delta_reset=True).run()
+        restore = Campaign(functions=("XM_set_timer",), delta_reset=False).run()
+        assert [record_key(r) for r in delta.log] == [
+            record_key(r) for r in restore.log
+        ]
+        assert any(r.sim_crashed for r in delta.log)
+        modes = delta.execution_stats["reset_modes"]
+        # Every crashed/halted run forces the next acquire to restore.
+        assert modes["restore"] > 1
+
+    def test_verify_reset_full_scope_zero_mismatches(self):
+        result = Campaign(functions=self.SCOPE, verify_reset=True).run()
+        modes = result.execution_stats["reset_modes"]
+        assert modes["verified"] == result.total_tests
+
+
+class TestDeltaResetFallbacks:
+    """The reset ladder degrades (delta -> restore) without changing records."""
+
+    def baseline_records(self, specs):
+        executor = TestExecutor(snapshot_cache=SnapshotCache(), delta_reset=False)
+        return [record_key(executor.run(spec)) for spec in specs]
+
+    def test_journal_overflow_falls_back_to_restore(self):
+        specs = [nominal_spec(f"overflow#{i}") for i in range(3)]
+        executor = TestExecutor(snapshot_cache=SnapshotCache(), journal_budget=1)
+        records = [record_key(executor.run(spec)) for spec in specs]
+        assert records == self.baseline_records(specs)
+        # Every reset attempt exceeds the 1-byte budget: all acquires
+        # are full restores, and each refusal is counted.
+        assert executor.reset_stats["delta"] == 0
+        assert executor.reset_stats["restore"] == len(specs)
+        assert executor.reset_stats["delta_fallbacks"] == len(specs)
+
+    def test_crashed_run_is_never_reused_in_place(self):
+        specs = list(Campaign(functions=("XM_set_timer",)).iter_specs())
+        executor = TestExecutor(snapshot_cache=SnapshotCache())
+        records = [executor.run(spec) for spec in specs]
+        crashed = [r.sim_crashed for r in records]
+        assert any(crashed)
+        assert [record_key(r) for r in records] == self.baseline_records(specs)
+        # A crashed run drops the live simulator, so the following test
+        # (if any) pays a full restore.
+        crashes_followed_by_tests = sum(crashed[:-1])
+        assert executor.reset_stats["restore"] >= 1 + crashes_followed_by_tests
+
+    def test_unjournalable_graph_demotes_executor_permanently(self):
+        class TaintedSnapshot:
+            """Restores carry an object the journal cannot revert."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def restore(self):
+                sim = self._inner.restore()
+                sim.machine.taint = object()  # no __dict__: unjournalable
+                return sim
+
+            def recycle(self, sim):
+                self._inner.recycle(sim)
+
+        specs = [nominal_spec(f"taint#{i}") for i in range(3)]
+        executor = TestExecutor(snapshot_cache=SnapshotCache())
+        executor.prepare()
+        key = executor._snapshot_key()
+        real = executor.snapshot_cache.get_or_build(key, executor._build_snapshot)
+        executor.snapshot_cache._snapshots[key] = TaintedSnapshot(real)
+        records = [record_key(executor.run(spec)) for spec in specs]
+        assert records == self.baseline_records(specs)
+        assert executor.delta_reset is False  # demoted for good
+        assert executor.reset_stats["delta_fallbacks"] == 1  # not re-attempted
+        assert executor.reset_stats["restore"] == len(specs)
+
+    def test_verify_reset_raises_on_divergence(self):
+        class LyingExecutor(TestExecutor):
+            """The verify reference run reports a different overrun count."""
+
+            def _run_on_snapshot(self, spec, started, snapshot, key, primary):
+                record = super()._run_on_snapshot(
+                    spec, started, snapshot, key, primary
+                )
+                if not primary:
+                    record.overruns += 1
+                return record
+
+        executor = LyingExecutor(
+            snapshot_cache=SnapshotCache(), verify_reset=True
+        )
+        with pytest.raises(ResetVerifyError) as err:
+            executor.run(nominal_spec())
+        assert "overruns" in str(err.value)
 
 
 class TestSerialParallelResumeIdentity:
