@@ -16,6 +16,8 @@ Subcommands::
     repro-campaign quarantine --file Q.json [--remove ID | --clear]
     repro-campaign tables            # Table I, Table II, Fig. 8, XML excerpts
     repro-campaign phantom           # parameter-less coverage extension
+    repro-campaign results ingest --db wh.sqlite --log out.jsonl
+    repro-campaign results query|diff|drift|dashboard --db wh.sqlite ...
 
 ``--chaos SEED`` arms the failpoint layer (seeded faults injected into
 the campaign runner itself; see :mod:`repro.fault.failpoints`): an
@@ -245,6 +247,65 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--right", required=True, help="candidate log (JSONL)")
     cmp_.add_argument("--left-version", default=VULNERABLE_VERSION)
     cmp_.add_argument("--right-version", default=FIXED_VERSION)
+
+    results = sub.add_parser(
+        "results", help="campaign results warehouse (SQLite over JSONL logs)"
+    )
+    results_sub = results.add_subparsers(dest="results_command", required=True)
+
+    ingest = results_sub.add_parser(
+        "ingest", help="append a campaign log to the warehouse (idempotent)"
+    )
+    ingest.add_argument("--db", required=True, help="warehouse database file")
+    ingest.add_argument("--log", required=True, help="campaign log (JSONL)")
+    ingest.add_argument(
+        "--campaign-id",
+        dest="campaign_id",
+        default=None,
+        help="campaign identity (default: the log file's stem)",
+    )
+    ingest.add_argument(
+        "--strategy",
+        default="",
+        help="generator name/revision to record as provenance",
+    )
+
+    query = results_sub.add_parser(
+        "query", help="list campaigns or one campaign's verdict summary"
+    )
+    query.add_argument("--db", required=True, help="warehouse database file")
+    query.add_argument(
+        "--campaign",
+        default=None,
+        help="show this campaign's verdict histogram instead of the list",
+    )
+
+    diff = results_sub.add_parser(
+        "diff", help="spec-by-spec verdict diff between two campaigns"
+    )
+    diff.add_argument("--db", required=True, help="warehouse database file")
+    diff.add_argument("--left", required=True, help="baseline campaign id")
+    diff.add_argument("--right", required=True, help="candidate campaign id")
+
+    drift = results_sub.add_parser(
+        "drift", help="per-spec verdict churn across all ingested runs"
+    )
+    drift.add_argument("--db", required=True, help="warehouse database file")
+    drift.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="flaky specs to list after the drifted ones (default 20)",
+    )
+
+    dashboard = results_sub.add_parser(
+        "dashboard", help="export the warehouse as HTML (and optionally JSON)"
+    )
+    dashboard.add_argument("--db", required=True, help="warehouse database file")
+    dashboard.add_argument("--out", required=True, help="HTML output path")
+    dashboard.add_argument(
+        "--json", dest="json_out", default=None, help="JSON output path"
+    )
     return parser
 
 
@@ -480,6 +541,97 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_results(args: argparse.Namespace) -> int:
+    from repro.results import ResultsWarehouse, diff_campaigns, drift_audit, flaky_specs
+
+    with ResultsWarehouse(args.db) as warehouse:
+        if args.results_command == "ingest":
+            report_ = warehouse.ingest(
+                args.log,
+                campaign_id=args.campaign_id,
+                strategy=args.strategy,
+            )
+            print(
+                f"ingested {report_.campaign_id}: {report_.inserted} new "
+                f"row(s), {report_.duplicates} already present "
+                f"({warehouse.row_count(report_.campaign_id)} total)"
+            )
+            return 0
+        if args.results_command == "query":
+            if args.campaign is not None:
+                try:
+                    info = warehouse.campaign(args.campaign)
+                except KeyError as exc:
+                    print(f"error: {exc.args[0]}", file=sys.stderr)
+                    return 2
+                print(
+                    f"{info.campaign_id}: {info.records} records, kernel "
+                    f"{info.kernel_version or '?'}, strategy "
+                    f"{info.strategy or '?'}, ingested {info.ingested_at}"
+                )
+                for verdict, count in warehouse.verdict_summary(
+                    args.campaign
+                ).items():
+                    print(f"  {verdict:<24} {count}")
+                return 0
+            campaigns = warehouse.campaigns()
+            if not campaigns:
+                print("warehouse is empty")
+                return 0
+            for info in campaigns:
+                print(
+                    f"{info.campaign_id}  kernel={info.kernel_version or '?'}"
+                    f"  records={info.records}  ingested={info.ingested_at}"
+                )
+            return 0
+        if args.results_command == "diff":
+            try:
+                diff = diff_campaigns(warehouse, args.left, args.right)
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+            print(diff.summary())
+            for change in diff.changed:
+                print(
+                    f"  {change.test_id}  {change.function}: "
+                    f"{change.left} -> {change.right}"
+                )
+            return 0
+        if args.results_command == "drift":
+            drifted = drift_audit(warehouse)
+            print(f"{len(drifted)} spec(s) with verdict drift")
+            for entry in drifted:
+                print(
+                    f"  {entry.test_id}  {entry.function}: "
+                    f"{' -> '.join(entry.verdicts)} "
+                    f"(churn {entry.transitions}, score {entry.flaky_score:.2f})"
+                )
+            flaky = [
+                e for e in flaky_specs(warehouse, top=args.top) if not e.drifted
+            ]
+            if flaky:
+                print(f"{len(flaky)} stable-verdict spec(s) under arbitration pressure")
+                for entry in flaky:
+                    print(
+                        f"  {entry.test_id}  {entry.function}: "
+                        f"score {entry.flaky_score:.2f} "
+                        f"({entry.arbitrated_runs} arbitrated run(s))"
+                    )
+            return 0
+        # dashboard
+        from repro.results.dashboard import export
+
+        data = export(warehouse, html_path=args.out, json_path=args.json_out)
+        print(
+            f"dashboard: {data['total_rows']} rows, "
+            f"{len(data['campaigns'])} campaign(s), "
+            f"{len(data['drift'])} drifted spec(s) -> {args.out}"
+        )
+        if args.json_out:
+            print(f"json export -> {args.json_out}")
+        return 0
+
+
 def _cmd_phantom(_args: argparse.Namespace) -> int:
     result = PhantomCampaign().run()
     print(f"phantom cases executed : {len(result.records)}")
@@ -501,6 +653,7 @@ def main(argv: list[str] | None = None) -> int:
         "truthbase": _cmd_truthbase,
         "feedback": _cmd_feedback,
         "compare": _cmd_compare,
+        "results": _cmd_results,
     }
     return handlers[args.command](args)
 

@@ -80,7 +80,9 @@ class CampaignResult:
     strategy_name: str
     #: Supervision counters from the run that produced this result
     #: (pool/probe respawns, arbitration retries, quarantine skips,
-    #: serial degradation); None when the log was analysed offline.
+    #: serial degradation, reset modes).  Offline analysis rehydrates
+    #: them from the log's stats trailer; None only for logs that never
+    #: carried one (pre-trailer logs, hand-built record lists).
     execution_stats: dict | None = None
 
     @property
@@ -134,6 +136,24 @@ def _merge_reset_modes(stats: dict, counts: dict) -> None:
     for name, count in counts.items():
         if count:
             modes[name] = modes.get(name, 0) + count
+
+
+def _merge_execution_stats(stats: dict, prior: dict) -> None:
+    """Fold a previous (interrupted) run's stats into this run's.
+
+    Counters add, flags OR, the reset-mode histogram merges per mode —
+    so an interrupted+resumed campaign reports the same totals an
+    uninterrupted run of the same suite would have.
+    """
+    for key, value in prior.items():
+        if key == "reset_modes":
+            _merge_reset_modes(stats, value or {})
+        elif isinstance(value, bool):
+            stats[key] = bool(stats.get(key)) or value
+        elif isinstance(value, (int, float)):
+            stats[key] = stats.get(key, 0) + value
+        else:
+            stats.setdefault(key, value)
 
 
 @dataclass
@@ -283,6 +303,11 @@ class Campaign:
             # reset ladder: delta reset > snapshot restore > cold boot).
             "reset_modes": {},
         }
+        if resume_from is not None and resume_from.execution_stats:
+            # The interrupted run's supervision counters rode along on
+            # its log trailer; fold them in so the resumed campaign
+            # reports run totals, not just this process's share.
+            _merge_execution_stats(stats, resume_from.execution_stats)
         quarantine: Quarantine | None = None
         if quarantine_path is not None:
             quarantine = Quarantine.load(quarantine_path)
@@ -336,7 +361,15 @@ class Campaign:
                 )
         finally:
             if stream is not None:
-                stream.close()
+                # Trailer the supervision stats onto the stream — even
+                # on interrupt — so a log analysed offline reports what
+                # the live run did (reset modes, respawns, arbitration)
+                # and a resumed campaign can fold this leg's counters
+                # into its own.
+                try:
+                    stream.append_stats(stats)
+                finally:
+                    stream.close()
             # Quarantine additions survive even an aborted campaign —
             # a confirmed killer must not be forgotten by the next run.
             if quarantine is not None and quarantine.dirty:
@@ -347,7 +380,9 @@ class Campaign:
         order = {spec.test_id: index for index, spec in enumerate(specs)}
         combined = [*done, *records]
         combined.sort(key=lambda record: order[record.test_id])
-        result = self.analyse(CampaignLog(combined))
+        log = CampaignLog(combined)
+        log.execution_stats = stats
+        result = self.analyse(log)
         result.execution_stats = stats
         return result
 
@@ -856,7 +891,12 @@ class Campaign:
     # -- analysis -----------------------------------------------------------
 
     def analyse(self, log: CampaignLog) -> CampaignResult:
-        """Log-analysis phase: oracle, CRASH classification, clustering."""
+        """Log-analysis phase: oracle, CRASH classification, clustering.
+
+        Execution stats rehydrated from the log's trailer (a streamed
+        log analysed offline) carry over onto the result, so the
+        offline report matches the live one line for line.
+        """
         oracle = ReferenceOracle(self.kernel_version, self.oracle_context)
         spec_index = {spec.test_id: spec for spec in self.iter_specs()}
         classified: list[tuple[TestRecord, Expectation, Classification]] = []
@@ -906,4 +946,5 @@ class Campaign:
             kernel_version=self.kernel_version,
             model=self.model,
             strategy_name=getattr(self.strategy, "name", "custom"),
+            execution_stats=log.execution_stats,
         )

@@ -333,6 +333,14 @@ def campaign_summary(result: CampaignResult) -> str:
     if quarantined:
         lines.append(f"Quarantined (skipped) : {quarantined}")
     stats = result.execution_stats or {}
+    reset_modes = stats.get("reset_modes") or {}
+    if reset_modes:
+        breakdown = ", ".join(
+            f"{name}={reset_modes[name]}"
+            for name in ("delta", "restore", "cold", "delta_fallbacks", "verified")
+            if name in reset_modes
+        )
+        lines.append(f"Reset modes       : {breakdown}")
     if stats.get("pool_respawns") or stats.get("probe_respawns"):
         lines.append(
             "Pool respawns     : "

@@ -24,13 +24,11 @@ fix that:
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.fault.testlog import TestRecord
+from repro.fault.testlog import TestRecord, atomic_write_text
 
 
 @dataclass(frozen=True)
@@ -179,25 +177,19 @@ class Quarantine:
         return iter(self.entries)
 
     def save(self) -> None:
-        """Atomically write the quarantine file (temp + replace)."""
+        """Atomically write the quarantine file (temp + replace).
+
+        Goes through :func:`~repro.fault.testlog.atomic_write_text`, so
+        the published file honors the process umask — ``mkstemp``'s
+        0600 temp mode must not survive the rename, or CI stages and
+        users sharing the quarantine path cannot read it.
+        """
         if self.path is None:
             raise ValueError("this quarantine has no backing path")
         payload = json.dumps(
             {"version": 1, "entries": self.entries}, indent=2, sort_keys=True
         )
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.path.parent, prefix=self.path.name + ".", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                fh.write(payload + "\n")
-            os.replace(tmp_name, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(self.path, payload + "\n")
         self.dirty = False
 
 

@@ -21,6 +21,44 @@ from typing import Iterable, Iterator
 
 from repro.fault import failpoints
 
+#: JSONL trailer key for campaign-level execution stats: a line of the
+#: form ``{"__campaign_stats__": {...}}`` appended after the records.
+#: Record parsing skips it (it has no ``test_id``), so logs with and
+#: without a trailer load interchangeably; the last trailer wins when a
+#: resumed stream appended more than one.
+STATS_KEY = "__campaign_stats__"
+
+
+def atomic_write_text(
+    path: Path, text: str, failpoint: str | None = None
+) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    ``mkstemp`` creates the temp file 0600; the file is re-permissioned
+    to honor the process umask before the rename, so the published
+    artefact is readable by other users/CI stages sharing the path —
+    the rename must not narrow permissions the direct-write path would
+    have granted.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        umask = os.umask(0)
+        os.umask(umask)
+        os.fchmod(fd, 0o666 & ~umask)
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        if failpoint is not None:
+            failpoints.fire(failpoint)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
 
 @dataclass(frozen=True)
 class Invocation:
@@ -152,10 +190,20 @@ def _read_jsonl(path: Path) -> list[dict]:
 
 
 class CampaignLog:
-    """An append-only collection of test records with JSONL persistence."""
+    """An append-only collection of test records with JSONL persistence.
+
+    ``execution_stats`` carries the run-level supervision counters
+    (reset modes, pool respawns, arbitration retries) alongside the
+    records: :meth:`save` persists them as a tagged trailer line and
+    :meth:`load` rehydrates them, so a log analysed offline reports
+    exactly what the live run reported.
+    """
 
     def __init__(self, records: Iterable[TestRecord] = ()) -> None:
         self.records: list[TestRecord] = list(records)
+        #: Supervision counters of the run that wrote this log; None
+        #: when the log predates the trailer or never had a live run.
+        self.execution_stats: dict | None = None
 
     def append(self, record: TestRecord) -> None:
         """Add one record."""
@@ -180,31 +228,32 @@ class CampaignLog:
 
         The records go to a temporary file in the same directory which
         is then renamed over the target, so a crash mid-write can never
-        truncate or corrupt an existing log.
+        truncate or corrupt an existing log.  ``execution_stats``, when
+        present, is appended as a tagged trailer line after the records.
         """
-        path = Path(path)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                for record in self.records:
-                    fh.write(json.dumps(record.to_dict()) + "\n")
-            failpoints.fire("testlog.replace")
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        lines = [json.dumps(record.to_dict()) for record in self.records]
+        if self.execution_stats is not None:
+            lines.append(json.dumps({STATS_KEY: self.execution_stats}))
+        text = "".join(line + "\n" for line in lines)
+        atomic_write_text(Path(path), text, failpoint="testlog.replace")
 
     @classmethod
     def load(cls, path: str | Path) -> "CampaignLog":
-        """Read JSONL (a truncated final line is dropped, see _read_jsonl)."""
+        """Read JSONL (a truncated final line is dropped, see _read_jsonl).
+
+        A stats trailer rehydrates ``execution_stats``; unknown record
+        fields from a newer writer warn once per distinct field set,
+        not once per record (see :func:`repro.fault.wire.dedup_unknown_fields`).
+        """
+        from repro.fault import wire
+
         log = cls()
-        for data in _read_jsonl(Path(path)):
-            log.append(TestRecord.from_dict(data))
+        with wire.dedup_unknown_fields():
+            for data in _read_jsonl(Path(path)):
+                if STATS_KEY in data:
+                    log.execution_stats = data[STATS_KEY]
+                    continue
+                log.append(TestRecord.from_dict(data))
         return log
 
     @classmethod
@@ -270,7 +319,10 @@ class LogStream:
                             )
                             break
                         raise
-                    self.existing.add(data.get("test_id"))
+                    # Stats trailers (and any other non-record line)
+                    # carry no test id and never dedup an append.
+                    if data.get("test_id") is not None:
+                        self.existing.add(data["test_id"])
                 offset += len(raw_line)
             if offset < len(raw):
                 os.truncate(self.path, offset)
@@ -303,6 +355,18 @@ class LogStream:
             self._unflushed = 0
         self.existing.add(record.test_id)
         self.written += 1
+
+    def append_stats(self, stats: dict) -> None:
+        """Checkpoint the run's execution stats as a tagged trailer line.
+
+        Not deduplicated: a resumed stream appends its own (merged)
+        trailer after the one already in the file, and loaders keep the
+        last.  The canonical end-of-run :meth:`CampaignLog.save`
+        rewrite collapses the log back to records + one trailer.
+        """
+        self._fh.write(json.dumps({STATS_KEY: stats}) + "\n")
+        self._flush()
+        self._unflushed = 0
 
     def _flush(self) -> None:
         """Flush — and, with ``fsync=True``, sync — the stream to disk."""

@@ -28,7 +28,9 @@ module, so the pool path and the JSONL log path cannot drift apart:
 from __future__ import annotations
 
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, fields
+from typing import Iterator
 
 from repro.fault.apimodel import ApiFunction, ApiModel
 from repro.fault.combinator import GenerationStrategy
@@ -115,22 +117,59 @@ def record_to_dict(record: TestRecord) -> dict:
     }
 
 
+#: Active unknown-field collectors (see :func:`dedup_unknown_fields`):
+#: a stack so nested loads each aggregate their own warning tally.
+_UNKNOWN_COLLECTORS: list[dict[tuple[str, ...], int]] = []
+
+
+@contextmanager
+def dedup_unknown_fields() -> Iterator[None]:
+    """Aggregate unknown-field warnings across one bulk load.
+
+    Inside this context :func:`record_from_dict` counts records per
+    distinct unknown-field set instead of warning on each one — a
+    100k-record log written by newer code would otherwise emit 100k
+    identical warnings under ``-W always``.  On exit, one warning per
+    distinct field set reports the affected record count.
+    """
+    tally: dict[tuple[str, ...], int] = {}
+    _UNKNOWN_COLLECTORS.append(tally)
+    try:
+        yield
+    finally:
+        _UNKNOWN_COLLECTORS.pop()
+        for unknown, count in tally.items():
+            warnings.warn(
+                f"TestRecord.from_dict: dropped unrecognised fields "
+                f"{list(unknown)} from {count} record(s) "
+                "(log written by newer code?)",
+                stacklevel=3,
+            )
+
+
 def record_from_dict(data: dict) -> TestRecord:
     """Inverse of :func:`record_to_dict`.
 
     Keys this version does not know (a log written by newer code) are
     dropped with a warning rather than crashing the load, so old
     analysers keep working on forward-compatible logs; missing keys
-    (the compact relay form) take the dataclass defaults.
+    (the compact relay form) take the dataclass defaults.  Under an
+    active :func:`dedup_unknown_fields` context the per-record warning
+    is replaced by one aggregate warning per distinct field set.
     """
     known = {f.name for f in fields(TestRecord)}
     unknown = sorted(set(data) - known)
     if unknown:
-        warnings.warn(
-            f"TestRecord.from_dict: dropping unrecognised fields {unknown}"
-            " (log written by newer code?)",
-            stacklevel=2,
-        )
+        if _UNKNOWN_COLLECTORS:
+            tally = _UNKNOWN_COLLECTORS[-1]
+            key = tuple(unknown)
+            tally[key] = tally.get(key, 0) + 1
+        else:
+            warnings.warn(
+                f"TestRecord.from_dict: dropping unrecognised fields {unknown}"
+                " (log written by newer code?)",
+                stacklevel=2,
+            )
     data = {key: value for key, value in data.items() if key in known}
     data["arg_labels"] = tuple(data.get("arg_labels", ()))
     data["resolved_args"] = tuple(data.get("resolved_args", ()))

@@ -1,0 +1,34 @@
+"""Campaign results warehouse: queryable store over campaign logs.
+
+Campaign execution produces streaming JSONL logs and a static report;
+this package is the serving surface on top of them — a SQLite-backed,
+append-only warehouse (:mod:`repro.results.warehouse`) with
+cross-campaign diffing, per-spec drift audits and flaky-spec scoring
+(:mod:`repro.results.queries`) and an HTML/JSON dashboard export
+(:mod:`repro.results.dashboard`).  The ``repro-campaign results``
+subcommands front all of it.
+"""
+
+from repro.results.queries import (
+    CampaignDiff,
+    DriftEntry,
+    VerdictChange,
+    diff_campaigns,
+    drift_audit,
+    flaky_specs,
+)
+from repro.results.schema import verdict_of
+from repro.results.warehouse import CampaignInfo, IngestReport, ResultsWarehouse
+
+__all__ = [
+    "CampaignDiff",
+    "CampaignInfo",
+    "DriftEntry",
+    "IngestReport",
+    "ResultsWarehouse",
+    "VerdictChange",
+    "diff_campaigns",
+    "drift_audit",
+    "flaky_specs",
+    "verdict_of",
+]

@@ -1,0 +1,143 @@
+"""Warehouse schema and the verdict a record distils into.
+
+The schema is deliberately flat: one row per executed test per
+campaign, keyed ``(campaign_id, test_id)``, with the fields the
+analysis paths actually query — verdict, return code, wall time,
+arbitration provenance — promoted to columns.  Campaign-level
+provenance (kernel version, frames, strategy, host, execution stats)
+lives on the ``campaigns`` row, not repeated per record.
+
+The *verdict* is the drift-detection unit: a short string derived
+purely from a record's own observables (no oracle involved), so two
+ingests of the same log — or of the same suite re-run on the same
+kernel — agree byte-for-byte, and a change between kernel or generator
+versions is a real behaviour change, not an analyser version artefact.
+"""
+
+from __future__ import annotations
+
+from repro.fault.testlog import TestRecord
+
+#: Bumped when the DDL changes shape; stored in the ``meta`` table and
+#: checked on open so a stale warehouse fails loudly.
+SCHEMA_VERSION = 1
+
+DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS campaigns (
+    campaign_id     TEXT PRIMARY KEY,
+    kernel_version  TEXT NOT NULL DEFAULT '',
+    frames          INTEGER NOT NULL DEFAULT 0,
+    strategy        TEXT NOT NULL DEFAULT '',
+    source_path     TEXT NOT NULL DEFAULT '',
+    host            TEXT NOT NULL DEFAULT '',
+    ingested_at     TEXT NOT NULL DEFAULT '',
+    records         INTEGER NOT NULL DEFAULT 0,
+    execution_stats TEXT
+);
+
+CREATE TABLE IF NOT EXISTS results (
+    campaign_id      TEXT NOT NULL REFERENCES campaigns(campaign_id),
+    test_id          TEXT NOT NULL,
+    function         TEXT NOT NULL,
+    category         TEXT NOT NULL,
+    arg_labels       TEXT NOT NULL DEFAULT '',
+    verdict          TEXT NOT NULL,
+    rc               INTEGER,
+    rc_name          TEXT,
+    returned         INTEGER NOT NULL DEFAULT 0,
+    wall_time_s      REAL NOT NULL DEFAULT 0.0,
+    attempts         INTEGER NOT NULL DEFAULT 1,
+    arbitrated       INTEGER NOT NULL DEFAULT 0,
+    quarantined      INTEGER NOT NULL DEFAULT 0,
+    worker_killed    INTEGER NOT NULL DEFAULT 0,
+    watchdog_expired INTEGER NOT NULL DEFAULT 0,
+    sim_crashed      INTEGER NOT NULL DEFAULT 0,
+    sim_hung         INTEGER NOT NULL DEFAULT 0,
+    kernel_halted    INTEGER NOT NULL DEFAULT 0,
+    halt_reason      TEXT NOT NULL DEFAULT '',
+    resets           INTEGER NOT NULL DEFAULT 0,
+    hm_events        INTEGER NOT NULL DEFAULT 0,
+    overruns         INTEGER NOT NULL DEFAULT 0,
+    kernel_version   TEXT NOT NULL DEFAULT '',
+    frames           INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (campaign_id, test_id)
+);
+
+CREATE INDEX IF NOT EXISTS idx_results_test_id  ON results(test_id);
+CREATE INDEX IF NOT EXISTS idx_results_function ON results(function);
+"""
+
+
+def verdict_of(record: TestRecord) -> str:
+    """The drift-detection verdict one record distils into.
+
+    Ordered by the CRASH scale's process-first severity: a test that
+    took its worker down is ``worker_killed`` whether it was freshly
+    observed or inherited from quarantine (a quarantine *skip* must not
+    read as drift against the run that confirmed the kill), then the
+    simulator-level failures, then the kernel-visible outcome — the
+    return code by name, or the documented no-return behaviours.
+    """
+    if record.worker_killed:
+        return "worker_killed"
+    if record.watchdog_expired:
+        return "watchdog_expired"
+    if record.sim_crashed:
+        return "sim_crashed"
+    if record.sim_hung:
+        return "sim_hung"
+    if record.kernel_halted:
+        return "kernel_halted"
+    rc = record.first_rc
+    if rc is not None:
+        from repro.xm import rc as rc_mod
+
+        return f"rc:{rc_mod.name_of(rc)}"
+    if record.never_returned:
+        return "no_return"
+    return "not_invoked"
+
+
+def result_row(campaign_id: str, record: TestRecord) -> tuple:
+    """The ``results`` INSERT tuple for one record (column order of DDL)."""
+    rc = record.first_rc
+    rc_name = None
+    if rc is not None:
+        from repro.xm import rc as rc_mod
+
+        rc_name = rc_mod.name_of(rc)
+    return (
+        campaign_id,
+        record.test_id,
+        record.function,
+        record.category,
+        " ".join(record.arg_labels),
+        verdict_of(record),
+        rc,
+        rc_name,
+        int(rc is not None),
+        record.wall_time_s,
+        record.attempts,
+        int(record.arbitrated),
+        int(record.quarantined),
+        int(record.worker_killed),
+        int(record.watchdog_expired),
+        int(record.sim_crashed),
+        int(record.sim_hung),
+        int(record.kernel_halted),
+        record.halt_reason,
+        len(record.resets),
+        len(record.hm_events),
+        record.overruns,
+        record.kernel_version,
+        record.frames,
+    )
+
+
+#: Number of columns in the ``results`` table (INSERT placeholder count).
+RESULT_COLUMNS = 24

@@ -1,0 +1,233 @@
+"""The SQLite-backed, append-only campaign results warehouse.
+
+Ingest streams records out of a :class:`~repro.fault.testlog.CampaignLog`
+(or a JSONL path, including a live stream's partial file) into the
+``results`` table.  Ingest is *idempotent by* ``(campaign_id,
+test_id)``: re-running it over the same log — or over the grown log of
+a resumed campaign — inserts exactly the rows that are new and never
+mutates an existing one.  Rows are never updated or deleted through
+this API; a campaign whose results changed is a *new* campaign id, and
+the drift queries exist to compare the two.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.fault.testlog import CampaignLog
+from repro.results import schema
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one ingest pass did."""
+
+    campaign_id: str
+    records: int
+    inserted: int
+
+    @property
+    def duplicates(self) -> int:
+        """Records already present (idempotent re-ingest skips)."""
+        return self.records - self.inserted
+
+
+@dataclass(frozen=True)
+class CampaignInfo:
+    """One ``campaigns`` row."""
+
+    campaign_id: str
+    kernel_version: str
+    frames: int
+    strategy: str
+    source_path: str
+    host: str
+    ingested_at: str
+    records: int
+    execution_stats: dict | None
+
+
+class ResultsWarehouse:
+    """A warehouse connection; context-manager friendly.
+
+    ``path`` may be a filesystem path or ``":memory:"`` for tests.
+    The schema is created on first open; a version stamp in the
+    ``meta`` table guards against silently querying a future layout.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        self._db = sqlite3.connect(self.path)
+        self._db.executescript(schema.DDL)
+        row = self._db.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            self._db.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(schema.SCHEMA_VERSION),),
+            )
+            self._db.commit()
+        elif int(row[0]) != schema.SCHEMA_VERSION:
+            raise RuntimeError(
+                f"warehouse {self.path} has schema version {row[0]}, "
+                f"this code expects {schema.SCHEMA_VERSION}"
+            )
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._db.close()
+
+    def __enter__(self) -> "ResultsWarehouse":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The raw connection, for ad-hoc read queries."""
+        return self._db
+
+    # -- ingest --------------------------------------------------------------
+
+    def ingest(
+        self,
+        log: CampaignLog | str | Path,
+        campaign_id: str | None = None,
+        strategy: str = "",
+        host: str | None = None,
+    ) -> IngestReport:
+        """Append a campaign log's records; idempotent and resume-safe.
+
+        ``log`` is a loaded :class:`CampaignLog` or a JSONL path (the
+        path form also rehydrates the execution-stats trailer).  The
+        default ``campaign_id`` is the log file's stem; in-memory logs
+        must name one.  Records already in the warehouse under this
+        campaign id are skipped, so re-ingesting a resumed or re-run
+        log adds exactly the new rows.  Kernel/frames provenance is
+        taken from the records themselves; ``strategy`` names the
+        generator revision when the caller knows it.
+        """
+        source_path = ""
+        if not isinstance(log, CampaignLog):
+            source_path = str(log)
+            if campaign_id is None:
+                campaign_id = Path(log).stem
+            log = CampaignLog.load(log)
+        if campaign_id is None:
+            raise ValueError("campaign_id is required for in-memory logs")
+        kernel_version = next(
+            (r.kernel_version for r in log if r.kernel_version), ""
+        )
+        frames = next((r.frames for r in log if r.frames), 0)
+        stats_json = (
+            json.dumps(log.execution_stats)
+            if log.execution_stats is not None
+            else None
+        )
+        cur = self._db.cursor()
+        # First ingest wins the provenance row (append-only bookkeeping);
+        # later passes over the same campaign only refresh the stats
+        # trailer and the row count below.
+        cur.execute(
+            "INSERT INTO campaigns (campaign_id, kernel_version, frames,"
+            " strategy, source_path, host, ingested_at)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)"
+            " ON CONFLICT(campaign_id) DO NOTHING",
+            (
+                campaign_id,
+                kernel_version,
+                frames,
+                strategy,
+                source_path,
+                host if host is not None else platform.node(),
+                time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            ),
+        )
+        if stats_json is not None:
+            cur.execute(
+                "UPDATE campaigns SET execution_stats = ?"
+                " WHERE campaign_id = ?",
+                (stats_json, campaign_id),
+            )
+        placeholders = ", ".join("?" * schema.RESULT_COLUMNS)
+        inserted = 0
+        for record in log:
+            cur.execute(
+                f"INSERT OR IGNORE INTO results VALUES ({placeholders})",
+                schema.result_row(campaign_id, record),
+            )
+            inserted += cur.rowcount
+        cur.execute(
+            "UPDATE campaigns SET records ="
+            " (SELECT COUNT(*) FROM results WHERE campaign_id = ?)"
+            " WHERE campaign_id = ?",
+            (campaign_id, campaign_id),
+        )
+        self._db.commit()
+        return IngestReport(
+            campaign_id=campaign_id, records=len(log), inserted=inserted
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def campaigns(self) -> list[CampaignInfo]:
+        """All ingested campaigns, in ingest (rowid) order."""
+        rows = self._db.execute(
+            "SELECT campaign_id, kernel_version, frames, strategy,"
+            " source_path, host, ingested_at, records, execution_stats"
+            " FROM campaigns ORDER BY rowid"
+        ).fetchall()
+        return [
+            CampaignInfo(
+                campaign_id=r[0],
+                kernel_version=r[1],
+                frames=r[2],
+                strategy=r[3],
+                source_path=r[4],
+                host=r[5],
+                ingested_at=r[6],
+                records=r[7],
+                execution_stats=json.loads(r[8]) if r[8] else None,
+            )
+            for r in rows
+        ]
+
+    def campaign(self, campaign_id: str) -> CampaignInfo:
+        """One campaign's provenance row; KeyError when absent."""
+        for info in self.campaigns():
+            if info.campaign_id == campaign_id:
+                return info
+        raise KeyError(f"campaign {campaign_id!r} is not in the warehouse")
+
+    def row_count(self, campaign_id: str | None = None) -> int:
+        """Result rows, total or for one campaign."""
+        if campaign_id is None:
+            return self._db.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        return self._db.execute(
+            "SELECT COUNT(*) FROM results WHERE campaign_id = ?",
+            (campaign_id,),
+        ).fetchone()[0]
+
+    def verdict_summary(self, campaign_id: str) -> dict[str, int]:
+        """Verdict -> count histogram for one campaign."""
+        rows = self._db.execute(
+            "SELECT verdict, COUNT(*) FROM results WHERE campaign_id = ?"
+            " GROUP BY verdict ORDER BY COUNT(*) DESC, verdict",
+            (campaign_id,),
+        ).fetchall()
+        return dict(rows)
+
+    def verdicts(self, campaign_id: str) -> dict[str, str]:
+        """test_id -> verdict map for one campaign."""
+        rows = self._db.execute(
+            "SELECT test_id, verdict FROM results WHERE campaign_id = ?",
+            (campaign_id,),
+        ).fetchall()
+        return dict(rows)

@@ -1,0 +1,144 @@
+"""Analysis-path edge cases the warehouse ingest exposed.
+
+Offline tooling feeds arbitrary logs back through the stats and report
+layers: empty logs, logs that are nothing but quarantine skips, and
+logs mixing arbitrated verdicts with quarantined records.  None of
+those shapes occur in a healthy live run, so they historically went
+untested — and an offline analyser that crashes on them loses data.
+"""
+
+import pytest
+
+from repro.fault.campaign import Campaign
+from repro.fault.mutant import ArgSpec, TestCallSpec
+from repro.fault.resilience import quarantined_record
+from repro.fault.report import full_report
+from repro.fault.stats import (
+    durability_summary,
+    rc_distribution,
+    tests_per_category,
+    wall_time_stats,
+)
+from repro.fault.testlog import CampaignLog, TestRecord
+from repro.results import ResultsWarehouse, drift_audit
+
+
+def make_spec(test_id="q#0", function="XM_mask_irq"):
+    return TestCallSpec(
+        test_id,
+        function,
+        "Interrupt Management",
+        (ArgSpec("irqLine", "1", value=1),),
+    )
+
+
+def make_record(test_id, **overrides):
+    return TestRecord(
+        test_id=test_id,
+        function=overrides.pop("function", "XM_mask_irq"),
+        category=overrides.pop("category", "Interrupt Management"),
+        kernel_version=overrides.pop("kernel_version", "3.4.0"),
+        frames=overrides.pop("frames", 2),
+        **overrides,
+    )
+
+
+class TestZeroRecordLog:
+    def test_stats_do_not_crash(self):
+        log = CampaignLog([])
+        assert durability_summary(log)["records"] == 0
+        assert wall_time_stats(log)["total"] == 0.0
+        assert rc_distribution(log) == {}
+        assert tests_per_category(log) == {}
+
+    def test_full_report_renders(self):
+        result = Campaign().analyse(CampaignLog([]))
+        report = full_report(result)
+        assert "Tests executed    : 0" in report
+
+    def test_warehouse_ingest_of_empty_log(self):
+        with ResultsWarehouse() as wh:
+            report = wh.ingest(CampaignLog([]), campaign_id="empty")
+            assert report.inserted == 0
+            assert wh.row_count("empty") == 0
+            assert wh.verdict_summary("empty") == {}
+
+
+class TestAllQuarantinedLog:
+    @pytest.fixture()
+    def log(self):
+        campaign = Campaign(functions=("XM_reset_system",))
+        records = [
+            quarantined_record(
+                spec,
+                campaign.kernel_version,
+                campaign.frames,
+                {"observations": ["worker_killed"]},
+            )
+            for spec in campaign.iter_specs()
+        ]
+        return CampaignLog(records)
+
+    def test_summary_counts_every_skip(self, log):
+        summary = durability_summary(log)
+        assert summary["quarantined"] == len(log) == 5
+        assert summary["worker_killed"] == 5  # the verdict is preserved
+
+    def test_wall_times_are_all_zero(self, log):
+        # Skips never execute, so timing stats must not fabricate data.
+        assert wall_time_stats(log)["total"] == 0.0
+
+    def test_full_report_renders(self, log):
+        report = full_report(Campaign(functions=("XM_reset_system",)).analyse(log))
+        assert "worker killed" in report.lower() or "Worker" in report
+
+
+class TestMixedArbitratedQuarantined:
+    @pytest.fixture()
+    def log(self):
+        # Real specs, so the offline analyser can rebuild them from the
+        # record labels (fabricated ids would not be oracle-evaluable).
+        campaign = Campaign(functions=("XM_reset_system",))
+        specs = list(campaign.iter_specs())[:3]
+
+        def from_spec(spec, **overrides):
+            return make_record(
+                spec.test_id,
+                function=spec.function,
+                category=spec.category,
+                arg_labels=tuple(a.label for a in spec.args),
+                **overrides,
+            )
+
+        return CampaignLog(
+            [
+                from_spec(specs[0], attempts=3, arbitrated=True),
+                from_spec(specs[1], attempts=1),
+                from_spec(specs[2], worker_killed=True, quarantined=True),
+            ]
+        )
+
+    def test_summary_separates_the_signals(self, log):
+        summary = durability_summary(log)
+        assert summary["arbitrated"] == 1
+        assert summary["retried_runs"] == 2  # 3 attempts = 2 extra runs
+        assert summary["quarantined"] == 1
+        assert summary["worker_killed"] == 1
+
+    def test_full_report_renders(self, log):
+        report = full_report(Campaign().analyse(log))
+        assert "Tests executed    : 3" in report
+
+    def test_warehouse_preserves_both_flags(self, log):
+        with ResultsWarehouse() as wh:
+            wh.ingest(log, campaign_id="mixed")
+            rows = wh.connection.execute(
+                "SELECT arbitrated, quarantined, attempts"
+                " FROM results ORDER BY rowid"
+            ).fetchall()
+        assert rows == [(1, 0, 3), (0, 0, 1), (0, 1, 1)]
+
+    def test_drift_audit_on_single_run_is_quiet(self, log):
+        with ResultsWarehouse() as wh:
+            wh.ingest(log, campaign_id="mixed")
+            assert drift_audit(wh) == []

@@ -494,3 +494,98 @@ class TestKillResumeRerun:
         )
         assert resumed.total_tests == 62
         assert resumed.issue_count() == 0  # Table III on 3.4.1
+
+
+class TestStatsTrailer:
+    """Execution stats must survive the round trip through the log file."""
+
+    def test_streamed_log_carries_execution_stats(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        live = Campaign(functions=("XM_reset_system",)).run(log_path=path)
+        assert live.execution_stats  # the live path always has them
+        loaded = CampaignLog.load(path)
+        assert loaded.execution_stats == live.execution_stats
+
+    def test_offline_report_identical_to_live(self, tmp_path):
+        """The acceptance criterion: analysing the streamed log offline
+        must reproduce the live report line for line — including the
+        execution-stats section that used to be lost."""
+        from repro.fault.report import full_report
+
+        path = tmp_path / "run.jsonl"
+        campaign = Campaign(functions=("XM_reset_system",))
+        live = campaign.run(log_path=path)
+        offline = campaign.analyse(CampaignLog.load(path))
+        assert full_report(offline) == full_report(live)
+
+    def test_save_preserves_stats(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        result = Campaign(functions=("XM_reset_system",)).run(log_path=path)
+        copy = tmp_path / "copy.jsonl"
+        CampaignLog.load(path).save(copy)
+        assert CampaignLog.load(copy).execution_stats == result.execution_stats
+
+    def test_trailer_is_invisible_to_record_parsing(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        result = Campaign(functions=("XM_reset_system",)).run(log_path=path)
+        assert len(CampaignLog.load(path)) == result.total_tests
+        trailers = [
+            line
+            for line in path.read_text(encoding="utf-8").splitlines()
+            if "__campaign_stats__" in line
+        ]
+        assert len(trailers) == 1
+
+    def test_resumed_run_merges_interrupted_counters(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        campaign = Campaign(functions=("XM_reset_system",))
+
+        def interrupt(done, total, record):
+            if done == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            campaign.run(progress=interrupt, log_path=path)
+        partial = CampaignLog.load(path)
+        assert partial.execution_stats is not None
+        first_leg = partial.execution_stats["reset_modes"]
+        resumed = campaign.run(resume_from=partial, log_path=path)
+        merged = resumed.execution_stats["reset_modes"]
+        # The resumed run's ladder counters include the first leg's.
+        assert sum(merged.values()) >= sum(first_leg.values())
+        assert sum(
+            v for k, v in merged.items()
+            if k in ("delta", "restore", "cold")
+        ) == resumed.total_tests
+
+    def test_reset_modes_reach_the_report(self):
+        from repro.fault.report import campaign_summary
+
+        result = Campaign(functions=("XM_reset_system",)).run()
+        assert "Reset modes" in campaign_summary(result)
+
+
+class TestWarningDedup:
+    def test_one_warning_per_unknown_field_set_on_load(self, tmp_path):
+        import warnings as warnings_mod
+
+        path = tmp_path / "newer.jsonl"
+        lines = []
+        for test_id in "abcde":
+            data = make_record(test_id).to_dict()
+            data["future_field"] = 1
+            lines.append(json.dumps(data))
+        data = make_record("f").to_dict()
+        data["other_field"] = 2
+        lines.append(json.dumps(data))
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            log = CampaignLog.load(path)
+        assert len(log) == 6
+        messages = [str(w.message) for w in caught]
+        assert len(messages) == 2  # one per distinct unknown-field set
+        by_field = {m for m in messages if "future_field" in m}
+        assert any("5 record(s)" in m for m in by_field)
+        assert any("1 record(s)" in m for m in messages if "other_field" in m)

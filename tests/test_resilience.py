@@ -225,6 +225,28 @@ class TestQuarantinePersistence:
         # The verdict survives the wire, so saved logs show the skip.
         assert decode_record(encode_record(record)).quarantined
 
+    def test_save_honors_umask(self, tmp_path):
+        """The atomic save must not keep mkstemp's 0600 mode — a shared
+        quarantine file other users cannot read defeats its purpose."""
+        path = tmp_path / "q.json"
+        quarantine = Quarantine(path, {"k#1": {}})
+        umask = os.umask(0o022)
+        try:
+            quarantine.save()
+        finally:
+            os.umask(umask)
+        assert os.stat(path).st_mode & 0o777 == 0o644
+
+    def test_save_respects_tighter_umask(self, tmp_path):
+        path = tmp_path / "q.json"
+        quarantine = Quarantine(path, {"k#1": {}})
+        umask = os.umask(0o077)
+        try:
+            quarantine.save()
+        finally:
+            os.umask(umask)
+        assert os.stat(path).st_mode & 0o777 == 0o600
+
 
 class TestRespawnBreaker:
     def test_trips_after_consecutive_unproductive_rounds(self):
