@@ -1,0 +1,124 @@
+"""Performance — compiled suite execution (plans + batched passes).
+
+PR 5 left serial delta-reset throughput at 2576.7 tests/s
+(``delta_reset.serial_delta_tests_per_s`` in ``BENCH_campaign.json``).
+This bench measures what the compilation layer adds on top of that
+baseline: per-spec :class:`~repro.fault.plan.CompiledPlan` entries
+(resolved/converted arguments, dispatch prechecks, record skeletons),
+batched same-hypercall passes through one armed simulator loop, and the
+flattened hot structures underneath (dirty-span memory accounting,
+fused access checks, memoized suite/plan compilation).
+
+Two kinds of claims, measured differently:
+
+* **Absolute throughput** is recorded with a best-of-N estimator, not a
+  median: the recording hosts suffer heavy scheduling noise (the same
+  build has measured anywhere between ~60% and 100% of its quiet-host
+  speed minutes apart), and the fastest trial is the one closest to the
+  true cost of the code.  The recorded ``before``/``after`` figures are
+  measured back-to-back in the same process, so they share a host
+  window even when the stored PR 5 number does not.
+* **The CI gate** (quick mode) is relative and *paired* — each trial
+  runs the uncompiled path and the compiled path back-to-back, so both
+  sides of a ratio share one host window, and the gate passes if the
+  best pair shows compiled no slower than uncompiled (within a small
+  noise allowance).  An unpaired ``compiled <= uncompiled`` assertion
+  flakes here: the real margin (~5%) is smaller than the window-to-window
+  swing.  The gate is backed by a full ``verify_plan`` audit over the
+  same scope, because a fast plan that lies is worthless.
+"""
+
+import os
+import time
+
+from conftest import record_bench
+from repro.fault.campaign import Campaign
+
+#: Same mid-sized scope as bench_warm_boot (232 tests).
+SCOPE = ("XM_reset_partition", "XM_get_partition_status", "XM_halt_partition")
+
+#: Quick mode (CI perf smoke): fewer trials.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+TRIALS = 3 if QUICK else 8
+
+#: The PR 5 baseline this layer is measured against (see module docs).
+PR5_BASELINE_TESTS_PER_S = 2576.7
+
+#: Paired-ratio slack: "no slower" up to this fraction is host noise,
+#: not a regression (a real slowdown shows in *every* pair).
+NOISE_ALLOWANCE = 0.02
+
+
+def once(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def best_seconds(fn, trials=TRIALS):
+    """Fastest of ``trials`` runs — the least-noise estimator on a
+    steal-prone host (any slower sample is the scheduler, not the code)."""
+    return min(once(fn) for _ in range(trials))
+
+
+def run_campaign(**overrides):
+    campaign = Campaign(functions=SCOPE, **overrides)
+    result = campaign.run(progress=None)
+    assert result.total_tests == 232
+    assert result.issue_count() == 0
+    return result
+
+
+class TestCompiledThroughput:
+    """Compiled/batched execution vs the uncompiled delta-reset path."""
+
+    def test_compiled_beats_uncompiled_and_records(self):
+        # Warm every shared cache (snapshots, suite and plan memos) so
+        # both sides measure steady-state execution.
+        run_campaign()
+        run_campaign(compiled_plan=False)
+
+        # Paired trials: uncompiled then compiled back-to-back, so each
+        # ratio's numerator and denominator share one host window.
+        uncompiled = compiled = float("inf")
+        ratios = []
+        for _ in range(TRIALS):
+            u = once(lambda: run_campaign(compiled_plan=False))
+            c = once(lambda: run_campaign())
+            uncompiled = min(uncompiled, u)
+            compiled = min(compiled, c)
+            ratios.append(c / u)
+        unbatched = best_seconds(lambda: run_campaign(batch_hypercalls=False))
+
+        after = 232 / compiled
+        before = 232 / uncompiled
+        record_bench(
+            "compiled_plan",
+            scope_tests=232,
+            serial_delta_tests_per_s_before=round(before, 1),
+            serial_delta_tests_per_s_after=round(after, 1),
+            serial_unbatched_tests_per_s=round(232 / unbatched, 1),
+            compiled_over_uncompiled=round(uncompiled / compiled, 2),
+            paired_ratio_best=round(min(ratios), 3),
+            speedup_vs_pr5_recorded=round(after / PR5_BASELINE_TESTS_PER_S, 2),
+            pr5_recorded_tests_per_s=PR5_BASELINE_TESTS_PER_S,
+            estimator=f"best of {TRIALS}, paired",
+        )
+        # The CI gate: in the cleanest shared window, compiled execution
+        # is no slower than uncompiled (a real regression slows *every*
+        # pair; a single clean pair is enough to clear a fast path).
+        assert min(ratios) <= 1.0 + NOISE_ALLOWANCE, (
+            f"compiled plan slower than uncompiled in every paired "
+            f"window: best ratio {min(ratios):.3f} "
+            f"(compiled {after:.1f} vs uncompiled {before:.1f} tests/s)"
+        )
+
+
+class TestPlanAudit:
+    """A fast plan that lies is worthless: audit the full bench scope."""
+
+    def test_verify_plan_full_scope(self):
+        result = run_campaign(verify_plan=True)
+        modes = result.execution_stats["reset_modes"]
+        assert modes["plan_verified"] == 232

@@ -124,6 +124,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "and fail on any record divergence (delta-reset audit mode)",
     )
     run.add_argument(
+        "--compiled-plan",
+        dest="compiled_plan",
+        action="store_true",
+        default=True,
+        help="compile the suites once (resolved arguments, dispatch "
+        "prechecks, record skeletons) instead of re-deriving them "
+        "per test (default)",
+    )
+    run.add_argument(
+        "--no-compiled-plan",
+        dest="compiled_plan",
+        action="store_false",
+        help="re-derive every test's arguments and expectations per run",
+    )
+    run.add_argument(
+        "--batch-hypercalls",
+        dest="batch_hypercalls",
+        action="store_true",
+        default=True,
+        help="execute consecutive same-hypercall specs as one batched "
+        "pass through a single armed simulator loop (default; needs "
+        "--compiled-plan)",
+    )
+    run.add_argument(
+        "--no-batch-hypercalls",
+        dest="batch_hypercalls",
+        action="store_false",
+        help="run every planned spec through its own executor pass",
+    )
+    run.add_argument(
+        "--verify-plan",
+        dest="verify_plan",
+        action="store_true",
+        help="run every planned test through the uncompiled path too "
+        "and fail on any record divergence (compiled-plan audit mode)",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="report a per-phase wall-time breakdown "
+        "(bringup/run/record/reset) after the campaign",
+    )
+    run.add_argument(
         "--strategy",
         default="cartesian",
         choices=sorted(_STRATEGIES),
@@ -321,6 +364,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         warm_boot=args.warm_boot,
         delta_reset=args.delta_reset,
         verify_reset=args.verify_reset,
+        compiled_plan=args.compiled_plan,
+        batch_hypercalls=args.batch_hypercalls,
+        verify_plan=args.verify_plan,
+        profile=args.profile,
         strategy=_STRATEGIES[args.strategy](),
         **campaign_kwargs,
     )
@@ -421,10 +468,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if reset_modes:
         breakdown = ", ".join(
             f"{name}={reset_modes[name]}"
-            for name in ("delta", "restore", "cold", "delta_fallbacks", "verified")
+            for name in (
+                "delta",
+                "restore",
+                "cold",
+                "delta_fallbacks",
+                "verified",
+                "plan_verified",
+            )
             if name in reset_modes
         )
         print(f"# reset modes: {breakdown}", file=sys.stderr)
+    phase_times = result.execution_stats.get("phase_times") or {}
+    if phase_times:
+        executed = max(len(result.log), 1)
+        breakdown = ", ".join(
+            f"{name}={phase_times[name] * 1e6 / executed:.1f}us"
+            for name in ("bringup", "run", "record", "reset")
+            if name in phase_times
+        )
+        print(f"# phase times (per test): {breakdown}", file=sys.stderr)
     if args.log:
         # The stream already checkpointed every record; the final save
         # rewrites the file atomically in canonical spec order.

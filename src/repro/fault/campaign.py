@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
 from typing import Callable, Iterator
 
@@ -42,8 +43,9 @@ from repro.fault.executor import (
     worker_killed_record,
 )
 from repro.fault.issues import Issue, cluster_issues
-from repro.fault.mutant import TestCallSpec
+from repro.fault.mutant import TestCallSpec, default_layout
 from repro.fault.oracle import Expectation, OracleContext, ReferenceOracle
+from repro.fault.plan import CompiledPlan, group_consecutive
 from repro.fault.resilience import (
     Quarantine,
     RespawnBreaker,
@@ -138,16 +140,27 @@ def _merge_reset_modes(stats: dict, counts: dict) -> None:
             modes[name] = modes.get(name, 0) + count
 
 
+def _merge_phase_times(stats: dict, phases: dict) -> None:
+    """Accumulate a ``--profile`` per-phase wall-time breakdown."""
+    times = stats.setdefault("phase_times", {})
+    for name, seconds in phases.items():
+        if seconds:
+            times[name] = times.get(name, 0.0) + seconds
+
+
 def _merge_execution_stats(stats: dict, prior: dict) -> None:
     """Fold a previous (interrupted) run's stats into this run's.
 
-    Counters add, flags OR, the reset-mode histogram merges per mode —
-    so an interrupted+resumed campaign reports the same totals an
+    Counters add, flags OR, the reset-mode histogram merges per mode
+    (and the profile's phase timings per phase) — so an
+    interrupted+resumed campaign reports the same totals an
     uninterrupted run of the same suite would have.
     """
     for key, value in prior.items():
         if key == "reset_modes":
             _merge_reset_modes(stats, value or {})
+        elif key == "phase_times":
+            _merge_phase_times(stats, value or {})
         elif isinstance(value, bool):
             stats[key] = bool(stats.get(key)) or value
         elif isinstance(value, (int, float)):
@@ -156,13 +169,45 @@ def _merge_execution_stats(stats: dict, prior: dict) -> None:
             stats.setdefault(key, value)
 
 
+#: Process-level :class:`CompiledPlan` memo.  Compilation is pure in
+#: (specs, layout, kernel version, frames); keys carry the identity of
+#: the shared spec lists (themselves memoized in
+#: :func:`repro.fault.wire.generate_suites`), and each entry pins those
+#: lists alive so a recycled id() can never alias a different suite.
+_PLAN_MEMO: dict[tuple, tuple] = {}
+_PLAN_MEMO_MAX = 8
+
+
+# Default-configuration singletons.  The model, dictionaries and
+# strategy are treated as immutable once built, so every
+# default-configured campaign shares one instance of each — which is
+# what lets the identity-keyed suite and plan memos above actually hit
+# across campaign objects (fresh defaults per instance would never
+# share a key).
+
+
+@lru_cache(maxsize=1)
+def _default_model() -> ApiModel:
+    return api_model_from_table()
+
+
+@lru_cache(maxsize=1)
+def _default_dictionaries() -> DictionarySet:
+    return DictionarySet()
+
+
+@lru_cache(maxsize=1)
+def _default_strategy() -> CartesianStrategy:
+    return CartesianStrategy()
+
+
 @dataclass
 class Campaign:
     """One configured robustness-testing campaign."""
 
-    model: ApiModel = field(default_factory=api_model_from_table)
-    dictionaries: DictionarySet = field(default_factory=DictionarySet)
-    strategy: GenerationStrategy = field(default_factory=CartesianStrategy)
+    model: ApiModel = field(default_factory=_default_model)
+    dictionaries: DictionarySet = field(default_factory=_default_dictionaries)
+    strategy: GenerationStrategy = field(default_factory=_default_strategy)
     kernel_version: str = VULNERABLE_VERSION
     frames: int = DEFAULT_FRAMES
     functions: tuple[str, ...] | None = None
@@ -184,9 +229,31 @@ class Campaign:
     #: Run every spec both ways (delta reset and full restore) and
     #: require field-for-field record identity; raises on divergence.
     verify_reset: bool = False
+    #: Compile the suites into a :class:`~repro.fault.plan.CompiledPlan`
+    #: once per campaign (resolved arguments, pre-converted hypercall
+    #: arguments, dispatch prechecks, record skeletons) instead of
+    #: re-deriving all of it per test.
+    compiled_plan: bool = True
+    #: Execute consecutive same-hypercall specs as one batched pass
+    #: through a single armed simulator loop (snapshot resolved and
+    #: journal armed once per group).  Only meaningful under
+    #: ``compiled_plan``; the executor falls back to per-spec execution
+    #: whenever a watchdog, audit, or reset-ladder degradation needs
+    #: per-test bracketing.
+    batch_hypercalls: bool = True
+    #: Run every planned spec through the uncompiled path too and
+    #: require field-for-field record identity; raises on divergence.
+    verify_plan: bool = False
+    #: Collect a per-phase wall-time breakdown (bringup/run/record/
+    #: reset) into ``execution_stats["phase_times"]``.
+    profile: bool = False
     #: Suites are deterministic for a fixed configuration, so they are
     #: generated once and reused by run()/analyse()/total_tests().
     _suites: list[HypercallSuite] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: The compiled execution plan over the suites, likewise cached.
+    _plan: CompiledPlan | None = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -224,6 +291,40 @@ class Campaign:
         """All test cases across suites."""
         for suite in self.suites():
             yield from suite.specs
+
+    def plan(self) -> CompiledPlan:
+        """The compiled execution plan over all suites, cached.
+
+        Compilation is pure in the campaign configuration (specs, test
+        partition layout, kernel version), so — like :meth:`suites` —
+        it runs once and is shared by the serial runner and
+        :meth:`analyse`.  Pool workers compile their own copy from the
+        wire recipe in their initializer (plans do not cross process
+        boundaries; the spec tables they compile from are regenerated
+        deterministically on both sides).
+        """
+        if self._plan is None:
+            suites = self.suites()
+            key = (
+                tuple(id(suite.specs) for suite in suites),
+                self.kernel_version,
+                self.frames,
+            )
+            hit = _PLAN_MEMO.get(key)
+            if hit is None:
+                compiled = CompiledPlan(
+                    list(self.iter_specs()),
+                    default_layout(),
+                    self.kernel_version,
+                    self.frames,
+                )
+                # The pinned spec lists keep the id() key unambiguous.
+                hit = (tuple(suite.specs for suite in suites), compiled)
+                _PLAN_MEMO[key] = hit
+                while len(_PLAN_MEMO) > _PLAN_MEMO_MAX:
+                    _PLAN_MEMO.pop(next(iter(_PLAN_MEMO)))
+            self._plan = hit[1]
+        return self._plan
 
     def total_tests(self) -> int:
         """Campaign size before execution."""
@@ -420,20 +521,48 @@ class Campaign:
             delta_reset=self.delta_reset,
             journal_budget=self.journal_budget,
             verify_reset=self.verify_reset,
+            verify_plan=self.verify_plan,
+            profile=self.profile,
         )
         arbiter = VerdictArbiter(policy) if policy is not None else None
         records: list[TestRecord] = []
+        total = len(specs)
+
+        def finish(record: TestRecord) -> None:
+            records.append(record)
+            if sink is not None:
+                sink(record)
+            if progress is not None:
+                progress(len(records), total, record)
+
         try:
-            for index, spec in enumerate(specs):
-                record = self._arbitrated_serial_run(executor, spec, policy, arbiter)
-                records.append(record)
-                if sink is not None:
-                    sink(record)
-                if progress is not None:
-                    progress(index + 1, len(specs), record)
+            if self.compiled_plan:
+                plan = self.plan()
+                entries = [plan.by_id[spec.test_id] for spec in specs]
+
+                def emit(entry, record: TestRecord) -> None:  # noqa: ANN001
+                    finish(
+                        self._arbitrated_serial_run(
+                            executor, entry.spec, policy, arbiter, record
+                        )
+                    )
+
+                if self.batch_hypercalls:
+                    for group in group_consecutive(entries):
+                        executor.run_group(group, emit=emit)
+                else:
+                    for entry in entries:
+                        emit(entry, executor.run_planned(entry))
+            else:
+                for spec in specs:
+                    finish(
+                        self._arbitrated_serial_run(executor, spec, policy, arbiter)
+                    )
         finally:
             if stats is not None:
                 _merge_reset_modes(stats, executor.reset_stats)
+                if self.profile:
+                    _merge_phase_times(stats, executor.phase_times)
         return records
 
     def _arbitrated_serial_run(
@@ -442,15 +571,20 @@ class Campaign:
         spec: TestCallSpec,
         policy: RetryPolicy | None,
         arbiter: VerdictArbiter | None,
+        record: TestRecord | None = None,
     ) -> TestRecord:
         """One serial run, re-trying watchdog verdicts up to the quorum.
 
         The only process-level verdict the in-process runner can see is
         ``watchdog_expired`` (nothing kills a worker — there is none);
         a suspect expiry is re-run until the quorum agrees, the attempt
-        budget runs out, or a re-run completes and wins outright.
+        budget runs out, or a re-run completes and wins outright.  A
+        planned/batched record enters arbitration via ``record`` —
+        re-runs always take the unplanned per-spec path, so a suspect
+        verdict is re-checked outside the machinery under suspicion.
         """
-        record = executor.run(spec)
+        if record is None:
+            record = executor.run(spec)
         if arbiter is not None and policy is not None and not policy.single_shot:
             while record.watchdog_expired and not arbiter.observe(
                 spec.test_id, "watchdog_expired"
@@ -762,6 +896,9 @@ class Campaign:
             elif message[0] == "stats":
                 if stats is not None:
                     _merge_reset_modes(stats, message[1])
+            elif message[0] == "phases":
+                if stats is not None:
+                    _merge_phase_times(stats, message[1])
 
         executor = ProcessPoolExecutor(
             max_workers=min(processes, len(shards)),
@@ -777,6 +914,10 @@ class Campaign:
                 self.delta_reset,
                 self.journal_budget,
                 self.verify_reset,
+                self.compiled_plan,
+                self.batch_hypercalls,
+                self.verify_plan,
+                self.profile,
             ),
         )
         pump: threading.Thread | None = None
@@ -898,13 +1039,22 @@ class Campaign:
         offline report matches the live one line for line.
         """
         oracle = ReferenceOracle(self.kernel_version, self.oracle_context)
-        spec_index = {spec.test_id: spec for spec in self.iter_specs()}
+        plan = self.plan() if self.compiled_plan else None
+        spec_index = (
+            {}
+            if plan is not None  # plan.by_id covers the same specs
+            else {spec.test_id: spec for spec in self.iter_specs()}
+        )
         classified: list[tuple[TestRecord, Expectation, Classification]] = []
         for record in log:
-            spec = spec_index.get(record.test_id)
-            if spec is None:
-                spec = self._rebuild_spec(record)
-            expectation = oracle.expect(spec)
+            entry = plan.by_id.get(record.test_id) if plan is not None else None
+            if entry is not None:
+                expectation = oracle.expect_planned(entry)
+            else:
+                spec = spec_index.get(record.test_id)
+                if spec is None:
+                    spec = self._rebuild_spec(record)
+                expectation = oracle.expect(spec)
             classified.append((record, expectation, classify(record, expectation)))
         issues = cluster_issues(classified)
         return self._result(log, classified, issues)

@@ -51,6 +51,7 @@ from typing import Iterator
 
 from repro.fault import failpoints
 from repro.fault.mutant import TestCallSpec, TestPartitionLayout, default_layout
+from repro.fault.plan import CompiledPlan, PlanEntry
 from repro.fault.stateful_oracle import capture_state
 from repro.fault.testlog import Invocation, TestRecord
 from repro.testbed import build_system
@@ -132,6 +133,18 @@ class ResetVerifyError(RuntimeError):
         super().__init__(
             f"verify-reset mismatch on {test_id}: field {field_name!r} differs "
             "between the delta-reset and full-restore runs"
+        )
+        self.test_id = test_id
+        self.field_name = field_name
+
+
+class PlanVerifyError(RuntimeError):
+    """``--verify-plan``: a compiled-plan record diverged from unplanned."""
+
+    def __init__(self, test_id: str, field_name: str) -> None:
+        super().__init__(
+            f"verify-plan mismatch on {test_id}: field {field_name!r} differs "
+            "between the compiled-plan and unplanned runs"
         )
         self.test_id = test_id
         self.field_name = field_name
@@ -233,13 +246,32 @@ class CampaignPayload:
     staged_epoch: int = -1
     applied_epoch: int = -1
     settled: bool = False
+    #: Compiled-plan entry when armed via :meth:`arm_planned`; carries
+    #: pre-converted arguments for the kernel's prepared dispatch path.
+    plan_entry: PlanEntry | None = None
 
     def arm(self, spec: TestCallSpec) -> None:
-        """Point the placeholder at a test spec, clearing old results."""
+        """Point the placeholder at a test spec, clearing old results.
+
+        The dataset is resolved here, once per arm — resolution is pure
+        in (spec, layout), so resolving eagerly is observationally
+        identical to the old first-invocation resolution and removes
+        the double work the record builder used to do when a test
+        crashed before its first invocation ever resolved.
+        """
         self.spec = spec
         self.invocations = []
-        self.resolved = None
+        self.resolved = spec.resolve_args(self.layout)
         self.applied_epoch = -1
+        self.plan_entry = None
+
+    def arm_planned(self, entry: PlanEntry) -> None:
+        """Arm from a compiled-plan entry: resolution already done."""
+        self.spec = entry.spec
+        self.invocations = []
+        self.resolved = entry.resolved
+        self.applied_epoch = -1
+        self.plan_entry = entry
 
     def apply_state(self, ctx, xm) -> None:  # noqa: ANN001 - slot signature
         """Pre-invocation hook, once per boot epoch (stress overrides)."""
@@ -259,11 +291,15 @@ class CampaignPayload:
         if self.applied_epoch != epoch:
             self.apply_state(ctx, xm)
             self.applied_epoch = epoch
-        if self.resolved is None:
+        if self.resolved is None:  # armed by hand, not via arm()
             self.resolved = self.spec.resolve_args(self.layout)
         state = capture_state(ctx.kernel)
+        entry = self.plan_entry
         try:
-            code = xm.call(self.spec.function, *self.resolved)
+            if entry is not None:
+                code = ctx.kernel.hypercall_prepared(ctx.partition, entry)
+            else:
+                code = xm.call(self.spec.function, *self.resolved)
         except NoReturnFromHypercall as exc:
             self.invocations.append(
                 Invocation(returned=False, note=str(exc), state=state)
@@ -294,6 +330,8 @@ class TestExecutor:
         delta_reset: bool = True,
         journal_budget: int | None = DEFAULT_JOURNAL_BUDGET,
         verify_reset: bool = False,
+        verify_plan: bool = False,
+        profile: bool = False,
     ) -> None:
         self.kernel_version = kernel_version
         self.frames = frames
@@ -317,6 +355,19 @@ class TestExecutor:
         #: Run every spec both ways (delta-maintained sim and a fresh
         #: snapshot restore) and require field-for-field record identity.
         self.verify_reset = verify_reset
+        #: Run every planned spec through the uncompiled path too and
+        #: require field-for-field record identity (the compiled-plan
+        #: analogue of ``verify_reset``).
+        self.verify_plan = verify_plan
+        #: Accumulate per-phase wall time into :attr:`phase_times`.
+        self.profile = profile
+        #: Wall seconds per execution phase (populated when profiling).
+        self.phase_times = {
+            "bringup": 0.0,
+            "run": 0.0,
+            "record": 0.0,
+            "reset": 0.0,
+        }
         #: The delta-maintained live simulator (and the snapshot key it
         #: was restored from), or None between fallbacks.
         self._live = None
@@ -328,6 +379,7 @@ class TestExecutor:
             "cold": 0,
             "delta_fallbacks": 0,
             "verified": 0,
+            "plan_verified": 0,
         }
 
     # -- warm boot ---------------------------------------------------------
@@ -386,18 +438,101 @@ class TestExecutor:
         except WatchdogExpired:
             return self._watchdog_record(spec, started)
 
-    def _execute(self, spec: TestCallSpec, started: float) -> TestRecord:
-        if self.warm_boot:
+    # -- compiled-plan execution -------------------------------------------
+
+    def compile_suite(self, specs) -> CompiledPlan:  # noqa: ANN001
+        """Compile ``specs`` against this executor's configuration."""
+        return CompiledPlan(specs, self.layout, self.kernel_version, self.frames)
+
+    def run_planned(self, entry: PlanEntry) -> TestRecord:
+        """Planned-path :meth:`run`: same semantics, precomputed facts."""
+        failpoints.fire("executor.run")
+        started = time.perf_counter()
+        try:
+            with _watchdog(self.timeout_s):
+                _maybe_injected_hang(entry.test_id)
+                record = self._execute(entry.spec, started, entry)
+        except WatchdogExpired:
+            return self._watchdog_record(entry.spec, started)
+        if self.verify_plan:
+            self._verify_against_unplanned(entry, record)
+        return record
+
+    def run_group(self, entries, emit=None, gate=None) -> list[TestRecord]:  # noqa: ANN001
+        """Batched same-hypercall pass over consecutive plan ``entries``.
+
+        The whole group runs through one armed simulator loop: snapshot
+        resolved once, delta journal armed on the first restore,
+        reverted in place between tests — only the per-test arm and the
+        run itself are paid per spec.  Order and per-test semantics are
+        identical to calling :meth:`run_planned` per entry; campaigns
+        fall back to exactly that per-spec path whenever a per-test
+        wall-clock watchdog or a verification audit is armed (the
+        watchdog must bracket one test, and the audits interleave
+        reference runs the shared loop must not absorb).
+
+        ``emit(entry, record)`` fires as each record exists (streamed
+        checkpoints keep per-test granularity); ``gate(entry)`` fires
+        before each test (the pool worker's kill-injection hook).
+        """
+        if (
+            not (self.warm_boot and self.delta_reset)
+            or self.timeout_s
+            or self.verify_reset
+            or self.verify_plan
+        ):
+            records = []
+            for entry in entries:
+                if gate is not None:
+                    gate(entry)
+                record = self.run_planned(entry)
+                if emit is not None:
+                    emit(entry, record)
+                records.append(record)
+            return records
+        key = self._snapshot_key()
+        try:
+            snapshot = self.snapshot_cache.get_or_build(key, self._build_snapshot)
+        except SnapshotError:
+            self.warm_boot = False
+            return self.run_group(entries, emit, gate)
+        records = []
+        for entry in entries:
+            if gate is not None:
+                gate(entry)
+            failpoints.fire("executor.run")
+            started = time.perf_counter()
+            _maybe_injected_hang(entry.test_id)
             try:
-                return self._run_warm(spec, started)
+                record = self._run_on_snapshot(
+                    entry.spec, started, snapshot, key, primary=True, entry=entry
+                )
             except SnapshotError:
                 self.warm_boot = False
-        return self._run_cold(spec, started)
+                record = self._run_cold(entry.spec, started, entry)
+            if emit is not None:
+                emit(entry, record)
+            records.append(record)
+        return records
 
-    def _run_warm(self, spec: TestCallSpec, started: float) -> TestRecord:
+    def _execute(
+        self, spec: TestCallSpec, started: float, entry: PlanEntry | None = None
+    ) -> TestRecord:
+        if self.warm_boot:
+            try:
+                return self._run_warm(spec, started, entry)
+            except SnapshotError:
+                self.warm_boot = False
+        return self._run_cold(spec, started, entry)
+
+    def _run_warm(
+        self, spec: TestCallSpec, started: float, entry: PlanEntry | None = None
+    ) -> TestRecord:
         key = self._snapshot_key()
         snapshot = self.snapshot_cache.get_or_build(key, self._build_snapshot)
-        record = self._run_on_snapshot(spec, started, snapshot, key, primary=True)
+        record = self._run_on_snapshot(
+            spec, started, snapshot, key, primary=True, entry=entry
+        )
         if self.verify_reset:
             self._verify_against_fresh(spec, record, snapshot, key)
         return record
@@ -409,12 +544,17 @@ class TestExecutor:
         snapshot: SimSnapshot,
         key: tuple,
         primary: bool,
+        entry: PlanEntry | None = None,
     ) -> TestRecord:
         """One warm run: reuse the delta-maintained sim or restore fresh.
 
-        ``primary=False`` is the verify-reset reference path: always a
+        ``primary=False`` is the verification reference path: always a
         fresh restore, never kept, never counted in the bring-up stats.
+        ``entry`` switches the payload and record builder onto the
+        compiled-plan fast paths (same observable behaviour).
         """
+        prof = self.profile
+        t0 = time.perf_counter() if prof else 0.0
         reuse = primary and self.delta_reset
         sim = None
         delta_used = False
@@ -442,7 +582,14 @@ class TestExecutor:
             if slot is None or not isinstance(slot.payload, CampaignPayload):
                 raise SnapshotError("restored image carries no campaign payload slot")
             payload = slot.payload
-            payload.arm(spec)
+            if entry is not None:
+                payload.arm_planned(entry)
+            else:
+                payload.arm(spec)
+            if prof:
+                t1 = time.perf_counter()
+                self.phase_times["bringup"] += t1 - t0
+                t0 = t1
             crashed = hung = False
             try:
                 sim.run_until((self.frames + 1) * kernel.major_frame_us)
@@ -454,13 +601,23 @@ class TestExecutor:
             # snapshot recycle must not race a late watchdog SIGALRM.
             if self.timeout_s:
                 _disarm_watchdog()
+            if prof:
+                t1 = time.perf_counter()
+                self.phase_times["run"] += t1 - t0
+                t0 = t1
             record = self._build_record(
-                spec, sim, kernel, payload, crashed, hung, started
+                spec, sim, kernel, payload, crashed, hung, started, entry
             )
+            if prof:
+                t1 = time.perf_counter()
+                self.phase_times["record"] += t1 - t0
+                t0 = t1
             # Crashed/hung simulators are never trusted for in-place
             # reuse: the next test pays a full restore.
             if reuse and not crashed and not hung:
                 keep = self._try_delta_reset(sim)
+                if prof:
+                    self.phase_times["reset"] += time.perf_counter() - t0
             return record
         finally:
             # Pooled buffers must come back on every exit path — a
@@ -513,8 +670,37 @@ class TestExecutor:
             raise ResetVerifyError(spec.test_id, diverging)
         self.reset_stats["verified"] += 1
 
-    def _run_cold(self, spec: TestCallSpec, started: float) -> TestRecord:
+    def _verify_against_unplanned(self, entry: PlanEntry, record: TestRecord) -> None:
+        """Re-run ``entry``'s spec via the uncompiled path; require identity."""
+        started = time.perf_counter()
+        if self.warm_boot:
+            key = self._snapshot_key()
+            snapshot = self.snapshot_cache.get_or_build(key, self._build_snapshot)
+            reference = self._run_on_snapshot(
+                entry.spec, started, snapshot, key, primary=False
+            )
+        else:
+            reference = self._run_cold(entry.spec, started)
+            self.reset_stats["cold"] -= 1  # the audit is not a bring-up
+        planned_dict = record.to_dict()
+        reference_dict = reference.to_dict()
+        for fields in (planned_dict, reference_dict):
+            fields.pop("wall_time_s", None)  # the only nondeterministic field
+        if planned_dict != reference_dict:
+            diverging = next(
+                name
+                for name in planned_dict
+                if planned_dict[name] != reference_dict.get(name)
+            )
+            raise PlanVerifyError(entry.test_id, diverging)
+        self.reset_stats["plan_verified"] += 1
+
+    def _run_cold(
+        self, spec: TestCallSpec, started: float, entry: PlanEntry | None = None
+    ) -> TestRecord:
         self.reset_stats["cold"] += 1
+        prof = self.profile
+        t0 = time.perf_counter() if prof else 0.0
         payload = self._make_payload()
         sim = self.system_factory(
             fdir_payload=payload, kernel_version=self.kernel_version
@@ -523,7 +709,14 @@ class TestExecutor:
         crashed = hung = False
         try:
             sim.run_until(kernel.major_frame_us - 1)  # settle frame
-            payload.arm(spec)
+            if prof:
+                t1 = time.perf_counter()
+                self.phase_times["bringup"] += t1 - t0
+                t0 = t1
+            if entry is not None:
+                payload.arm_planned(entry)
+            else:
+                payload.arm(spec)
             sim.run_until((self.frames + 1) * kernel.major_frame_us)
         except SimulatorCrash:
             crashed = True
@@ -531,7 +724,16 @@ class TestExecutor:
             hung = True
         if self.timeout_s:
             _disarm_watchdog()
-        return self._build_record(spec, sim, kernel, payload, crashed, hung, started)
+        if prof:
+            t1 = time.perf_counter()
+            self.phase_times["run"] += t1 - t0
+            t0 = t1
+        record = self._build_record(
+            spec, sim, kernel, payload, crashed, hung, started, entry
+        )
+        if prof:
+            self.phase_times["record"] += time.perf_counter() - t0
+        return record
 
     def _watchdog_record(self, spec: TestCallSpec, started: float) -> TestRecord:
         """A sim-hung-style record for a run the watchdog had to kill."""
@@ -556,7 +758,31 @@ class TestExecutor:
         crashed: bool,
         hung: bool,
         started: float,
+        entry: PlanEntry | None = None,
     ) -> TestRecord:
+        if entry is not None:
+            # The static half of the record was compiled with the plan.
+            return TestRecord(
+                invocations=payload.invocations,
+                sim_crashed=crashed,
+                sim_hung=hung,
+                kernel_halted=kernel.is_halted(),
+                halt_reason=kernel.halt_reason or "",
+                resets=[(r.kind, r.source) for r in kernel.reset_log],
+                hm_events=[
+                    (rec.event.name, rec.partition_id, rec.detail)
+                    for rec in kernel.hm.records
+                ],
+                overruns=len(kernel.sched.overruns),
+                test_partition_state=(
+                    kernel.partitions[0].state.value if 0 in kernel.partitions else ""
+                ),
+                console_tail=sim.machine.uart.lines()[-CONSOLE_TAIL:],
+                kernel_version=self.kernel_version,
+                frames=self.frames,
+                wall_time_s=time.perf_counter() - started,
+                **entry.record_base,
+            )
         resolved = (
             payload.resolved
             if payload.resolved is not None
@@ -636,9 +862,16 @@ _RELAY = None
 #: format for a shard is a list of indices into this table, not pickled
 #: spec dicts (see :mod:`repro.fault.wire`).
 _SPEC_TABLE: list[TestCallSpec] | None = None
+#: Compiled plan over the spec table (same order, same indices), or
+#: None when the campaign runs uncompiled.
+_PLAN: CompiledPlan | None = None
+#: Whether shards run as batched same-hypercall groups.
+_BATCH: bool = True
 #: Reset-stats counts already relayed to the parent (per-shard deltas
 #: are sent, so pool respawns and multi-shard workers both sum cleanly).
 _STATS_SENT: dict[str, int] = {}
+#: Phase seconds already relayed to the parent (same delta scheme).
+_PHASES_SENT: dict[str, float] = {}
 
 
 def _init_worker(
@@ -651,8 +884,12 @@ def _init_worker(
     delta_reset: bool = True,
     journal_budget: int | None = DEFAULT_JOURNAL_BUDGET,
     verify_reset: bool = False,
+    compiled_plan: bool = True,
+    batch_hypercalls: bool = True,
+    verify_plan: bool = False,
+    profile: bool = False,
 ) -> None:
-    global _WORKER, _RELAY, _SPEC_TABLE, _STATS_SENT
+    global _WORKER, _RELAY, _SPEC_TABLE, _PLAN, _BATCH, _STATS_SENT, _PHASES_SENT
     failpoints.mark_worker_process()
     _WORKER = TestExecutor(
         kernel_version=kernel_version,
@@ -662,13 +899,23 @@ def _init_worker(
         delta_reset=delta_reset,
         journal_budget=journal_budget,
         verify_reset=verify_reset,
+        verify_plan=verify_plan,
+        profile=profile,
     )
     _RELAY = relay
     _STATS_SENT = {}
+    _PHASES_SENT = {}
+    _PLAN = None
+    _BATCH = batch_hypercalls
     if recipe is not None:
         from repro.fault.wire import build_spec_table
 
         _SPEC_TABLE = build_spec_table(recipe)
+        if compiled_plan:
+            # Derived, not shipped: the recipe is the wire format, and
+            # compilation is pure in it, so both sides hold the same
+            # plan (table indices double as plan-entry indices).
+            _PLAN = _WORKER.compile_suite(_SPEC_TABLE)
     _WORKER.prepare()
 
 
@@ -680,30 +927,66 @@ def run_shard_payload(shard: tuple[int, list[int]]) -> int:
     the shard on the relay, then runs each spec in order and streams its
     record back immediately (compact :func:`~repro.fault.wire.encode_record`
     form), so a worker death loses nothing that finished and pins the
-    killer to the first index lacking a record.  Returns the number of
-    specs run (records travel on the relay, not the future).
+    killer to the first index lacking a record.  Under a compiled plan
+    the shard executes as batched same-hypercall groups — records still
+    stream one message per test, and the kill-injection gate still fires
+    between tests, so supervision semantics are unchanged.  Returns the
+    number of specs run (records travel on the relay, not the future).
     """
     assert _WORKER is not None, "pool started without _init_worker"
     assert _SPEC_TABLE is not None, "pool started without a suite recipe"
+    from repro.fault.plan import group_consecutive
     from repro.fault.wire import encode_record
 
     shard_no, indices = shard
-    specs = [_SPEC_TABLE[index] for index in indices]
     if _RELAY is not None:
         _RELAY.put(("shard", shard_no))
-    for spec in specs:
-        if _kill_injected(spec.test_id):
-            os._exit(17)  # fault injection: die like a harness-killing test
-        record = _WORKER.run(spec)
+
+    def relay_record(record: TestRecord) -> None:
         if _RELAY is not None:
             _RELAY.put(("record", encode_record(record)))
+
+    if _PLAN is not None:
+        entries = [_PLAN.entries[index] for index in indices]
+
+        def gate(entry: PlanEntry) -> None:
+            if _kill_injected(entry.test_id):
+                os._exit(17)  # fault injection: die like a harness-killing test
+
+        def emit(entry: PlanEntry, record: TestRecord) -> None:
+            relay_record(record)
+
+        if _BATCH:
+            for group in group_consecutive(entries):
+                _WORKER.run_group(group, emit=emit, gate=gate)
+        else:
+            for entry in entries:
+                gate(entry)
+                relay_record(_WORKER.run_planned(entry))
+        count = len(entries)
+    else:
+        specs = [_SPEC_TABLE[index] for index in indices]
+        for spec in specs:
+            if _kill_injected(spec.test_id):
+                os._exit(17)  # fault injection: die like a harness-killing test
+            relay_record(_WORKER.run(spec))
+        count = len(specs)
     if _RELAY is not None:
         delta = {
-            name: count - _STATS_SENT.get(name, 0)
-            for name, count in _WORKER.reset_stats.items()
-            if count != _STATS_SENT.get(name, 0)
+            name: count_ - _STATS_SENT.get(name, 0)
+            for name, count_ in _WORKER.reset_stats.items()
+            if count_ != _STATS_SENT.get(name, 0)
         }
         if delta:
             _STATS_SENT.update(_WORKER.reset_stats)
             _RELAY.put(("stats", delta))
-    return len(specs)
+        if _WORKER.profile:
+            phases = {
+                name: seconds - _PHASES_SENT.get(name, 0.0)
+                for name, seconds in _WORKER.phase_times.items()
+                if seconds != _PHASES_SENT.get(name, 0.0)
+            }
+            if phases:
+                _PHASES_SENT.update(_WORKER.phase_times)
+                _RELAY.put(("phases", phases))
+    return count

@@ -162,6 +162,18 @@ class ReferenceOracle:
         self._memo[key] = expectation
         return expectation
 
+    def expect_planned(self, entry) -> Expectation:  # noqa: ANN001 - plan.PlanEntry
+        """Expectation for a compiled plan entry.
+
+        Identical to :meth:`expect` on ``entry.spec``, but probes the
+        memo with the label tuple the plan already computed instead of
+        rebuilding it per record — analysis touches this once per test.
+        """
+        cached = self._memo.get((entry.function, entry.arg_labels))
+        if cached is not None:
+            return cached
+        return self.expect(entry.spec)
+
     # -- System Management ----------------------------------------------------------
 
     def _x_XM_get_system_status(self, spec, args, lit) -> Expectation:

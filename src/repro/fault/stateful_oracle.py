@@ -33,6 +33,11 @@ from repro.xm import rc
 from repro.xm.vulns import VULNERABLE_VERSION
 
 
+#: str(stream_id) memo — capture_state runs once per invocation and the
+#: handful of stream ids repeat for the life of the process.
+_STREAM_KEYS: dict[int, str] = {}
+
+
 def capture_state(kernel) -> dict:  # noqa: ANN001
     """Snapshot the state the contracts of stateful services depend on."""
     tm_chan = kernel.ipc.channels.get("CH_TM_AOCS")
@@ -40,8 +45,11 @@ def capture_state(kernel) -> dict:  # noqa: ANN001
     hm_len = len(hm.records)
     trace_lens = {}
     trace_cursors = {}
+    keys = _STREAM_KEYS
     for stream_id, stream in kernel.tracemgr.streams.items():
-        key = str(stream_id)
+        key = keys.get(stream_id)
+        if key is None:
+            key = keys[stream_id] = str(stream_id)
         trace_lens[key] = len(stream.events)
         trace_cursors[key] = stream.cursor
     return {

@@ -241,6 +241,16 @@ def scoped_functions(
     return [fn for fn in tested if fn.name in wanted]
 
 
+#: ``generate_suites`` memo.  Expansion is pure in its inputs, so the
+#: result is shared process-wide: repeated campaigns over the same model
+#: (every suite of a compiled run, every bench trial) skip the matrix
+#: expansion entirely.  Keys compare the model/dictionaries/strategy by
+#: *identity* — the entry pins them alive, so a dead object's id can
+#: never alias a new one — and specs are frozen, so sharing is safe.
+_SUITE_MEMO: list[tuple] = []
+_SUITE_MEMO_MAX = 8
+
+
 def generate_suites(
     model: ApiModel,
     dictionaries: DictionarySet,
@@ -251,8 +261,17 @@ def generate_suites(
 
     This is the single source of truth for suite *ordering*: the
     campaign and every pool worker derive their spec tables from it, so
-    an index on the wire means the same spec on both sides.
+    an index on the wire means the same spec on both sides.  The result
+    is memoized and shared — treat it as immutable.
     """
+    for memo_model, memo_dicts, memo_strategy, memo_functions, out in _SUITE_MEMO:
+        if (
+            memo_model is model
+            and memo_dicts is dictionaries
+            and memo_strategy is strategy
+            and memo_functions == functions
+        ):
+            return out
     out: list[tuple[ApiFunction, list[TestCallSpec]]] = []
     for function in scoped_functions(model, functions):
         matrix = build_matrix(function, dictionaries)
@@ -261,6 +280,9 @@ def generate_suites(
             for index, dataset in enumerate(strategy.generate(matrix))
         ]
         out.append((function, specs))
+    _SUITE_MEMO.append((model, dictionaries, strategy, functions, out))
+    if len(_SUITE_MEMO) > _SUITE_MEMO_MAX:
+        del _SUITE_MEMO[0]
     return out
 
 

@@ -32,6 +32,17 @@ class Access(enum.Flag):
     RWX = READ | WRITE | EXEC
 
 
+#: Raw rights bits for the checked read/write hot paths.
+_READ_BITS = Access.READ.value
+_WRITE_BITS = Access.WRITE.value
+
+#: Dirty-range entries tracked per area before coalescing to the
+#: bounding span.  Small: the scan in ``write_in`` is linear, and real
+#: write patterns (scratch window, test buffer, a few data structures)
+#: cluster into a handful of runs.
+_MAX_DIRTY_SPANS = 8
+
+
 class MemoryFault(Exception):
     """A memory access violated the map or the rights of the context.
 
@@ -99,10 +110,15 @@ class PhysicalMemory:
         self._areas: list[MemoryArea] = []
         self._starts: list[int] = []
         self._store: dict[str, bytearray] = {}
-        #: Per-area [lo, hi) byte range written since construction (or
-        #: since the last snapshot restore); lets snapshot recycling zero
-        #: only what a test actually touched.
-        self._dirty: dict[str, list[int]] = {}
+        #: Per-area list of [lo, hi) byte ranges written since
+        #: construction (or since the last snapshot restore); lets
+        #: snapshot recycling and delta resets zero only what a test
+        #: actually touched.  Kept as a *few* coarse spans rather than
+        #: one bounding range: a partition that writes its scratch
+        #: window and its test buffer (64 KiB apart) dirties two small
+        #: spans, not everything in between.  Capped at
+        #: ``_MAX_DIRTY_SPANS`` by coalescing into the bounding range.
+        self._dirty: dict[str, list[list[int]]] = {}
         self._init_delta_fields()
         for area in areas:
             self.add_area(area)
@@ -111,7 +127,7 @@ class PhysicalMemory:
         #: Armed delta baseline: non-zero span per backing at arm time
         #: (None = not armed) plus the dirty accounting as of arming.
         self._base_spans: dict[str, tuple[int, int, bytes]] | None = None
-        self._base_dirty: dict[str, list[int]] = {}
+        self._base_dirty: dict[str, list[list[int]]] = {}
         #: A cold reset while armed empties the store; the baseline is
         #: gone and any delta reset must be refused.
         self._delta_broken = False
@@ -185,14 +201,31 @@ class PhysicalMemory:
         off = address - area.start
         end = off + len(data)
         buf[off:end] = data
-        span = self._dirty.get(area.name)
-        if span is None:
-            self._dirty[area.name] = [off, end]
-        else:
-            if off < span[0]:
-                span[0] = off
-            if end > span[1]:
-                span[1] = end
+        spans = self._dirty.get(area.name)
+        if spans is None:
+            self._dirty[area.name] = [[off, end]]
+            return
+        # Fast path: sequential writes (scratch bumps, message buffers)
+        # almost always touch the most recently dirtied span.
+        last = spans[-1]
+        if off <= last[1] and end >= last[0]:
+            if off < last[0]:
+                last[0] = off
+            if end > last[1]:
+                last[1] = end
+            return
+        for span in spans:
+            if off <= span[1] and end >= span[0]:
+                if off < span[0]:
+                    span[0] = off
+                if end > span[1]:
+                    span[1] = end
+                return
+        spans.append([off, end])
+        if len(spans) > _MAX_DIRTY_SPANS:
+            lo = min(s[0] for s in spans)
+            hi = max(s[1] for s in spans)
+            spans[:] = [[lo, hi]]
 
     def clear(self) -> None:
         """Zero all backing storage (cold reset)."""
@@ -214,28 +247,42 @@ class PhysicalMemory:
     def snapshot_delta(self) -> None:
         """Arm the write journal: current content becomes the baseline."""
         self._base_spans = self.export_spans()
-        self._base_dirty = {name: list(span) for name, span in self._dirty.items()}
+        self._base_dirty = {
+            name: [list(span) for span in spans]
+            for name, spans in self._dirty.items()
+        }
         self._dirty = {}
         self._delta_broken = False
 
     def reset_from_delta(self, baseline: None) -> None:
-        """Revert every byte written since arming (in place)."""
+        """Revert every byte written since arming (in place).
+
+        Spans may overlap after merges; the zero-then-reapply per span
+        is idempotent (each pass leaves baseline content), so overlap
+        costs a few duplicate bytes, never correctness.
+        """
         if self._delta_broken or self._base_spans is None:
             raise RuntimeError("memory delta baseline lost (cold reset or never armed)")
         base_spans = self._base_spans
-        for name, (lo, hi) in self._dirty.items():
+        for name, spans in self._dirty.items():
             buf = self._store[name]
-            buf[lo:hi] = bytes(hi - lo)
             base = base_spans.get(name)
-            if base is not None:
-                _, off, data = base
-                start = max(lo, off)
-                end = min(hi, off + len(data))
-                if start < end:
-                    buf[start:end] = data[start - off : end - off]
-        # Post-reset content equals the baseline, so the dirty
-        # accounting (what a recycle must zero) is the baseline's.
-        self._dirty = {name: list(span) for name, span in self._base_dirty.items()}
+            for lo, hi in spans:
+                buf[lo:hi] = bytes(hi - lo)
+                if base is not None:
+                    _, off, data = base
+                    start = max(lo, off)
+                    end = min(hi, off + len(data))
+                    if start < end:
+                        buf[start:end] = data[start - off : end - off]
+        # Post-reset content equals the baseline byte for byte, so the
+        # *next* delta reset owes nothing until software writes again —
+        # the live map restarts empty.  Recycle accounting is safe: a
+        # disarm (which every recycle path performs first) merges the
+        # baseline's spans back in, covering the baseline content, and
+        # bytes any earlier test dirtied outside it were just reverted
+        # to zero.
+        self._dirty = {}
 
     @property
     def delta_broken(self) -> bool:
@@ -244,7 +291,9 @@ class PhysicalMemory:
 
     def delta_pending_bytes(self) -> int:
         """Bytes written since arming (the cost of the next delta reset)."""
-        return sum(hi - lo for lo, hi in self._dirty.values())
+        return sum(
+            hi - lo for spans in self._dirty.values() for lo, hi in spans
+        )
 
     def delta_disarm(self) -> None:
         """Drop the baseline, restoring construction-time dirty accounting.
@@ -256,13 +305,12 @@ class PhysicalMemory:
         """
         if self._base_spans is None:
             return
-        for name, span in self._base_dirty.items():
+        for name, spans in self._base_dirty.items():
             current = self._dirty.get(name)
             if current is None:
-                self._dirty[name] = list(span)
+                self._dirty[name] = [list(span) for span in spans]
             else:
-                current[0] = min(current[0], span[0])
-                current[1] = max(current[1], span[1])
+                current.extend(list(span) for span in spans)
         self._base_spans = None
         self._base_dirty = {}
         self._delta_broken = False
@@ -309,7 +357,7 @@ class PhysicalMemory:
             buf[off:end] = data
             self._store[name] = buf
             if data:
-                self._dirty[name] = [off, end]
+                self._dirty[name] = [[off, end]]
         return self
 
     def reclaim_buffers(self) -> dict[str, bytearray]:
@@ -321,10 +369,10 @@ class PhysicalMemory:
         """
         out: dict[str, bytearray] = {}
         for name, buf in self._store.items():
-            span = self._dirty.get(name)
-            if span is not None:
-                lo, hi = span
-                buf[lo:hi] = bytes(hi - lo)
+            spans = self._dirty.get(name)
+            if spans is not None:
+                for lo, hi in spans:
+                    buf[lo:hi] = bytes(hi - lo)
             out[name] = buf
         self._store = {}
         self._dirty = {}
@@ -404,6 +452,18 @@ class AddressSpace:
 
     def check(self, address: int, size: int, access: Access) -> MemoryArea:
         """Validate an access; returns the area or raises MemoryFault."""
+        return self._check_bits(address, size, access.value, access)
+
+    def _check_bits(
+        self, address: int, size: int, bits: int, access: Access
+    ) -> MemoryArea:
+        """Access check with the rights mask already as a raw int.
+
+        ``access.value`` is a DynamicClassAttribute descriptor call —
+        measurable at ~35 checks per test — so the read/write hot paths
+        pass the module-constant bits and keep the enum member only for
+        fault reporting.
+        """
         address &= ADDRESS_MASK
         area = self._last_area
         if area is None or not (
@@ -413,19 +473,49 @@ class AddressSpace:
             if area is None:
                 raise MemoryFault(address, access, "unmapped")
             self._last_area = area
-        if access.value & ~self._bits.get(area.name, 0):
+        if bits & ~self._bits.get(area.name, 0):
             raise MemoryFault(address, access, "protection")
         return area
 
     def read(self, address: int, size: int) -> bytes:
-        """Checked read."""
-        area = self.check(address, size, Access.READ)
-        return self.physical.read_in(area, address & ADDRESS_MASK, size)
+        """Checked read.
+
+        The cached-area check is inlined (rather than delegated to
+        :meth:`_check_bits`): partition software performs ~70 checked
+        accesses per campaign test, and the extra frame per access is
+        measurable across a suite.
+        """
+        address &= ADDRESS_MASK
+        area = self._last_area
+        if area is None or not (
+            area.start <= address and address + size <= area.end
+        ):
+            return self.physical.read_in(
+                self._check_bits(address, size, _READ_BITS, Access.READ),
+                address,
+                size,
+            )
+        if _READ_BITS & ~self._bits.get(area.name, 0):
+            raise MemoryFault(address, Access.READ, "protection")
+        return self.physical.read_in(area, address, size)
 
     def write(self, address: int, data: bytes) -> None:
-        """Checked write."""
-        area = self.check(address, len(data), Access.WRITE)
-        self.physical.write_in(area, address & ADDRESS_MASK, data)
+        """Checked write (cached-area check inlined, as in :meth:`read`)."""
+        address &= ADDRESS_MASK
+        size = len(data)
+        area = self._last_area
+        if area is None or not (
+            area.start <= address and address + size <= area.end
+        ):
+            self.physical.write_in(
+                self._check_bits(address, size, _WRITE_BITS, Access.WRITE),
+                address,
+                data,
+            )
+            return
+        if _WRITE_BITS & ~self._bits.get(area.name, 0):
+            raise MemoryFault(address, Access.WRITE, "protection")
+        self.physical.write_in(area, address, data)
 
     def read_u32(self, address: int) -> int:
         """Checked aligned 32-bit big-endian read (SPARC is big-endian)."""

@@ -13,6 +13,10 @@ reference*, and reverts the graph in place:
 - plain objects get their ``__dict__`` rolled back, minus any fields the
   class nominates in ``__delta_skip__`` (caches that stay valid across
   in-place resets, e.g. the kernel's hypercall dispatch cache);
+- slotted objects (``__slots__``, no ``__dict__``) get each slot
+  captured and reverted by ``setattr`` — slots set after the capture are
+  deleted again — so hot structures can be flattened without losing
+  delta-reset coverage;
 - objects implementing the cooperative reset protocol —
   ``snapshot_delta()`` / ``reset_from_delta(baseline)`` — capture and
   revert themselves (the board memory's dirty-span journal, the event
@@ -126,7 +130,30 @@ _CALLABLE = (
 )
 
 # Journal entry kinds (revert actions).
-_OBJ, _HOOK, _LIST, _DICT, _SET, _DEQUE, _BUF = range(7)
+_OBJ, _HOOK, _LIST, _DICT, _SET, _DEQUE, _BUF, _SLOTTED = range(8)
+
+#: Sentinel for a declared slot that currently holds no value.
+_UNSET = object()
+
+#: Per-class cache of declared slot names (walked once per type).
+_SLOT_NAMES: dict[type, tuple[str, ...]] = {}
+
+
+def _slot_names(cls: type) -> tuple[str, ...]:
+    """All ``__slots__`` names declared across a class's MRO."""
+    cached = _SLOT_NAMES.get(cls)
+    if cached is None:
+        names: dict[str, None] = {}
+        for klass in cls.__mro__:
+            declared = klass.__dict__.get("__slots__", ())
+            if isinstance(declared, str):
+                declared = (declared,)
+            for name in declared:
+                if name not in ("__dict__", "__weakref__"):
+                    names[name] = None
+        cached = tuple(names)
+        _SLOT_NAMES[cls] = cached
+    return cached
 
 
 def _is_frozen_dataclass(value: object) -> bool:
@@ -155,6 +182,7 @@ class DeltaJournal:
         self._skip_ids = {id(c) for c in constants}
         self._constants = tuple(constants)
         self._walk(root, "root")
+        self._compile()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -229,45 +257,99 @@ class DeltaJournal:
                 self._walk(getattr(value, f.name), f"{path}.{f.name}")
             return
         d = getattr(value, "__dict__", None)
-        if d is None:
+        slots = _slot_names(type(value))
+        if d is None and not slots:
             raise Unjournalable(path, value)
         skip = getattr(type(value), "__delta_skip__", ())
-        baseline = {k: v for k, v in d.items() if k not in skip}
-        self._entries.append((_OBJ, value, baseline, skip))
-        for key, item in baseline.items():
-            self._walk(item, f"{path}.{key}")
+        if d is not None:
+            baseline = {k: v for k, v in d.items() if k not in skip}
+            self._entries.append((_OBJ, value, baseline, skip))
+            for key, item in baseline.items():
+                self._walk(item, f"{path}.{key}")
+        if slots:
+            # Slots set now are captured (by reference); slots unset now
+            # are deleted again on reset if the run assigned them.
+            pairs = []
+            missing = []
+            for name in slots:
+                if name in skip:
+                    continue
+                item = getattr(value, name, _UNSET)
+                if item is _UNSET:
+                    missing.append(name)
+                else:
+                    pairs.append((name, item))
+                    self._walk(item, f"{path}.{name}")
+            self._entries.append(
+                (_SLOTTED, value, tuple(pairs), tuple(missing))
+            )
 
     # -- revert ------------------------------------------------------------
 
-    def reset(self) -> None:
-        """Revert every journaled object to its captured baseline."""
+    def _compile(self) -> None:
+        """Flatten the entry list into a type-specialised revert program.
+
+        ``reset()`` is the hot half of every delta-maintained test, so
+        the per-entry kind branch and tuple unpacking are paid once here
+        instead of on every reset: entries are partitioned into parallel
+        per-kind lists (plain-``__dict__`` objects split again by whether
+        they have ``__delta_skip__`` fields, hooks prebound to their
+        ``reset_from_delta`` method).
+        """
+        objs: list[tuple] = []          # (__dict__, baseline) — no skips
+        objs_skip: list[tuple] = []     # (__dict__, baseline, skip)
+        hooks: list[tuple] = []         # (bound reset_from_delta, baseline)
+        seqs: list[tuple] = []          # (list-or-bytearray, baseline)
+        dicts: list[tuple] = []         # (dict-or-set, baseline) — clear+update
+        deques: list[tuple] = []        # (deque, baseline)
+        slotted: list[tuple] = []       # (obj, pairs, missing)
         for entry in self._entries:
             kind = entry[0]
             if kind == _OBJ:
                 _, obj, baseline, skip = entry
-                d = obj.__dict__
-                preserved = {k: d[k] for k in skip if k in d}
-                d.clear()
-                d.update(baseline)
-                d.update(preserved)
+                if skip:
+                    objs_skip.append((obj.__dict__, baseline, skip))
+                else:
+                    objs.append((obj.__dict__, baseline))
             elif kind == _HOOK:
-                _, obj, baseline = entry
-                obj.reset_from_delta(baseline)
-            elif kind == _LIST:
-                _, obj, baseline = entry
-                obj[:] = baseline
-            elif kind == _DICT:
-                _, obj, baseline = entry
-                obj.clear()
-                obj.update(baseline)
-            elif kind == _SET:
-                _, obj, baseline = entry
-                obj.clear()
-                obj.update(baseline)
+                hooks.append((entry[1].reset_from_delta, entry[2]))
+            elif kind in (_LIST, _BUF):
+                seqs.append((entry[1], entry[2]))
+            elif kind in (_DICT, _SET):
+                dicts.append((entry[1], entry[2]))
             elif kind == _DEQUE:
-                _, obj, baseline = entry
-                obj.clear()
-                obj.extend(baseline)
-            else:  # _BUF
-                _, obj, baseline = entry
-                obj[:] = baseline
+                deques.append((entry[1], entry[2]))
+            else:  # _SLOTTED
+                _, obj, pairs, missing = entry
+                slotted.append((obj, pairs, missing))
+        self._program = (objs, objs_skip, hooks, seqs, dicts, deques, slotted)
+
+    def reset(self) -> None:
+        """Revert every journaled object to its captured baseline."""
+        objs, objs_skip, hooks, seqs, dicts, deques, slotted = self._program
+        for d, baseline in objs:
+            d.clear()
+            d.update(baseline)
+        for d, baseline, skip in objs_skip:
+            preserved = {k: d[k] for k in skip if k in d}
+            d.clear()
+            d.update(baseline)
+            d.update(preserved)
+        for restore, baseline in hooks:
+            restore(baseline)
+        for obj, baseline in seqs:
+            obj[:] = baseline
+        for obj, baseline in dicts:
+            obj.clear()
+            obj.update(baseline)
+        for obj, baseline in deques:
+            obj.clear()
+            obj.extend(baseline)
+        for obj, pairs, missing in slotted:
+            for name, item in pairs:
+                setattr(obj, name, item)
+            for name in missing:
+                try:
+                    delattr(obj, name)
+                except AttributeError:
+                    pass

@@ -276,11 +276,13 @@ class Simulator:
         if self.state is not SimState.RUNNING:
             return
         budget = self.event_budget
+        is_halted = self.kernel.is_halted
+        pop_due = self.events.pop_due
         while True:
-            if self.kernel.is_halted():
+            if is_halted():
                 self.state = SimState.STOPPED
                 return
-            event = self.events.pop_due(deadline_us)
+            event = pop_due(deadline_us)
             if event is None:
                 # Never rewind: a deadline already in the past is a no-op.
                 self._now_us = max(self._now_us, deadline_us)

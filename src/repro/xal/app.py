@@ -22,10 +22,19 @@ class PartitionApplication:
     def __init__(self) -> None:
         self.booted = False
         self.steps = 0
+        #: Per-app libxm binding, rebound (scratch recycled) every slot —
+        #: observationally identical to the fresh-per-slot construction
+        #: it replaced, without re-deriving the memory layout each step.
+        self._xm: Libxm | None = None
 
     def step(self, ctx: "SlotContext") -> None:
         """Scheduler entry point; dispatches boot/virq/step hooks."""
-        xm = Libxm(ctx)
+        xm = self._xm
+        if xm is None or xm._space is not ctx.partition.address_space:
+            xm = Libxm(ctx)
+            self._xm = xm
+        else:
+            xm.rebind(ctx)
         if not self.booted:
             self.booted = True
             self.on_boot(ctx, xm)

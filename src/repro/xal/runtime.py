@@ -9,7 +9,6 @@ results — the same service the C ``libxm`` provides to XAL applications.
 
 from __future__ import annotations
 
-import struct
 from typing import TYPE_CHECKING
 
 from repro.xm import rc
@@ -38,6 +37,8 @@ TEST_BUFFER_SIZE = 0x20000
 class ScratchAllocator:
     """Bump allocator over the partition's scratch window."""
 
+    __slots__ = ("base", "size", "_next")
+
     def __init__(self, base: int, size: int = SCRATCH_SIZE) -> None:
         self.base = base
         self.size = size
@@ -57,7 +58,16 @@ class ScratchAllocator:
 
 
 class Libxm:
-    """Typed wrappers over the hypercall interface for one slot."""
+    """Typed wrappers over the hypercall interface for one slot.
+
+    One is needed per slot; applications keep an instance and
+    :meth:`rebind` it each step, which is observationally identical to
+    fresh construction (the scratch bump pointer restarts at the window
+    base either way) without re-deriving the partition's memory layout
+    on the per-slot hot path.
+    """
+
+    __slots__ = ("ctx", "scratch", "test_buffer_base", "_space")
 
     def __init__(self, ctx: "SlotContext") -> None:
         self.ctx = ctx
@@ -67,11 +77,19 @@ class Libxm:
         self.test_buffer_base = area.start + TEST_BUFFER_OFFSET
         self._space = partition.address_space
 
+    def rebind(self, ctx: "SlotContext") -> None:
+        """Point at a new slot of the *same* partition, scratch recycled."""
+        self.ctx = ctx
+        scratch = self.scratch
+        scratch._next = scratch.base
+
     # -- raw access -----------------------------------------------------------
 
     def call(self, name: str, *args: int) -> int:
-        """Raw hypercall."""
-        return self.ctx.hypercall(name, *args)
+        """Raw hypercall (dispatched directly; one frame per call saved
+        over ``ctx.hypercall`` on the busiest path in the simulator)."""
+        ctx = self.ctx
+        return ctx.kernel.hypercall(ctx.partition, name, args)
 
     def write_bytes(self, address: int, data: bytes) -> None:
         """Write into partition memory (partition rights apply)."""
@@ -156,7 +174,7 @@ class Libxm:
         if code < 0 or code == rc.XM_OK:
             return code, b"", 0
         data = self.read_bytes(buf, code)
-        validity = struct.unpack(">I", self.read_bytes(flags, 4))[0]
+        validity = int.from_bytes(self.read_bytes(flags, 4), "big")
         return code, data, validity
 
     def create_queuing_port(
@@ -183,7 +201,7 @@ class Libxm:
         if code < 0 or code == rc.XM_OK:
             return code, b"", 0
         data = self.read_bytes(buf, code)
-        remaining = struct.unpack(">I", self.read_bytes(flags, 4))[0]
+        remaining = int.from_bytes(self.read_bytes(flags, 4), "big")
         return code, data, remaining
 
     def get_port_status(self, port: int) -> tuple[int, XmPortStatus | None]:

@@ -119,9 +119,10 @@ class Kernel:
 
         self._halted = False
         self._halt_reason: str | None = None
-        # Dispatch cache: (hdef, bound service, per-param converters) by
-        # hypercall name.  Rebuilt lazily, never snapshotted.
-        self._svc_cache: dict[str, tuple[HypercallDef, Callable, tuple]] = {}
+        # Dispatch cache: (bound service, per-param converters, arity,
+        # system_only) by hypercall name — everything the dispatch fast
+        # path needs, preflattened.  Rebuilt lazily, never snapshotted.
+        self._svc_cache: dict[str, tuple[Callable, tuple, int, bool]] = {}
         self.boot_epoch = 0
         self.reset_counter = 0
         self.warm_reset_counter = 0
@@ -325,26 +326,19 @@ class Kernel:
         Returns the service's return code; raises
         :class:`NoReturnFromHypercall` when control does not come back.
         """
-        self.sched.consume(self.HYPERCALL_COST_US)
+        # consume(HYPERCALL_COST_US), inlined: this is the hottest call
+        # site in the simulator and the cost is a positive constant.
+        self.sched.slot_consumed_us += self.HYPERCALL_COST_US
         self.hypercall_count += 1
         entry = self._svc_cache.get(name)
         if entry is None:
-            try:
-                hdef = hypercall_by_name(name)
-            except KeyError:
+            entry = self._cache_service(name)
+            if entry is None:
                 return rc.XM_UNKNOWN_HYPERCALL
-            converters = tuple(
-                None
-                if param.is_pointer or param.type_name not in self.types
-                else self.types.descriptor(param.type_name).convert
-                for param in hdef.params
-            )
-            entry = (hdef, self._resolve_service(hdef), converters)
-            self._svc_cache[name] = entry
-        hdef, service, converters = entry
-        if len(args) != hdef.arity:
+        service, converters, arity, system_only = entry
+        if len(args) != arity:
             return rc.XM_INVALID_PARAM
-        if hdef.system_only and not caller.is_system:
+        if system_only and not caller.is_system:
             return rc.XM_PERM_ERROR
         converted = [
             int(value) & 0xFFFFFFFF if convert is None else convert(int(value))
@@ -361,6 +355,61 @@ class Kernel:
             self.fatal(str(panic))
             raise NoReturnFromHypercall(f"kernel panic in {name}: {panic}") from panic
         return int(result)
+
+    def hypercall_prepared(self, caller: Partition, prepared) -> int:  # noqa: ANN001
+        """Dispatch a pre-compiled hypercall (see :mod:`repro.fault.plan`).
+
+        ``prepared`` carries what a :class:`CompiledPlan` resolved once
+        per suite: the converted argument list and the statically
+        decidable prechecks (unknown hypercall, arity).  Semantics are
+        identical to :meth:`hypercall` — cost accounting and the call
+        counter tick first, the privilege check still consults the live
+        caller, and fault containment is unchanged.
+        """
+        self.sched.slot_consumed_us += self.HYPERCALL_COST_US
+        self.hypercall_count += 1
+        precheck = prepared.precheck_rc
+        if precheck is not None:
+            return precheck
+        if prepared.system_only and not caller.is_system:
+            return rc.XM_PERM_ERROR
+        name = prepared.function
+        entry = self._svc_cache.get(name)
+        if entry is None:
+            entry = self._cache_service(name)
+        service = entry[0]
+        try:
+            result = service(caller, *prepared.converted)
+        except NoReturnFromHypercall:
+            raise
+        except MemoryFault as fault:
+            self._unhandled_trap(caller, fault)
+            raise NoReturnFromHypercall(f"unhandled trap in {name}: {fault}") from fault
+        except KernelPanic as panic:
+            self.fatal(str(panic))
+            raise NoReturnFromHypercall(f"kernel panic in {name}: {panic}") from panic
+        return int(result)
+
+    def _cache_service(self, name: str) -> tuple[Callable, tuple, int, bool] | None:
+        """Build (and memoize) one dispatch-cache entry; None if unknown."""
+        try:
+            hdef = hypercall_by_name(name)
+        except KeyError:
+            return None
+        converters = tuple(
+            None
+            if param.is_pointer or param.type_name not in self.types
+            else self.types.descriptor(param.type_name).convert
+            for param in hdef.params
+        )
+        entry = (
+            self._resolve_service(hdef),
+            converters,
+            hdef.arity,
+            hdef.system_only,
+        )
+        self._svc_cache[name] = entry
+        return entry
 
     def _convert_args(self, hdef: HypercallDef, args: tuple[int, ...]) -> list[int]:
         converted: list[int] = []

@@ -27,19 +27,30 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.xm.kernel import Kernel
 
 
-@dataclass
 class SlotContext:
-    """Execution context handed to a partition application for one slot."""
+    """Execution context handed to a partition application for one slot.
 
-    kernel: "Kernel"
-    partition_id: int
-    slot: SlotConfig
-    start_us: int
+    Slotted and flat: one is built for every slot of every frame, so the
+    scheduler hands it the partition control block it already resolved
+    instead of a property re-doing the ``kernel.partitions`` lookup on
+    each access.
+    """
 
-    @property
-    def partition(self):  # noqa: ANN201 - avoids circular import in hints
-        """The running partition's control block."""
-        return self.kernel.partitions[self.partition_id]
+    __slots__ = ("kernel", "partition", "partition_id", "slot", "start_us")
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        partition,  # noqa: ANN001 - avoids circular import in hints
+        slot: SlotConfig,
+        start_us: int,
+    ) -> None:
+        self.kernel = kernel
+        #: The running partition's control block.
+        self.partition = partition
+        self.partition_id = partition.ident
+        self.slot = slot
+        self.start_us = start_us
 
     @property
     def now_us(self) -> int:
@@ -145,10 +156,13 @@ class CyclicScheduler:
                 for slot in plan.slots
             ]
             self._frame_cache[self.current_plan_id] = events
-        schedule_at = self.kernel.sim.schedule_at
+        # Slot offsets are non-negative, so the schedule_at past-check
+        # can never fire — schedule straight into the event queue (this
+        # loop runs for every slot of every major frame).
+        schedule = self.kernel.sim.events.schedule
         for offset, callback, name in events:
-            schedule_at(now + offset, callback, name=name)
-        schedule_at(now + plan.major_frame_us, self._on_frame_start, name="frame")
+            schedule(now + offset, callback, name)
+        schedule(now + plan.major_frame_us, self._on_frame_start, "frame")
 
     def _slot_event(self, slot: SlotConfig, now: int) -> None:
         self._on_slot_start(now, slot)
@@ -169,7 +183,7 @@ class CyclicScheduler:
             partition.set_state(PartitionState.NORMAL)
         self.current_slot = slot
         self.slot_consumed_us = 0
-        ctx = SlotContext(kernel, slot.partition_id, slot, now)
+        ctx = SlotContext(kernel, partition, slot, now)
         try:
             if partition.app is not None:
                 partition.app.step(ctx)

@@ -37,6 +37,15 @@ class IntTypeDescriptor:
     def __post_init__(self) -> None:
         if self.bits not in (8, 16, 32, 64):
             raise ValueError(f"unsupported width: {self.bits} bits")
+        # convert() runs once per hypercall argument on the simulator's
+        # hottest path; cache the derived constants the properties
+        # otherwise recompute per call (frozen, so via object.__setattr__).
+        object.__setattr__(self, "_modulus", 1 << self.bits)
+        object.__setattr__(
+            self,
+            "_max",
+            (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1,
+        )
 
     @property
     def min(self) -> int:
@@ -71,9 +80,9 @@ class IntTypeDescriptor:
         two's-complement range (implementation-defined in C, but every
         relevant SPARC/GCC target wraps, and so did the paper's testbed).
         """
-        wrapped = value % self.modulus
-        if self.signed and wrapped > self.max:
-            wrapped -= self.modulus
+        wrapped = value % self._modulus
+        if self.signed and wrapped > self._max:
+            wrapped -= self._modulus
         return wrapped
 
     def to_unsigned(self, value: int) -> int:

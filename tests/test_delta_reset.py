@@ -144,10 +144,10 @@ class TestMemoryDelta:
         mem.write(0x40000020, b"ab")
         assert mem.delta_pending_bytes() == 2
         mem.reset_from_delta(None)
-        # The reset re-applied the 4 baseline bytes, so they are dirty
-        # again — the next reset (and an eventual recycle) must cover
-        # them, and the budget accounting says so.
-        assert mem.delta_pending_bytes() == 4
+        # Post-reset content equals the baseline byte for byte, so the
+        # next delta reset owes nothing; recycle safety comes from
+        # delta_disarm() re-merging the baseline spans (tested below).
+        assert mem.delta_pending_bytes() == 0
 
     def test_clear_while_armed_breaks_the_delta(self):
         mem = make_memory()

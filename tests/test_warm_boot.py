@@ -278,9 +278,9 @@ class TestDeltaResetFallbacks:
         class LyingExecutor(TestExecutor):
             """The verify reference run reports a different overrun count."""
 
-            def _run_on_snapshot(self, spec, started, snapshot, key, primary):
+            def _run_on_snapshot(self, spec, started, snapshot, key, primary, entry=None):
                 record = super()._run_on_snapshot(
-                    spec, started, snapshot, key, primary
+                    spec, started, snapshot, key, primary, entry
                 )
                 if not primary:
                     record.overruns += 1
