@@ -29,6 +29,7 @@ Two kinds of claims, measured differently:
 """
 
 import os
+import statistics
 import time
 
 from conftest import record_bench
@@ -93,17 +94,27 @@ class TestCompiledThroughput:
 
         after = 232 / compiled
         before = 232 / uncompiled
+        speedups = [1.0 / ratio for ratio in ratios]
         record_bench(
             "compiled_plan",
             scope_tests=232,
             serial_delta_tests_per_s_before=round(before, 1),
             serial_delta_tests_per_s_after=round(after, 1),
             serial_unbatched_tests_per_s=round(232 / unbatched, 1),
-            compiled_over_uncompiled=round(uncompiled / compiled, 2),
+            # One estimator for the compiled-vs-uncompiled claim: the
+            # paired per-trial speedups (each numerator/denominator
+            # shares a host window).  The old unpaired min/min ratio
+            # (`compiled_over_uncompiled`) routinely contradicted the
+            # paired figure — best-of minima from different windows
+            # compare two different hosts-of-the-moment — so it and the
+            # cross-session `speedup_vs_pr5_recorded` are scrubbed.
+            paired_speedup_best=round(max(speedups), 3),
+            paired_speedup_median=round(statistics.median(speedups), 3),
             paired_ratio_best=round(min(ratios), 3),
-            speedup_vs_pr5_recorded=round(after / PR5_BASELINE_TESTS_PER_S, 2),
+            compiled_over_uncompiled=None,
+            speedup_vs_pr5_recorded=None,
             pr5_recorded_tests_per_s=PR5_BASELINE_TESTS_PER_S,
-            estimator=f"best of {TRIALS}, paired",
+            estimator=f"paired, {TRIALS} trials",
         )
         # The CI gate: in the cleanest shared window, compiled execution
         # is no slower than uncompiled (a real regression slows *every*

@@ -18,6 +18,9 @@ Subcommands::
     repro-campaign phantom           # parameter-less coverage extension
     repro-campaign results ingest --db wh.sqlite --log out.jsonl
     repro-campaign results query|diff|drift|dashboard --db wh.sqlite ...
+    repro-campaign fabric run --workers N [campaign options]
+    repro-campaign fabric serve --bind HOST:PORT [campaign options]
+    repro-campaign fabric work --connect HOST:PORT [--name NAME]
 
 ``--chaos SEED`` arms the failpoint layer (seeded faults injected into
 the campaign runner itself; see :mod:`repro.fault.failpoints`): an
@@ -32,22 +35,10 @@ import sys
 
 from repro.fault import report
 from repro.fault.campaign import Campaign
-from repro.fault.combinator import (
-    CartesianStrategy,
-    OneFactorStrategy,
-    PairwiseStrategy,
-    RandomSampleStrategy,
-)
+from repro.fault.combinator import STRATEGIES as _STRATEGIES
 from repro.fault.phantom import PhantomCampaign
 from repro.fault.testlog import CampaignLog
 from repro.xm.vulns import FIXED_VERSION, VULNERABLE_VERSION
-
-_STRATEGIES = {
-    "cartesian": CartesianStrategy,
-    "one-factor": OneFactorStrategy,
-    "pairwise": PairwiseStrategy,
-    "random": RandomSampleStrategy,
-}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -349,6 +340,122 @@ def _build_parser() -> argparse.ArgumentParser:
     dashboard.add_argument(
         "--json", dest="json_out", default=None, help="JSON output path"
     )
+
+    fabric = sub.add_parser(
+        "fabric", help="distributed campaign fabric (socket coordinator + workers)"
+    )
+    fabric_sub = fabric.add_subparsers(dest="fabric_command", required=True)
+
+    def _fabric_campaign_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--version",
+            default=VULNERABLE_VERSION,
+            choices=[VULNERABLE_VERSION, FIXED_VERSION],
+            help="kernel version under test",
+        )
+        p.add_argument(
+            "--functions",
+            default=None,
+            help="comma-separated hypercall subset (default: all tested)",
+        )
+        p.add_argument(
+            "--frames", type=int, default=2, help="major frames per test"
+        )
+        p.add_argument(
+            "--strategy",
+            default="cartesian",
+            choices=sorted(_STRATEGIES),
+            help="dataset generation strategy",
+        )
+        p.add_argument(
+            "--log",
+            default=None,
+            help="campaign log (JSONL), streamed per record during execution",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="continue from the records already in --log",
+        )
+        p.add_argument(
+            "--log-fsync", dest="log_fsync", action="store_true",
+            help="fsync the streaming log on every checkpoint",
+        )
+        p.add_argument(
+            "--timeout-s", dest="timeout_s", type=float, default=None,
+            help="per-test wall-clock watchdog in seconds (default: none)",
+        )
+        p.add_argument(
+            "--shard-size", dest="shard_size", type=int, default=None,
+            help="specs per lease (default: auto-sized shards)",
+        )
+        p.add_argument(
+            "--quarantine", default=None, metavar="FILE",
+            help="persistent quarantine list (JSON)",
+        )
+        p.add_argument(
+            "--max-attempts", dest="max_attempts", type=int, default=None,
+            help="runs a suspect worker_killed verdict may consume "
+            "(default 3; 1 = first observation is terminal)",
+        )
+        p.add_argument(
+            "--quorum", type=int, default=None,
+            help="agreeing lethal observations that decide a verdict "
+            "(default 2; must be <= --max-attempts)",
+        )
+        p.add_argument(
+            "--batch-records", dest="batch_records", type=int, default=None,
+            help="records per data-plane frame (default 32)",
+        )
+        p.add_argument(
+            "--heartbeat-s", dest="heartbeat_s", type=float, default=None,
+            help="worker heartbeat cadence in seconds (default 2)",
+        )
+        p.add_argument(
+            "--lease-timeout-s", dest="lease_timeout_s", type=float,
+            default=None,
+            help="seconds a lease may stall before its worker is "
+            "declared lost (default 60)",
+        )
+        p.add_argument("--quiet", action="store_true", help="suppress progress")
+
+    fabric_run = fabric_sub.add_parser(
+        "run", help="coordinator + N local loopback worker agents, one shot"
+    )
+    fabric_run.add_argument(
+        "--workers", type=int, default=2, help="local worker agents to spawn"
+    )
+    _fabric_campaign_options(fabric_run)
+
+    serve = fabric_sub.add_parser(
+        "serve", help="coordinator only; start workers with `fabric work`"
+    )
+    serve.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        help="HOST:PORT to listen on (port 0 picks a free port)",
+    )
+    _fabric_campaign_options(serve)
+
+    work = fabric_sub.add_parser(
+        "work", help="one worker agent serving a coordinator"
+    )
+    work.add_argument(
+        "--connect", required=True, help="coordinator HOST:PORT"
+    )
+    work.add_argument(
+        "--name", default=None, help="worker name (default: host-pid)"
+    )
+    work.add_argument(
+        "--no-reconnect",
+        dest="no_reconnect",
+        action="store_true",
+        help="exit when the coordinator connection drops instead of retrying",
+    )
+    work.add_argument(
+        "--heartbeat-s", dest="heartbeat_s", type=float, default=None,
+        help="heartbeat cadence in seconds (default 2)",
+    )
     return parser
 
 
@@ -498,6 +605,151 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         write_dossier(result, args.dossier, campaign)
         print(f"# dossier written to {args.dossier}", file=sys.stderr)
+    print(report.campaign_summary(result))
+    print()
+    print(report.table3(result))
+    print()
+    print(report.issues_report(result))
+    return 0
+
+
+def _parse_endpoint(value: str) -> tuple[str, int]:
+    """``HOST:PORT`` -> (host, port); IPv6 hosts may be bracketed."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"error: expected HOST:PORT, got {value!r}")
+    return host.strip("[]") or "127.0.0.1", int(port)
+
+
+def _resume_or_rotate_log(args: argparse.Namespace) -> CampaignLog | None:
+    """The run/fabric ``--log``/``--resume`` contract, shared.
+
+    With ``--resume``, load the partial log (requires ``--log``); without
+    it, move an existing log aside so stale records cannot shadow this
+    run's results.  Returns the log to resume from, or None.
+    """
+    from pathlib import Path
+
+    if args.resume:
+        if not args.log:
+            raise SystemExit("error: --resume requires --log")
+        if Path(args.log).exists():
+            resume_log = CampaignLog.load(args.log)
+            print(
+                f"# resuming: {len(resume_log)} records already in {args.log}",
+                file=sys.stderr,
+            )
+            return resume_log
+        return None
+    if args.log:
+        log_path = Path(args.log)
+        if log_path.exists():
+            import os
+
+            stale = log_path.with_name(log_path.name + ".prev")
+            os.replace(log_path, stale)
+            print(
+                f"# existing {args.log} moved to {stale} "
+                "(use --resume to continue it instead)",
+                file=sys.stderr,
+            )
+    return None
+
+
+def _retry_policy(args: argparse.Namespace):  # noqa: ANN202
+    """Build the RetryPolicy from --max-attempts/--quorum (None = default)."""
+    if args.max_attempts is None and args.quorum is None:
+        return None
+    from repro.fault.resilience import RetryPolicy
+
+    max_attempts = args.max_attempts if args.max_attempts is not None else 3
+    quorum = args.quorum if args.quorum is not None else min(2, max_attempts)
+    return RetryPolicy(max_attempts=max_attempts, quorum=quorum)
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    if args.fabric_command == "work":
+        from repro.fabric import FabricError, WorkerAgent
+
+        host, port = _parse_endpoint(args.connect)
+        kwargs = {}
+        if args.heartbeat_s is not None:
+            kwargs["heartbeat_s"] = args.heartbeat_s
+        try:
+            WorkerAgent(
+                host,
+                port,
+                name=args.name,
+                reconnect=not args.no_reconnect,
+                **kwargs,
+            ).run()
+        except FabricError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    from repro.fabric import FabricError, coordinate
+
+    functions = tuple(args.functions.split(",")) if args.functions else None
+    campaign = Campaign(
+        functions=functions,
+        kernel_version=args.version,
+        frames=args.frames,
+        strategy=_STRATEGIES[args.strategy](),
+    )
+    total = campaign.total_tests()
+    resume_log = _resume_or_rotate_log(args)
+
+    if args.fabric_command == "serve":
+        bind = _parse_endpoint(args.bind)
+        workers = 0
+    else:  # fabric run
+        bind = ("127.0.0.1", 0)
+        workers = args.workers
+    print(
+        f"# fabric: {total} tests on XtratuM {args.version} "
+        f"({workers or 'external'} worker(s))",
+        file=sys.stderr,
+    )
+
+    def progress(done: int, out_of: int, record) -> None:  # noqa: ANN001
+        if not args.quiet and done % 200 == 0:
+            print(f"#   {done}/{out_of} ...", file=sys.stderr)
+
+    def on_listen(host: str, port: int) -> None:
+        # Parseable by scripts that start workers against a serve-mode
+        # coordinator bound to port 0.
+        print(f"# fabric: listening on {host}:{port}", file=sys.stderr, flush=True)
+
+    optional = {}
+    if args.batch_records is not None:
+        optional["batch_records"] = args.batch_records
+    if args.heartbeat_s is not None:
+        optional["heartbeat_s"] = args.heartbeat_s
+    if args.lease_timeout_s is not None:
+        optional["lease_timeout_s"] = args.lease_timeout_s
+    try:
+        result = coordinate(
+            campaign,
+            bind=bind,
+            workers=workers,
+            progress=progress,
+            resume_from=resume_log,
+            log_path=args.log,
+            timeout_s=args.timeout_s,
+            shard_size=args.shard_size,
+            retry_policy=_retry_policy(args),
+            quarantine_path=args.quarantine,
+            log_fsync=args.log_fsync,
+            on_listen=on_listen,
+            **optional,
+        )
+    except FabricError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.log:
+        result.log.save(args.log)
+        print(f"# log written to {args.log}", file=sys.stderr)
     print(report.campaign_summary(result))
     print()
     print(report.table3(result))
@@ -717,6 +969,7 @@ def main(argv: list[str] | None = None) -> int:
         "feedback": _cmd_feedback,
         "compare": _cmd_compare,
         "results": _cmd_results,
+        "fabric": _cmd_fabric,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,29 @@
+"""Distributed campaign fabric: coordinator, worker agents, wire frames.
+
+The process-pool runner in :mod:`repro.fault.campaign` promoted to a
+network protocol: a socket coordinator (:mod:`repro.fabric.coordinator`)
+leases shards of spec-table indices to worker agents
+(:mod:`repro.fabric.worker`) over length-prefixed JSON frames
+(:mod:`repro.fabric.frames`), with heartbeats, lease expiry, work
+stealing and quorum-arbitrated killer verdicts.  See the "Distributed
+fabric" section of docs/ARCHITECTURE.md.
+"""
+
+from repro.fabric.config import PROTOCOL_VERSION, FabricConfig, FabricError
+from repro.fabric.coordinator import FabricCoordinator, coordinate
+from repro.fabric.frames import MAX_FRAME, FrameError, encode_frame, read_frame
+from repro.fabric.worker import WorkerAgent, run_worker
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FabricConfig",
+    "FabricError",
+    "FabricCoordinator",
+    "coordinate",
+    "MAX_FRAME",
+    "FrameError",
+    "encode_frame",
+    "read_frame",
+    "WorkerAgent",
+    "run_worker",
+]

@@ -1,0 +1,157 @@
+"""The campaign configuration that travels to fabric workers.
+
+The pool path ships a pickled :class:`~repro.fault.wire.SuiteRecipe` to
+its (forked) workers; across hosts pickle is neither safe nor portable,
+so the fabric ships a JSON description instead and both sides rebuild
+the recipe from shared code: the default API model and dictionaries
+(process-wide singletons), a strategy reconstructed *by name* from
+:data:`repro.fault.combinator.STRATEGIES`, and the campaign's execution
+knobs.  ``total`` rides along so a worker's regenerated spec table is
+verified against the coordinator's before any index is trusted —
+exactly the :func:`~repro.fault.wire.build_spec_table` contract.
+
+A campaign with a custom model, dictionary set, or testbed factory
+cannot be described this way and is rejected with :class:`FabricError`
+up front (run those with the in-process or pool runners).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fault import wire
+from repro.fault.campaign import (
+    Campaign,
+    _default_dictionaries,
+    _default_model,
+)
+from repro.fault.combinator import strategy_from_dict, strategy_to_dict
+
+
+class FabricError(Exception):
+    """A fabric configuration or protocol contract violation."""
+
+
+#: Protocol revision spoken by coordinator and workers; a mismatch in
+#: the hello/welcome exchange is a hard error on both sides.
+PROTOCOL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """JSON-able description of one fabric campaign's worker side."""
+
+    kernel_version: str
+    frames: int
+    strategy: dict
+    functions: tuple[str, ...] | None
+    total: int
+    warm_boot: bool
+    delta_reset: bool
+    journal_budget: int | None
+    verify_reset: bool
+    compiled_plan: bool
+    batch_hypercalls: bool
+    verify_plan: bool
+    profile: bool
+    timeout_s: float | None
+
+    @classmethod
+    def from_campaign(
+        cls, campaign: Campaign, timeout_s: float | None = None
+    ) -> "FabricConfig":
+        """Describe a campaign for the wire; reject undescribable ones."""
+        if campaign.model is not _default_model():
+            raise FabricError(
+                "fabric campaigns require the default API model "
+                "(a custom model cannot be reconstructed on a remote host)"
+            )
+        if campaign.dictionaries is not _default_dictionaries():
+            raise FabricError(
+                "fabric campaigns require the default dictionary set "
+                "(custom dictionaries cannot be reconstructed on a remote host)"
+            )
+        if campaign.system_factory is not None:
+            raise FabricError(
+                "fabric campaigns support only the default testbed "
+                "(factories do not cross host boundaries)"
+            )
+        return cls(
+            kernel_version=campaign.kernel_version,
+            frames=campaign.frames,
+            strategy=strategy_to_dict(campaign.strategy),
+            functions=campaign.functions,
+            total=campaign.total_tests(),
+            warm_boot=campaign.warm_boot,
+            delta_reset=campaign.delta_reset,
+            journal_budget=campaign.journal_budget,
+            verify_reset=campaign.verify_reset,
+            compiled_plan=campaign.compiled_plan,
+            batch_hypercalls=campaign.batch_hypercalls,
+            verify_plan=campaign.verify_plan,
+            profile=campaign.profile,
+            timeout_s=timeout_s,
+        )
+
+    def to_dict(self) -> dict:
+        """The JSON form carried in the welcome frame."""
+        return {
+            "kernel_version": self.kernel_version,
+            "frames": self.frames,
+            "strategy": dict(self.strategy),
+            "functions": list(self.functions) if self.functions is not None else None,
+            "total": self.total,
+            "warm_boot": self.warm_boot,
+            "delta_reset": self.delta_reset,
+            "journal_budget": self.journal_budget,
+            "verify_reset": self.verify_reset,
+            "compiled_plan": self.compiled_plan,
+            "batch_hypercalls": self.batch_hypercalls,
+            "verify_plan": self.verify_plan,
+            "profile": self.profile,
+            "timeout_s": self.timeout_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FabricConfig":
+        """Rebuild from a welcome frame; :class:`FabricError` on junk."""
+        try:
+            functions = data["functions"]
+            return cls(
+                kernel_version=data["kernel_version"],
+                frames=data["frames"],
+                strategy=dict(data["strategy"]),
+                functions=tuple(functions) if functions is not None else None,
+                total=data["total"],
+                warm_boot=data["warm_boot"],
+                delta_reset=data["delta_reset"],
+                journal_budget=data["journal_budget"],
+                verify_reset=data["verify_reset"],
+                compiled_plan=data["compiled_plan"],
+                batch_hypercalls=data["batch_hypercalls"],
+                verify_plan=data["verify_plan"],
+                profile=data["profile"],
+                timeout_s=data["timeout_s"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise FabricError(f"malformed fabric config: {exc!r}") from exc
+
+    def recipe(self) -> wire.SuiteRecipe:
+        """The suite recipe a worker regenerates its spec table from.
+
+        Model and dictionaries are the process-wide default singletons,
+        so the worker-side suite memo hits across leases and reconnects;
+        the strategy comes back through the combinator registry
+        (:class:`FabricError` for an unknown name).
+        """
+        try:
+            strategy = strategy_from_dict(self.strategy)
+        except (ValueError, TypeError) as exc:
+            raise FabricError(str(exc)) from exc
+        return wire.SuiteRecipe(
+            model=_default_model(),
+            dictionaries=_default_dictionaries(),
+            strategy=strategy,
+            functions=self.functions,
+            total=self.total,
+        )

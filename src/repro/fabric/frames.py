@@ -1,0 +1,86 @@
+"""Length-prefixed JSON frame codec for the fabric socket protocol.
+
+One frame = a 4-byte big-endian payload length followed by a UTF-8 JSON
+object.  JSON rather than pickle because frames cross *host* boundaries:
+a coordinator must be able to reject a malformed or hostile frame
+without executing anything, and every field the protocol ships (spec
+indices, encoded records, lease bookkeeping) is already JSON-shaped —
+the record codec in :mod:`repro.fault.wire` is the log format.
+
+Decoding is strict and total: a frame that is truncated, oversized, not
+valid JSON, or not a JSON object raises :class:`FrameError` — the
+caller (coordinator or worker agent) treats that as a protocol fault of
+the *peer* and drops the connection, never the process (see the failure
+matrix in docs/ARCHITECTURE.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+#: Upper bound on a single frame's payload.  A lease of a few thousand
+#: spec indices or a batch of encoded records is well under 1 MiB; 64
+#: MiB leaves two orders of magnitude of headroom while still bounding
+#: what a garbage length prefix (or a hostile client) can make the
+#: reader allocate.
+MAX_FRAME = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class FrameError(Exception):
+    """A malformed, truncated, or oversized frame (peer protocol fault)."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """One wire frame: 4-byte big-endian length + JSON payload."""
+    try:
+        payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"unserialisable frame payload: {exc}") from exc
+    if len(payload) > MAX_FRAME:
+        raise FrameError(f"frame payload of {len(payload)} bytes exceeds MAX_FRAME")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_frame_body(payload: bytes) -> dict:
+    """Decode a frame payload; :class:`FrameError` on anything malformed."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise FrameError(
+            f"frame payload is {type(message).__name__}, expected an object"
+        )
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame from a stream.
+
+    Returns None on a clean EOF at a frame boundary (the peer closed
+    between messages — a normal goodbye).  EOF *inside* a frame, a
+    length prefix beyond :data:`MAX_FRAME`, or an undecodable payload
+    raise :class:`FrameError`.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError(
+            f"connection closed mid-prefix ({len(exc.partial)}/4 bytes)"
+        ) from exc
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME:
+        raise FrameError(f"frame length {length} exceeds MAX_FRAME ({MAX_FRAME})")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+    return decode_frame_body(payload)

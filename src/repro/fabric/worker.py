@@ -1,0 +1,385 @@
+"""The fabric worker agent: connect, lease, execute, stream records.
+
+One agent process serves one coordinator.  The control plane is an
+asyncio connection (hello/welcome, lease grants, revocations,
+heartbeats); the data plane is the same :class:`~repro.fault.executor`
+the pool path uses, running leases on a thread so the event loop keeps
+heartbeating while tests execute — which is exactly why the per-test
+watchdog has an off-main-thread fallback (see ``_watchdog`` in the
+executor).  Records travel back as batches of compact
+:func:`~repro.fault.wire.encode_record` dicts, flushed by count and by
+time so the coordinator always sees lease progress well inside its
+lease timeout.
+
+The agent is deliberately stateless between leases: everything it
+knows (spec table, compiled plan, executor) derives from the welcome
+frame's :class:`~repro.fabric.config.FabricConfig`, so a worker that
+reconnects — or a fresh worker replacing a dead one — rebuilds the
+identical state and any spec index means the same test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+import threading
+import time
+
+from repro.fabric.config import PROTOCOL_VERSION, FabricConfig, FabricError
+from repro.fabric.frames import FrameError, encode_frame, read_frame
+from repro.fault import wire
+from repro.fault.executor import TestExecutor, _kill_injected
+from repro.fault.plan import group_consecutive
+from repro.fault.testlog import TestRecord
+
+#: Records per batch frame on the data plane (the fabric analogue of
+#: the pool relay's ``_RELAY_BATCH_SIZE``).
+DEFAULT_FLUSH_RECORDS = 32
+#: Maximum seconds a finished record may sit unflushed: keeps the
+#: coordinator's view of lease progress fresh even when records are
+#: trickling in far below the batch size.
+DEFAULT_FLUSH_INTERVAL_S = 0.5
+DEFAULT_HEARTBEAT_S = 2.0
+
+#: Sentinel queued by the reader task when the connection is gone.
+_CLOSED = {"type": "__closed__"}
+
+
+class WorkerAgent:
+    """One fabric worker: a connection loop around a local executor."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        name: str | None = None,
+        reconnect: bool = True,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        flush_records: int = DEFAULT_FLUSH_RECORDS,
+        flush_interval_s: float = DEFAULT_FLUSH_INTERVAL_S,
+        connect_attempts: int = 20,
+        connect_delay_s: float = 0.25,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.reconnect = reconnect
+        self.heartbeat_s = heartbeat_s
+        self.flush_records = max(1, flush_records)
+        self.flush_interval_s = flush_interval_s
+        self.connect_attempts = connect_attempts
+        self.connect_delay_s = connect_delay_s
+        #: Spec indices revoked (stolen) from this worker's current
+        #: lease; read by the execution thread, written by the event
+        #: loop's reader task.
+        self._revoked: set[int] = set()
+        self._revoked_lock = threading.Lock()
+        #: (config-dict JSON, executor, spec table, plan) cached across
+        #: reconnects: rebuilding the warm-boot snapshot and compiled
+        #: plan is the expensive part of agent startup.
+        self._state: tuple | None = None
+
+    # -- entry point --------------------------------------------------------
+
+    def run(self) -> None:
+        """Serve the coordinator until it says done (or is gone for good)."""
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        misses = 0
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(self.host, self.port)
+            except OSError:
+                misses += 1
+                if misses >= self.connect_attempts:
+                    raise FabricError(
+                        f"coordinator at {self.host}:{self.port} unreachable "
+                        f"after {misses} attempts"
+                    )
+                await asyncio.sleep(self.connect_delay_s)
+                continue
+            misses = 0
+            try:
+                finished = await self._serve(reader, writer)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except OSError:
+                    pass
+            if finished or not self.reconnect:
+                return
+            # Connection dropped mid-campaign: reconnect and resume —
+            # the coordinator re-leases whatever this agent still owed.
+
+    # -- one connection -----------------------------------------------------
+
+    async def _serve(self, reader, writer) -> bool:  # noqa: ANN001
+        """Serve one connection; True when the campaign completed."""
+        send_lock = asyncio.Lock()
+
+        async def send(message: dict) -> None:
+            async with send_lock:
+                writer.write(encode_frame(message))
+                await writer.drain()
+
+        await send(
+            {
+                "type": "hello",
+                "name": self.name,
+                "host": socket.gethostname(),
+                "pid": os.getpid(),
+                "protocol": PROTOCOL_VERSION,
+            }
+        )
+        try:
+            welcome = await read_frame(reader)
+        except FrameError as exc:
+            raise FabricError(f"bad welcome from coordinator: {exc}") from exc
+        if welcome is None:
+            return False  # coordinator vanished during the handshake
+        if welcome.get("type") != "welcome":
+            raise FabricError(
+                f"expected welcome, got {welcome.get('type')!r}"
+            )
+        if welcome.get("protocol") != PROTOCOL_VERSION:
+            raise FabricError(
+                f"protocol mismatch: coordinator speaks "
+                f"{welcome.get('protocol')}, this agent {PROTOCOL_VERSION}"
+            )
+        state = self._build_state(welcome.get("config") or {})
+
+        incoming: asyncio.Queue = asyncio.Queue()
+
+        async def read_loop() -> None:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except (FrameError, OSError):
+                    frame = None
+                if frame is None:
+                    incoming.put_nowait(_CLOSED)
+                    return
+                kind = frame.get("type")
+                if kind == "revoke":
+                    with self._revoked_lock:
+                        self._revoked.update(frame.get("indices", ()))
+                elif kind in ("lease", "done"):
+                    incoming.put_nowait(frame)
+                # Unknown control frames are ignored: a newer
+                # coordinator may speak extensions this agent predates.
+
+        async def heartbeat_loop() -> None:
+            while True:
+                await asyncio.sleep(self.heartbeat_s)
+                try:
+                    await send({"type": "heartbeat"})
+                except (ConnectionError, OSError):
+                    return
+
+        async def drain_for_done() -> bool:
+            # A send can fail *after* the campaign ended: the
+            # coordinator's done frame may already sit in the incoming
+            # queue (or the socket buffer) behind a connection its
+            # shutdown has closed.  Keep reading until the done frame
+            # or the reader's EOF sentinel settles it.
+            while True:
+                frame = await incoming.get()
+                if frame is _CLOSED:
+                    return False
+                if frame.get("type") == "done":
+                    return True
+
+        reader_task = asyncio.create_task(read_loop())
+        beat_task = asyncio.create_task(heartbeat_loop())
+        try:
+            while True:
+                await send({"type": "lease-request"})
+                frame = await incoming.get()
+                if frame is _CLOSED:
+                    return False
+                if frame.get("type") == "done":
+                    return True
+                await self._execute_lease(state, frame, send)
+        except (ConnectionError, OSError):
+            return await drain_for_done()
+        finally:
+            reader_task.cancel()
+            beat_task.cancel()
+
+    def _build_state(self, config_dict: dict) -> tuple:
+        """Executor + spec table + plan for one config, reconnect-cached."""
+        import json
+
+        key = json.dumps(config_dict, sort_keys=True)
+        if self._state is not None and self._state[0] == key:
+            return self._state
+        config = FabricConfig.from_dict(config_dict)
+        table = wire.build_spec_table(config.recipe())
+        executor = TestExecutor(
+            kernel_version=config.kernel_version,
+            frames=config.frames,
+            warm_boot=config.warm_boot,
+            timeout_s=config.timeout_s,
+            delta_reset=config.delta_reset,
+            journal_budget=config.journal_budget,
+            verify_reset=config.verify_reset,
+            verify_plan=config.verify_plan,
+            profile=config.profile,
+        )
+        plan = executor.compile_suite(table) if config.compiled_plan else None
+        executor.prepare()
+        self._state = (key, config, executor, table, plan)
+        return self._state
+
+    # -- lease execution ----------------------------------------------------
+
+    async def _execute_lease(self, state, frame, send) -> None:  # noqa: ANN001
+        """Run one lease on a thread, streaming record batches back."""
+        _key, config, executor, table, plan = state
+        lease_no = frame.get("lease")
+        indices = list(frame.get("indices", ()))
+        flush_n = max(1, int(frame.get("flush") or self.flush_records))
+        loop = asyncio.get_running_loop()
+        batches: asyncio.Queue = asyncio.Queue()
+
+        def submit(batch: list[dict]) -> None:
+            loop.call_soon_threadsafe(batches.put_nowait, batch)
+
+        async def pump() -> None:
+            while True:
+                batch = await batches.get()
+                await send(
+                    {"type": "records", "lease": lease_no, "records": batch}
+                )
+                batches.task_done()
+
+        pump_task = asyncio.create_task(pump())
+        try:
+            stats, phases = await asyncio.to_thread(
+                self._run_indices, config, executor, table, plan,
+                indices, flush_n, submit,
+            )
+            # Every submit() ran before to_thread resolved (both arrive
+            # via call_soon_threadsafe, FIFO), so join() sees them all.
+            await batches.join()
+            done_frame = {"type": "lease-done", "lease": lease_no}
+            if stats:
+                done_frame["stats"] = stats
+            if phases:
+                done_frame["phases"] = phases
+            await send(done_frame)
+        finally:
+            pump_task.cancel()
+
+    def _run_indices(
+        self,
+        config: FabricConfig,
+        executor: TestExecutor,
+        table: list,
+        plan,  # noqa: ANN001 - CompiledPlan | None
+        indices: list[int],
+        flush_n: int,
+        submit,  # noqa: ANN001
+    ) -> tuple[dict, dict]:
+        """Execution-thread body: the fabric's ``run_shard_payload``.
+
+        Runs the leased indices in order, skipping any revoked before
+        they start (a stolen index already running just finishes — the
+        coordinator dedups by test id).  Returns (reset-stat deltas,
+        phase-time deltas) for the lease-done frame.
+        """
+        stats_before = dict(executor.reset_stats)
+        phases_before = dict(executor.phase_times) if config.profile else {}
+        pending: list[dict] = []
+        last_flush = time.monotonic()
+
+        def emit_record(record: TestRecord) -> None:
+            nonlocal last_flush
+            pending.append(wire.encode_record(record))
+            now = time.monotonic()
+            if len(pending) >= flush_n or now - last_flush >= self.flush_interval_s:
+                submit(pending[:])
+                pending.clear()
+                last_flush = now
+
+        def skip(index: int) -> bool:
+            with self._revoked_lock:
+                return index in self._revoked
+
+        def gate(test_id: str) -> None:
+            if _kill_injected(test_id):
+                os._exit(17)  # fault injection: die like a harness-killing test
+
+        if plan is not None:
+            live = [(i, plan.entries[i]) for i in indices]
+            if config.batch_hypercalls:
+                for group in _group_pairs(live):
+                    entries = [e for i, e in group if not skip(i)]
+                    if not entries:
+                        continue
+                    executor.run_group(
+                        entries,
+                        emit=lambda _e, r: emit_record(r),
+                        gate=lambda e: gate(e.test_id),
+                    )
+            else:
+                for index, entry in live:
+                    if skip(index):
+                        continue
+                    gate(entry.test_id)
+                    emit_record(executor.run_planned(entry))
+        else:
+            for index in indices:
+                if skip(index):
+                    continue
+                spec = table[index]
+                gate(spec.test_id)
+                emit_record(executor.run(spec))
+        if pending:
+            submit(pending[:])
+            pending.clear()
+        stats_delta = {
+            name: count - stats_before.get(name, 0)
+            for name, count in executor.reset_stats.items()
+            if count != stats_before.get(name, 0)
+        }
+        phases_delta = (
+            {
+                name: seconds - phases_before.get(name, 0.0)
+                for name, seconds in executor.phase_times.items()
+                if seconds != phases_before.get(name, 0.0)
+            }
+            if config.profile
+            else {}
+        )
+        return stats_delta, phases_delta
+
+
+def _group_pairs(live: list[tuple[int, object]]) -> list[list[tuple[int, object]]]:
+    """``group_consecutive`` over (index, entry) pairs."""
+    grouped = group_consecutive([entry for _i, entry in live])
+    out: list[list[tuple[int, object]]] = []
+    position = 0
+    for group in grouped:
+        out.append(live[position : position + len(group)])
+        position += len(group)
+    return out
+
+
+def run_worker(
+    host: str,
+    port: int,
+    name: str | None = None,
+    reconnect: bool = True,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+) -> None:
+    """Module-level worker entry point (picklable for multiprocessing)."""
+    from repro.fault import failpoints
+
+    failpoints.mark_worker_process()
+    WorkerAgent(
+        host, port, name=name, reconnect=reconnect, heartbeat_s=heartbeat_s
+    ).run()

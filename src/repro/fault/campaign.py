@@ -626,18 +626,19 @@ class Campaign:
 
         Specs are partitioned into shards and each shard is one pool
         task: a persistent worker (warm-boot snapshot built once, in
-        the initializer) runs the whole shard and streams every record
-        back on the results relay the moment it exists — so records are
-        still delivered, checkpointed via ``sink`` and reported via
-        ``progress`` at test granularity, only the submission
-        bookkeeping is amortised.  When a test kills its worker the
-        pool breaks; instead of forfeiting the run, the supervisor
-        takes the unfinished remainders of every announced shard as
-        suspects and re-runs them on a single-worker probe pool:
-        innocents simply complete there, and when the probe pool breaks
-        the killer is — workers run their shards in order, and every
-        finished record was already relayed — exactly the first suspect
-        without a record.
+        the initializer) runs the whole shard and streams records back
+        on the results relay in batches — delivery, checkpointing via
+        ``sink`` and ``progress`` reporting stay at test granularity on
+        the parent side, while the per-test relay put (a pickle plus a
+        pipe syscall each) is amortised over the batch.  When a test
+        kills its worker the pool breaks; instead of forfeiting the
+        run, the supervisor takes the unfinished remainders of every
+        announced shard as suspects (a dead worker's unflushed batch
+        tail makes some of them innocents that actually finished) and
+        re-runs them on a single-worker probe pool with single-spec
+        shards — which flush per record, so innocents simply complete
+        there, and when the probe pool breaks the killer is exactly the
+        suspect without a record.
 
         Process-level verdicts are *arbitrated* under ``policy``: a
         suspect kill or watchdog expiry is re-run and the verdict needs
@@ -766,9 +767,14 @@ class Campaign:
                 while suspects:
                     failpoints.fire("campaign.probe_loop")
                     stats["probe_respawns"] += 1
+                    # Single-spec shards: the relay flushes its record
+                    # batch at every shard end, so probing one spec per
+                    # shard restores exact per-record arrival — the
+                    # killer is precisely the suspect without a record,
+                    # with no innocents lost in an unflushed batch tail.
                     probe_arrived, probe_retry, _shards, probe_broke = (
                         self._pool_round(
-                            suspects, 1, size, timeout_s, deliver, stats
+                            suspects, 1, 1, timeout_s, deliver, stats
                         )
                     )
                     ever_arrived |= probe_arrived
@@ -840,18 +846,20 @@ class Campaign:
         """One sharded pool pass: (arrived ids, retry ids, suspects, broke).
 
         Submits one future per shard; the future only signals shard
-        completion — records travel on the results relay, one message
-        per finished test, and are handed to ``deliver`` (checkpoint,
-        progress, verdict arbitration) here as they arrive.  A deliver
-        that returns False *withholds* the record: its id still counts
-        as arrived (the spec produced a record, so it is no killer and
-        the relay owes nothing), but it lands in the retry set so the
-        caller re-runs the spec instead of treating it as resolved.
-        The suspect shards are the in-order unfinished remainders of
-        the shards workers had announced when the pool broke: each
-        contains at most one killer (the first spec without a record,
-        for the shard whose worker died) plus innocents that were
-        merely in flight or queued behind it.
+        completion — records travel on the results relay in batched
+        messages (see ``_RELAY_BATCH_SIZE`` in the executor) and are
+        handed to ``deliver`` (checkpoint, progress, verdict
+        arbitration) here as they arrive.  A deliver that returns False
+        *withholds* the record: its id still counts as arrived (the
+        spec produced a record, so it is no killer and the relay owes
+        nothing), but it lands in the retry set so the caller re-runs
+        the spec instead of treating it as resolved.  The suspect
+        shards are the in-order unfinished remainders of the shards
+        workers had announced when the pool broke: each contains at
+        most one killer plus innocents that were merely in flight,
+        queued behind it, or finished but unflushed when the worker
+        died — the probe pool re-runs them in order, so the killer is
+        still the first suspect that kills its probe.
         """
         import multiprocessing as mp
         import queue as thread_queue
@@ -893,6 +901,15 @@ class Campaign:
                 completed.add(record.test_id)
                 if deliver(record) is False:
                     retry_ids.add(record.test_id)
+            elif message[0] == "records":
+                # Batched form of "record" (the workers' hot path —
+                # one pickle + pipe syscall per _RELAY_BATCH_SIZE tests
+                # instead of per test); decode and deliver in order.
+                for encoded in message[1]:
+                    record = wire.decode_record(encoded)
+                    completed.add(record.test_id)
+                    if deliver(record) is False:
+                        retry_ids.add(record.test_id)
             elif message[0] == "stats":
                 if stats is not None:
                     _merge_reset_modes(stats, message[1])

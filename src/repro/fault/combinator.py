@@ -194,3 +194,48 @@ class RandomSampleStrategy:
     def count(self, matrix: TestValueMatrix) -> int:
         """Size of the sample."""
         return len(self._indices(matrix))
+
+
+#: Canonical name → class registry of the built-in strategies.  The CLI
+#: exposes these as ``--strategy`` choices, and the fabric wire format
+#: ships strategies *by name + options* (never pickled), so only
+#: registry members can cross a host boundary.
+STRATEGIES: dict[str, type] = {
+    CartesianStrategy.name: CartesianStrategy,
+    PairwiseStrategy.name: PairwiseStrategy,
+    OneFactorStrategy.name: OneFactorStrategy,
+    RandomSampleStrategy.name: RandomSampleStrategy,
+}
+
+
+def strategy_to_dict(strategy: GenerationStrategy) -> dict:
+    """JSON-able ``{"name": ..., **options}`` form of a registry strategy.
+
+    Raises ``ValueError`` for a strategy outside :data:`STRATEGIES` (or
+    an instance whose class disagrees with its registered name): both
+    sides of a network campaign must reconstruct the exact generator,
+    and an unknown class cannot travel by name.
+    """
+    import dataclasses
+
+    cls = STRATEGIES.get(strategy.name)
+    if cls is None or type(strategy) is not cls:
+        raise ValueError(
+            f"strategy {type(strategy).__name__!r} (name={strategy.name!r}) "
+            "is not in the built-in registry and cannot travel by name"
+        )
+    out: dict = {"name": strategy.name}
+    for field in dataclasses.fields(cls):
+        if field.name != "name":
+            out[field.name] = getattr(strategy, field.name)
+    return out
+
+
+def strategy_from_dict(data: dict) -> GenerationStrategy:
+    """Rebuild a strategy from its :func:`strategy_to_dict` form."""
+    options = dict(data)
+    name = options.pop("name", None)
+    cls = STRATEGIES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown generation strategy {name!r}")
+    return cls(**options)

@@ -151,30 +151,105 @@ class PlanVerifyError(RuntimeError):
 
 
 class WatchdogExpired(Exception):
-    """A test run exceeded the executor's wall-clock budget."""
+    """A test run exceeded the executor's wall-clock budget.
 
-    def __init__(self, timeout_s: float) -> None:
-        super().__init__(f"test run exceeded the {timeout_s}s watchdog")
+    ``timeout_s`` defaults to None because the timer-thread watchdog
+    delivers this exception asynchronously via
+    ``PyThreadState_SetAsyncExc``, which instantiates the class with no
+    arguments.
+    """
+
+    def __init__(self, timeout_s: float | None = None) -> None:
+        budget = f"{timeout_s}s" if timeout_s is not None else "wall-clock"
+        super().__init__(f"test run exceeded the {budget} watchdog")
         self.timeout_s = timeout_s
+
+
+class _ThreadWatchdog:
+    """Timer-thread watchdog for executors running off the main thread.
+
+    ``signal.setitimer`` raises ``ValueError`` anywhere but the main
+    thread, and the fabric worker agent runs its executor in a thread
+    spawned from the asyncio event loop — so off the main thread the
+    deadline is enforced by a daemon :class:`threading.Timer` that
+    raises :class:`WatchdogExpired` *inside the guarded thread* via
+    ``PyThreadState_SetAsyncExc`` (delivered at the next bytecode
+    boundary, which interrupts a Python-level livelock exactly like the
+    SIGALRM path does).  ``disarm`` both cancels the timer and clears a
+    fired-but-not-yet-delivered exception, so a test that finished just
+    under the deadline cannot have its completed record destroyed by a
+    late delivery.
+    """
+
+    def __init__(self, timeout_s: float, thread_id: int) -> None:
+        self._thread_id = thread_id
+        self._lock = threading.Lock()
+        self._fired = False
+        self._disarmed = False
+        self._timer = threading.Timer(timeout_s, self._fire)
+        self._timer.daemon = True
+        self._timer.start()
+
+    def _fire(self) -> None:
+        import ctypes
+
+        with self._lock:
+            if self._disarmed:
+                return
+            self._fired = True
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(self._thread_id),
+                ctypes.py_object(WatchdogExpired),
+            )
+
+    def disarm(self) -> None:
+        """Cancel the timer and retract a fired-but-undelivered raise."""
+        import ctypes
+
+        with self._lock:
+            self._disarmed = True
+            self._timer.cancel()
+            if self._fired:
+                # Clear a pending (undelivered) async exception; a
+                # no-op when it was already delivered and caught.
+                ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                    ctypes.c_ulong(self._thread_id), None
+                )
+                self._fired = False
+
+
+#: The active watchdog of each non-main thread (see ``_disarm_watchdog``).
+_THREAD_WATCHDOG = threading.local()
 
 
 @contextmanager
 def _watchdog(timeout_s: float | None) -> Iterator[None]:
     """Raise :class:`WatchdogExpired` in-thread after ``timeout_s``.
 
-    SIGALRM-based, so it only arms on the main thread of a process and
-    on platforms that have the signal; pool workers run tests on their
-    own main threads, so the watchdog holds in parallel campaigns too.
-    A runaway test (a livelock the event budget cannot see, e.g. one
-    spinning outside the simulator) is interrupted instead of hanging
-    the campaign.
+    SIGALRM-based on the main thread of a process (pool workers run
+    tests on their own main threads, so the watchdog holds in parallel
+    campaigns); off the main thread — a fabric worker agent running the
+    executor from its event loop's thread pool — it falls back to a
+    :class:`_ThreadWatchdog` timer thread instead of silently running
+    unguarded.  Either way a runaway test (a livelock the event budget
+    cannot see, e.g. one spinning outside the simulator) is interrupted
+    instead of hanging the campaign.
     """
+    if not timeout_s:
+        yield
+        return
     if (
-        not timeout_s
-        or not hasattr(signal, "SIGALRM")
+        not hasattr(signal, "SIGALRM")
         or threading.current_thread() is not threading.main_thread()
     ):
-        yield
+        ident = threading.get_ident()
+        watchdog = _ThreadWatchdog(timeout_s, ident)
+        _THREAD_WATCHDOG.active = watchdog
+        try:
+            yield
+        finally:
+            _THREAD_WATCHDOG.active = None
+            watchdog.disarm()
         return
 
     def _fire(signum, frame):  # noqa: ANN001 - signal handler signature
@@ -190,18 +265,22 @@ def _watchdog(timeout_s: float | None) -> Iterator[None]:
 
 
 def _disarm_watchdog() -> None:
-    """Stop a pending SIGALRM before the run's grace period expires.
+    """Stop a pending watchdog before the run's grace period expires.
 
     Called as soon as the run phase is over: a test that completed just
     under the deadline must not have its finished record discarded — or
     its snapshot recycling aborted midway — by the timer firing during
-    record building.  Idempotent with the context manager's own disarm.
+    record building.  Idempotent with the context manager's own disarm;
+    covers both the SIGALRM path and the timer-thread fallback.
     """
     if (
         hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     ):
         signal.setitimer(signal.ITIMER_REAL, 0.0)
+    active = getattr(_THREAD_WATCHDOG, "active", None)
+    if active is not None:
+        active.disarm()
 
 
 def _maybe_injected_hang(test_id: str) -> None:
@@ -852,12 +931,20 @@ def worker_killed_record(
 #: Per-worker executor installed by :func:`_init_worker`.
 _WORKER: TestExecutor | None = None
 #: Results relay (a SimpleQueue): workers announce each shard on
-#: arrival and stream every finished record back the moment it exists,
-#: so the parent can checkpoint per record and, when a worker dies,
-#: identify the killer as the first spec of the announced shard without
-#: a record.  SimpleQueue puts are synchronous (no feeder thread), so
-#: every message put before a kill survives it.
+#: arrival and stream finished records back in batches (see
+#: ``_RELAY_BATCH_SIZE``), so the parent can checkpoint as they arrive
+#: and, when a worker dies, narrow the killer to the announced shard's
+#: specs without records.  SimpleQueue puts are synchronous (no feeder
+#: thread), so every message put before a kill survives it.
 _RELAY = None
+#: Records accumulated per relay message.  One put per record cost a
+#: pickle + pipe syscall + parent wakeup per test — on a single-CPU
+#: host that dispatch overhead made the parallel path slower than
+#: serial (BENCH speedup_over_serial_w1: 0.48).  Batching amortises it
+#: ~32x; the worst case a worker kill can lose is one unflushed batch,
+#: and those specs are simply re-probed (they are suspects precisely
+#: because no record arrived).
+_RELAY_BATCH_SIZE = 32
 #: Spec table regenerated from the campaign's SuiteRecipe — the wire
 #: format for a shard is a list of indices into this table, not pickled
 #: spec dicts (see :mod:`repro.fault.wire`).
@@ -924,14 +1011,19 @@ def run_shard_payload(shard: tuple[int, list[int]]) -> int:
 
     ``shard`` is ``(shard_no, indices)`` — indices into the spec table
     both sides derived from the campaign's recipe.  The worker announces
-    the shard on the relay, then runs each spec in order and streams its
-    record back immediately (compact :func:`~repro.fault.wire.encode_record`
-    form), so a worker death loses nothing that finished and pins the
-    killer to the first index lacking a record.  Under a compiled plan
-    the shard executes as batched same-hypercall groups — records still
-    stream one message per test, and the kill-injection gate still fires
-    between tests, so supervision semantics are unchanged.  Returns the
-    number of specs run (records travel on the relay, not the future).
+    the shard on the relay, then runs each spec in order and streams
+    records back in batches (compact
+    :func:`~repro.fault.wire.encode_record` form, ``_RELAY_BATCH_SIZE``
+    per message plus a final flush), amortising the per-message pickle
+    and pipe syscall that made one-record-per-put dispatch slower than
+    serial.  A worker death loses at most the unflushed tail of a batch;
+    those specs land in the suspect set (no record arrived) and the
+    probe pool re-runs them in order, so killer attribution still
+    converges on the first spec that actually kills.  Under a compiled
+    plan the shard executes as batched same-hypercall groups, and the
+    kill-injection gate still fires between tests, so supervision
+    semantics are unchanged.  Returns the number of specs run (records
+    travel on the relay, not the future).
     """
     assert _WORKER is not None, "pool started without _init_worker"
     assert _SPEC_TABLE is not None, "pool started without a suite recipe"
@@ -942,9 +1034,19 @@ def run_shard_payload(shard: tuple[int, list[int]]) -> int:
     if _RELAY is not None:
         _RELAY.put(("shard", shard_no))
 
+    pending: list[dict] = []
+
     def relay_record(record: TestRecord) -> None:
         if _RELAY is not None:
-            _RELAY.put(("record", encode_record(record)))
+            pending.append(encode_record(record))
+            if len(pending) >= _RELAY_BATCH_SIZE:
+                _RELAY.put(("records", pending[:]))
+                pending.clear()
+
+    def flush_records() -> None:
+        if _RELAY is not None and pending:
+            _RELAY.put(("records", pending[:]))
+            pending.clear()
 
     if _PLAN is not None:
         entries = [_PLAN.entries[index] for index in indices]
@@ -971,6 +1073,7 @@ def run_shard_payload(shard: tuple[int, list[int]]) -> int:
                 os._exit(17)  # fault injection: die like a harness-killing test
             relay_record(_WORKER.run(spec))
         count = len(specs)
+    flush_records()
     if _RELAY is not None:
         delta = {
             name: count_ - _STATS_SENT.get(name, 0)

@@ -20,7 +20,7 @@ from repro.fault.testlog import TestRecord
 
 #: Bumped when the DDL changes shape; stored in the ``meta`` table and
 #: checked on open so a stale warehouse fails loudly.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 DDL = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -65,6 +65,7 @@ CREATE TABLE IF NOT EXISTS results (
     overruns         INTEGER NOT NULL DEFAULT 0,
     kernel_version   TEXT NOT NULL DEFAULT '',
     frames           INTEGER NOT NULL DEFAULT 0,
+    worker_host      TEXT NOT NULL DEFAULT '',
     PRIMARY KEY (campaign_id, test_id)
 );
 
@@ -136,8 +137,9 @@ def result_row(campaign_id: str, record: TestRecord) -> tuple:
         record.overruns,
         record.kernel_version,
         record.frames,
+        (record.host_context or {}).get("worker_host", ""),
     )
 
 
 #: Number of columns in the ``results`` table (INSERT placeholder count).
-RESULT_COLUMNS = 24
+RESULT_COLUMNS = 25
